@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's quantitative artefacts (see
+// EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on the host (the demo used an i7 3.6 GHz PC);
+// the reproduction targets are the orderings: naive ≫ single-side ≳
+// dual-side on uniform load, dual-side winning on the adversarial
+// near-s/far-d workload, and sub-millisecond matching at city scale.
+package ptrider_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/sim"
+	"ptrider/internal/skyline"
+)
+
+// benchWorld is the shared loaded system: a 32x32 city, 200 taxis
+// warmed with a quarter hour of accepted trips.
+type benchWorld struct {
+	g      *roadnet.Graph
+	eng    *core.Engine
+	probes [][2]roadnet.VertexID
+}
+
+var (
+	worldOnce sync.Once
+	world     *benchWorld
+)
+
+func loadedWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	worldOnce.Do(func() {
+		g, err := gen.GenerateNetwork(gen.CityConfig{Width: 32, Height: 32, RemoveFrac: 0.15, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		eng, err := core.NewEngine(g, core.Config{
+			GridCols: 16, GridRows: 16, Capacity: 4,
+			MaxWaitSeconds: 300, Sigma: 0.4, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		eng.AddVehiclesUniform(200)
+		trips, err := gen.GenerateTrips(g, gen.TripConfig{NumTrips: 250, DaySeconds: 900, Seed: 2})
+		if err != nil {
+			panic(err)
+		}
+		s, err := sim.New(eng, trips, sim.Config{TickSeconds: 2, Seed: 2, EndSeconds: 900})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.Run(); err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		probes := make([][2]roadnet.VertexID, 0, 1024)
+		for len(probes) < 1024 {
+			s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+			d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+			if s != d {
+				probes = append(probes, [2]roadnet.VertexID{s, d})
+			}
+		}
+		world = &benchWorld{g: g, eng: eng, probes: probes}
+	})
+	return world
+}
+
+// BenchmarkMatch — E3: one matching per op, per algorithm, on the
+// loaded 200-taxi city.
+func BenchmarkMatch(b *testing.B) {
+	w := loadedWorld(b)
+	for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoSingleSide, core.AlgoDualSide} {
+		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := w.probes[i%len(w.probes)]
+				if _, _, err := w.eng.MatchOnce(algo, p[0], p[1], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndRequest — E2: the full request lifecycle the demo
+// measures as "response time": submit, read options, choose or decline.
+func BenchmarkEndToEndRequest(b *testing.B) {
+	w := loadedWorld(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := w.probes[i%len(w.probes)]
+		rec, err := w.eng.Submit(p[0], p[1], 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Decline so the fleet state stays comparable across iterations.
+		if err := w.eng.Decline(rec.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblate — E8: dual-side matching with optimisations disabled.
+func BenchmarkAblate(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 24, Height: 24, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"full", nil},
+		{"no-lower-bounds", func(c *core.Config) { c.DisableLB = true }},
+		{"no-empty-lemma", func(c *core.Config) { c.DisableEmptyLemma = true }},
+	}
+	for _, v := range variants {
+		cfg := core.Config{GridCols: 12, GridRows: 12, Capacity: 4, MaxWaitSeconds: 300, Sigma: 0.4, Seed: 4}
+		if v.mut != nil {
+			v.mut(&cfg)
+		}
+		eng, err := core.NewEngine(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.AddVehiclesUniform(150)
+		trips, _ := gen.GenerateTrips(g, gen.TripConfig{NumTrips: 150, DaySeconds: 600, Seed: 5})
+		s, _ := sim.New(eng, trips, sim.Config{TickSeconds: 2, Seed: 5, EndSeconds: 600})
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sv := roadnet.VertexID(rng.Intn(g.NumVertices()))
+				dv := roadnet.VertexID(rng.Intn(g.NumVertices()))
+				if sv == dv {
+					continue
+				}
+				if _, _, err := eng.MatchOnce(core.AlgoDualSide, sv, dv, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridBuild — E6: index construction across resolutions.
+func BenchmarkGridBuild(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 32, Height: 32, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range []int{8, 16, 32} {
+		b.Run(map[int]string{8: "8x8", 16: "16x16", 32: "32x32"}[res], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gridindex.Build(g, gridindex.Config{Cols: res, Rows: res}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridBounds — E6: LB/UB point queries.
+func BenchmarkGridBounds(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 32, Height: 32, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := gridindex.Build(g, gridindex.Config{Cols: 16, Rows: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumVertices()
+	b.Run("LB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grid.LB(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+		}
+	})
+	b.Run("UB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grid.UB(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+		}
+	})
+}
+
+// BenchmarkVehicleListUpdate — E6: the dynamic list updates behind the
+// demo's location/pickup/dropoff update workload.
+func BenchmarkVehicleListUpdate(b *testing.B) {
+	lists := gridindex.NewVehicleLists(256)
+	rng := rand.New(rand.NewSource(10))
+	cells := make([]gridindex.CellID, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := gridindex.VehicleID(i % 4096)
+		if i%2 == 0 {
+			lists.PlaceEmpty(id, gridindex.CellID(rng.Intn(256)))
+		} else {
+			for j := range cells {
+				cells[j] = gridindex.CellID(rng.Intn(256))
+			}
+			lists.PlaceNonEmpty(id, cells)
+		}
+	}
+}
+
+// BenchmarkFleetTick — E2/E6: moving the whole roaming fleet one second
+// (the demo's periodic location updates).
+func BenchmarkFleetTick(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 32, Height: 32, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, core.Config{GridCols: 16, GridRows: 16, Capacity: 4, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.AddVehiclesUniform(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Tick(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKineticQuote — §3.3: inserting a request into a loaded
+// kinetic tree with lazy bound evaluation.
+func BenchmarkKineticQuote(b *testing.B) {
+	w := loadedWorld(b)
+	s := roadnet.NewSearcher(w.g)
+	oracleM := searcherMetric{s: s}
+	tree := kinetic.New(oracleM, 4, 8, 0, 0)
+	rng := rand.New(rand.NewSource(12))
+	reqID := kinetic.RequestID(1)
+	for tree.NumRequests() < 2 {
+		sv := roadnet.VertexID(rng.Intn(w.g.NumVertices()))
+		dv := roadnet.VertexID(rng.Intn(w.g.NumVertices()))
+		if sv == dv {
+			continue
+		}
+		sd := s.Dist(sv, dv)
+		req := kinetic.Request{ID: reqID, S: sv, D: dv, Riders: 1, SD: sd, ServiceLimit: 1.6 * sd, WaitBudget: 1e6}
+		if cands := tree.Quote(req); len(cands) > 0 {
+			if err := tree.Commit(req, cands[0]); err != nil {
+				b.Fatal(err)
+			}
+			reqID++
+		}
+	}
+	probe := kinetic.Request{ID: 999, S: 5, D: 800, Riders: 1, SD: s.Dist(5, 800), ServiceLimit: 1.6 * s.Dist(5, 800), WaitBudget: 1e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Quote(probe)
+	}
+}
+
+type searcherMetric struct{ s *roadnet.Searcher }
+
+func (m searcherMetric) Dist(u, v roadnet.VertexID) float64 { return m.s.Dist(u, v) }
+func (m searcherMetric) LB(u, v roadnet.VertexID) float64   { return 0 }
+
+// BenchmarkShortestPath — substrate: point-to-point queries on the city.
+func BenchmarkShortestPath(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 48, Height: 48, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := roadnet.NewSearcher(g)
+	bi := roadnet.NewBiSearcher(g)
+	rng := rand.New(rand.NewSource(14))
+	n := g.NumVertices()
+	b.Run("astar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Dist(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+		}
+	})
+	b.Run("bidirectional", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bi.Dist(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+		}
+	})
+}
+
+// BenchmarkSkyline — Definition 4 maintenance under churn.
+func BenchmarkSkyline(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	b.ReportAllocs()
+	var sky skyline.Skyline[int]
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			sky.Reset()
+		}
+		sky.Add(rng.Float64()*1000, rng.Float64()*100, i)
+	}
+}
+
+// BenchmarkDayThroughput — E2 at benchmark scale: a whole mini-day per
+// iteration (requests + choices + movement), reporting wall time per
+// simulated day.
+func BenchmarkDayThroughput(b *testing.B) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 24, Height: 24, Seed: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{NumTrips: 300, DaySeconds: 900, Seed: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(g, core.Config{GridCols: 12, GridRows: 12, Capacity: 4, Seed: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.AddVehiclesUniform(80)
+		s, err := sim.New(eng, trips, sim.Config{TickSeconds: 2, Seed: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

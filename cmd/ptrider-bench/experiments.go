@@ -1,0 +1,454 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/sim"
+	"ptrider/internal/stats"
+	"ptrider/internal/trace"
+)
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+}
+
+func buildCity(side int, seed int64) (*roadnet.Graph, error) {
+	return gen.GenerateNetwork(gen.CityConfig{Width: side, Height: side, RemoveFrac: 0.15, Seed: seed})
+}
+
+func buildEngine(g *roadnet.Graph, taxis int, seed int64, mut func(*core.Config)) (*core.Engine, error) {
+	cfg := core.Config{
+		GridCols: 16, GridRows: 16,
+		Capacity: 4, MaxWaitSeconds: 300, Sigma: 0.4,
+		Algorithm: core.AlgoDualSide, Seed: seed,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := core.NewEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.AddVehiclesUniform(taxis)
+	return e, nil
+}
+
+// warm loads the engine with accepted requests so vehicles carry
+// schedules, then lets them drive for a while.
+func warm(e *core.Engine, g *roadnet.Graph, seconds float64, seed int64) error {
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{
+		NumTrips:   int(seconds / 4), // one trip every ~4 simulated seconds
+		DaySeconds: seconds,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: seed, Choice: sim.UtilityChoice{}, EndSeconds: e.Clock() + seconds})
+	if err != nil {
+		return err
+	}
+	_, err = s.Run()
+	return err
+}
+
+// probePairs draws matching probes (s, d) uniformly.
+func probePairs(g *roadnet.Graph, n int, seed int64) [][2]roadnet.VertexID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]roadnet.VertexID, 0, n)
+	for len(out) < n {
+		s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		if s != d {
+			out = append(out, [2]roadnet.VertexID{s, d})
+		}
+	}
+	return out
+}
+
+// expStats — E2: the Fig. 4(c) statistics panel over a scaled day.
+func expStats(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	e, err := buildEngine(g, sc.dayTaxis, seed, nil)
+	if err != nil {
+		return err
+	}
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{NumTrips: sc.dayTrips, DaySeconds: sc.daySeconds, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("day: %d taxis, %d trips over %.0fs on %d vertices\n",
+		sc.dayTaxis, sc.dayTrips, sc.daySeconds, g.NumVertices())
+	summary := trace.Summarise(trips, sc.daySeconds)
+	fmt.Printf("workload by riders: %v\n", summary.ByRiders)
+
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: seed})
+	if err != nil {
+		return err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintf(w, "metric\tvalue\t\n")
+	fmt.Fprintf(w, "avg response time (ms)\t%.3f\t\n", res.Engine.AvgResponseMs)
+	fmt.Fprintf(w, "p95 response time (ms)\t%.3f\t\n", res.Engine.P95ResponseMs)
+	fmt.Fprintf(w, "avg sharing rate (%%)\t%.1f\t\n", 100*res.Engine.SharingRate)
+	fmt.Fprintf(w, "avg options/request\t%.2f\t\n", res.Engine.AvgOptions)
+	fmt.Fprintf(w, "accepted/submitted\t%d/%d\t\n", res.Accepted, res.Submitted)
+	fmt.Fprintf(w, "completed\t%d\t\n", res.Engine.Completed)
+	fmt.Fprintf(w, "avg extra wait (s)\t%.1f\t\n", res.Engine.AvgWaitSeconds)
+	fmt.Fprintf(w, "avg detour factor\t%.3f\t\n", res.Engine.AvgDetourFactor)
+	return w.Flush()
+}
+
+// expAlgos — E3: per-request latency and verifications, naive vs
+// single-side vs dual-side, across fleet sizes.
+func expAlgos(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintf(w, "taxis\talgo\tavg ms\tverified\tpruned\tcells\tdist calls\toptions\t\n")
+	for _, fleetSize := range sc.fleets {
+		e, err := buildEngine(g, fleetSize, seed, nil)
+		if err != nil {
+			return err
+		}
+		if err := warm(e, g, 900, seed); err != nil {
+			return err
+		}
+		probes := probePairs(g, sc.probes, seed+7)
+		for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoSingleSide, core.AlgoDualSide} {
+			e.ResetDistCache()
+			var agg core.MatchStats
+			var opts stats.Online
+			start := time.Now()
+			for _, p := range probes {
+				_, ms, err := e.MatchOnce(algo, p[0], p[1], 1)
+				if err != nil {
+					return err
+				}
+				agg.Verified += ms.Verified
+				agg.PrunedVehicles += ms.PrunedVehicles
+				agg.CellsScanned += ms.CellsScanned
+				agg.DistCalls += ms.DistCalls
+				opts.Observe(float64(ms.Options))
+			}
+			elapsed := time.Since(start)
+			n := float64(len(probes))
+			fmt.Fprintf(w, "%d\t%s\t%.3f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t\n",
+				fleetSize, algo,
+				float64(elapsed.Milliseconds())/n,
+				float64(agg.Verified)/n,
+				float64(agg.PrunedVehicles)/n,
+				float64(agg.CellsScanned)/n,
+				float64(agg.DistCalls)/n,
+				opts.Mean())
+		}
+	}
+	return w.Flush()
+}
+
+// expDualSide — E4: the paper's dual-side scenario — schedules near the
+// start location but far from the destination. Vehicles are loaded with
+// trips inside the north-west quadrant; probes start there but end in
+// the south-east corner.
+func expDualSide(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	e, err := buildEngine(g, sc.dayTaxis, seed, nil)
+	if err != nil {
+		return err
+	}
+
+	// Quadrant helpers over the vertex grid (ids are row-major).
+	side := sc.city
+	inNW := func(v roadnet.VertexID) bool {
+		x, y := int(v)%side, int(v)/side
+		return x < side/2 && y >= side/2
+	}
+	rng := rand.New(rand.NewSource(seed + 13))
+	randIn := func(pred func(roadnet.VertexID) bool) roadnet.VertexID {
+		for {
+			v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+			if pred(v) {
+				return v
+			}
+		}
+	}
+
+	// Load vehicles with NW-internal trips so their schedules stay NW.
+	loaded := 0
+	for i := 0; i < sc.dayTaxis*2 && loaded < sc.dayTaxis/2; i++ {
+		s := randIn(inNW)
+		d := randIn(inNW)
+		if s == d {
+			continue
+		}
+		rec, err := e.Submit(s, d, 1)
+		if err != nil {
+			continue
+		}
+		if len(rec.Options) > 0 {
+			if err := e.Choose(rec.ID, 0); err == nil {
+				loaded++
+			}
+		} else {
+			e.Decline(rec.ID)
+		}
+	}
+	fmt.Printf("loaded %d NW-bound schedules onto %d taxis\n", loaded, sc.dayTaxis)
+
+	seCorner := roadnet.VertexID(side/8*side + (side - 1 - side/8)) // south-east area
+	probes := make([][2]roadnet.VertexID, 0, sc.probes)
+	for len(probes) < sc.probes {
+		s := randIn(inNW)
+		if s != seCorner {
+			probes = append(probes, [2]roadnet.VertexID{s, seCorner})
+		}
+	}
+
+	w := table()
+	fmt.Fprintf(w, "algo\tavg ms\tverified\tpruned\tdist calls\toptions\t\n")
+	for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoSingleSide, core.AlgoDualSide} {
+		e.ResetDistCache()
+		var agg core.MatchStats
+		var opts stats.Online
+		start := time.Now()
+		for _, p := range probes {
+			_, ms, err := e.MatchOnce(algo, p[0], p[1], 1)
+			if err != nil {
+				return err
+			}
+			agg.Verified += ms.Verified
+			agg.PrunedVehicles += ms.PrunedVehicles
+			agg.DistCalls += ms.DistCalls
+			opts.Observe(float64(ms.Options))
+		}
+		elapsed := time.Since(start)
+		n := float64(len(probes))
+		fmt.Fprintf(w, "%s\t%.3f\t%.1f\t%.1f\t%.1f\t%.2f\t\n",
+			algo, float64(elapsed.Milliseconds())/n,
+			float64(agg.Verified)/n, float64(agg.PrunedVehicles)/n,
+			float64(agg.DistCalls)/n, opts.Mean())
+	}
+	return w.Flush()
+}
+
+// expSweep — E5: sensitivity of the statistics panel to the website
+// interface's global parameters.
+func expSweep(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{
+		NumTrips: sc.dayTrips / 4, DaySeconds: sc.daySeconds / 4, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	type variant struct {
+		label string
+		taxis int
+		mut   func(*core.Config)
+	}
+	base := sc.dayTaxis
+	variants := []variant{
+		{"baseline", base, nil},
+		{"taxis/2", base / 2, nil},
+		{"taxis*2", base * 2, nil},
+		{"capacity=2", base, func(c *core.Config) { c.Capacity = 2 }},
+		{"capacity=6", base, func(c *core.Config) { c.Capacity = 6 }},
+		{"w=120s", base, func(c *core.Config) { c.MaxWaitSeconds = 120 }},
+		{"w=600s", base, func(c *core.Config) { c.MaxWaitSeconds = 600 }},
+		{"sigma=0.2", base, func(c *core.Config) { c.Sigma = 0.2 }},
+		{"sigma=0.8", base, func(c *core.Config) { c.Sigma = 0.8 }},
+	}
+
+	w := table()
+	fmt.Fprintf(w, "variant\tresp ms\toptions\tsharing %%\tserved %%\tdetour\t\n")
+	for _, v := range variants {
+		e, err := buildEngine(g, v.taxis, seed, v.mut)
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: seed})
+		if err != nil {
+			return err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		served := 0.0
+		if res.Submitted > 0 {
+			served = 100 * float64(res.Accepted) / float64(res.Submitted)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.1f\t%.1f\t%.3f\t\n",
+			v.label, res.Engine.AvgResponseMs, res.Engine.AvgOptions,
+			100*res.Engine.SharingRate, served, res.Engine.AvgDetourFactor)
+	}
+	return w.Flush()
+}
+
+// expIndex — E6: grid index build cost, bound tightness and dynamic
+// list update throughput across grid resolutions.
+func expIndex(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	s := roadnet.NewSearcher(g)
+	rng := rand.New(rand.NewSource(seed + 3))
+	pairs := probePairs(g, 300, seed+4)
+
+	w := table()
+	fmt.Fprintf(w, "grid\tbuild ms\tavg LB/dist\tavg UB/dist\tupdates/ms\t\n")
+	for _, res := range []int{4, 8, 16, 32} {
+		start := time.Now()
+		grid, err := gridindex.Build(g, gridindex.Config{Cols: res, Rows: res})
+		if err != nil {
+			return err
+		}
+		buildMs := float64(time.Since(start).Microseconds()) / 1000
+
+		var lbSum, ubSum float64
+		var nb int
+		for _, p := range pairs {
+			d := s.Dist(p[0], p[1])
+			if d == 0 {
+				continue
+			}
+			lbSum += grid.LB(p[0], p[1]) / d
+			if ub := grid.UB(p[0], p[1]); ub < 1e17 {
+				ubSum += ub / d
+				nb++
+			}
+		}
+		ubAvg := 0.0
+		if nb > 0 {
+			ubAvg = ubSum / float64(nb)
+		}
+
+		lists := gridindex.NewVehicleLists(grid.NumCells())
+		const ops = 200000
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			id := gridindex.VehicleID(i % 4096)
+			lists.PlaceEmpty(id, gridindex.CellID(rng.Intn(grid.NumCells())))
+		}
+		updMs := float64(time.Since(start).Microseconds()) / 1000
+
+		fmt.Fprintf(w, "%dx%d\t%.1f\t%.3f\t%.3f\t%.0f\t\n",
+			res, res, buildMs, lbSum/float64(len(pairs)), ubAvg, ops/updMs)
+	}
+	return w.Flush()
+}
+
+// expOptions — E7: distribution of options per request over a loaded
+// system ("PTRider can return various options for every ridesharing
+// request in real time").
+func expOptions(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	e, err := buildEngine(g, sc.dayTaxis, seed, nil)
+	if err != nil {
+		return err
+	}
+	if err := warm(e, g, 900, seed); err != nil {
+		return err
+	}
+	hist, err := stats.NewHistogram(0, 10, 10)
+	if err != nil {
+		return err
+	}
+	var online stats.Online
+	for _, p := range probePairs(g, sc.probes*4, seed+9) {
+		opts, _, err := e.MatchOnce(core.AlgoDualSide, p[0], p[1], 1)
+		if err != nil {
+			return err
+		}
+		hist.Observe(float64(len(opts)))
+		online.Observe(float64(len(opts)))
+	}
+	w := table()
+	fmt.Fprintf(w, "options\trequests\t\n")
+	for i := 0; i < hist.NumBins(); i++ {
+		lo, _ := hist.BinBounds(i)
+		fmt.Fprintf(w, "%.0f\t%d\t\n", lo, hist.Bin(i))
+	}
+	fmt.Fprintf(w, "10+\t%d\t\n", hist.Over())
+	fmt.Fprintf(w, "mean\t%.2f\t\n", online.Mean())
+	fmt.Fprintf(w, "max\t%.0f\t\n", online.Max())
+	return w.Flush()
+}
+
+// expAblate — E8: each optimisation disabled in turn, dual-side
+// matcher, same probes.
+func expAblate(sc scale, seed int64) error {
+	g, err := buildCity(sc.city, seed)
+	if err != nil {
+		return err
+	}
+	type variant struct {
+		label string
+		mut   func(*core.Config)
+	}
+	variants := []variant{
+		{"full", nil},
+		{"no lower bounds", func(c *core.Config) { c.DisableLB = true }},
+		{"no empty-vehicle lemma", func(c *core.Config) { c.DisableEmptyLemma = true }},
+		{"grid 4x4", func(c *core.Config) { c.GridCols, c.GridRows = 4, 4 }},
+		{"grid 32x32", func(c *core.Config) { c.GridCols, c.GridRows = 32, 32 }},
+		{"landmarks 8", func(c *core.Config) { c.NumLandmarks = 8 }},
+	}
+	probes := probePairs(g, sc.probes, seed+21)
+	w := table()
+	fmt.Fprintf(w, "variant\tavg ms\tverified\tdist calls\t\n")
+	for _, v := range variants {
+		e, err := buildEngine(g, sc.dayTaxis, seed, v.mut)
+		if err != nil {
+			return err
+		}
+		if err := warm(e, g, 600, seed); err != nil {
+			return err
+		}
+		e.ResetDistCache()
+		var agg core.MatchStats
+		start := time.Now()
+		for _, p := range probes {
+			_, ms, err := e.MatchOnce(core.AlgoDualSide, p[0], p[1], 1)
+			if err != nil {
+				return err
+			}
+			agg.Verified += ms.Verified
+			agg.DistCalls += ms.DistCalls
+		}
+		elapsed := time.Since(start)
+		n := float64(len(probes))
+		fmt.Fprintf(w, "%s\t%.3f\t%.1f\t%.1f\t\n",
+			v.label, float64(elapsed.Milliseconds())/n,
+			float64(agg.Verified)/n, float64(agg.DistCalls)/n)
+	}
+	return w.Flush()
+}

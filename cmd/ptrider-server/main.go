@@ -1,0 +1,71 @@
+// Command ptrider-server runs the PTRider demo service: the smartphone
+// interface (request → options → choice) and the website interface
+// (statistics, schedules, parameters) as a JSON API over HTTP, backed
+// by a synthetic city with roaming taxis.
+//
+// With -realtime, simulated time advances with wall-clock time in the
+// background, like the live demo; otherwise advance it manually via
+// POST /api/tick.
+//
+// Usage:
+//
+//	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
+//
+// Endpoints (see internal/server):
+//
+//	POST /api/request {"s":12,"d":17,"riders":2}
+//	POST /api/choose  {"id":1,"option":0}
+//	GET  /api/stats
+//	GET  /api/taxi?id=3
+//	GET  /api/params · POST /api/params {"algorithm":"single-side"}
+//	POST /api/tick    {"seconds":5}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"ptrider"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		width    = flag.Int("width", 40, "city width (intersections)")
+		height   = flag.Int("height", 40, "city height (intersections)")
+		taxis    = flag.Int("taxis", 500, "number of taxis")
+		algo     = flag.String("algo", "dual-side", "matching algorithm")
+		seed     = flag.Int64("seed", 1, "random seed")
+		realtime = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
+	)
+	flag.Parse()
+
+	net, err := ptrider.GenerateCity(ptrider.CityConfig{Width: *width, Height: *height, Seed: *seed})
+	if err != nil {
+		log.Fatalf("ptrider-server: %v", err)
+	}
+	sys, err := ptrider.New(net, ptrider.Config{NumTaxis: *taxis, Algorithm: *algo, Seed: *seed})
+	if err != nil {
+		log.Fatalf("ptrider-server: %v", err)
+	}
+
+	if *realtime {
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := sys.Tick(1); err != nil {
+					log.Printf("ptrider-server: tick: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	fmt.Printf("PTRider serving %d taxis on a %dx%d city at %s (realtime=%v)\n",
+		*taxis, *width, *height, *addr, *realtime)
+	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler()))
+}

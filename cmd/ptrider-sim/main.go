@@ -1,0 +1,181 @@
+// Command ptrider-sim replays a synthetic city day against PTRider and
+// prints the demo's statistics panel (paper §4): average response time,
+// sharing rate, options per request, waiting and detour quality.
+//
+// The defaults are a laptop-scale rendition of the demo's setup
+// (17,000 taxis / 432,327 trips over one day); raise -taxis/-trips/-day
+// to approach the full scale.
+//
+// Usage:
+//
+//	ptrider-sim -width 40 -height 40 -taxis 500 -trips 20000 -day 86400 \
+//	            -algo dual-side -choice utility -tick 1 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ptrider"
+	"ptrider/internal/trace"
+)
+
+func main() {
+	var (
+		width     = flag.Int("width", 40, "city width (intersections)")
+		height    = flag.Int("height", 40, "city height (intersections)")
+		taxis     = flag.Int("taxis", 500, "number of taxis")
+		trips     = flag.Int("trips", 20000, "number of trips in the day")
+		day       = flag.Float64("day", 86400, "day length in seconds")
+		algo      = flag.String("algo", "dual-side", "matching algorithm: naive|single-side|dual-side")
+		choice    = flag.String("choice", "utility", "rider choice model: earliest|cheapest|uniform|utility")
+		tick      = flag.Float64("tick", 1, "simulation tick in seconds")
+		seed      = flag.Int64("seed", 1, "random seed")
+		cap       = flag.Int("capacity", 4, "taxi capacity")
+		wait      = flag.Float64("wait", 300, "maximal waiting time w in seconds")
+		sigma     = flag.Float64("sigma", 0.4, "service constraint sigma")
+		fail      = flag.Float64("failures", 0, "vehicle failures injected per hour")
+		saveCSV   = flag.String("save-trips", "", "write the generated workload to this CSV file")
+		saveNet   = flag.String("save-network", "", "write the generated network to this file")
+		loadNet   = flag.String("load-network", "", "load the road network from this file instead of generating")
+		loadTrips = flag.String("load-trips", "", "load the workload from this CSV file instead of generating")
+	)
+	flag.Parse()
+
+	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string) error {
+	var net *ptrider.Network
+	var err error
+	if loadNet != "" {
+		fmt.Printf("loading network from %s …\n", loadNet)
+		f, err2 := os.Open(loadNet)
+		if err2 != nil {
+			return err2
+		}
+		net, err = ptrider.ReadNetwork(f)
+		f.Close()
+	} else {
+		fmt.Printf("generating city %dx%d …\n", width, height)
+		net, err = ptrider.GenerateCity(ptrider.CityConfig{Width: width, Height: height, Seed: seed})
+	}
+	if err != nil {
+		return err
+	}
+	if saveNet != "" {
+		f, err := os.Create(saveNet)
+		if err != nil {
+			return err
+		}
+		if err := ptrider.WriteNetwork(f, net); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  network saved to %s\n", saveNet)
+	}
+	fmt.Printf("  %d intersections, %d road segments\n", net.NumVertices(), net.NumRoads())
+
+	var workload []ptrider.Trip
+	if loadTrips != "" {
+		fmt.Printf("loading workload from %s …\n", loadTrips)
+		f, err := os.Open(loadTrips)
+		if err != nil {
+			return err
+		}
+		workload, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, tr := range workload {
+			if err := tr.Validate(net.NumVertices()); err != nil {
+				return err
+			}
+		}
+		trace.SortByTime(workload)
+	} else {
+		fmt.Printf("generating %d trips over %.0fs …\n", trips, day)
+		workload, err = ptrider.GenerateWorkload(net, ptrider.WorkloadConfig{
+			NumTrips: trips, DaySeconds: day, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if saveCSV != "" {
+		f, err := os.Create(saveCSV)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteCSV(f, workload); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  workload saved to %s\n", saveCSV)
+	}
+
+	sys, err := ptrider.New(net, ptrider.Config{
+		NumTaxis:       taxis,
+		Capacity:       capacity,
+		MaxWaitSeconds: wait,
+		Sigma:          sigma,
+		Algorithm:      algo,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("running day with %d taxis, algorithm=%s, choice=%s …\n", taxis, algo, choice)
+	res, err := sys.RunWorkload(workload, ptrider.SimOptions{
+		TickSeconds:     tick,
+		Choice:          choice,
+		FailuresPerHour: fail,
+		Seed:            seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\n== PTRider statistics panel ==")
+	fmt.Fprintf(w, "simulated clock\t%.0f s\n", res.Stats.ClockSeconds)
+	fmt.Fprintf(w, "requests submitted\t%d\n", res.Submitted)
+	fmt.Fprintf(w, "accepted / declined / no option\t%d / %d / %d\n", res.Accepted, res.Declined, res.NoOption)
+	fmt.Fprintf(w, "completed trips\t%d\n", res.Stats.Completed)
+	fmt.Fprintf(w, "average response time\t%.3f ms\n", res.Stats.AvgResponseMs)
+	fmt.Fprintf(w, "p95 response time\t%.3f ms\n", res.Stats.P95ResponseMs)
+	fmt.Fprintf(w, "average sharing rate\t%.1f %%\n", 100*res.Stats.SharingRate)
+	fmt.Fprintf(w, "average options per request\t%.2f\n", res.AvgOptions)
+	fmt.Fprintf(w, "average chosen price\t%.2f\n", res.AvgPrice)
+	fmt.Fprintf(w, "average chosen pickup\t%.0f s\n", res.AvgPickupS)
+	fmt.Fprintf(w, "average extra wait\t%.1f s\n", res.Stats.AvgWaitSeconds)
+	fmt.Fprintf(w, "average detour factor\t%.3f\n", res.Stats.AvgDetourFactor)
+	fmt.Fprintf(w, "active taxis at end\t%d\n", res.Stats.ActiveVehicles)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if len(res.Hourly) > 1 {
+		hw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(hw, "\nhour\tsubmitted\taccepted\tno option\tavg options\t")
+		for _, h := range res.Hourly {
+			fmt.Fprintf(hw, "%02d\t%d\t%d\t%d\t%.2f\t\n",
+				h.Hour, h.Submitted, h.Accepted, h.NoOption, h.AvgOptions)
+		}
+		return hw.Flush()
+	}
+	return nil
+}

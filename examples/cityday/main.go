@@ -1,0 +1,70 @@
+// Cityday replays a compressed city day against PTRider and prints the
+// statistics the demo's website interface shows (paper §4.2): average
+// response time, sharing rate, options per request, served fraction.
+//
+// It is a miniature of cmd/ptrider-sim exercising the public API only.
+//
+//	go run ./examples/cityday
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptrider"
+)
+
+func main() {
+	city, err := ptrider.GenerateCity(ptrider.CityConfig{
+		Width: 24, Height: 24, RemoveFrac: 0.15, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two simulated hours, 1,500 trips, 60 taxis — a 1:300 rendition of
+	// the demo's 17,000-taxi day.
+	workload, err := ptrider.GenerateWorkload(city, ptrider.WorkloadConfig{
+		NumTrips: 1500, DaySeconds: 7200, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := ptrider.New(city, ptrider.Config{
+		NumTaxis:  60,
+		Algorithm: "dual-side",
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replaying %d trips over %d taxis …\n", len(workload), sys.NumVehicles())
+	res, err := sys.RunWorkload(workload, ptrider.SimOptions{
+		TickSeconds: 2,
+		Choice:      "utility", // riders trade pick-up time against price
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n-- statistics panel --")
+	fmt.Printf("requests submitted      %d\n", res.Submitted)
+	fmt.Printf("accepted / declined     %d / %d\n", res.Accepted, res.Declined)
+	fmt.Printf("no option available     %d\n", res.NoOption)
+	fmt.Printf("trips completed         %d\n", res.Stats.Completed)
+	fmt.Printf("avg response time       %.2f ms\n", res.Stats.AvgResponseMs)
+	fmt.Printf("p95 response time       %.2f ms\n", res.Stats.P95ResponseMs)
+	fmt.Printf("avg sharing rate        %.1f %%\n", 100*res.Stats.SharingRate)
+	fmt.Printf("avg options per request %.2f\n", res.AvgOptions)
+	fmt.Printf("avg chosen price        %.2f\n", res.AvgPrice)
+	fmt.Printf("avg chosen pickup       %.0f s\n", res.AvgPickupS)
+	fmt.Printf("avg extra wait          %.1f s\n", res.Stats.AvgWaitSeconds)
+	fmt.Printf("avg detour factor       %.3f\n", res.Stats.AvgDetourFactor)
+
+	if res.Stats.Completed == 0 {
+		log.Fatal("day produced no completed trips")
+	}
+}

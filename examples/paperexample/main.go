@@ -1,0 +1,117 @@
+// Paperexample reproduces the worked example of the PTRider paper
+// (§2.4–§2.5, Fig. 1a) end to end: vehicle c1 serves
+// R1 = ⟨v2, v16, 2, 5, 0.2⟩ from v1, vehicle c2 idles at v13, and
+// request R2 = ⟨v12, v17, 2, 5, 0.2⟩ receives exactly the two
+// non-dominated results the paper prints:
+//
+//	r1 = ⟨c1, 14, 4⟩   (later pickup, lower price)
+//	r2 = ⟨c2, 8, 8.8⟩  (earlier pickup, higher price)
+//
+//	go run ./examples/paperexample
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ptrider"
+)
+
+func main() {
+	// The 17-vertex network of Fig. 1(a), reconstructed to be
+	// consistent with every number in the prose (the PDF's edge labels
+	// are unreadable; see DESIGN.md §5). Vertex vK is id K-1.
+	v := func(k int) ptrider.VertexID { return ptrider.VertexID(k - 1) }
+	points := make([]ptrider.Point, 17)
+	for i := range points {
+		points[i] = ptrider.Point{X: float64(i) * 0.001}
+	}
+	edges := []ptrider.Edge{
+		{U: v(1), V: v(2), Weight: 6},
+		{U: v(2), V: v(12), Weight: 8},
+		{U: v(2), V: v(16), Weight: 12},
+		{U: v(12), V: v(16), Weight: 4},
+		{U: v(16), V: v(17), Weight: 3},
+		{U: v(12), V: v(17), Weight: 7},
+		{U: v(13), V: v(12), Weight: 8},
+	}
+	filler := [][2]int{
+		{3, 2}, {4, 3}, {5, 4}, {6, 5}, {7, 6}, {8, 7}, {9, 8},
+		{10, 9}, {11, 10}, {14, 13}, {15, 14},
+	}
+	for _, f := range filler {
+		edges = append(edges, ptrider.Edge{U: v(f[0]), V: v(f[1]), Weight: 30})
+	}
+	net, err := ptrider.NewNetwork(points, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Weights are the paper's abstract units; at 3.6 km/h one unit of
+	// distance is one second, so printed times equal the paper's
+	// distances. Global w = 5 units, σ = 0.2 as in the example.
+	sys, err := ptrider.New(net, ptrider.Config{
+		Capacity:       4,
+		SpeedKmh:       3.6,
+		MaxWaitSeconds: 5,
+		Sigma:          0.2,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c1 := sys.AddVehicleAt(v(1))
+	c2 := sys.AddVehicleAt(v(13))
+
+	// Assign R1 = ⟨v2, v16, 2, 5, 0.2⟩ to c1 — its trip schedule
+	// becomes ⟨v1, v2, v16⟩ as in the figure.
+	r1, err := sys.Request(v(2), v(16), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(r1.Options) != 1 || r1.Options[0].Vehicle != c1 {
+		log.Fatalf("R1 should be offered c1 only, got %+v", r1.Options)
+	}
+	if err := sys.Choose(r1.ID, 0); err != nil {
+		log.Fatal(err)
+	}
+	loc, schedules, _ := sys.VehicleSchedules(c1)
+	fmt.Printf("c1 at v%d, trip schedule:", loc+1)
+	for _, stop := range schedules[0] {
+		fmt.Printf(" v%d(%s)", stop.Vertex+1, stop.Kind)
+	}
+	fmt.Println()
+
+	// R2 = ⟨v12, v17, 2, 5, 0.2⟩.
+	r2, err := sys.Request(v(12), v(17), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nR2 = <v12, v17, 2, 5, 0.2> receives %d options:\n", len(r2.Options))
+	for _, o := range r2.Options {
+		name := "c1"
+		if o.Vehicle == c2 {
+			name = "c2"
+		}
+		fmt.Printf("  <%s, %2.0f, %.1f>\n", name, o.PickupSeconds, o.Price)
+	}
+
+	// Assert the paper's numbers exactly.
+	if len(r2.Options) != 2 {
+		log.Fatalf("want 2 options, got %d", len(r2.Options))
+	}
+	byName := map[ptrider.VertexID]ptrider.Option{}
+	for _, o := range r2.Options {
+		byName[o.Vehicle] = o
+	}
+	check := func(name string, o ptrider.Option, wantTime, wantPrice float64) {
+		if math.Abs(o.PickupSeconds-wantTime) > 1e-9 || math.Abs(o.Price-wantPrice) > 1e-9 {
+			log.Fatalf("%s: got (%v, %v), paper says (%v, %v)", name, o.PickupSeconds, o.Price, wantTime, wantPrice)
+		}
+	}
+	check("r1=<c1,14,4>", byName[c1], 14, 4)
+	check("r2=<c2,8,8.8>", byName[c2], 8, 8.8)
+	fmt.Println("\nboth results match the paper: <c1, 14, 4> and <c2, 8, 8.8> ✓")
+}

@@ -1,0 +1,91 @@
+// Quickstart: generate a synthetic city, start PTRider with a fleet of
+// taxis, submit one ridesharing request, inspect the price-and-time
+// option skyline, choose, and ride to completion.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptrider"
+)
+
+func main() {
+	// A 20x20-intersection city with the default hotspots and arterials.
+	city, err := ptrider.GenerateCity(ptrider.CityConfig{Width: 20, Height: 20, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d intersections, %d road segments\n", city.NumVertices(), city.NumRoads())
+
+	// 50 taxis, demo defaults: capacity 4, 48 km/h, w = 300 s, σ = 0.4.
+	sys, err := ptrider.New(city, ptrider.Config{NumTaxis: 50, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Put some background riders into taxis first: with every taxi
+	// idle, the skyline collapses to the single nearest empty taxi
+	// (all idle offers are dominated by it); a working fleet offers
+	// genuine time-vs-price trade-offs.
+	background, err := ptrider.GenerateWorkload(city, ptrider.WorkloadConfig{
+		NumTrips: 40, DaySeconds: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range background {
+		r, err := sys.Request(tr.S, tr.D, tr.Riders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(r.Options) > 0 {
+			if err := sys.Choose(r.ID, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Two riders travelling between corners of the city.
+	from, to := ptrider.VertexID(21), ptrider.VertexID(378)
+	req, err := sys.Request(from, to, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrequest %d: %d -> %d, 2 riders — %d non-dominated options:\n",
+		req.ID, from, to, len(req.Options))
+	for _, o := range req.Options {
+		fmt.Printf("  option %d: taxi %-4d pickup in %5.0f s  price %6.2f\n",
+			o.Index, o.Vehicle, o.PickupSeconds, o.Price)
+	}
+
+	// Take the cheapest option (the last one: options are sorted by
+	// pick-up time, and the skyline makes price fall as time grows).
+	chosen := req.Options[len(req.Options)-1]
+	if err := sys.Choose(req.ID, chosen.Index); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchose option %d (taxi %d)\n", chosen.Index, chosen.Vehicle)
+
+	// Let simulated time run until the trip completes.
+	for i := 0; i < 3600; i++ {
+		events, err := sys.Tick(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range events {
+			if e.Request == req.ID {
+				fmt.Printf("t=%4.0fs: %s by taxi %d\n", sys.Stats().ClockSeconds, e.Kind, e.Vehicle)
+			}
+		}
+		if status, _ := sys.RequestStatus(req.ID); status == "completed" {
+			break
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nstats: %d request(s), %.2f options on average, avg response %.2f ms\n",
+		st.Requests, st.AvgOptions, st.AvgResponseMs)
+}

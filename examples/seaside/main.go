@@ -1,0 +1,109 @@
+// Seaside: the paper's motivating scenario (§1). A couple finishes
+// dinner at the seaside, far from the city centre, and wants to travel
+// home. Few vehicles are nearby: getting one quickly costs extra
+// (a detour just for them), while waiting for a taxi that is already
+// heading their way costs less. PTRider returns both options; the
+// couple picks.
+//
+//	go run ./examples/seaside
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptrider"
+)
+
+func main() {
+	// A single coast road: 21 stops, 500 m apart. Stop 0 is the seaside
+	// restaurant, stop 4 is home, stops 10+ are the city centre.
+	const stops = 21
+	points := make([]ptrider.Point, stops)
+	var edges []ptrider.Edge
+	for i := 0; i < stops; i++ {
+		points[i] = ptrider.Point{X: float64(i) * 500}
+		if i > 0 {
+			edges = append(edges, ptrider.Edge{U: int32(i - 1), V: int32(i), Weight: 500})
+		}
+	}
+	coast, err := ptrider.NewNetwork(points, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := ptrider.New(coast, ptrider.Config{
+		Capacity:       4,
+		SpeedKmh:       48,
+		MaxWaitSeconds: 300,
+		Sigma:          0.4,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Taxi A idles just one stop from the seaside.
+	taxiA := sys.AddVehicleAt(1)
+	// Taxi B idles mid-way — too far to be quick, too empty to be cheap.
+	taxiB := sys.AddVehicleAt(6)
+	// Taxi C is in the city centre and already serving a rider whose
+	// destination is the seaside — it will pass right by the couple.
+	taxiC := sys.AddVehicleAt(10)
+	centreRider, err := sys.Request(10, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Choose(centreRider.ID, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// The couple (2 riders) books from the seaside (0) to home (4).
+	couple, err := sys.Request(0, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The couple at the seaside sees:")
+	for _, o := range couple.Options {
+		var who string
+		switch o.Vehicle {
+		case taxiA:
+			who = "taxi A (idle nearby — detours just for you)"
+		case taxiB:
+			who = "taxi B (idle mid-way)"
+		case taxiC:
+			who = "taxi C (already bringing a rider to the seaside)"
+		}
+		fmt.Printf("  pickup in %5.1f min  price %6.0f   %s\n",
+			o.PickupSeconds/60, o.Price, who)
+	}
+	fmt.Println()
+	fmt.Println("Taxi B never appears: its offer is dominated — later than A and")
+	fmt.Println("pricier than C. The skyline keeps only the real trade-offs:")
+	fmt.Println("pay more to leave now, or wait for the taxi already coming.")
+
+	if len(couple.Options) != 2 {
+		log.Fatalf("expected exactly 2 skyline options, got %d", len(couple.Options))
+	}
+	fast, cheap := couple.Options[0], couple.Options[1]
+	if fast.Vehicle != taxiA || cheap.Vehicle != taxiC {
+		log.Fatalf("unexpected skyline: %+v", couple.Options)
+	}
+	if cheap.Price >= fast.Price {
+		log.Fatal("waiting longer should be cheaper")
+	}
+	fmt.Printf("\nThe couple is patient: they take taxi C and save %.0f.\n",
+		fast.Price-cheap.Price)
+	if err := sys.Choose(couple.ID, cheap.Index); err != nil {
+		log.Fatal(err)
+	}
+	for status := ""; status != "completed"; {
+		if _, err := sys.Tick(5); err != nil {
+			log.Fatal(err)
+		}
+		status, _ = sys.RequestStatus(couple.ID)
+	}
+	fmt.Printf("Home safe after %.0f minutes of simulated time.\n",
+		sys.Stats().ClockSeconds/60)
+}

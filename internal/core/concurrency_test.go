@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/roadnet"
+)
+
+// TestConcurrentClients hammers the engine from several goroutines
+// mixing submissions, choices, ticks and stats reads; run under -race
+// this pins the engine's locking discipline.
+func TestConcurrentClients(t *testing.T) {
+	e := latticeEngine(t, 30, 8, 8, core.Config{Capacity: 4})
+	e.AddVehiclesUniform(20)
+	n := e.Graph().NumVertices()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					s := roadnet.VertexID(rng.Intn(n))
+					d := roadnet.VertexID(rng.Intn(n))
+					if s == d {
+						continue
+					}
+					rec, err := e.Submit(s, d, 1+rng.Intn(2))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rec.Options) > 0 && rng.Intn(2) == 0 {
+						// Choices may fail if the vehicle moved or filled
+						// meanwhile — that is expected behaviour, not an
+						// engine error.
+						_ = e.Choose(rec.ID, rng.Intn(len(rec.Options)))
+					} else {
+						_ = e.Decline(rec.ID)
+					}
+				case 2:
+					if _, err := e.Tick(1); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					_ = e.Stats()
+					_ = e.VehicleViews(5)
+				}
+			}
+		}(int64(worker))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent client: %v", err)
+	}
+	st := e.Stats()
+	if st.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/skyline"
+)
+
+// DualSideMatcher implements the dual-side search algorithm (paper
+// §3.3): in addition to the single-side ring expansion from the start
+// location s, a second ring expands from the destination d in lockstep.
+// A non-empty vehicle discovered near s whose schedule has not yet been
+// discovered from the d side at radius L_d is certifiably far from d:
+// every schedule location x has dist(x, d) ≥ L_d, so inserting d into
+// any gap (x, y) costs at least 2·L_d − dist(x, y) extra distance, and
+// appending it costs at least L_d. That detour lower bound
+//
+//	ΔLB = max(0, min(L_d, 2·L_d − maxLeg))
+//
+// often dominates such vehicles out of consideration without a
+// kinetic-tree insertion — exactly the paper's scenario of a schedule
+// "near the start location but far from the destination". Vehicles that
+// survive the bound are deferred; when the s-side expansion finishes,
+// survivors are re-tested against the final skyline and verified only
+// if still potentially non-dominated.
+type DualSideMatcher struct {
+	ctx *matchContext
+
+	visitStamp []uint32 // s-side discovery
+	dSeenStamp []uint32 // d-side discovery
+	epoch      uint32
+}
+
+func newDualSideMatcher(ctx *matchContext) *DualSideMatcher {
+	return &DualSideMatcher{ctx: ctx}
+}
+
+// Name implements Matcher.
+func (m *DualSideMatcher) Name() string { return "dual-side" }
+
+func (m *DualSideMatcher) begin(n int) {
+	if len(m.visitStamp) < n {
+		grownV := make([]uint32, n)
+		copy(grownV, m.visitStamp)
+		m.visitStamp = grownV
+		grownD := make([]uint32, n)
+		copy(grownD, m.dSeenStamp)
+		m.dSeenStamp = grownD
+	}
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.visitStamp {
+			m.visitStamp[i] = 0
+			m.dSeenStamp[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+func (m *DualSideMatcher) firstVisit(id fleet.VehicleID) bool {
+	if m.visitStamp[id] == m.epoch {
+		return false
+	}
+	m.visitStamp[id] = m.epoch
+	return true
+}
+
+func (m *DualSideMatcher) dSeen(id fleet.VehicleID) bool { return m.dSeenStamp[id] == m.epoch }
+
+// pendingVehicle is a vehicle deferred by the d-side bound.
+type pendingVehicle struct {
+	v        *fleet.Vehicle
+	pickupLB float64
+}
+
+// detourLB returns the d-side detour lower bound for a vehicle none of
+// whose registered cells has been reached by the d-ring at radius ld.
+func detourLB(ld, maxLeg float64) float64 {
+	lb := math.Min(ld, 2*ld-maxLeg)
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// Match implements Matcher.
+func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
+	ctx := m.ctx
+	before := ctx.metric.DistCalls()
+	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
+
+	src := ctx.grid.CellOf(spec.Kin.S)
+	dst := ctx.grid.CellOf(spec.Kin.D)
+	sRing := ctx.grid.Cell(src).Ring
+	dRing := ctx.grid.Cell(dst).Ring
+	m.begin(ctx.fleet.NumVehicles())
+
+	var sky skyline.Skyline[Option]
+	es := newEmptyScan()
+	nonEmptyDone := false
+	var pending []pendingVehicle
+
+	di := 0
+	ld := 0.0 // every vehicle not d-seen has all schedule locations ≥ ld from d
+
+	for _, entry := range sRing {
+		L := entry.LB
+		if L > spec.MaxPickupDist {
+			break
+		}
+		// Advance the d-ring in lockstep so ld grows with L.
+		for di < len(dRing) && dRing[di].LB <= L {
+			for _, id := range ctx.lists.NonEmpty(dRing[di].Cell) {
+				m.dSeenStamp[id] = m.epoch
+			}
+			stats.CellsScanned++
+			di++
+		}
+		if di < len(dRing) {
+			ld = dRing[di].LB
+		} else {
+			ld = math.Inf(1)
+		}
+
+		emptyDone := es.terminateAt(L, spec, &sky)
+		if !nonEmptyDone && sky.IsDominated(L, spec.MinPrice) {
+			nonEmptyDone = true
+		}
+		if emptyDone && nonEmptyDone {
+			break
+		}
+		stats.CellsScanned++
+
+		if !emptyDone {
+			es.scanCell(ctx, entry.Cell, spec, &sky, stats)
+		}
+		if !nonEmptyDone {
+			for _, id := range ctx.lists.NonEmpty(entry.Cell) {
+				if !m.firstVisit(id) {
+					continue
+				}
+				v, err := ctx.fleet.Vehicle(id)
+				if err != nil {
+					continue
+				}
+				pickupLB := ctx.metric.LB(v.Loc(), spec.Kin.S)
+				if pickupLB > spec.MaxPickupDist || sky.IsDominated(pickupLB, spec.MinPrice) {
+					stats.PrunedVehicles++
+					continue
+				}
+				if m.dSeen(id) {
+					quoteVehicle(v, spec, &sky, stats)
+					continue
+				}
+				// Certifiably far from d at radius ld: price floor rises.
+				dlb := detourLB(ld, v.Tree.MaxLegUpper())
+				if sky.IsDominated(pickupLB, spec.Ratio*(spec.Kin.SD+dlb)) {
+					stats.PrunedVehicles++
+					continue
+				}
+				pending = append(pending, pendingVehicle{v: v, pickupLB: pickupLB})
+			}
+		}
+	}
+
+	// Flush deferred vehicles against the final skyline and d-frontier.
+	for _, p := range pending {
+		if sky.IsDominated(p.pickupLB, spec.MinPrice) {
+			stats.PrunedVehicles++
+			continue
+		}
+		if !m.dSeen(p.v.ID) {
+			dlb := detourLB(ld, p.v.Tree.MaxLegUpper())
+			if sky.IsDominated(p.pickupLB, spec.Ratio*(spec.Kin.SD+dlb)) {
+				stats.PrunedVehicles++
+				continue
+			}
+		}
+		quoteVehicle(p.v, spec, &sky, stats)
+	}
+
+	es.finish(spec, &sky)
+	return skylineOptions(&sky, stats)
+}

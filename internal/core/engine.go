@@ -1,0 +1,811 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/pricing"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/stats"
+)
+
+// Algorithm selects the matching method (configurable in the demo's
+// website interface).
+type Algorithm int
+
+// Matching algorithms.
+const (
+	AlgoNaive Algorithm = iota
+	AlgoSingleSide
+	AlgoDualSide
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNaive:
+		return "naive"
+	case AlgoSingleSide:
+		return "single-side"
+	case AlgoDualSide:
+		return "dual-side"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "naive":
+		return AlgoNaive, nil
+	case "single", "single-side":
+		return AlgoSingleSide, nil
+	case "dual", "dual-side":
+		return AlgoDualSide, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Config carries the demo's global settings (paper §4.2: taxi capacity,
+// number of taxis, maximal waiting time, service constraint, price
+// calculator function, and the matching algorithm).
+type Config struct {
+	// GridCols/GridRows give the road-network grid index resolution.
+	GridCols, GridRows int
+	// MaxBoundRadius optionally truncates the index's bound matrix; see
+	// gridindex.Config.
+	MaxBoundRadius float64
+
+	// Capacity is the per-vehicle rider capacity.
+	Capacity int
+	// MaxSchedulePoints caps pending stops per vehicle (0 = 8).
+	MaxSchedulePoints int
+
+	// SpeedKmh is the constant vehicle speed; the demo uses 48 km/h.
+	SpeedKmh float64
+	// MaxWaitSeconds is the global maximal waiting time w.
+	MaxWaitSeconds float64
+	// Sigma is the global service constraint σ.
+	Sigma float64
+	// MaxPickupSeconds caps the planned pick-up time of returned
+	// options (search cutoff). Zero means 1800 s.
+	MaxPickupSeconds float64
+
+	// PriceRatio overrides the paper's f_n (nil = default).
+	PriceRatio pricing.RatioFunc
+
+	// Algorithm selects the matcher; the default is dual-side.
+	Algorithm Algorithm
+
+	// Seed drives vehicle placement and roaming.
+	Seed int64
+
+	// NumLandmarks additionally builds ALT landmark tables whose
+	// triangle-inequality bounds are combined with the grid bounds
+	// (max of both). Zero disables; 8 is a good default on large
+	// networks.
+	NumLandmarks int
+
+	// DisableEmptyLemma and DisableLB switch off individual
+	// optimisations for the E8 ablation benchmarks.
+	DisableEmptyLemma bool
+	DisableLB         bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.GridCols == 0 {
+		out.GridCols = 16
+	}
+	if out.GridRows == 0 {
+		out.GridRows = 16
+	}
+	if out.Capacity == 0 {
+		out.Capacity = 4
+	}
+	if out.SpeedKmh == 0 {
+		out.SpeedKmh = 48
+	}
+	if out.MaxWaitSeconds == 0 {
+		out.MaxWaitSeconds = 300
+	}
+	if out.Sigma == 0 {
+		out.Sigma = 0.4
+	}
+	if out.MaxPickupSeconds == 0 {
+		out.MaxPickupSeconds = 1800
+	}
+	return out
+}
+
+// RequestID identifies a request across the engine (it doubles as the
+// kinetic request id).
+type RequestID = kinetic.RequestID
+
+// RequestStatus is a request's lifecycle state.
+type RequestStatus int
+
+// Request lifecycle states.
+const (
+	StatusQuoted RequestStatus = iota
+	StatusAssigned
+	StatusOnboard
+	StatusCompleted
+	StatusDeclined
+)
+
+func (s RequestStatus) String() string {
+	switch s {
+	case StatusQuoted:
+		return "quoted"
+	case StatusAssigned:
+		return "assigned"
+	case StatusOnboard:
+		return "onboard"
+	case StatusCompleted:
+		return "completed"
+	case StatusDeclined:
+		return "declined"
+	}
+	return fmt.Sprintf("RequestStatus(%d)", int(s))
+}
+
+// RequestRecord is the engine's view of a request's lifecycle, exposed
+// for statistics and the website interface.
+type RequestRecord struct {
+	ID     RequestID
+	S, D   roadnet.VertexID
+	Riders int
+	Status RequestStatus
+
+	// WaitSeconds and Sigma are the constraints this request was quoted
+	// under (the globals, unless the rider overrode them).
+	WaitSeconds float64
+	Sigma       float64
+
+	Options []Option // the quoted skyline
+	Chosen  int      // index into Options once assigned; -1 before
+
+	Vehicle          fleet.VehicleID
+	Price            float64
+	PlannedPickupOdo float64 // vehicle odometer promised for pickup
+	PickupOdo        float64
+	DropoffOdo       float64
+	SD               float64 // direct distance dist(s,d)
+	Shared           bool    // overlapped onboard with another request
+	SubmitClock      float64 // engine clock at submission (seconds)
+}
+
+// Engine is the PTRider system core: it owns the index structures, the
+// fleet and the matchers, answers requests with skyline options,
+// commits rider choices, and advances simulated time. Safe for
+// concurrent use.
+type Engine struct {
+	mu sync.Mutex
+
+	cfg    Config
+	g      *roadnet.Graph
+	grid   *gridindex.Grid
+	lists  *gridindex.VehicleLists
+	fleet  *fleet.Fleet
+	metric *memoMetric
+	model  pricing.Model
+
+	matchers map[Algorithm]Matcher
+	algo     Algorithm
+
+	speed  float64 // m/s
+	rng    *rand.Rand
+	clock  float64 // seconds of simulated time
+	nextID RequestID
+	reqs   map[RequestID]*RequestRecord
+	byVeh  map[fleet.VehicleID]map[RequestID]bool // assigned, not yet dropped
+	search *roadnet.Searcher
+
+	// Statistics for the website panel (Fig. 4c).
+	respNs     stats.Online // per-match wall time
+	respP95    *stats.P2Quantile
+	optCount   stats.Online
+	verified   stats.Online
+	pruned     stats.Online
+	cells      stats.Online
+	distCalls  stats.Online
+	waitDist   stats.Online // actual − planned pickup distance
+	detourFrac stats.Online // in-vehicle distance / direct distance
+	completed  int64
+	shared     int64
+	declined   int64
+	assigned   int64
+}
+
+// NewEngine builds the full system over an embedded road network.
+func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SpeedKmh <= 0 {
+		return nil, fmt.Errorf("core: speed must be positive")
+	}
+	if cfg.Sigma < 0 {
+		return nil, fmt.Errorf("core: sigma must be non-negative")
+	}
+	grid, err := gridindex.Build(g, gridindex.Config{
+		Cols: cfg.GridCols, Rows: cfg.GridRows, MaxBoundRadius: cfg.MaxBoundRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model := pricing.NewModel(cfg.PriceRatio)
+	if err := model.Validate(cfg.Capacity); err != nil {
+		return nil, err
+	}
+	lists := gridindex.NewVehicleLists(grid.NumCells())
+	var lm *roadnet.Landmarks
+	if cfg.NumLandmarks > 0 {
+		lm, err = roadnet.SelectLandmarks(g, cfg.NumLandmarks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	metric := newMemoMetric(grid, lm, cfg.DisableLB)
+	fl, err := fleet.New(grid, lists, metric, fleet.Config{
+		Capacity:          cfg.Capacity,
+		MaxSchedulePoints: cfg.MaxSchedulePoints,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		g:       g,
+		grid:    grid,
+		lists:   lists,
+		fleet:   fl,
+		metric:  metric,
+		model:   model,
+		algo:    cfg.Algorithm,
+		speed:   cfg.SpeedKmh / 3.6,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nextID:  1,
+		reqs:    make(map[RequestID]*RequestRecord),
+		byVeh:   make(map[fleet.VehicleID]map[RequestID]bool),
+		search:  roadnet.NewSearcher(g),
+		respP95: stats.NewP2Quantile(0.95),
+	}
+	ctx := &matchContext{
+		fleet:             fl,
+		grid:              grid,
+		lists:             lists,
+		metric:            metric,
+		model:             model,
+		disableEmptyLemma: cfg.DisableEmptyLemma,
+	}
+	e.matchers = map[Algorithm]Matcher{
+		AlgoNaive:      newNaiveMatcher(ctx),
+		AlgoSingleSide: newSingleSideMatcher(ctx),
+		AlgoDualSide:   newDualSideMatcher(ctx),
+	}
+	return e, nil
+}
+
+// Grid exposes the road-network index (read-only).
+func (e *Engine) Grid() *gridindex.Grid { return e.grid }
+
+// Graph exposes the road network.
+func (e *Engine) Graph() *roadnet.Graph { return e.g }
+
+// Speed returns the system speed in metres per second.
+func (e *Engine) Speed() float64 { return e.speed }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Clock returns the simulated time in seconds.
+func (e *Engine) Clock() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
+}
+
+// SetAlgorithm switches the matching algorithm at run time (website
+// admin control).
+func (e *Engine) SetAlgorithm(a Algorithm) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.matchers[a]; !ok {
+		return fmt.Errorf("core: unknown algorithm %v", a)
+	}
+	e.algo = a
+	return nil
+}
+
+// Algorithm returns the active matching algorithm.
+func (e *Engine) Algorithm() Algorithm {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.algo
+}
+
+// AddVehicleAt places a vehicle at the given vertex.
+func (e *Engine) AddVehicleAt(loc roadnet.VertexID) fleet.VehicleID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fleet.AddVehicle(loc).ID
+}
+
+// AddVehiclesUniform places n vehicles uniformly at random vertices
+// (the demo's initialisation) and returns their ids.
+func (e *Engine) AddVehiclesUniform(n int) []fleet.VehicleID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]fleet.VehicleID, n)
+	for i := range ids {
+		loc := roadnet.VertexID(e.rng.Intn(e.g.NumVertices()))
+		ids[i] = e.fleet.AddVehicle(loc).ID
+	}
+	return ids
+}
+
+// NumVehicles returns the number of in-service vehicles.
+func (e *Engine) NumVehicles() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fleet.NumActive()
+}
+
+// Constraints carries per-request overrides of the global waiting time
+// and service constraint. The demo "adopts a global setting for
+// simplification" but notes riders may set their own (§4.2); this is
+// the non-simplified version. Zero fields fall back to the globals.
+type Constraints struct {
+	// WaitSeconds overrides the maximal waiting time w.
+	WaitSeconds float64
+	// Sigma overrides the service constraint σ. Negative means "use the
+	// global"; zero is a valid override (no detour allowed), so use
+	// DefaultSigma (-1) for fallback.
+	Sigma float64
+}
+
+// DefaultSigma requests the engine-global service constraint.
+const DefaultSigma = -1.0
+
+// DefaultConstraints uses the engine-global settings.
+func DefaultConstraints() Constraints {
+	return Constraints{WaitSeconds: 0, Sigma: DefaultSigma}
+}
+
+// Submit answers a ridesharing request under the global constraints: it
+// runs the active matcher and returns the request record holding all
+// qualified non-dominated options. The rider then calls Choose or
+// Decline.
+func (e *Engine) Submit(s, d roadnet.VertexID, riders int) (*RequestRecord, error) {
+	return e.SubmitWithConstraints(s, d, riders, DefaultConstraints())
+}
+
+// SubmitWithConstraints is Submit with per-rider waiting-time and
+// service-constraint overrides.
+func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(s, d, riders, c)
+}
+
+func (e *Engine) submitLocked(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
+	n := e.g.NumVertices()
+	if s < 0 || int(s) >= n || d < 0 || int(d) >= n {
+		return nil, fmt.Errorf("core: request endpoints out of range")
+	}
+	if s == d {
+		return nil, fmt.Errorf("core: start and destination coincide")
+	}
+	if riders < 1 {
+		return nil, fmt.Errorf("core: rider count %d < 1", riders)
+	}
+	// A group larger than every vehicle's capacity is a legitimate
+	// request that simply cannot be served: matching returns an empty
+	// skyline (each kinetic tree refuses it), mirroring the demo's
+	// behaviour of showing no taxis rather than an input error.
+	sd := e.metric.Dist(s, d)
+	if math.IsInf(sd, 1) {
+		return nil, fmt.Errorf("core: no route from %d to %d", s, d)
+	}
+	wait := c.WaitSeconds
+	if wait <= 0 {
+		wait = e.cfg.MaxWaitSeconds
+	}
+	sigma := c.Sigma
+	if sigma < 0 {
+		sigma = e.cfg.Sigma
+	}
+
+	id := e.nextID
+	e.nextID++
+	spec := &ReqSpec{
+		Kin: kinetic.Request{
+			ID: id, S: s, D: d, Riders: riders,
+			SD:           sd,
+			ServiceLimit: (1 + sigma) * sd,
+			WaitBudget:   wait * e.speed,
+		},
+		Ratio:         e.model.Ratio(riders),
+		MinPrice:      e.model.MinPrice(riders, sd),
+		MaxPickupDist: e.cfg.MaxPickupSeconds * e.speed,
+	}
+
+	var ms MatchStats
+	start := time.Now()
+	options := e.matchers[e.algo].Match(spec, &ms)
+	elapsed := time.Since(start)
+
+	e.respNs.Observe(float64(elapsed.Nanoseconds()))
+	e.respP95.Observe(float64(elapsed.Nanoseconds()))
+	e.optCount.Observe(float64(len(options)))
+	e.verified.Observe(float64(ms.Verified))
+	e.pruned.Observe(float64(ms.PrunedVehicles))
+	e.cells.Observe(float64(ms.CellsScanned))
+	e.distCalls.Observe(float64(ms.DistCalls))
+
+	rec := &RequestRecord{
+		ID: id, S: s, D: d, Riders: riders,
+		WaitSeconds: wait, Sigma: sigma,
+		Status: StatusQuoted, Options: options, Chosen: -1,
+		SD: sd, SubmitClock: e.clock,
+	}
+	e.reqs[id] = rec
+	return rec, nil
+}
+
+// Choose commits the rider's selected option.
+func (e *Engine) Choose(id RequestID, optionIndex int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.chooseLocked(id, optionIndex)
+}
+
+func (e *Engine) chooseLocked(id RequestID, optionIndex int) error {
+	rec, ok := e.reqs[id]
+	if !ok {
+		return fmt.Errorf("core: unknown request %d", id)
+	}
+	if rec.Status != StatusQuoted {
+		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
+	}
+	if optionIndex < 0 || optionIndex >= len(rec.Options) {
+		return fmt.Errorf("core: option index %d outside [0,%d)", optionIndex, len(rec.Options))
+	}
+	opt := rec.Options[optionIndex]
+	spec := kinetic.Request{
+		ID: id, S: rec.S, D: rec.D, Riders: rec.Riders,
+		SD:           rec.SD,
+		ServiceLimit: (1 + rec.Sigma) * rec.SD,
+		WaitBudget:   rec.WaitSeconds * e.speed,
+	}
+	v, err := e.fleet.Vehicle(opt.Vehicle)
+	if err != nil {
+		return err
+	}
+	if err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate); err != nil {
+		return err
+	}
+	rec.Status = StatusAssigned
+	rec.Chosen = optionIndex
+	rec.Vehicle = opt.Vehicle
+	rec.Price = opt.Price
+	rec.PlannedPickupOdo = v.Odometer() + opt.Candidate.PickupDist
+	if e.byVeh[opt.Vehicle] == nil {
+		e.byVeh[opt.Vehicle] = make(map[RequestID]bool)
+	}
+	e.byVeh[opt.Vehicle][id] = true
+	e.assigned++
+	return nil
+}
+
+// BatchItem is one request of a simultaneous batch.
+type BatchItem struct {
+	S, D        roadnet.VertexID
+	Riders      int
+	Constraints Constraints
+	// Choose picks an option index from the quoted skyline (or -1 to
+	// decline). Nil declines everything (quote-only batch).
+	Choose func(options []Option) int
+}
+
+// SubmitBatch processes simultaneously issued requests with the paper's
+// greedy strategy (§2.5): requests are quoted and committed one at a
+// time under a single engine lock, each seeing the fleet state left by
+// the previous commitments. It returns one record per item, in order;
+// individual failures are recorded as nil entries with the first error
+// returned.
+func (e *Engine) SubmitBatch(items []BatchItem) ([]*RequestRecord, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*RequestRecord, len(items))
+	var firstErr error
+	for i, it := range items {
+		rec, err := e.submitLocked(it.S, it.D, it.Riders, it.Constraints)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: batch item %d: %w", i, err)
+			}
+			continue
+		}
+		out[i] = rec
+		pick := -1
+		if it.Choose != nil {
+			pick = it.Choose(rec.Options)
+		}
+		if pick >= 0 && pick < len(rec.Options) {
+			if err := e.chooseLocked(rec.ID, pick); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: batch item %d choose: %w", i, err)
+			}
+		} else {
+			rec.Status = StatusDeclined
+			e.declined++
+		}
+	}
+	return out, firstErr
+}
+
+// Decline records that the rider took none of the options.
+func (e *Engine) Decline(id RequestID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.reqs[id]
+	if !ok {
+		return fmt.Errorf("core: unknown request %d", id)
+	}
+	if rec.Status != StatusQuoted {
+		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
+	}
+	rec.Status = StatusDeclined
+	e.declined++
+	return nil
+}
+
+// Request returns the record of request id.
+func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.reqs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown request %d", id)
+	}
+	cp := *rec
+	return &cp, nil
+}
+
+// Tick advances simulated time by dt seconds: vehicles move at the
+// system speed, pickups and dropoffs fire, request records update.
+func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if dt < 0 {
+		return nil, fmt.Errorf("core: negative tick %v", dt)
+	}
+	e.clock += dt
+	events, err := e.fleet.Step(dt * e.speed)
+	for _, ev := range events {
+		e.applyEvent(ev)
+	}
+	return events, err
+}
+
+func (e *Engine) applyEvent(ev fleet.Event) {
+	rec, ok := e.reqs[ev.Request]
+	if !ok {
+		return
+	}
+	switch ev.Kind {
+	case fleet.EventPickup:
+		rec.Status = StatusOnboard
+		rec.PickupOdo = ev.Odo
+		if wait := ev.Odo - rec.PlannedPickupOdo; wait > 0 {
+			e.waitDist.Observe(wait)
+		} else {
+			e.waitDist.Observe(0)
+		}
+		// Sharing: this rider overlaps with every other request
+		// currently assigned to the vehicle and onboard.
+		for other := range e.byVeh[ev.Vehicle] {
+			if other == ev.Request {
+				continue
+			}
+			if o := e.reqs[other]; o != nil && o.Status == StatusOnboard {
+				if !o.Shared {
+					o.Shared = true
+				}
+				rec.Shared = true
+			}
+		}
+	case fleet.EventDropoff:
+		rec.Status = StatusCompleted
+		rec.DropoffOdo = ev.Odo
+		if rec.SD > 0 {
+			e.detourFrac.Observe((ev.Odo - rec.PickupOdo) / rec.SD)
+		}
+		if rec.Shared {
+			e.shared++
+		}
+		e.completed++
+		delete(e.byVeh[ev.Vehicle], ev.Request)
+	}
+}
+
+// VehicleView is a vehicle summary for the website's map.
+type VehicleView struct {
+	ID       fleet.VehicleID  `json:"id"`
+	Location roadnet.VertexID `json:"location"`
+	X        float64          `json:"x"`
+	Y        float64          `json:"y"`
+	Onboard  int              `json:"onboard"`
+	Pending  int              `json:"pending_requests"`
+}
+
+// VehicleViews returns summaries of up to limit in-service vehicles
+// (limit ≤ 0 means all), in id order.
+func (e *Engine) VehicleViews(limit int) []VehicleView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []VehicleView
+	e.fleet.Vehicles(func(v *fleet.Vehicle) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		p := e.g.Point(v.Loc())
+		out = append(out, VehicleView{
+			ID:       v.ID,
+			Location: v.Loc(),
+			X:        p.X,
+			Y:        p.Y,
+			Onboard:  v.Tree.Onboard(),
+			Pending:  v.Tree.NumRequests(),
+		})
+	})
+	return out
+}
+
+// VehicleSchedules returns every valid trip schedule of a vehicle (the
+// website's red lines) plus its current location.
+func (e *Engine) VehicleSchedules(id fleet.VehicleID) (loc roadnet.VertexID, branches [][]kinetic.Point, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, err := e.fleet.Vehicle(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v.Loc(), v.Tree.Branches(), nil
+}
+
+// RemoveVehicle injects a vehicle failure. The vehicle's pending
+// requests are orphaned: their records are marked declined and their
+// ids returned so the caller can resubmit them.
+func (e *Engine) RemoveVehicle(id fleet.VehicleID) ([]RequestID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	orphans, err := e.fleet.RemoveVehicle(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RequestID, 0, len(orphans))
+	for _, r := range orphans {
+		out = append(out, r.ID)
+		if rec := e.reqs[r.ID]; rec != nil {
+			rec.Status = StatusDeclined
+			delete(e.byVeh[id], r.ID)
+		}
+	}
+	return out, nil
+}
+
+// EngineStats is the statistics panel snapshot (Fig. 4c).
+type EngineStats struct {
+	Clock           float64
+	Requests        int64
+	Assigned        int64
+	Declined        int64
+	Completed       int64
+	SharedCompleted int64
+	SharingRate     float64 // shared / completed
+	AvgResponseMs   float64
+	P95ResponseMs   float64
+	AvgOptions      float64
+	AvgVerified     float64
+	AvgPruned       float64
+	AvgCellsScanned float64
+	AvgDistCalls    float64
+	AvgWaitSeconds  float64 // actual−planned pickup wait
+	AvgDetourFactor float64 // in-vehicle distance / direct
+	ActiveVehicles  int
+}
+
+// Stats returns a snapshot of the running statistics.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p95 := 0.0
+	if e.respP95.Count() > 0 {
+		p95 = e.respP95.Value() / 1e6
+	}
+	s := EngineStats{
+		Clock:           e.clock,
+		Requests:        e.respNs.Count(),
+		Assigned:        e.assigned,
+		Declined:        e.declined,
+		Completed:       e.completed,
+		SharedCompleted: e.shared,
+		AvgResponseMs:   e.respNs.Mean() / 1e6,
+		P95ResponseMs:   p95,
+		AvgOptions:      e.optCount.Mean(),
+		AvgVerified:     e.verified.Mean(),
+		AvgPruned:       e.pruned.Mean(),
+		AvgCellsScanned: e.cells.Mean(),
+		AvgDistCalls:    e.distCalls.Mean(),
+		AvgWaitSeconds:  e.waitDist.Mean() / e.speed,
+		AvgDetourFactor: e.detourFrac.Mean(),
+		ActiveVehicles:  e.fleet.NumActive(),
+	}
+	if e.completed > 0 {
+		s.SharingRate = float64(e.shared) / float64(e.completed)
+	}
+	return s
+}
+
+// MatchOnce runs a single matching with an explicit algorithm without
+// registering a request — the benchmark harness's entry point.
+func (e *Engine) MatchOnce(algo Algorithm, s, d roadnet.VertexID, riders int) ([]Option, MatchStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s == d {
+		return nil, MatchStats{}, fmt.Errorf("core: start and destination coincide")
+	}
+	sd := e.metric.Dist(s, d)
+	if math.IsInf(sd, 1) {
+		return nil, MatchStats{}, fmt.Errorf("core: no route from %d to %d", s, d)
+	}
+	spec := &ReqSpec{
+		Kin: kinetic.Request{
+			ID: -1, S: s, D: d, Riders: riders,
+			SD:           sd,
+			ServiceLimit: (1 + e.cfg.Sigma) * sd,
+			WaitBudget:   e.cfg.MaxWaitSeconds * e.speed,
+		},
+		Ratio:         e.model.Ratio(riders),
+		MinPrice:      e.model.MinPrice(riders, sd),
+		MaxPickupDist: e.cfg.MaxPickupSeconds * e.speed,
+	}
+	var ms MatchStats
+	opts := e.matchers[algo].Match(spec, &ms)
+	return opts, ms, nil
+}
+
+// PickupSeconds converts an option's pick-up distance to seconds under
+// the engine speed.
+func (e *Engine) PickupSeconds(o Option) float64 { return o.PickupDist / e.speed }
+
+// ResetDistCache clears the shared distance memo, so the next matching
+// runs against a cold cache. Benchmark-harness use only.
+func (e *Engine) ResetDistCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metric.Reset()
+}
+
+// RandomVertex returns a uniformly random vertex (generator helper).
+func (e *Engine) RandomVertex() roadnet.VertexID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return roadnet.VertexID(e.rng.Intn(e.g.NumVertices()))
+}
+
+// SortOptionsByPrice returns the options of a record re-sorted by price
+// ascending (the smartphone interface's alternate ordering).
+func SortOptionsByPrice(opts []Option) []Option {
+	out := append([]Option(nil), opts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Price < out[j].Price })
+	return out
+}

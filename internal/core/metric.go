@@ -1,0 +1,95 @@
+// Package core implements PTRider's matching engine (paper §3):
+// answering each ridesharing request with all qualified, non-dominated
+// ⟨vehicle, pick-up time, price⟩ options, via three interchangeable
+// matching algorithms — the naive kinetic-tree scan, the single-side
+// search, and the dual-side search — on top of the grid index, the
+// vehicle lists and the kinetic trees.
+package core
+
+import (
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+)
+
+// memoMetric is the kinetic.Metric shared by every kinetic tree and
+// matcher in one engine: exact distances from a Searcher with
+// memoisation (the same vertex pairs recur heavily during insertion
+// enumeration), lower bounds from the grid index.
+//
+// Not safe for concurrent use; the engine serialises all matching.
+type memoMetric struct {
+	s    *roadnet.Searcher
+	grid *gridindex.Grid
+	// lm optionally supplies ALT landmark bounds, combined with the
+	// grid bounds by max (both are sound lower bounds).
+	lm   *roadnet.Landmarks
+	memo map[memoKey]float64
+	max  int
+
+	// distCalls counts cache-missing exact computations, the "number of
+	// shortest path distance computations" metric of paper §3.3.
+	distCalls int64
+	// noLB disables lower bounds (ablation E8): LB returns 0, which is
+	// always sound but prunes nothing.
+	noLB bool
+}
+
+type memoKey struct{ u, v roadnet.VertexID }
+
+func newMemoMetric(grid *gridindex.Grid, lm *roadnet.Landmarks, noLB bool) *memoMetric {
+	return &memoMetric{
+		s:    roadnet.NewSearcher(grid.Graph()),
+		grid: grid,
+		lm:   lm,
+		memo: make(map[memoKey]float64, 1<<12),
+		max:  1 << 20,
+		noLB: noLB,
+	}
+}
+
+// Dist returns the exact shortest-path distance, memoised.
+func (m *memoMetric) Dist(u, v roadnet.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	k := memoKey{u, v}
+	if d, ok := m.memo[k]; ok {
+		return d
+	}
+	m.distCalls++
+	d := m.s.Dist(u, v)
+	if len(m.memo) >= m.max {
+		m.memo = make(map[memoKey]float64, 1<<12)
+	}
+	m.memo[k] = d
+	// Road networks are symmetric; cache the reverse too.
+	m.memo[memoKey{v, u}] = d
+	return d
+}
+
+// LB returns a cheap lower bound on Dist(u, v).
+func (m *memoMetric) LB(u, v roadnet.VertexID) float64 {
+	if m.noLB {
+		return 0
+	}
+	if d, ok := m.memo[memoKey{u, v}]; ok {
+		return d
+	}
+	lb := m.grid.LB(u, v)
+	if m.lm != nil {
+		if alt := m.lm.LB(u, v); alt > lb {
+			lb = alt
+		}
+	}
+	return lb
+}
+
+// DistCalls returns the cumulative number of exact shortest-path
+// computations (cache misses) since construction.
+func (m *memoMetric) DistCalls() int64 { return m.distCalls }
+
+// Reset drops the memo so subsequent DistCalls deltas measure a cold
+// cache — used by the benchmark harness to compare algorithms fairly.
+func (m *memoMetric) Reset() {
+	m.memo = make(map[memoKey]float64, 1<<12)
+}

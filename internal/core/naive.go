@@ -1,0 +1,32 @@
+package core
+
+import (
+	"ptrider/internal/fleet"
+	"ptrider/internal/skyline"
+)
+
+// NaiveMatcher is the baseline extended directly from the kinetic-tree
+// algorithm (paper §3.3): every vehicle is evaluated by inserting the
+// request into its kinetic tree; the global skyline filters the
+// results. No index pruning is used, so matching cost grows linearly in
+// the fleet size — the behaviour the single- and dual-side searches are
+// measured against.
+type NaiveMatcher struct {
+	ctx *matchContext
+}
+
+func newNaiveMatcher(ctx *matchContext) *NaiveMatcher { return &NaiveMatcher{ctx: ctx} }
+
+// Name implements Matcher.
+func (m *NaiveMatcher) Name() string { return "naive" }
+
+// Match implements Matcher.
+func (m *NaiveMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
+	before := m.ctx.metric.DistCalls()
+	var sky skyline.Skyline[Option]
+	m.ctx.fleet.Vehicles(func(v *fleet.Vehicle) {
+		quoteVehicle(v, spec, &sky, stats)
+	})
+	stats.DistCalls += m.ctx.metric.DistCalls() - before
+	return skylineOptions(&sky, stats)
+}

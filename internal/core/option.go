@@ -1,0 +1,139 @@
+package core
+
+import (
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/pricing"
+	"ptrider/internal/skyline"
+)
+
+// Option is one qualified result ⟨c, time, price⟩ of Definition 4. Time
+// is carried as a pick-up distance in metres (the paper's dist_pt); the
+// engine converts to seconds with the system speed at the API surface.
+type Option struct {
+	Vehicle fleet.VehicleID
+	// PickupDist is the planned pick-up distance from the vehicle's
+	// current location along the planned schedule.
+	PickupDist float64
+	// Price is the fare under the engine's price model.
+	Price float64
+	// Candidate is the planned schedule realising this option; Choose
+	// commits it.
+	Candidate kinetic.Candidate
+}
+
+// ReqSpec is the matcher-level view of a request, with all derived
+// quantities precomputed.
+type ReqSpec struct {
+	Kin kinetic.Request
+	// Ratio is f_n for this request's rider count.
+	Ratio float64
+	// MinPrice is the zero-detour price floor f_n·dist(s,d).
+	MinPrice float64
+	// MaxPickupDist caps the planned pick-up distance of returned
+	// options (the engine's search cutoff).
+	MaxPickupDist float64
+}
+
+// MatchStats instruments one matching run (paper §3.3's efficiency
+// discussion: vehicles verified vs pruned, exact distance computations,
+// grid cells scanned).
+type MatchStats struct {
+	// Verified counts vehicles whose kinetic tree was consulted.
+	Verified int
+	// PrunedVehicles counts vehicles skipped by bound-based pruning.
+	PrunedVehicles int
+	// CellsScanned counts ring cells visited across both sides.
+	CellsScanned int
+	// DistCalls counts exact shortest-path computations attributable to
+	// this match.
+	DistCalls int64
+	// Options is the size of the returned skyline.
+	Options int
+}
+
+// Matcher answers a request with the global non-dominated option set.
+type Matcher interface {
+	// Name identifies the algorithm ("naive", "single-side",
+	// "dual-side") as selectable in the demo's website interface.
+	Name() string
+	// Match returns the skyline options for spec, sorted by pick-up
+	// distance ascending.
+	Match(spec *ReqSpec, stats *MatchStats) []Option
+}
+
+// matchContext bundles the shared state every matcher operates on.
+type matchContext struct {
+	fleet  *fleet.Fleet
+	grid   *gridindex.Grid
+	lists  *gridindex.VehicleLists
+	metric *memoMetric
+	model  pricing.Model
+	// disableEmptyLemma turns off the nearest-empty-vehicle
+	// optimisation (ablation E8): empty vehicles are then verified like
+	// non-empty ones.
+	disableEmptyLemma bool
+}
+
+// quoteVehicle verifies one vehicle: quotes its kinetic tree and folds
+// the per-vehicle candidates into the global skyline, applying the
+// pick-up cutoff. Coordinates already present are skipped so ties do
+// not multiply across vehicles.
+func quoteVehicle(v *fleet.Vehicle, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+	stats.Verified++
+	for _, cand := range v.Tree.Quote(spec.Kin) {
+		if cand.PickupDist > spec.MaxPickupDist {
+			continue
+		}
+		price := spec.Ratio * (cand.Delta + spec.Kin.SD)
+		if sky.IsDominated(cand.PickupDist, price) || sky.ContainsPoint(cand.PickupDist, price) {
+			continue
+		}
+		sky.Add(cand.PickupDist, price, Option{
+			Vehicle:    v.ID,
+			PickupDist: cand.PickupDist,
+			Price:      price,
+			Candidate:  cand,
+		})
+	}
+}
+
+// skylineOptions extracts the final option list, sorted by pick-up
+// distance.
+func skylineOptions(sky *skyline.Skyline[Option], stats *MatchStats) []Option {
+	entries := sky.Entries()
+	out := make([]Option, len(entries))
+	for i, e := range entries {
+		out[i] = e.Payload
+	}
+	stats.Options = len(out)
+	return out
+}
+
+// emptyVehicleOption computes the option an empty vehicle at pickup
+// distance d offers: the whole new schedule is ⟨l, s, d⟩, so the detour
+// delta is d + dist(s,d) and the price f_n·(delta + dist(s,d)) — both
+// strictly increasing in d, which is the nearest-empty-vehicle lemma.
+// The arithmetic deliberately mirrors the kinetic quote path
+// (delta first, then the price) so the floats are bit-identical to what
+// NaiveMatcher computes by tree insertion; any drift would perturb
+// dominance at exact ties and break matcher equivalence.
+func emptyVehicleOption(v *fleet.Vehicle, d float64, spec *ReqSpec) Option {
+	delta := d + spec.Kin.SD
+	price := spec.Ratio * (delta + spec.Kin.SD)
+	return Option{
+		Vehicle:    v.ID,
+		PickupDist: d,
+		Price:      price,
+		Candidate: kinetic.Candidate{
+			Seq: []kinetic.Point{
+				{Loc: spec.Kin.S, Kind: kinetic.Pickup, Req: spec.Kin.ID},
+				{Loc: spec.Kin.D, Kind: kinetic.Dropoff, Req: spec.Kin.ID},
+			},
+			PickupDist: d,
+			TotalDist:  delta,
+			Delta:      delta,
+		},
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/skyline"
+)
+
+// SingleSideMatcher implements the single-side search algorithm (paper
+// §3.3): starting from the grid cell of the request's start location s,
+// cells are visited in ascending order of their lower-bound distance to
+// s (each cell's precomputed sorted cell list). Empty and non-empty
+// vehicles are processed separately:
+//
+//   - Empty vehicles: both coordinates of an empty vehicle's option grow
+//     with dist(l, s), so only the nearest empty vehicle can contribute
+//     (the empty-vehicle dominance lemma); the ring scan finds it
+//     without quoting the rest.
+//   - Non-empty vehicles: a vehicle is verified (kinetic-tree insertion)
+//     only if its optimistic option (LB(l, s), f_n·dist(s,d)) is not
+//     already dominated by the running skyline.
+//
+// Ring expansion terminates when a hypothetical vehicle at the current
+// ring radius could no longer contribute a non-dominated option, or
+// when the radius exceeds the engine's pick-up cutoff.
+type SingleSideMatcher struct {
+	ctx *matchContext
+
+	visitStamp []uint32
+	visitEpoch uint32
+}
+
+func newSingleSideMatcher(ctx *matchContext) *SingleSideMatcher {
+	return &SingleSideMatcher{ctx: ctx}
+}
+
+// Name implements Matcher.
+func (m *SingleSideMatcher) Name() string { return "single-side" }
+
+func (m *SingleSideMatcher) beginVisit(n int) {
+	if len(m.visitStamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, m.visitStamp)
+		m.visitStamp = grown
+	}
+	m.visitEpoch++
+	if m.visitEpoch == 0 {
+		for i := range m.visitStamp {
+			m.visitStamp[i] = 0
+		}
+		m.visitEpoch = 1
+	}
+}
+
+func (m *SingleSideMatcher) firstVisit(id fleet.VehicleID) bool {
+	if m.visitStamp[id] == m.visitEpoch {
+		return false
+	}
+	m.visitStamp[id] = m.visitEpoch
+	return true
+}
+
+// emptyScan tracks the nearest-empty-vehicle search shared by the
+// single- and dual-side matchers. Every improvement is folded into the
+// skyline eagerly: the improving option is achievable, so inserting it
+// immediately is sound, and it is what arms the detour-based pruning of
+// non-empty vehicles with a baseline to dominate against. A closer
+// empty vehicle found later dominates (and evicts) the earlier entry.
+type emptyScan struct {
+	bestDist float64
+	best     *fleet.Vehicle
+	done     bool
+}
+
+func newEmptyScan() emptyScan { return emptyScan{bestDist: math.Inf(1)} }
+
+// scanCell folds one cell's empty-vehicle list into the running best.
+func (es *emptyScan) scanCell(ctx *matchContext, cell gridindex.CellID, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+	if spec.Kin.Riders > ctx.fleet.Capacity() {
+		// No vehicle can hold the group; the synthetic empty-vehicle
+		// option must not be fabricated (the kinetic quote path refuses
+		// such requests, and the matchers must agree).
+		es.done = true
+		return
+	}
+	for _, id := range ctx.lists.Empty(cell) {
+		v, err := ctx.fleet.Vehicle(id)
+		if err != nil {
+			continue
+		}
+		if ctx.disableEmptyLemma {
+			// Ablation: treat like a non-empty vehicle — verify unless
+			// the optimistic option is dominated.
+			lb := ctx.metric.LB(v.Loc(), spec.Kin.S)
+			if lb > spec.MaxPickupDist || sky.IsDominated(lb, spec.Ratio*(lb+2*spec.Kin.SD)) {
+				stats.PrunedVehicles++
+				continue
+			}
+			quoteVehicle(v, spec, sky, stats)
+			continue
+		}
+		lb := ctx.metric.LB(v.Loc(), spec.Kin.S)
+		if lb >= es.bestDist || lb > spec.MaxPickupDist {
+			stats.PrunedVehicles++
+			continue
+		}
+		if d := ctx.metric.Dist(v.Loc(), spec.Kin.S); d < es.bestDist {
+			es.bestDist = d
+			es.best = v
+			if d <= spec.MaxPickupDist {
+				opt := emptyVehicleOption(v, d, spec)
+				if !sky.IsDominated(opt.PickupDist, opt.Price) && !sky.ContainsPoint(opt.PickupDist, opt.Price) {
+					sky.Add(opt.PickupDist, opt.Price, opt)
+				}
+			}
+		}
+	}
+}
+
+// terminateAt reports whether cells at ring radius L and beyond can be
+// skipped for empty vehicles.
+func (es *emptyScan) terminateAt(L float64, spec *ReqSpec, sky *skyline.Skyline[Option]) bool {
+	if es.done {
+		return true
+	}
+	if es.bestDist <= L || sky.IsDominated(L, spec.Ratio*(L+2*spec.Kin.SD)) {
+		es.done = true
+	}
+	return es.done
+}
+
+// finish inserts the winning empty vehicle's option, if any.
+func (es *emptyScan) finish(spec *ReqSpec, sky *skyline.Skyline[Option]) {
+	if es.best == nil || es.bestDist > spec.MaxPickupDist {
+		return
+	}
+	opt := emptyVehicleOption(es.best, es.bestDist, spec)
+	if !sky.IsDominated(opt.PickupDist, opt.Price) && !sky.ContainsPoint(opt.PickupDist, opt.Price) {
+		sky.Add(opt.PickupDist, opt.Price, opt)
+	}
+}
+
+// Match implements Matcher.
+func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
+	ctx := m.ctx
+	before := ctx.metric.DistCalls()
+	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
+
+	src := ctx.grid.CellOf(spec.Kin.S)
+	ring := ctx.grid.Cell(src).Ring
+	m.beginVisit(ctx.fleet.NumVehicles())
+
+	var sky skyline.Skyline[Option]
+	es := newEmptyScan()
+	nonEmptyDone := false
+
+	for _, entry := range ring {
+		L := entry.LB
+		if L > spec.MaxPickupDist {
+			break
+		}
+		emptyDone := es.terminateAt(L, spec, &sky)
+		if !nonEmptyDone && sky.IsDominated(L, spec.MinPrice) {
+			nonEmptyDone = true
+		}
+		if emptyDone && nonEmptyDone {
+			break
+		}
+		stats.CellsScanned++
+
+		if !emptyDone {
+			es.scanCell(ctx, entry.Cell, spec, &sky, stats)
+		}
+		if !nonEmptyDone {
+			for _, id := range ctx.lists.NonEmpty(entry.Cell) {
+				if !m.firstVisit(id) {
+					continue
+				}
+				v, err := ctx.fleet.Vehicle(id)
+				if err != nil {
+					continue
+				}
+				pickupLB := ctx.metric.LB(v.Loc(), spec.Kin.S)
+				if pickupLB > spec.MaxPickupDist || sky.IsDominated(pickupLB, spec.MinPrice) {
+					stats.PrunedVehicles++
+					continue
+				}
+				quoteVehicle(v, spec, &sky, stats)
+			}
+		}
+	}
+	es.finish(spec, &sky)
+	return skylineOptions(&sky, stats)
+}

@@ -1,0 +1,437 @@
+// Package fleet manages PTRider's vehicles (paper §3.2.2 and §4): per
+// vehicle the identifier, current location, the set of unfinished
+// requests and the kinetic tree of valid trip schedules, plus the two
+// behaviours the demo describes — vehicles follow their planned
+// schedule while serving riders and roam the road network randomly
+// (choosing a random segment at every intersection) when empty.
+//
+// The fleet also keeps the grid index's dynamic vehicle lists current:
+// empty vehicles are listed in the cell of their current location;
+// non-empty vehicles are listed in every cell their planned schedule
+// touches (their stop locations plus the driven branch's path cells).
+// Registering stop cells is what single-/dual-side search correctness
+// relies on — a vehicle undiscovered at ring radius L is guaranteed to
+// have every schedule point at distance ≥ L (see DESIGN.md §3.3); the
+// driven path's cells are registered additionally so vehicles are
+// discovered earlier. (The paper registers every kinetic-tree edge; the
+// stop-set registration is the subset that carries the correctness
+// argument.)
+//
+// Movement model: a vehicle is always driving toward (or standing at)
+// its tree root vertex, with RemainToRoot metres left on the current
+// edge. Once an edge is entered it is always completed; plans change
+// only at vertices. The odometer stored in the kinetic tree is the
+// reading at arrival at the root vertex, so every budget the tree
+// checks is consistent with the distance actually driven.
+//
+// Fleet is not safe for concurrent use; the engine serialises access.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+)
+
+// VehicleID identifies a vehicle. IDs are dense indices assigned by
+// AddVehicle.
+type VehicleID = gridindex.VehicleID
+
+// EventKind classifies fleet events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventPickup EventKind = iota
+	EventDropoff
+)
+
+func (k EventKind) String() string {
+	if k == EventPickup {
+		return "pickup"
+	}
+	return "dropoff"
+}
+
+// Event records a pickup or dropoff that happened during Step.
+type Event struct {
+	Kind    EventKind
+	Vehicle VehicleID
+	Request kinetic.RequestID
+	// Odo is the vehicle's odometer at the event.
+	Odo float64
+}
+
+// Vehicle is one taxi: its schedule tree plus movement state.
+type Vehicle struct {
+	ID   VehicleID
+	Tree *kinetic.Tree
+
+	// remainToRoot is the distance left on the current edge before the
+	// vehicle reaches its tree root vertex; zero when standing there.
+	remainToRoot float64
+	// removed marks vehicles taken out of service.
+	removed bool
+}
+
+// Loc returns the vertex the vehicle is at or driving toward — the
+// position all matching is computed from.
+func (v *Vehicle) Loc() roadnet.VertexID { return v.Tree.Root() }
+
+// Odometer returns the odometer reading at arrival at Loc.
+func (v *Vehicle) Odometer() float64 { return v.Tree.Odometer() }
+
+// RemainToRoot returns the metres left before the vehicle reaches Loc.
+// The engine adds it to every quoted pick-up distance when converting
+// to time, since matching measures from Loc.
+func (v *Vehicle) RemainToRoot() float64 { return v.remainToRoot }
+
+// Removed reports whether the vehicle has been taken out of service.
+func (v *Vehicle) Removed() bool { return v.removed }
+
+// Fleet owns all vehicles and their grid registration.
+type Fleet struct {
+	g      *roadnet.Graph
+	grid   *gridindex.Grid
+	lists  *gridindex.VehicleLists
+	metric kinetic.Metric
+
+	capacity  int
+	maxPoints int
+
+	vehicles []*Vehicle
+	active   int
+
+	searcher *roadnet.Searcher
+	rng      *rand.Rand
+
+	pathCells *pathCellCache
+}
+
+// Config parameterises a Fleet.
+type Config struct {
+	// Capacity is the per-vehicle rider capacity (the demo's global
+	// "taxi capacity" setting). Must be ≥ 1.
+	Capacity int
+	// MaxSchedulePoints caps pending stops per vehicle (≤ 2 requests per
+	// point pair). Zero means 8.
+	MaxSchedulePoints int
+	// Seed drives the empty-vehicle random walk.
+	Seed int64
+}
+
+// New returns an empty fleet over the given grid index. The metric is
+// shared with the matching engine so kinetic trees and matchers see
+// identical distances.
+func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Metric, cfg Config) (*Fleet, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("fleet: capacity %d < 1", cfg.Capacity)
+	}
+	mp := cfg.MaxSchedulePoints
+	if mp == 0 {
+		mp = 8
+	}
+	if mp < 2 {
+		return nil, fmt.Errorf("fleet: MaxSchedulePoints %d < 2", mp)
+	}
+	return &Fleet{
+		g:         grid.Graph(),
+		grid:      grid,
+		lists:     lists,
+		metric:    metric,
+		capacity:  cfg.Capacity,
+		maxPoints: mp,
+		searcher:  roadnet.NewSearcher(grid.Graph()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pathCells: newPathCellCache(1 << 16),
+	}, nil
+}
+
+// AddVehicle places a new empty vehicle at loc and returns it.
+func (f *Fleet) AddVehicle(loc roadnet.VertexID) *Vehicle {
+	v := &Vehicle{
+		ID:   VehicleID(len(f.vehicles)),
+		Tree: kinetic.New(f.metric, f.capacity, f.maxPoints, loc, 0),
+	}
+	f.vehicles = append(f.vehicles, v)
+	f.active++
+	f.lists.PlaceEmpty(v.ID, f.grid.CellOf(loc))
+	return v
+}
+
+// RemoveVehicle takes a vehicle out of service (failure injection). Its
+// pending requests are cancelled and reported so the caller can re-issue
+// them. Removing twice is an error.
+func (f *Fleet) RemoveVehicle(id VehicleID) ([]kinetic.Request, error) {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return nil, err
+	}
+	if v.removed {
+		return nil, fmt.Errorf("fleet: vehicle %d already removed", id)
+	}
+	orphans := v.Tree.Requests()
+	for _, r := range orphans {
+		if err := v.Tree.Cancel(r.ID); err != nil {
+			return nil, err
+		}
+	}
+	v.removed = true
+	f.active--
+	f.lists.Remove(id)
+	return orphans, nil
+}
+
+// Vehicle returns vehicle id.
+func (f *Fleet) Vehicle(id VehicleID) (*Vehicle, error) {
+	if id < 0 || int(id) >= len(f.vehicles) {
+		return nil, fmt.Errorf("fleet: unknown vehicle %d", id)
+	}
+	return f.vehicles[id], nil
+}
+
+// NumVehicles returns the number of vehicles ever added.
+func (f *Fleet) NumVehicles() int { return len(f.vehicles) }
+
+// Capacity returns the per-vehicle rider capacity.
+func (f *Fleet) Capacity() int { return f.capacity }
+
+// NumActive returns the number of in-service vehicles.
+func (f *Fleet) NumActive() int { return f.active }
+
+// Vehicles calls fn for every in-service vehicle.
+func (f *Fleet) Vehicles(fn func(*Vehicle)) {
+	for _, v := range f.vehicles {
+		if !v.removed {
+			fn(v)
+		}
+	}
+}
+
+// Commit assigns req to vehicle id with the planned schedule cand (from
+// a quote against the same tree state) and refreshes the vehicle's grid
+// registration.
+func (f *Fleet) Commit(id VehicleID, req kinetic.Request, cand kinetic.Candidate) error {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return err
+	}
+	if v.removed {
+		return fmt.Errorf("fleet: vehicle %d is out of service", id)
+	}
+	if err := v.Tree.Commit(req, cand); err != nil {
+		return err
+	}
+	f.register(v)
+	return nil
+}
+
+// register refreshes the vehicle's entry in the grid's vehicle lists.
+func (f *Fleet) register(v *Vehicle) {
+	if v.removed {
+		return
+	}
+	if v.Tree.Empty() {
+		f.lists.PlaceEmpty(v.ID, f.grid.CellOf(v.Loc()))
+		return
+	}
+	cells := make([]gridindex.CellID, 0, 8)
+	for _, loc := range v.Tree.Locations() {
+		cells = append(cells, f.grid.CellOf(loc))
+	}
+	// Cells along the driven branch's legs, so ring search discovers the
+	// vehicle as early as the paper's all-edge registration would.
+	prev := v.Loc()
+	for _, p := range v.Tree.BestBranch() {
+		cells = append(cells, f.pathCells.get(f, prev, p.Loc)...)
+		prev = p.Loc
+	}
+	f.lists.PlaceNonEmpty(v.ID, cells)
+}
+
+// Step advances every in-service vehicle by the given distance budget
+// (metres = speed × Δt), serving pickups and dropoffs en route, and
+// returns the events in execution order.
+func (f *Fleet) Step(budget float64) ([]Event, error) {
+	var events []Event
+	for _, v := range f.vehicles {
+		if v.removed {
+			continue
+		}
+		ev, err := f.stepVehicle(v, budget)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev...)
+	}
+	return events, nil
+}
+
+// StepVehicle advances a single vehicle (exposed for tests and for the
+// simulator's failure injection).
+func (f *Fleet) StepVehicle(id VehicleID, budget float64) ([]Event, error) {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.stepVehicle(v, budget)
+}
+
+func (f *Fleet) stepVehicle(v *Vehicle, budget float64) ([]Event, error) {
+	var events []Event
+	for budget > 0 {
+		if v.remainToRoot > 0 {
+			if budget < v.remainToRoot {
+				v.remainToRoot -= budget
+				return events, nil
+			}
+			budget -= v.remainToRoot
+			v.remainToRoot = 0
+		}
+
+		// Standing at the root vertex: serve every due stop here.
+		served, evs, err := f.serveHere(v)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, evs...)
+		if served {
+			continue // tree changed; re-evaluate from the same vertex
+		}
+
+		// Choose the next edge.
+		if v.Tree.Empty() {
+			if !f.randomWalkStep(v) {
+				return events, nil // dead-end vertex; stay put
+			}
+			continue
+		}
+		bb := v.Tree.BestBranch()
+		if len(bb) == 0 {
+			return events, fmt.Errorf("fleet: vehicle %d has pending requests but no valid schedule", v.ID)
+		}
+		if err := f.driveToward(v, bb[0].Loc); err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// serveHere performs every pickup/dropoff whose turn has come at the
+// vehicle's current vertex. It reports whether anything was served.
+func (f *Fleet) serveHere(v *Vehicle) (bool, []Event, error) {
+	var events []Event
+	served := false
+	for !v.Tree.Empty() {
+		bb := v.Tree.BestBranch()
+		if len(bb) == 0 {
+			return served, events, fmt.Errorf("fleet: vehicle %d has pending requests but no valid schedule", v.ID)
+		}
+		next := bb[0]
+		if next.Loc != v.Loc() {
+			break
+		}
+		var err error
+		var kind EventKind
+		if next.Kind == kinetic.Pickup {
+			err = v.Tree.Pickup(next.Req)
+			kind = EventPickup
+		} else {
+			err = v.Tree.Dropoff(next.Req)
+			kind = EventDropoff
+		}
+		if err != nil {
+			return served, events, err
+		}
+		events = append(events, Event{Kind: kind, Vehicle: v.ID, Request: next.Req, Odo: v.Odometer()})
+		served = true
+	}
+	if served {
+		f.register(v)
+	}
+	return served, events, nil
+}
+
+// driveToward enters the first edge of the shortest path from the
+// vehicle's vertex to target.
+func (f *Fleet) driveToward(v *Vehicle, target roadnet.VertexID) error {
+	if target == v.Loc() {
+		return fmt.Errorf("fleet: vehicle %d asked to drive to its own location", v.ID)
+	}
+	path, _ := f.searcher.Path(v.Loc(), target)
+	if path == nil {
+		return fmt.Errorf("fleet: no path from %d to %d", v.Loc(), target)
+	}
+	w, ok := f.g.EdgeWeight(path[0], path[1])
+	if !ok {
+		return fmt.Errorf("fleet: path step %d→%d is not an edge", path[0], path[1])
+	}
+	f.enterEdge(v, path[1], w)
+	return nil
+}
+
+// randomWalkStep makes an empty vehicle enter a uniformly random
+// outgoing edge (the demo's roaming behaviour). It returns false at
+// dead-end vertices.
+func (f *Fleet) randomWalkStep(v *Vehicle) bool {
+	out := f.g.Out(v.Loc())
+	if len(out) == 0 {
+		return false
+	}
+	e := out[f.rng.Intn(len(out))]
+	f.enterEdge(v, e.To, e.Weight)
+	return true
+}
+
+// enterEdge commits the vehicle to traversing one edge: the tree root
+// moves to the edge head (odometer pre-advanced by the edge weight) and
+// the physical remainder is tracked in remainToRoot.
+func (f *Fleet) enterEdge(v *Vehicle, head roadnet.VertexID, weight float64) {
+	fromCell := f.grid.CellOf(v.Loc())
+	v.Tree.SetRoot(head, v.Odometer()+weight)
+	// Zero-weight edges are legal in the graph model; give them a tiny
+	// physical length so movement always consumes budget and cannot
+	// spin on a zero-weight cycle.
+	if weight <= 0 {
+		weight = 1e-9
+	}
+	v.remainToRoot = weight
+	if f.grid.CellOf(head) != fromCell {
+		f.register(v) // crossed a cell boundary: refresh lists
+	}
+}
+
+// pathCellCache memoises the grid cells touched by the shortest path
+// between two vertices. Bounded: wholesale reset once full.
+type pathCellCache struct {
+	max   int
+	cells map[[2]roadnet.VertexID][]gridindex.CellID
+}
+
+func newPathCellCache(max int) *pathCellCache {
+	return &pathCellCache{max: max, cells: make(map[[2]roadnet.VertexID][]gridindex.CellID)}
+}
+
+func (c *pathCellCache) get(f *Fleet, u, v roadnet.VertexID) []gridindex.CellID {
+	key := [2]roadnet.VertexID{u, v}
+	if cs, ok := c.cells[key]; ok {
+		return cs
+	}
+	path, _ := f.searcher.Path(u, v)
+	var out []gridindex.CellID
+	var last gridindex.CellID = gridindex.NoCell
+	for _, x := range path {
+		if cl := f.grid.CellOf(x); cl != last {
+			out = append(out, cl)
+			last = cl
+		}
+	}
+	if len(c.cells) >= c.max {
+		c.cells = make(map[[2]roadnet.VertexID][]gridindex.CellID)
+	}
+	c.cells[key] = out
+	return out
+}

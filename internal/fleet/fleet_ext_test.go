@@ -1,0 +1,150 @@
+package fleet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+)
+
+// TestZeroWeightEdgeSafety: a zero-weight edge must not stall movement
+// (the fleet assigns it a tiny physical length).
+func TestZeroWeightEdgeSafety(t *testing.T) {
+	b := roadnet.NewBuilder(3, 6)
+	b.AddVertex(geoPoint(0, 0))
+	b.AddVertex(geoPoint(0, 0)) // coincident: zero-weight edge is metric
+	b.AddVertex(geoPoint(100, 0))
+	b.AddUndirectedEdge(0, 1, 0)
+	b.AddUndirectedEdge(1, 2, 100)
+	g := b.MustBuild()
+	grid, err := gridindex.Build(g, gridindex.Config{Cols: 1, Rows: 1})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	lists := gridindex.NewVehicleLists(grid.NumCells())
+	m := &gridMetric{s: roadnet.NewSearcher(g), grid: grid}
+	fl, err := fleet.New(grid, lists, m, fleet.Config{Capacity: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	fl.AddVehicle(0)
+	// 200 random-walk steps across the zero-weight edge must terminate.
+	for i := 0; i < 200; i++ {
+		if _, err := fl.Step(50); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestStepVehicleSingle: StepVehicle moves only the addressed vehicle.
+func TestStepVehicleSingle(t *testing.T) {
+	w := newWorld(t, 40, 4)
+	a := w.fl.AddVehicle(0)
+	b := w.fl.AddVehicle(10)
+	if _, err := w.fl.StepVehicle(a.ID, 500); err != nil {
+		t.Fatalf("StepVehicle: %v", err)
+	}
+	if a.Odometer() == 0 {
+		t.Fatal("addressed vehicle did not move")
+	}
+	if b.Odometer() != 0 {
+		t.Fatal("other vehicle moved")
+	}
+	if _, err := w.fl.StepVehicle(99, 1); err == nil {
+		t.Fatal("unknown vehicle accepted")
+	}
+}
+
+// TestCommitQuoteCandidateFromOtherVehicleFails: committing a candidate
+// quoted against a different tree state must be rejected, not corrupt
+// the schedule.
+func TestCommitForeignCandidateFails(t *testing.T) {
+	w := newWorld(t, 41, 4)
+	a := w.fl.AddVehicle(0)
+	b := w.fl.AddVehicle(63)
+	req := w.request(t, 1, 27, 45, 1, 0.3, 10)
+	candsA := a.Tree.Quote(req)
+	if len(candsA) == 0 {
+		t.Skip("no candidate from a on this seed")
+	}
+	// b is far away: a's planned pickup distance is unreachable within
+	// the tiny waiting budget, so the stale-candidate guard fires.
+	if err := w.fl.Commit(b.ID, req, candsA[0]); err == nil {
+		t.Fatal("foreign candidate accepted")
+	}
+	if !b.Tree.Empty() {
+		t.Fatal("failed commit left state behind")
+	}
+}
+
+// TestRegistrationConsistencyUnderChurn: after arbitrary operations
+// every active vehicle is registered exactly once, in empty XOR
+// non-empty lists, consistent with its schedule state.
+func TestRegistrationConsistencyUnderChurn(t *testing.T) {
+	w := newWorld(t, 42, 3)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		w.fl.AddVehicle(roadnet.VertexID(rng.Intn(w.g.NumVertices())))
+	}
+	next := kinetic.RequestID(1)
+	for step := 0; step < 300; step++ {
+		if rng.Intn(3) == 0 {
+			vid := fleet.VehicleID(rng.Intn(w.fl.NumVehicles()))
+			v, _ := w.fl.Vehicle(vid)
+			if v.Removed() {
+				continue
+			}
+			s := roadnet.VertexID(rng.Intn(w.g.NumVertices()))
+			d := roadnet.VertexID(rng.Intn(w.g.NumVertices()))
+			if s == d {
+				continue
+			}
+			req := w.request(t, next, s, d, 1, 0.6, 500)
+			if cands := v.Tree.Quote(req); len(cands) > 0 {
+				if err := w.fl.Commit(vid, req, cands[0]); err != nil {
+					t.Fatalf("commit: %v", err)
+				}
+				next++
+			}
+		}
+		if _, err := w.fl.Step(80); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+
+		w.fl.Vehicles(func(v *fleet.Vehicle) {
+			empty, registered := w.lists.IsEmptyVehicle(v.ID)
+			if !registered {
+				t.Fatalf("step %d: vehicle %d unregistered", step, v.ID)
+			}
+			if empty != v.Tree.Empty() {
+				t.Fatalf("step %d: vehicle %d empty=%v but tree empty=%v",
+					step, v.ID, empty, v.Tree.Empty())
+			}
+			cells := w.lists.Cells(v.ID)
+			if len(cells) == 0 {
+				t.Fatalf("step %d: vehicle %d has no cells", step, v.ID)
+			}
+			if v.Tree.Empty() {
+				if len(cells) != 1 || cells[0] != w.grid.CellOf(v.Loc()) {
+					t.Fatalf("step %d: empty vehicle %d cells %v, loc cell %d",
+						step, v.ID, cells, w.grid.CellOf(v.Loc()))
+				}
+				return
+			}
+			// Non-empty: every stop location's cell must be registered.
+			reg := map[gridindex.CellID]bool{}
+			for _, c := range cells {
+				reg[c] = true
+			}
+			for _, loc := range v.Tree.Locations() {
+				if !reg[w.grid.CellOf(loc)] {
+					t.Fatalf("step %d: vehicle %d stop cell %d unregistered (%v)",
+						step, v.ID, w.grid.CellOf(loc), cells)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,5 @@
+package fleet_test
+
+import "ptrider/internal/geo"
+
+func geoPoint(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }

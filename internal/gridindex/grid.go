@@ -1,0 +1,369 @@
+// Package gridindex implements PTRider's road-network index (paper
+// §3.2.1): a grid partition of the embedded road network in which every
+// cell maintains
+//
+//	(i)   its border vertices (endpoints of edges that span two cells),
+//	(ii)  its vertex list, with each vertex's exact distances to the
+//	      cell's border vertices and the minimum of those (v.min),
+//	(iii) a list of the other cells sorted by lower-bound distance
+//	      (the "ring" that drives single- and dual-side search),
+//	(iv)  an empty-vehicle list, and
+//	(v)   a non-empty-vehicle list
+//
+// plus the cell-pair lower-bound matrix. Each matrix entry stores the
+// exact shortest distance between the closest pair of border vertices of
+// the two cells together with that witness pair, which yields both a
+// lower bound LB(u,v) and an upper bound UB(u,v) for arbitrary vertex
+// pairs without running a shortest-path search.
+//
+// The static part of the index (Grid) is immutable after Build and safe
+// for concurrent reads. The dynamic vehicle lists (iv)–(v) live in
+// VehicleLists, whose callers synchronise externally.
+package gridindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ptrider/internal/geo"
+	"ptrider/internal/roadnet"
+)
+
+// CellID identifies a grid cell, in row-major order: cell (cx, cy) has
+// id cy*cols+cx.
+type CellID = int32
+
+// NoCell is the sentinel "no cell" value.
+const NoCell CellID = -1
+
+// RingEntry is one element of a cell's sorted cell list: a target cell
+// and the lower bound on the network distance from the owning cell.
+type RingEntry struct {
+	Cell CellID
+	LB   float64
+}
+
+// Cell is the static per-cell data of the index.
+type Cell struct {
+	ID       CellID
+	Rect     geo.Rect
+	Vertices []roadnet.VertexID // vertices whose coordinates fall in Rect
+	Borders  []roadnet.VertexID // endpoints of cell-spanning edges
+	Ring     []RingEntry        // all non-empty cells, ascending by LB; Ring[0] is the cell itself
+}
+
+type pairBound struct {
+	lb     float64 // exact distance between the witness border pair; math.Inf(1) when disconnected
+	wi, wj int32   // witness indices into the two cells' Borders; -1 when unavailable
+}
+
+// Grid is the static road-network index. Build once, read from any
+// goroutine.
+type Grid struct {
+	g          *roadnet.Graph
+	cols, rows int
+	bounds     geo.Rect
+	cellW      float64
+	cellH      float64
+
+	cellOf []CellID // per vertex
+	cells  []Cell
+
+	vmin        []float64   // per vertex: distance to the nearest border of its own cell
+	borderDists [][]float64 // per vertex: distances to its own cell's Borders (aligned with Cell.Borders)
+
+	pairs []pairBound // row-major numCells×numCells
+}
+
+// Config controls Build.
+type Config struct {
+	// Cols and Rows give the grid resolution. Both must be ≥ 1.
+	Cols, Rows int
+	// MaxBoundRadius truncates the border-to-border searches that fill
+	// the lower-bound matrix: cell pairs farther apart than this get a
+	// (still valid) lower bound equal to MaxBoundRadius and no upper
+	// bound. Zero means unbounded. Truncation trades index build time
+	// for looser bounds on far pairs, which matching rarely consults.
+	MaxBoundRadius float64
+}
+
+// Build constructs the index for g, which must be embedded.
+func Build(g *roadnet.Graph, cfg Config) (*Grid, error) {
+	if !g.Embedded() {
+		return nil, fmt.Errorf("gridindex: graph is not embedded")
+	}
+	if cfg.Cols < 1 || cfg.Rows < 1 {
+		return nil, fmt.Errorf("gridindex: invalid resolution %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("gridindex: empty graph")
+	}
+	maxRadius := cfg.MaxBoundRadius
+	if maxRadius <= 0 {
+		maxRadius = math.Inf(1)
+	}
+
+	gr := &Grid{
+		g:      g,
+		cols:   cfg.Cols,
+		rows:   cfg.Rows,
+		bounds: g.Bounds().Expand(1e-9),
+	}
+	gr.cellW = gr.bounds.Width() / float64(cfg.Cols)
+	gr.cellH = gr.bounds.Height() / float64(cfg.Rows)
+	if gr.cellW <= 0 {
+		gr.cellW = 1
+	}
+	if gr.cellH <= 0 {
+		gr.cellH = 1
+	}
+
+	gr.assignVertices()
+	gr.findBorders()
+	gr.computeBounds(maxRadius)
+	gr.computeBorderDists()
+	gr.buildRings()
+	return gr, nil
+}
+
+func (gr *Grid) assignVertices() {
+	n := gr.g.NumVertices()
+	numCells := gr.cols * gr.rows
+	gr.cellOf = make([]CellID, n)
+	gr.cells = make([]Cell, numCells)
+	for c := 0; c < numCells; c++ {
+		cx, cy := c%gr.cols, c/gr.cols
+		minPt := geo.Point{
+			X: gr.bounds.Min.X + float64(cx)*gr.cellW,
+			Y: gr.bounds.Min.Y + float64(cy)*gr.cellH,
+		}
+		gr.cells[c] = Cell{
+			ID:   CellID(c),
+			Rect: geo.Rect{Min: minPt, Max: geo.Point{X: minPt.X + gr.cellW, Y: minPt.Y + gr.cellH}},
+		}
+	}
+	for v := 0; v < n; v++ {
+		c := gr.cellAt(gr.g.Point(roadnet.VertexID(v)))
+		gr.cellOf[v] = c
+		gr.cells[c].Vertices = append(gr.cells[c].Vertices, roadnet.VertexID(v))
+	}
+}
+
+func (gr *Grid) cellAt(p geo.Point) CellID {
+	cx := int((p.X - gr.bounds.Min.X) / gr.cellW)
+	cy := int((p.Y - gr.bounds.Min.Y) / gr.cellH)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= gr.cols {
+		cx = gr.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= gr.rows {
+		cy = gr.rows - 1
+	}
+	return CellID(cy*gr.cols + cx)
+}
+
+func (gr *Grid) findBorders() {
+	n := gr.g.NumVertices()
+	isBorder := make([]bool, n)
+	for u := 0; u < n; u++ {
+		cu := gr.cellOf[u]
+		for _, e := range gr.g.Out(roadnet.VertexID(u)) {
+			if gr.cellOf[e.To] != cu {
+				isBorder[u] = true
+				isBorder[e.To] = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if isBorder[v] {
+			c := gr.cellOf[v]
+			gr.cells[c].Borders = append(gr.cells[c].Borders, roadnet.VertexID(v))
+		}
+	}
+}
+
+// computeBounds fills vmin and the cell-pair matrix with one labelled
+// multi-source Dijkstra per cell, seeded at the cell's border vertices.
+func (gr *Grid) computeBounds(maxRadius float64) {
+	n := gr.g.NumVertices()
+	numCells := len(gr.cells)
+	gr.vmin = make([]float64, n)
+	for i := range gr.vmin {
+		gr.vmin[i] = math.Inf(1)
+	}
+	gr.pairs = make([]pairBound, numCells*numCells)
+	for i := range gr.pairs {
+		gr.pairs[i] = pairBound{lb: maxRadius, wi: -1, wj: -1}
+	}
+
+	s := roadnet.NewSearcher(gr.g)
+	for ci := range gr.cells {
+		cell := &gr.cells[ci]
+		gr.pairs[ci*numCells+ci] = pairBound{lb: 0, wi: -1, wj: -1}
+		if len(cell.Borders) == 0 {
+			// A borderless cell's vertices cannot reach other cells;
+			// vmin stays +Inf and pair bounds stay at the clamp value
+			// (valid: the true distance is +Inf).
+			continue
+		}
+		dist, label := s.MultiSourceLabeled(cell.Borders, maxRadius)
+		for _, v := range cell.Vertices {
+			gr.vmin[v] = dist[v]
+		}
+		for cj := range gr.cells {
+			if cj == ci {
+				continue
+			}
+			best := math.Inf(1)
+			bestI, bestJ := int32(-1), int32(-1)
+			for bj, y := range gr.cells[cj].Borders {
+				if dist[y] < best {
+					best = dist[y]
+					bestI, bestJ = label[y], int32(bj)
+				}
+			}
+			if bestJ >= 0 {
+				gr.pairs[ci*numCells+cj] = pairBound{lb: best, wi: bestI, wj: bestJ}
+			}
+		}
+	}
+}
+
+// computeBorderDists fills, for every vertex, the exact distances to the
+// border vertices of its own cell (one target-set Dijkstra per border
+// vertex, settling only that cell's vertices).
+func (gr *Grid) computeBorderDists() {
+	n := gr.g.NumVertices()
+	gr.borderDists = make([][]float64, n)
+	s := roadnet.NewSearcher(gr.g)
+	for ci := range gr.cells {
+		cell := &gr.cells[ci]
+		nb := len(cell.Borders)
+		if nb == 0 || len(cell.Vertices) == 0 {
+			continue
+		}
+		flat := make([]float64, nb*len(cell.Vertices))
+		out := make([]float64, len(cell.Vertices))
+		for bi, b := range cell.Borders {
+			s.DistsTo(b, cell.Vertices, math.Inf(1), out)
+			for vi := range cell.Vertices {
+				flat[vi*nb+bi] = out[vi]
+			}
+		}
+		for vi, v := range cell.Vertices {
+			gr.borderDists[v] = flat[vi*nb : (vi+1)*nb : (vi+1)*nb]
+		}
+	}
+}
+
+func (gr *Grid) buildRings() {
+	numCells := len(gr.cells)
+	occupied := make([]CellID, 0, numCells)
+	for ci := range gr.cells {
+		if len(gr.cells[ci].Vertices) > 0 {
+			occupied = append(occupied, CellID(ci))
+		}
+	}
+	for ci := range gr.cells {
+		if len(gr.cells[ci].Vertices) == 0 {
+			continue
+		}
+		ring := make([]RingEntry, 0, len(occupied))
+		for _, cj := range occupied {
+			ring = append(ring, RingEntry{Cell: cj, LB: gr.pairs[ci*numCells+int(cj)].lb})
+		}
+		sort.Slice(ring, func(a, b int) bool {
+			if ring[a].LB != ring[b].LB {
+				return ring[a].LB < ring[b].LB
+			}
+			return ring[a].Cell < ring[b].Cell
+		})
+		gr.cells[ci].Ring = ring
+	}
+}
+
+// Graph returns the indexed graph.
+func (gr *Grid) Graph() *roadnet.Graph { return gr.g }
+
+// NumCells returns the number of grid cells (cols × rows).
+func (gr *Grid) NumCells() int { return len(gr.cells) }
+
+// Dims returns the grid resolution.
+func (gr *Grid) Dims() (cols, rows int) { return gr.cols, gr.rows }
+
+// CellOf returns the cell containing vertex v.
+func (gr *Grid) CellOf(v roadnet.VertexID) CellID { return gr.cellOf[v] }
+
+// CellAt returns the cell containing the planar point p (clamped to the
+// grid bounds).
+func (gr *Grid) CellAt(p geo.Point) CellID { return gr.cellAt(p) }
+
+// Cell returns the static data of cell id. The result aliases internal
+// storage and must not be modified.
+func (gr *Grid) Cell(id CellID) *Cell { return &gr.cells[id] }
+
+// VMin returns v.min: the distance from v to the nearest border vertex
+// of its own cell (+Inf when the cell has no borders).
+func (gr *Grid) VMin(v roadnet.VertexID) float64 { return gr.vmin[v] }
+
+// BorderDists returns v's distances to its own cell's Borders, aligned
+// with Cell.Borders. It is nil when the cell has no borders.
+func (gr *Grid) BorderDists(v roadnet.VertexID) []float64 { return gr.borderDists[v] }
+
+// CellLB returns the lower bound on the network distance between any
+// vertex of cell i and any vertex of cell j. It is zero when i == j.
+func (gr *Grid) CellLB(i, j CellID) float64 {
+	return gr.pairs[int(i)*len(gr.cells)+int(j)].lb
+}
+
+// LB returns a lower bound on dist(u, v), combining the cell-pair bound
+// with the Euclidean bound on metric graphs. LB(u, u) is zero and
+// LB(u, v) ≤ dist(u, v) always.
+func (gr *Grid) LB(u, v roadnet.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	lb := gr.g.EuclidLB(u, v)
+	if ci, cj := gr.cellOf[u], gr.cellOf[v]; ci != cj {
+		if pb := gr.pairs[int(ci)*len(gr.cells)+int(cj)].lb; pb > lb {
+			lb = pb
+		}
+	}
+	return lb
+}
+
+// UB returns an upper bound on dist(u, v) routed through border
+// vertices: dist(u,x*) + dist(x*,y*) + dist(y*,v) for the witness pair
+// (x*, y*) of the two cells, or the best border detour within one cell.
+// It returns +Inf when no witness is available (borderless cells or
+// truncated matrix rows); callers fall back to an exact search. UB is
+// only valid on symmetric (undirected) graphs, which is what PTRider's
+// road networks are.
+func (gr *Grid) UB(u, v roadnet.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	ci, cj := gr.cellOf[u], gr.cellOf[v]
+	bu, bv := gr.borderDists[u], gr.borderDists[v]
+	if ci == cj {
+		if bu == nil {
+			return math.Inf(1)
+		}
+		best := math.Inf(1)
+		for bi := range bu {
+			if d := bu[bi] + bv[bi]; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	pb := gr.pairs[int(ci)*len(gr.cells)+int(cj)]
+	if pb.wi < 0 || bu == nil || bv == nil {
+		return math.Inf(1)
+	}
+	return bu[pb.wi] + pb.lb + bv[pb.wj]
+}

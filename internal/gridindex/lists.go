@@ -1,0 +1,138 @@
+package gridindex
+
+// VehicleID identifies a vehicle in the vehicle lists. It matches the
+// fleet's vehicle identifiers.
+type VehicleID = int32
+
+// idSet is a compact set of vehicle ids supporting O(1) add/remove and
+// allocation-free iteration over a slice. Removal swaps with the last
+// element, so iteration order is unspecified.
+type idSet struct {
+	items []VehicleID
+	pos   map[VehicleID]int
+}
+
+func (s *idSet) add(id VehicleID) bool {
+	if s.pos == nil {
+		s.pos = make(map[VehicleID]int)
+	}
+	if _, ok := s.pos[id]; ok {
+		return false
+	}
+	s.pos[id] = len(s.items)
+	s.items = append(s.items, id)
+	return true
+}
+
+func (s *idSet) remove(id VehicleID) bool {
+	i, ok := s.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(s.items) - 1
+	moved := s.items[last]
+	s.items[i] = moved
+	s.pos[moved] = i
+	s.items = s.items[:last]
+	delete(s.pos, id)
+	return true
+}
+
+func (s *idSet) contains(id VehicleID) bool {
+	_, ok := s.pos[id]
+	return ok
+}
+
+// VehicleLists is the dynamic layer of the grid index: per cell, the
+// empty-vehicle list (vehicles with no assigned requests, listed in the
+// cell of their current location) and the non-empty-vehicle list
+// (vehicles whose planned trip schedules pass through the cell), as in
+// paper §3.2.1 items (iv)–(v).
+//
+// VehicleLists is not safe for concurrent use; the engine mutates it
+// under its own lock.
+type VehicleLists struct {
+	empty    []idSet
+	nonEmpty []idSet
+	// cellsOf tracks, per vehicle, the cells the vehicle is currently
+	// registered in (one cell when empty, the schedule's cells when
+	// non-empty), so that re-registration does not scan the whole grid.
+	cellsOf map[VehicleID][]CellID
+	isEmpty map[VehicleID]bool
+}
+
+// NewVehicleLists returns empty lists for a grid with numCells cells.
+func NewVehicleLists(numCells int) *VehicleLists {
+	return &VehicleLists{
+		empty:    make([]idSet, numCells),
+		nonEmpty: make([]idSet, numCells),
+		cellsOf:  make(map[VehicleID][]CellID),
+		isEmpty:  make(map[VehicleID]bool),
+	}
+}
+
+// PlaceEmpty registers vehicle id as an empty vehicle located in cell c,
+// replacing any previous registration.
+func (vl *VehicleLists) PlaceEmpty(id VehicleID, c CellID) {
+	vl.Remove(id)
+	vl.empty[c].add(id)
+	vl.cellsOf[id] = append(vl.cellsOf[id][:0], c)
+	vl.isEmpty[id] = true
+}
+
+// PlaceNonEmpty registers vehicle id as a non-empty vehicle whose
+// schedule passes through cells, replacing any previous registration.
+// Duplicate cells are tolerated.
+func (vl *VehicleLists) PlaceNonEmpty(id VehicleID, cells []CellID) {
+	vl.Remove(id)
+	reg := vl.cellsOf[id][:0]
+	for _, c := range cells {
+		if vl.nonEmpty[c].add(id) {
+			reg = append(reg, c)
+		}
+	}
+	vl.cellsOf[id] = reg
+	vl.isEmpty[id] = false
+}
+
+// Remove deregisters vehicle id from every list. Removing an unknown
+// vehicle is a no-op.
+func (vl *VehicleLists) Remove(id VehicleID) {
+	cells, ok := vl.cellsOf[id]
+	if !ok {
+		return
+	}
+	if vl.isEmpty[id] {
+		for _, c := range cells {
+			vl.empty[c].remove(id)
+		}
+	} else {
+		for _, c := range cells {
+			vl.nonEmpty[c].remove(id)
+		}
+	}
+	delete(vl.cellsOf, id)
+	delete(vl.isEmpty, id)
+}
+
+// Empty returns the empty-vehicle list of cell c. The slice aliases
+// internal storage: do not modify, and do not hold across mutations.
+func (vl *VehicleLists) Empty(c CellID) []VehicleID { return vl.empty[c].items }
+
+// NonEmpty returns the non-empty-vehicle list of cell c, with the same
+// aliasing caveat as Empty.
+func (vl *VehicleLists) NonEmpty(c CellID) []VehicleID { return vl.nonEmpty[c].items }
+
+// Cells returns the cells vehicle id is currently registered in, with
+// the same aliasing caveat as Empty. It returns nil for unknown ids.
+func (vl *VehicleLists) Cells(id VehicleID) []CellID { return vl.cellsOf[id] }
+
+// IsEmptyVehicle reports whether id is registered as an empty vehicle.
+// The second result reports whether the vehicle is registered at all.
+func (vl *VehicleLists) IsEmptyVehicle(id VehicleID) (empty, registered bool) {
+	e, ok := vl.isEmpty[id]
+	return e, ok
+}
+
+// NumRegistered returns the number of registered vehicles.
+func (vl *VehicleLists) NumRegistered() int { return len(vl.cellsOf) }

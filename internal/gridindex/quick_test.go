@@ -1,0 +1,82 @@
+package gridindex_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/testnet"
+)
+
+// TestQuickBoundsInvariant drives the LB/UB invariants with
+// testing/quick over random vertex pairs and grid resolutions: for all
+// (u, v), LB(u,v) ≤ dist(u,v) ≤ UB(u,v) and LB(u,v) ≤ LB-symmetric
+// within float tolerance on undirected graphs.
+func TestQuickBoundsInvariant(t *testing.T) {
+	type world struct {
+		g      *roadnet.Graph
+		grid   *gridindex.Grid
+		oracle *roadnet.Oracle
+	}
+	worlds := make([]world, 0, 3)
+	for i, res := range []int{2, 3, 5} {
+		g := testnet.Lattice(rand.New(rand.NewSource(int64(i+40))), 7, 7, 100)
+		grid, err := gridindex.Build(g, gridindex.Config{Cols: res, Rows: res})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		worlds = append(worlds, world{g: g, grid: grid, oracle: roadnet.NewOracle(g)})
+	}
+
+	f := func(wi uint8, a, b uint16) bool {
+		w := worlds[int(wi)%len(worlds)]
+		n := w.g.NumVertices()
+		u := roadnet.VertexID(int(a) % n)
+		v := roadnet.VertexID(int(b) % n)
+		d := w.oracle.Dist(u, v)
+		lb := w.grid.LB(u, v)
+		ub := w.grid.UB(u, v)
+		if lb > d+1e-9 {
+			return false
+		}
+		if ub < d-1e-9 {
+			return false
+		}
+		// Symmetry of the cell-pair bound on undirected graphs.
+		ci, cj := w.grid.CellOf(u), w.grid.CellOf(v)
+		if diff := w.grid.CellLB(ci, cj) - w.grid.CellLB(cj, ci); diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVMinInvariant: v.min is never larger than the distance to
+// any border vertex of v's cell.
+func TestQuickVMinInvariant(t *testing.T) {
+	g := testnet.Lattice(rand.New(rand.NewSource(50)), 8, 8, 100)
+	grid, err := gridindex.Build(g, gridindex.Config{Cols: 4, Rows: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	oracle := roadnet.NewOracle(g)
+	f := func(a uint16) bool {
+		v := roadnet.VertexID(int(a) % g.NumVertices())
+		cell := grid.Cell(grid.CellOf(v))
+		vmin := grid.VMin(v)
+		for _, b := range cell.Borders {
+			if vmin > oracle.Dist(v, b)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package heapx provides the typed binary min-heaps that back every
+// graph search and ring expansion in PTRider.
+//
+// The standard library's container/heap forces an interface-based
+// element type and allocates on every Push via interface boxing. The
+// searches in internal/roadnet and internal/core sit on the hot path of
+// request matching, so this package provides two concrete heaps:
+//
+//   - DistHeap: a (node id, float64 priority) heap used by Dijkstra and
+//     A*, with lazy-deletion semantics (duplicates allowed, stale
+//     entries skipped by the caller).
+//   - Heap[T]: a small generic min-heap ordered by a float64 key, used
+//     where the payload is richer than a node id (e.g. cell rings).
+//
+// Both heaps are zero-value ready and intentionally unsynchronised;
+// callers own their synchronisation.
+package heapx
+
+// DistItem is an entry of a DistHeap: a node identifier with its
+// tentative distance.
+type DistItem struct {
+	Node int32
+	Dist float64
+}
+
+// DistHeap is a binary min-heap of DistItems ordered by Dist. The zero
+// value is an empty heap ready for use.
+type DistHeap struct {
+	items []DistItem
+}
+
+// NewDistHeap returns a heap with storage preallocated for n items.
+func NewDistHeap(n int) *DistHeap {
+	return &DistHeap{items: make([]DistItem, 0, n)}
+}
+
+// Len returns the number of items in the heap.
+func (h *DistHeap) Len() int { return len(h.items) }
+
+// Reset empties the heap while retaining its storage.
+func (h *DistHeap) Reset() { h.items = h.items[:0] }
+
+// Push adds node with the given tentative distance.
+func (h *DistHeap) Push(node int32, dist float64) {
+	h.items = append(h.items, DistItem{Node: node, Dist: dist})
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the item with the smallest distance. It must
+// not be called on an empty heap.
+func (h *DistHeap) Pop() DistItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the smallest item without removing it. It must not be
+// called on an empty heap.
+func (h *DistHeap) Peek() DistItem { return h.items[0] }
+
+func (h *DistHeap) up(i int) {
+	item := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist <= item.Dist {
+			break
+		}
+		h.items[i] = h.items[parent]
+		i = parent
+	}
+	h.items[i] = item
+}
+
+func (h *DistHeap) down(i int) {
+	n := len(h.items)
+	item := h.items[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.items[right].Dist < h.items[left].Dist {
+			child = right
+		}
+		if item.Dist <= h.items[child].Dist {
+			break
+		}
+		h.items[i] = h.items[child]
+		i = child
+	}
+	h.items[i] = item
+}
+
+// Heap is a generic binary min-heap of values ordered by a float64 key.
+// The zero value is an empty heap ready for use.
+type Heap[T any] struct {
+	keys []float64
+	vals []T
+}
+
+// NewHeap returns a generic heap with storage preallocated for n items.
+func NewHeap[T any](n int) *Heap[T] {
+	return &Heap[T]{keys: make([]float64, 0, n), vals: make([]T, 0, n)}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[T]) Len() int { return len(h.keys) }
+
+// Reset empties the heap while retaining its storage.
+func (h *Heap[T]) Reset() {
+	h.keys = h.keys[:0]
+	h.vals = h.vals[:0]
+}
+
+// Push adds v with the given key.
+func (h *Heap[T]) Push(key float64, v T) {
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			break
+		}
+		h.keys[parent], h.keys[i] = h.keys[i], h.keys[parent]
+		h.vals[parent], h.vals[i] = h.vals[i], h.vals[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the value with the smallest key together with
+// the key. It must not be called on an empty heap.
+func (h *Heap[T]) Pop() (float64, T) {
+	key, val := h.keys[0], h.vals[0]
+	n := len(h.keys) - 1
+	h.keys[0], h.vals[0] = h.keys[n], h.vals[n]
+	h.keys, h.vals = h.keys[:n], h.vals[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.keys[right] < h.keys[left] {
+			child = right
+		}
+		if h.keys[i] <= h.keys[child] {
+			break
+		}
+		h.keys[i], h.keys[child] = h.keys[child], h.keys[i]
+		h.vals[i], h.vals[child] = h.vals[child], h.vals[i]
+		i = child
+	}
+	return key, val
+}
+
+// PeekKey returns the smallest key without removing its item. It must
+// not be called on an empty heap.
+func (h *Heap[T]) PeekKey() float64 { return h.keys[0] }

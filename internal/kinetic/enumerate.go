@@ -1,0 +1,470 @@
+package kinetic
+
+import (
+	"fmt"
+	"math"
+
+	"ptrider/internal/roadnet"
+	"ptrider/internal/skyline"
+)
+
+// budgetEps absorbs floating-point drift when comparing travelled
+// distances against budgets; distances are metres, so 1e-6 is far below
+// any physical significance.
+const budgetEps = 1e-6
+
+// dfsScratch holds the per-enumeration workspace, reused across
+// rebuilds to keep the hot path allocation-light.
+type dfsScratch struct {
+	locs     []roadnet.VertexID // 0 is the root location, then one per point
+	exact    []float64          // (k+1)×(k+1) lazy distance matrix; NaN = unknown
+	n        int                // k+1
+	pickDist []float64          // per request: dist_tr at its in-sequence pickup
+	picked   []bool             // per request: pickup placed in current prefix
+}
+
+func (sc *dfsScratch) init(root roadnet.VertexID, pts []Point, nReqs int) {
+	k := len(pts)
+	sc.n = k + 1
+	sc.locs = append(sc.locs[:0], root)
+	for _, p := range pts {
+		sc.locs = append(sc.locs, p.Loc)
+	}
+	need := sc.n * sc.n
+	if cap(sc.exact) < need {
+		sc.exact = make([]float64, need)
+	}
+	sc.exact = sc.exact[:need]
+	for i := range sc.exact {
+		sc.exact[i] = math.NaN()
+	}
+	if cap(sc.pickDist) < nReqs {
+		sc.pickDist = make([]float64, nReqs)
+		sc.picked = make([]bool, nReqs)
+	}
+	sc.pickDist = sc.pickDist[:nReqs]
+	sc.picked = sc.picked[:nReqs]
+	for i := range sc.picked {
+		sc.picked[i] = false
+	}
+}
+
+func (t *Tree) exactDist(sc *dfsScratch, i, j int) float64 {
+	d := sc.exact[i*sc.n+j]
+	if !math.IsNaN(d) {
+		return d
+	}
+	d = t.metric.Dist(sc.locs[i], sc.locs[j])
+	sc.exact[i*sc.n+j] = d
+	return d
+}
+
+func (t *Tree) lbDist(sc *dfsScratch, i, j int) float64 {
+	// A previously computed exact value is its own best lower bound.
+	if d := sc.exact[i*sc.n+j]; !math.IsNaN(d) {
+		return d
+	}
+	return t.metric.LB(sc.locs[i], sc.locs[j])
+}
+
+// stepBudget returns the remaining distance budget for placing point pi
+// (index into pts) when the vehicle has already driven curDist along the
+// candidate schedule. +Inf means unconstrained. reqs and picked/pickDist
+// come from the enumeration state.
+func (t *Tree) stepBudget(sc *dfsScratch, pts []Point, reqIdx []int, reqs []*reqState, pi int) (budget float64, ok bool) {
+	p := pts[pi]
+	r := reqs[reqIdx[pi]]
+	if p.Kind == Pickup {
+		return r.pickupDeadline - t.odo, true
+	}
+	if r.onboard {
+		return r.dropoffDeadline - t.odo, true
+	}
+	if !sc.picked[reqIdx[pi]] {
+		return 0, false // dropoff cannot precede its pickup
+	}
+	return sc.pickDist[reqIdx[pi]] + r.ServiceLimit, true
+}
+
+// rebuild re-enumerates every valid ordering of the pending points from
+// the current root, materialising the trie and refreshing bestDist and
+// the branch count.
+func (t *Tree) rebuild() {
+	t.dirty = false
+	t.odoAtBuild = t.odo
+	sc := &t.scratch
+	sc.init(t.rootLoc, t.pts, len(t.reqs))
+
+	t.root = &Node{
+		Point:     Point{Loc: t.rootLoc},
+		Occupancy: t.startOccupancy(),
+	}
+	t.maxLeg = 0
+	if len(t.pts) == 0 {
+		t.bestDist = 0
+		t.branches = 1
+		return
+	}
+	full := (1 << len(t.pts)) - 1
+	best, count := t.buildChildren(sc, t.root, 0, 0, 0.0, t.root.Occupancy, full)
+	t.root.subtreeBest = best
+	if count == 0 {
+		t.bestDist = math.Inf(1)
+		t.branches = 0
+		t.root.Children = nil
+		return
+	}
+	t.bestDist = best
+	t.branches = count
+}
+
+func (t *Tree) startOccupancy() int {
+	occ := 0
+	for _, r := range t.reqs {
+		if r.onboard {
+			occ += r.Riders
+		}
+	}
+	return occ
+}
+
+// buildChildren extends the trie node at location index cur (0 = root)
+// with every feasible next point from the unused set, recursing until
+// complete schedules are formed. It returns the best total distance in
+// the subtree and the number of complete branches. Subtrees with no
+// completion are discarded.
+func (t *Tree) buildChildren(sc *dfsScratch, parent *Node, used int, cur int, curDist float64, occ int, full int) (best float64, count int) {
+	best = math.Inf(1)
+	for pi := range t.pts {
+		bit := 1 << pi
+		if used&bit != 0 {
+			continue
+		}
+		p := t.pts[pi]
+		ri := t.reqIdx[pi]
+		r := t.reqs[ri]
+		budget, ok := t.stepBudget(sc, t.pts, t.reqIdx, t.reqs, pi)
+		if !ok {
+			continue
+		}
+		if p.Kind == Pickup && occ+r.Riders > t.capacity {
+			continue
+		}
+		// Lower-bound prune before the exact distance (paper §3.3).
+		if curDist+t.lbDist(sc, cur, pi+1) > budget+budgetEps {
+			continue
+		}
+		nd := curDist + t.exactDist(sc, cur, pi+1)
+		if nd > budget+budgetEps {
+			continue
+		}
+
+		child := &Node{Point: p, DistTr: nd, Occupancy: occ}
+		var undoPick bool
+		if p.Kind == Pickup {
+			child.Occupancy += r.Riders
+			sc.picked[ri] = true
+			sc.pickDist[ri] = nd
+			undoPick = true
+		} else {
+			child.Occupancy -= r.Riders
+		}
+
+		nused := used | bit
+		if nused == full {
+			parent.Children = append(parent.Children, child)
+			child.subtreeBest = nd
+			if nd < best {
+				best = nd
+			}
+			if leg := nd - curDist; leg > t.maxLeg {
+				t.maxLeg = leg
+			}
+			count++
+		} else {
+			subBest, subCount := t.buildChildren(sc, child, nused, pi+1, nd, child.Occupancy, full)
+			if subCount > 0 {
+				child.subtreeBest = subBest
+				parent.Children = append(parent.Children, child)
+				count += subCount
+				if subBest < best {
+					best = subBest
+				}
+				if leg := nd - curDist; leg > t.maxLeg {
+					t.maxLeg = leg
+				}
+			}
+		}
+		if undoPick {
+			sc.picked[ri] = false
+		}
+	}
+	return best, count
+}
+
+// Quote enumerates every valid schedule that additionally serves req and
+// returns the vehicle's non-dominated candidates over (pick-up distance,
+// detour delta). It returns nil when the vehicle cannot serve the
+// request at all (capacity, budgets, or the pending-point cap). The
+// tree itself is not modified.
+func (t *Tree) Quote(req Request) []Candidate {
+	if req.Riders > t.capacity || len(t.pts)+2 > t.maxPoints {
+		return nil
+	}
+	t.ensureFresh()
+	if len(t.pts) > 0 && t.branches == 0 {
+		// No valid schedule even without the new request; the vehicle
+		// is in violation (should not happen) — refuse new work.
+		return nil
+	}
+	baseline := t.bestDist
+	if math.IsInf(baseline, 1) {
+		return nil
+	}
+
+	// Temporary point and request sets including the quoted request.
+	newReq := &reqState{Request: req, pickupDeadline: math.Inf(1)}
+	reqs := append(append([]*reqState(nil), t.reqs...), newReq)
+	newReqIdx := len(reqs) - 1
+	pts := append(append([]Point(nil), t.pts...),
+		Point{Loc: req.S, Kind: Pickup, Req: req.ID},
+		Point{Loc: req.D, Kind: Dropoff, Req: req.ID},
+	)
+	reqIdx := append(append([]int(nil), t.reqIdx...), newReqIdx, newReqIdx)
+	pickupPos := len(pts) - 2
+
+	var sc dfsScratch
+	sc.init(t.rootLoc, pts, len(reqs))
+
+	var sky skyline.Skyline[[]Point]
+	seq := make([]Point, 0, len(pts))
+	var walk func(used, cur int, curDist float64, occ int, newPickDist float64)
+	full := (1 << len(pts)) - 1
+	walk = func(used, cur int, curDist float64, occ int, newPickDist float64) {
+		for pi := range pts {
+			bit := 1 << pi
+			if used&bit != 0 {
+				continue
+			}
+			p := pts[pi]
+			ri := reqIdx[pi]
+			r := reqs[ri]
+			budget, ok := t.stepBudgetFor(&sc, pts, reqIdx, reqs, pi)
+			if !ok {
+				continue
+			}
+			if p.Kind == Pickup && occ+r.Riders > t.capacity {
+				continue
+			}
+			if curDist+t.lbDist(&sc, cur, pi+1) > budget+budgetEps {
+				continue
+			}
+			nd := curDist + t.exactDist(&sc, cur, pi+1)
+			if nd > budget+budgetEps {
+				continue
+			}
+
+			nocc := occ
+			npd := newPickDist
+			var undoPick bool
+			if p.Kind == Pickup {
+				nocc += r.Riders
+				sc.picked[ri] = true
+				sc.pickDist[ri] = nd
+				undoPick = true
+				if pi == pickupPos {
+					npd = nd
+				}
+			} else {
+				nocc -= r.Riders
+			}
+
+			seq = append(seq, p)
+			if used|bit == full {
+				if !sky.IsDominated(npd, nd-baseline) && !sky.ContainsPoint(npd, nd-baseline) {
+					sky.Add(npd, nd-baseline, append([]Point(nil), seq...))
+				}
+			} else {
+				walk(used|bit, pi+1, nd, nocc, npd)
+			}
+			seq = seq[:len(seq)-1]
+			if undoPick {
+				sc.picked[ri] = false
+			}
+		}
+	}
+	walk(0, 0, 0, t.startOccupancy(), math.NaN())
+
+	entries := sky.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]Candidate, len(entries))
+	for i, e := range entries {
+		out[i] = Candidate{
+			Seq:        e.Payload,
+			PickupDist: e.Time,
+			TotalDist:  e.Price + baseline,
+			Delta:      e.Price,
+		}
+	}
+	return out
+}
+
+// stepBudgetFor is stepBudget over caller-supplied point/request sets
+// (used by Quote, whose sets include the uncommitted request).
+func (t *Tree) stepBudgetFor(sc *dfsScratch, pts []Point, reqIdx []int, reqs []*reqState, pi int) (float64, bool) {
+	p := pts[pi]
+	r := reqs[reqIdx[pi]]
+	if p.Kind == Pickup {
+		return r.pickupDeadline - t.odo, true
+	}
+	if r.onboard {
+		return r.dropoffDeadline - t.odo, true
+	}
+	if !sc.picked[reqIdx[pi]] {
+		return 0, false
+	}
+	return sc.pickDist[reqIdx[pi]] + r.ServiceLimit, true
+}
+
+// Commit adds req to the vehicle with the planned schedule of cand (a
+// candidate previously returned by Quote with no intervening root
+// movement). The waiting-time constraint is anchored here: the pickup's
+// odometer deadline becomes odo + cand.PickupDist + req.WaitBudget.
+func (t *Tree) Commit(req Request, cand Candidate) error {
+	for _, r := range t.reqs {
+		if r.ID == req.ID {
+			return fmt.Errorf("kinetic: request %d already assigned", req.ID)
+		}
+	}
+	if len(t.pts)+2 > t.maxPoints {
+		return fmt.Errorf("kinetic: vehicle is at its pending-point cap")
+	}
+	st := &reqState{
+		Request:          req,
+		pickupDeadline:   t.odo + cand.PickupDist + req.WaitBudget,
+		plannedPickupOdo: t.odo + cand.PickupDist,
+	}
+	t.reqs = append(t.reqs, st)
+	ri := len(t.reqs) - 1
+	t.pts = append(t.pts,
+		Point{Loc: req.S, Kind: Pickup, Req: req.ID},
+		Point{Loc: req.D, Kind: Dropoff, Req: req.ID},
+	)
+	t.reqIdx = append(t.reqIdx, ri, ri)
+	t.dirty = true
+	t.ensureFresh()
+	if t.branches == 0 {
+		// Roll back: the candidate was stale (root moved since Quote).
+		t.removeRequestAt(ri)
+		t.dirty = true
+		return fmt.Errorf("kinetic: committing request %d leaves no valid schedule (stale candidate)", req.ID)
+	}
+	return nil
+}
+
+// Pickup marks request id as picked up. The vehicle must be located at
+// the request's start vertex. The in-vehicle service budget is anchored
+// to the current odometer.
+func (t *Tree) Pickup(id RequestID) error {
+	ri := t.findReq(id)
+	if ri < 0 {
+		return fmt.Errorf("kinetic: pickup of unknown request %d", id)
+	}
+	r := t.reqs[ri]
+	if r.onboard {
+		return fmt.Errorf("kinetic: request %d already onboard", id)
+	}
+	if t.rootLoc != r.S {
+		return fmt.Errorf("kinetic: pickup of request %d at vertex %d, vehicle is at %d", id, r.S, t.rootLoc)
+	}
+	if t.odo > r.pickupDeadline+budgetEps {
+		return fmt.Errorf("kinetic: request %d picked up past its waiting deadline (odo %v > %v)", id, t.odo, r.pickupDeadline)
+	}
+	r.onboard = true
+	r.dropoffDeadline = t.odo + r.ServiceLimit
+	t.removePoint(func(p Point) bool { return p.Req == id && p.Kind == Pickup })
+	t.dirty = true
+	t.ensureFresh() // keep MaxLegUpper sound: rebuild on structural change
+	return nil
+}
+
+// Dropoff completes request id. The vehicle must be located at the
+// request's destination vertex.
+func (t *Tree) Dropoff(id RequestID) error {
+	ri := t.findReq(id)
+	if ri < 0 {
+		return fmt.Errorf("kinetic: dropoff of unknown request %d", id)
+	}
+	r := t.reqs[ri]
+	if !r.onboard {
+		return fmt.Errorf("kinetic: dropoff of request %d before pickup", id)
+	}
+	if t.rootLoc != r.D {
+		return fmt.Errorf("kinetic: dropoff of request %d at vertex %d, vehicle is at %d", id, r.D, t.rootLoc)
+	}
+	if t.odo > r.dropoffDeadline+budgetEps {
+		return fmt.Errorf("kinetic: request %d dropped off past its service deadline (odo %v > %v)", id, t.odo, r.dropoffDeadline)
+	}
+	t.removeRequestAt(ri)
+	t.dirty = true
+	t.ensureFresh()
+	return nil
+}
+
+// Cancel removes request id from the vehicle regardless of state (rider
+// cancellation / failure injection). Riders onboard are treated as
+// dropped at the current location.
+func (t *Tree) Cancel(id RequestID) error {
+	ri := t.findReq(id)
+	if ri < 0 {
+		return fmt.Errorf("kinetic: cancel of unknown request %d", id)
+	}
+	t.removeRequestAt(ri)
+	t.dirty = true
+	t.ensureFresh()
+	return nil
+}
+
+// PlannedPickupOdo returns the odometer reading at which request id was
+// promised to be picked up, for waiting-time statistics.
+func (t *Tree) PlannedPickupOdo(id RequestID) (float64, bool) {
+	ri := t.findReq(id)
+	if ri < 0 {
+		return 0, false
+	}
+	return t.reqs[ri].plannedPickupOdo, true
+}
+
+func (t *Tree) findReq(id RequestID) int {
+	for i, r := range t.reqs {
+		if r.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *Tree) removePoint(match func(Point) bool) {
+	for i := 0; i < len(t.pts); i++ {
+		if match(t.pts[i]) {
+			t.pts = append(t.pts[:i], t.pts[i+1:]...)
+			t.reqIdx = append(t.reqIdx[:i], t.reqIdx[i+1:]...)
+			i--
+		}
+	}
+}
+
+// removeRequestAt removes request index ri, its points, and re-indexes
+// reqIdx.
+func (t *Tree) removeRequestAt(ri int) {
+	id := t.reqs[ri].ID
+	t.removePoint(func(p Point) bool { return p.Req == id })
+	t.reqs = append(t.reqs[:ri], t.reqs[ri+1:]...)
+	for i := range t.reqIdx {
+		if t.reqIdx[i] > ri {
+			t.reqIdx[i]--
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package kinetic implements the kinetic tree of valid vehicle trip
+// schedules (paper §3.2.2, after Huang et al.'s Noah [7]): for one
+// vehicle, the set c.Str of all trip schedules that satisfy the four
+// validity conditions of Definition 2 — capacity, point order, waiting
+// time, and service constraint — stored as a trie whose branches share
+// common prefixes. Each node is augmented with the occupancy after
+// serving it and dist_tr, the travel distance from the vehicle's
+// current location, as the paper prescribes.
+//
+// Distances are metres; time is distance via the system's constant
+// speed, so waiting-time budgets arrive here already converted to
+// distance. Budgets are stored as absolute odometer deadlines: the
+// waiting-time constraint "actual pickup at most w after planned
+// pickup" becomes "odometer at pickup ≤ odometer at assignment +
+// planned pickup distance + w·speed", which stays meaningful as the
+// vehicle moves and re-plans.
+//
+// The tree is rebuilt lazily by enumerating, with budget- and
+// bound-based pruning, every valid ordering of the pending points. The
+// enumeration consults the exact distance only after a cheap lower
+// bound fails to prune the extension — the paper's improvement (ii)
+// over Noah, which computes all distances up front.
+package kinetic
+
+import (
+	"fmt"
+
+	"ptrider/internal/roadnet"
+)
+
+// RequestID identifies a ridesharing request across the system.
+type RequestID int64
+
+// Metric supplies network distances to the tree: Dist is the exact
+// shortest-path distance and LB a cheap lower bound of it (from the
+// grid index; zero is always sound). Implementations should memoise
+// Dist — the tree calls it repeatedly with the same arguments during
+// enumeration.
+type Metric interface {
+	Dist(u, v roadnet.VertexID) float64
+	LB(u, v roadnet.VertexID) float64
+}
+
+// PointKind distinguishes pickup from dropoff points.
+type PointKind uint8
+
+// Point kinds.
+const (
+	Pickup PointKind = iota
+	Dropoff
+)
+
+func (k PointKind) String() string {
+	if k == Pickup {
+		return "pickup"
+	}
+	return "dropoff"
+}
+
+// Point is one stop of a trip schedule.
+type Point struct {
+	Loc  roadnet.VertexID
+	Kind PointKind
+	Req  RequestID
+}
+
+// Request is the kinetic-level view of a ridesharing request
+// R = ⟨s, d, n, w, σ⟩, with the time-dependent fields pre-converted to
+// distances by the caller.
+type Request struct {
+	ID     RequestID
+	S, D   roadnet.VertexID
+	Riders int
+	// SD is dist(S, D), computed once by the caller.
+	SD float64
+	// ServiceLimit is (1+σ)·dist(S,D): the maximal in-vehicle distance
+	// from pickup to dropoff.
+	ServiceLimit float64
+	// WaitBudget is w·speed: the maximal extra distance the vehicle may
+	// drive before the pickup compared with the plan quoted at
+	// assignment time.
+	WaitBudget float64
+}
+
+// reqState is a Request plus its commitment state inside one tree.
+type reqState struct {
+	Request
+	pickupDeadline   float64 // odometer bound for the pickup; +Inf before commit finalises it
+	dropoffDeadline  float64 // odometer bound for the dropoff; set at pickup
+	plannedPickupOdo float64
+	onboard          bool
+}
+
+// Node is a trie node of the kinetic tree. Children are the feasible
+// next stops. DistTr and Occupancy are the paper's per-node
+// augmentations (the third, minimal allowed detour, is derivable from
+// the deadlines and is checked during enumeration instead of stored).
+type Node struct {
+	Point     Point
+	DistTr    float64
+	Occupancy int
+	Children  []*Node
+
+	// subtreeBest is the smallest complete-schedule distance below this
+	// node, maintained so BestBranch can descend greedily.
+	subtreeBest float64
+}
+
+// Candidate is one feasible way to serve a quoted request: the complete
+// planned schedule and its derived quantities.
+type Candidate struct {
+	// Seq is the full planned stop sequence including the quoted
+	// request's pickup and dropoff.
+	Seq []Point
+	// PickupDist is dist_tr of the quoted request's pickup: the planned
+	// pick-up distance (time × speed) offered to the rider.
+	PickupDist float64
+	// TotalDist is dist_tr of the whole schedule.
+	TotalDist float64
+	// Delta is TotalDist − (the best current schedule's total), the
+	// detour delta priced by the model.
+	Delta float64
+}
+
+// Tree is the kinetic tree of one vehicle. Not safe for concurrent use.
+type Tree struct {
+	metric    Metric
+	capacity  int
+	maxPoints int
+
+	rootLoc roadnet.VertexID
+	odo     float64
+
+	reqs   []*reqState
+	pts    []Point // pending points; index into reqs via reqIdx
+	reqIdx []int   // parallel to pts
+
+	root       *Node // synthetic root at rootLoc; nil children == no pending points
+	bestDist   float64
+	branches   int
+	maxLeg     float64
+	odoAtBuild float64
+	dirty      bool
+
+	// enumeration scratch
+	scratch dfsScratch
+}
+
+// New returns an empty kinetic tree for a vehicle with the given
+// capacity, a cap on pending points (pickups+dropoffs; ≤ 2·requests),
+// current location and odometer reading.
+func New(m Metric, capacity, maxPoints int, loc roadnet.VertexID, odo float64) *Tree {
+	if maxPoints <= 0 {
+		maxPoints = 8
+	}
+	return &Tree{
+		metric:    m,
+		capacity:  capacity,
+		maxPoints: maxPoints,
+		rootLoc:   loc,
+		odo:       odo,
+		bestDist:  0,
+		branches:  1,
+	}
+}
+
+// Capacity returns the vehicle capacity the tree enforces.
+func (t *Tree) Capacity() int { return t.capacity }
+
+// Root returns the vehicle location the tree is rooted at.
+func (t *Tree) Root() roadnet.VertexID { return t.rootLoc }
+
+// Odometer returns the odometer reading of the last SetRoot.
+func (t *Tree) Odometer() float64 { return t.odo }
+
+// Empty reports whether the tree has no pending requests.
+func (t *Tree) Empty() bool { return len(t.reqs) == 0 }
+
+// NumRequests returns the number of pending (unfinished) requests.
+func (t *Tree) NumRequests() int { return len(t.reqs) }
+
+// Onboard returns the total riders currently in the vehicle.
+func (t *Tree) Onboard() int {
+	n := 0
+	for _, r := range t.reqs {
+		if r.onboard {
+			n += r.Riders
+		}
+	}
+	return n
+}
+
+// Requests returns the pending requests' public views.
+func (t *Tree) Requests() []Request {
+	out := make([]Request, len(t.reqs))
+	for i, r := range t.reqs {
+		out[i] = r.Request
+	}
+	return out
+}
+
+// IsOnboard reports whether request id has been picked up (and whether
+// it is pending at all).
+func (t *Tree) IsOnboard(id RequestID) (onboard, pending bool) {
+	for _, r := range t.reqs {
+		if r.ID == id {
+			return r.onboard, true
+		}
+	}
+	return false, false
+}
+
+// SetRoot advances the vehicle to a new location and odometer reading.
+// The odometer must be non-decreasing. The trie is rebuilt lazily on the
+// next read.
+func (t *Tree) SetRoot(loc roadnet.VertexID, odo float64) {
+	if odo < t.odo {
+		panic(fmt.Sprintf("kinetic: odometer moved backwards (%v < %v)", odo, t.odo))
+	}
+	if loc == t.rootLoc && odo == t.odo {
+		return
+	}
+	t.rootLoc = loc
+	t.odo = odo
+	t.dirty = true
+}
+
+// ensureFresh rebuilds the trie if the root moved since the last build.
+func (t *Tree) ensureFresh() {
+	if t.dirty || (t.root == nil && len(t.pts) > 0) {
+		t.rebuild()
+	}
+}
+
+// BestDist returns the total distance of the shortest valid schedule
+// (zero when the tree is empty). The vehicle drives this branch.
+func (t *Tree) BestDist() float64 {
+	t.ensureFresh()
+	return t.bestDist
+}
+
+// NumBranches returns the number of valid schedules.
+func (t *Tree) NumBranches() int {
+	t.ensureFresh()
+	return t.branches
+}
+
+// MaxLeg returns the longest single leg (consecutive-stop distance,
+// including root legs) across all valid schedules, and zero for an
+// empty tree. Dual-side search uses it to lower-bound the detour of
+// inserting a destination: any insertion gap spans at most MaxLeg.
+func (t *Tree) MaxLeg() float64 {
+	t.ensureFresh()
+	return t.maxLeg
+}
+
+// MaxLegUpper returns an upper bound on MaxLeg without rebuilding a
+// stale tree. Structural changes (commit, pickup, dropoff, cancel)
+// rebuild eagerly, so the only staleness is root movement, and any root
+// leg can have grown by at most the distance driven since the last
+// build: dist(newRoot, p) ≤ dist(oldRoot, p) + driven.
+func (t *Tree) MaxLegUpper() float64 {
+	if len(t.pts) == 0 {
+		return 0
+	}
+	if !t.dirty {
+		return t.maxLeg
+	}
+	return t.maxLeg + (t.odo - t.odoAtBuild)
+}
+
+// BestBranch returns the stop sequence of the shortest valid schedule,
+// or nil when the tree is empty.
+func (t *Tree) BestBranch() []Point {
+	t.ensureFresh()
+	if t.root == nil || len(t.root.Children) == 0 {
+		return nil
+	}
+	var seq []Point
+	n := t.root
+	for len(n.Children) > 0 {
+		best := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.subtreeBest < best.subtreeBest {
+				best = c
+			}
+		}
+		seq = append(seq, best.Point)
+		n = best
+	}
+	return seq
+}
+
+// Branches returns every valid schedule as a stop sequence. Intended
+// for the demo's website view and for tests; matching never materialises
+// this.
+func (t *Tree) Branches() [][]Point {
+	t.ensureFresh()
+	if t.root == nil {
+		return nil
+	}
+	var out [][]Point
+	var walk func(n *Node, prefix []Point)
+	walk = func(n *Node, prefix []Point) {
+		if len(n.Children) == 0 {
+			out = append(out, append([]Point(nil), prefix...))
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, append(prefix, c.Point))
+		}
+	}
+	if len(t.root.Children) == 0 {
+		return nil
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// TrieRoot returns the trie root for read-only traversal (the demo
+// server renders tree edges from it). It is nil for an empty tree.
+func (t *Tree) TrieRoot() *Node {
+	t.ensureFresh()
+	return t.root
+}
+
+// Locations returns the root location plus every pending point
+// location, deduplicated — the location set whose pairwise paths define
+// the cells a non-empty vehicle registers in.
+func (t *Tree) Locations() []roadnet.VertexID {
+	seen := map[roadnet.VertexID]bool{t.rootLoc: true}
+	out := []roadnet.VertexID{t.rootLoc}
+	for _, p := range t.pts {
+		if !seen[p.Loc] {
+			seen[p.Loc] = true
+			out = append(out, p.Loc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package roadnet
+
+import "ptrider/internal/heapx"
+
+// BiSearcher runs bidirectional Dijkstra queries. It requires a
+// symmetric graph (every directed edge paired with its reverse, which
+// holds for all road networks PTRider builds — check with
+// Graph.IsSymmetric in tests); forward and backward searches then share
+// the out-adjacency.
+//
+// Bidirectional search settles roughly half the vertices of a
+// goal-directed Dijkstra on long queries, and is what PTRider uses for
+// point-to-point distances on non-embedded graphs.
+//
+// A BiSearcher is not safe for concurrent use.
+type BiSearcher struct {
+	g     *Graph
+	fwd   *Searcher
+	bwd   *Searcher
+	fheap *heapx.DistHeap
+	bheap *heapx.DistHeap
+}
+
+// NewBiSearcher returns a BiSearcher for g.
+func NewBiSearcher(g *Graph) *BiSearcher {
+	return &BiSearcher{
+		g:     g,
+		fwd:   NewSearcher(g),
+		bwd:   NewSearcher(g),
+		fheap: heapx.NewDistHeap(256),
+		bheap: heapx.NewDistHeap(256),
+	}
+}
+
+// Dist returns the shortest-path distance between u and v, or Inf when
+// disconnected.
+func (b *BiSearcher) Dist(u, v VertexID) float64 {
+	return b.DistBounded(u, v, Inf)
+}
+
+// DistBounded returns the distance between u and v when it does not
+// exceed maxDist, and Inf otherwise.
+func (b *BiSearcher) DistBounded(u, v VertexID, maxDist float64) float64 {
+	if u == v {
+		return 0
+	}
+	f, w := b.fwd, b.bwd
+	f.begin()
+	w.begin()
+	b.fheap.Reset()
+	b.bheap.Reset()
+	f.relax(u, 0, NoVertex)
+	w.relax(v, 0, NoVertex)
+	b.fheap.Push(u, 0)
+	b.bheap.Push(v, 0)
+
+	best := Inf
+	for b.fheap.Len() > 0 || b.bheap.Len() > 0 {
+		// Alternate by smaller frontier key.
+		var side *Searcher
+		var heap *heapx.DistHeap
+		var other *Searcher
+		switch {
+		case b.fheap.Len() == 0:
+			side, heap, other = w, b.bheap, f
+		case b.bheap.Len() == 0:
+			side, heap, other = f, b.fheap, w
+		case b.fheap.Peek().Dist <= b.bheap.Peek().Dist:
+			side, heap, other = f, b.fheap, w
+		default:
+			side, heap, other = w, b.bheap, f
+		}
+
+		it := heap.Pop()
+		if it.Dist > side.dist[it.Node] {
+			continue
+		}
+		// Standard stopping criterion: when the top of either queue can
+		// no longer improve the best meeting point.
+		if it.Dist >= best || it.Dist > maxDist {
+			break
+		}
+		for _, e := range side.g.Out(it.Node) {
+			nd := it.Dist + e.Weight
+			if nd > maxDist {
+				continue
+			}
+			if side.relax(e.To, nd, it.Node) {
+				heap.Push(e.To, nd)
+			}
+			if other.seen(e.To) {
+				if total := nd + other.dist[e.To]; total < best {
+					best = total
+				}
+			}
+		}
+	}
+	if best > maxDist {
+		return Inf
+	}
+	return best
+}
+
+// IsSymmetric reports whether for every directed edge (u, v, w) the
+// graph also contains (v, u, w). Road networks built by PTRider's
+// generator are symmetric; BiSearcher requires it.
+func (g *Graph) IsSymmetric() bool {
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		for _, e := range g.Out(u) {
+			if !g.hasEdge(e.To, u, e.Weight) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g *Graph) hasEdge(u, v VertexID, w float64) bool {
+	for _, e := range g.Out(u) {
+		if e.To == v && e.Weight == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ptrider/internal/geo"
+)
+
+// The network text format is line-oriented and self-describing:
+//
+//	ptrider-network 1
+//	v <x> <y>          one line per vertex, id = line order
+//	e <u> <v> <w>      one directed edge per line
+//
+// Undirected roads appear as two e-lines, exactly as in the Graph.
+// It exists so generated cities can be saved once and replayed across
+// experiment runs (and so external networks can be imported).
+
+const codecHeader = "ptrider-network 1"
+
+// WriteGraph serialises g.
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, codecHeader); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		p := geo.Point{}
+		if g.Embedded() {
+			p = g.Point(VertexID(v))
+		}
+		if _, err := fmt.Fprintf(bw, "v %s %s\n",
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(VertexID(v)) {
+			if _, err := fmt.Fprintf(bw, "e %d %d %s\n", v, e.To,
+				strconv.FormatFloat(e.Weight, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses a network written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("roadnet: empty network file")
+	}
+	if strings.TrimSpace(sc.Text()) != codecHeader {
+		return nil, fmt.Errorf("roadnet: bad header %q", sc.Text())
+	}
+	b := NewBuilder(0, 0)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "v":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("roadnet: line %d: vertex needs 2 coordinates", line)
+			}
+			x, err1 := strconv.ParseFloat(fields[1], 64)
+			y, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad coordinates", line)
+			}
+			b.AddVertex(geo.Point{X: x, Y: y})
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: edge needs tail, head, weight", line)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("roadnet: line %d: bad edge", line)
+			}
+			b.AddEdge(VertexID(u), VertexID(v), w)
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

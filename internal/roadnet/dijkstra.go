@@ -1,0 +1,336 @@
+package roadnet
+
+import (
+	"math"
+
+	"ptrider/internal/heapx"
+)
+
+// Searcher runs shortest-path queries against one Graph. It owns
+// epoch-stamped distance/parent arrays so that repeated queries perform
+// no per-query allocation, which matters because request matching issues
+// thousands of distance queries per second.
+//
+// A Searcher is not safe for concurrent use; give each goroutine its
+// own (they share the immutable Graph).
+type Searcher struct {
+	g      *Graph
+	dist   []float64
+	parent []VertexID
+	stamp  []uint32
+	epoch  uint32
+	heap   *heapx.DistHeap
+
+	// Scratch for target-set queries.
+	targetStamp []uint32
+	targetEpoch uint32
+}
+
+// NewSearcher returns a Searcher for g.
+func NewSearcher(g *Graph) *Searcher {
+	n := g.NumVertices()
+	return &Searcher{
+		g:           g,
+		dist:        make([]float64, n),
+		parent:      make([]VertexID, n),
+		stamp:       make([]uint32, n),
+		heap:        heapx.NewDistHeap(256),
+		targetStamp: make([]uint32, n),
+	}
+}
+
+// Graph returns the graph this Searcher queries.
+func (s *Searcher) Graph() *Graph { return s.g }
+
+func (s *Searcher) begin() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear stamps once per 2^32 queries
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.heap.Reset()
+}
+
+func (s *Searcher) seen(v VertexID) bool { return s.stamp[v] == s.epoch }
+
+func (s *Searcher) relax(v VertexID, d float64, parent VertexID) bool {
+	if s.seen(v) {
+		if d >= s.dist[v] {
+			return false
+		}
+	}
+	s.stamp[v] = s.epoch
+	s.dist[v] = d
+	s.parent[v] = parent
+	return true
+}
+
+// Dist returns the shortest-path distance from u to v, or Inf when v is
+// unreachable. On metric embedded graphs it runs A* with the Euclidean
+// heuristic; otherwise plain Dijkstra with early exit at v.
+func (s *Searcher) Dist(u, v VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	if s.g.metric {
+		return s.astar(u, v, Inf)
+	}
+	return s.dijkstraTo(u, v, Inf)
+}
+
+// DistBounded returns the shortest-path distance from u to v when it
+// does not exceed maxDist, and Inf otherwise. The search space is pruned
+// at maxDist, making "is v within r of u" queries cheap.
+func (s *Searcher) DistBounded(u, v VertexID, maxDist float64) float64 {
+	if u == v {
+		return 0
+	}
+	if s.g.metric {
+		return s.astar(u, v, maxDist)
+	}
+	return s.dijkstraTo(u, v, maxDist)
+}
+
+func (s *Searcher) dijkstraTo(u, v VertexID, maxDist float64) float64 {
+	s.begin()
+	s.relax(u, 0, NoVertex)
+	s.heap.Push(u, 0)
+	for s.heap.Len() > 0 {
+		it := s.heap.Pop()
+		if it.Dist > s.dist[it.Node] { // stale entry
+			continue
+		}
+		if it.Dist > maxDist {
+			return Inf
+		}
+		if it.Node == v {
+			return it.Dist
+		}
+		for _, e := range s.g.Out(it.Node) {
+			if nd := it.Dist + e.Weight; nd <= maxDist && s.relax(e.To, nd, it.Node) {
+				s.heap.Push(e.To, nd)
+			}
+		}
+	}
+	return Inf
+}
+
+// astar runs A* from u to v with the Euclidean heuristic. dist[] holds g
+// values; heap keys hold f = g + h. Admissible because the graph is
+// metric, so results are exact.
+func (s *Searcher) astar(u, v VertexID, maxDist float64) float64 {
+	s.begin()
+	goal := s.g.points[v]
+	s.relax(u, 0, NoVertex)
+	s.heap.Push(u, s.g.points[u].Dist(goal))
+	for s.heap.Len() > 0 {
+		it := s.heap.Pop()
+		g := s.dist[it.Node]
+		if it.Dist > g+s.g.points[it.Node].Dist(goal)+1e-9 { // stale
+			continue
+		}
+		if it.Dist > maxDist {
+			return Inf
+		}
+		if it.Node == v {
+			return g
+		}
+		for _, e := range s.g.Out(it.Node) {
+			ng := g + e.Weight
+			if ng <= maxDist && s.relax(e.To, ng, it.Node) {
+				s.heap.Push(e.To, ng+s.g.points[e.To].Dist(goal))
+			}
+		}
+	}
+	return Inf
+}
+
+// DistsTo computes shortest-path distances from u to every target,
+// filling out (which must have len(targets)); unreachable targets get
+// Inf. One Dijkstra runs until all targets are settled or maxDist is
+// exceeded — this is the one-to-many primitive used by kinetic-tree
+// insertion, which needs distances from one schedule point to a handful
+// of candidate positions.
+func (s *Searcher) DistsTo(u VertexID, targets []VertexID, maxDist float64, out []float64) {
+	if len(out) != len(targets) {
+		panic("roadnet: DistsTo out length mismatch")
+	}
+	s.targetEpoch++
+	if s.targetEpoch == 0 {
+		for i := range s.targetStamp {
+			s.targetStamp[i] = 0
+		}
+		s.targetEpoch = 1
+	}
+	remaining := 0
+	for i, t := range targets {
+		out[i] = Inf
+		if t == u {
+			out[i] = 0
+			continue
+		}
+		if s.targetStamp[t] != s.targetEpoch {
+			s.targetStamp[t] = s.targetEpoch
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return
+	}
+
+	s.begin()
+	s.relax(u, 0, NoVertex)
+	s.heap.Push(u, 0)
+	for s.heap.Len() > 0 && remaining > 0 {
+		it := s.heap.Pop()
+		if it.Dist > s.dist[it.Node] {
+			continue
+		}
+		if it.Dist > maxDist {
+			break
+		}
+		if s.targetStamp[it.Node] == s.targetEpoch {
+			s.targetStamp[it.Node] = s.targetEpoch - 1 // settle once
+			remaining--
+		}
+		for _, e := range s.g.Out(it.Node) {
+			if nd := it.Dist + e.Weight; nd <= maxDist && s.relax(e.To, nd, it.Node) {
+				s.heap.Push(e.To, nd)
+			}
+		}
+	}
+	for i, t := range targets {
+		if out[i] != 0 && s.seen(t) {
+			out[i] = s.dist[t]
+		}
+	}
+}
+
+// Tree is a shortest-path tree rooted at Source: Dist[v] is the distance
+// from Source to v (Inf when unreachable) and Parent[v] the predecessor
+// of v on one shortest path (NoVertex for the source and unreachable
+// vertices).
+type Tree struct {
+	Source VertexID
+	Dist   []float64
+	Parent []VertexID
+}
+
+// SPT computes the full shortest-path tree from u, visiting only
+// vertices within maxDist (use Inf for the whole graph). The result is
+// freshly allocated and safe to retain.
+func (s *Searcher) SPT(u VertexID, maxDist float64) *Tree {
+	s.begin()
+	s.relax(u, 0, NoVertex)
+	s.heap.Push(u, 0)
+	for s.heap.Len() > 0 {
+		it := s.heap.Pop()
+		if it.Dist > s.dist[it.Node] {
+			continue
+		}
+		for _, e := range s.g.Out(it.Node) {
+			if nd := it.Dist + e.Weight; nd <= maxDist && s.relax(e.To, nd, it.Node) {
+				s.heap.Push(e.To, nd)
+			}
+		}
+	}
+	n := s.g.NumVertices()
+	t := &Tree{Source: u, Dist: make([]float64, n), Parent: make([]VertexID, n)}
+	for v := 0; v < n; v++ {
+		if s.stamp[v] == s.epoch {
+			t.Dist[v] = s.dist[v]
+			t.Parent[v] = s.parent[v]
+		} else {
+			t.Dist[v] = Inf
+			t.Parent[v] = NoVertex
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v as a
+// vertex sequence (source first, v last). It returns nil when v is
+// unreachable.
+func (t *Tree) PathTo(v VertexID) []VertexID {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil
+	}
+	var rev []VertexID
+	for x := v; x != NoVertex; x = t.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Path returns one shortest path from u to v (u first, v last) and its
+// length. It returns (nil, Inf) when v is unreachable. The path is
+// reconstructed from the parent pointers of a fresh goal-directed
+// search, so calling Path invalidates nothing and allocates only the
+// returned slice.
+func (s *Searcher) Path(u, v VertexID) ([]VertexID, float64) {
+	var d float64
+	if s.g.metric {
+		d = s.astar(u, v, Inf)
+	} else {
+		d = s.dijkstraTo(u, v, Inf)
+	}
+	if math.IsInf(d, 1) {
+		return nil, Inf
+	}
+	if u == v {
+		return []VertexID{u}, 0
+	}
+	var rev []VertexID
+	for x := v; x != NoVertex; x = s.parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, d
+}
+
+// MultiSourceLabeled runs one Dijkstra seeded with every source at
+// distance zero and returns, freshly allocated, for each vertex the
+// distance to its nearest source and the index (into sources) of that
+// source; unreachable vertices get (Inf, -1). The grid index uses this
+// to compute, per cell, the distance from every vertex to the cell's
+// nearest border vertex and the lower-bound matrix rows.
+func (s *Searcher) MultiSourceLabeled(sources []VertexID, maxDist float64) ([]float64, []int32) {
+	n := s.g.NumVertices()
+	label := make([]int32, n)
+	s.begin()
+	for i, src := range sources {
+		if s.relax(src, 0, NoVertex) {
+			label[src] = int32(i)
+			s.heap.Push(src, 0)
+		}
+	}
+	for s.heap.Len() > 0 {
+		it := s.heap.Pop()
+		if it.Dist > s.dist[it.Node] {
+			continue
+		}
+		for _, e := range s.g.Out(it.Node) {
+			if nd := it.Dist + e.Weight; nd <= maxDist && s.relax(e.To, nd, it.Node) {
+				label[e.To] = label[it.Node]
+				s.heap.Push(e.To, nd)
+			}
+		}
+	}
+	dist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if s.stamp[v] == s.epoch {
+			dist[v] = s.dist[v]
+		} else {
+			dist[v] = Inf
+			label[v] = -1
+		}
+	}
+	return dist, label
+}

@@ -1,0 +1,221 @@
+// Package roadnet implements the road-network substrate of PTRider
+// (paper §2.1): a weighted graph G = (V, E, W) whose vertices are road
+// intersections embedded in the plane and whose edge weights are travel
+// costs in metres, together with the shortest-path machinery every other
+// module builds on — Dijkstra in several flavours (full, bounded,
+// one-to-many, multi-source, target-set), bidirectional Dijkstra, A*
+// over the planar embedding, path extraction, and a Floyd–Warshall
+// oracle used to cross-check the searches in tests.
+//
+// Graphs are immutable once built (construct them with a Builder), which
+// makes concurrent reads safe without locking; PTRider answers matching
+// queries from many goroutines against one shared Graph.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"ptrider/internal/geo"
+)
+
+// VertexID identifies a vertex of a Graph. IDs are dense indices in
+// [0, NumVertices).
+type VertexID = int32
+
+// NoVertex is the sentinel "no vertex" value.
+const NoVertex VertexID = -1
+
+// Inf is the distance reported for unreachable vertex pairs.
+var Inf = math.Inf(1)
+
+// HalfEdge is one directed adjacency record: the head vertex of the edge
+// and its weight.
+type HalfEdge struct {
+	To     VertexID
+	Weight float64
+}
+
+// Graph is an immutable weighted directed graph in compressed sparse row
+// form. Undirected road segments are represented as two directed edges.
+// All read methods are safe for concurrent use.
+type Graph struct {
+	points  []geo.Point // vertex embedding; empty when not embedded
+	offsets []int32     // len NumVertices+1; adjacency of v is edges[offsets[v]:offsets[v+1]]
+	edges   []HalfEdge
+	metric  bool // true when every weight ≥ Euclidean length of its edge
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Embedded reports whether the graph carries planar coordinates.
+func (g *Graph) Embedded() bool { return len(g.points) > 0 }
+
+// Metric reports whether every edge weight is at least the Euclidean
+// length of the edge, making Euclidean distance a valid network
+// lower bound. It is false for non-embedded graphs.
+func (g *Graph) Metric() bool { return g.metric }
+
+// Point returns the planar coordinates of v. It must only be called on
+// embedded graphs.
+func (g *Graph) Point(v VertexID) geo.Point { return g.points[v] }
+
+// Out returns the outgoing adjacency of v. The returned slice aliases
+// the graph's internal storage and must not be modified.
+func (g *Graph) Out(v VertexID) []HalfEdge {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// EdgeWeight returns the weight of the directed edge (u, v) and whether
+// such an edge exists. With parallel edges the minimum weight is
+// returned.
+func (g *Graph) EdgeWeight(u, v VertexID) (float64, bool) {
+	w, ok := Inf, false
+	for _, e := range g.Out(u) {
+		if e.To == v && e.Weight < w {
+			w, ok = e.Weight, true
+		}
+	}
+	return w, ok
+}
+
+// EuclidLB returns a lower bound on dist(u, v): the Euclidean distance
+// for metric embedded graphs, zero otherwise.
+func (g *Graph) EuclidLB(u, v VertexID) float64 {
+	if !g.metric {
+		return 0
+	}
+	return g.points[u].Dist(g.points[v])
+}
+
+// Bounds returns the bounding rectangle of the embedding. It returns
+// the zero Rect for non-embedded graphs.
+func (g *Graph) Bounds() geo.Rect { return geo.BoundingRect(g.points) }
+
+// Builder accumulates vertices and edges and produces an immutable
+// Graph. The zero value is ready for use.
+type Builder struct {
+	points   []geo.Point
+	embedded bool
+	tails    []VertexID
+	heads    []VertexID
+	weights  []float64
+}
+
+// NewBuilder returns a Builder with storage preallocated for the given
+// numbers of vertices and directed edges.
+func NewBuilder(vertices, edges int) *Builder {
+	return &Builder{
+		points:  make([]geo.Point, 0, vertices),
+		tails:   make([]VertexID, 0, edges),
+		heads:   make([]VertexID, 0, edges),
+		weights: make([]float64, 0, edges),
+	}
+}
+
+// AddVertex adds an embedded vertex and returns its id. Mixing AddVertex
+// and AddPlainVertex in one builder is not allowed.
+func (b *Builder) AddVertex(p geo.Point) VertexID {
+	b.embedded = true
+	b.points = append(b.points, p)
+	return VertexID(len(b.points) - 1)
+}
+
+// AddPlainVertex adds a vertex without coordinates and returns its id.
+func (b *Builder) AddPlainVertex() VertexID {
+	b.points = append(b.points, geo.Point{})
+	return VertexID(len(b.points) - 1)
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.points) }
+
+// AddEdge adds the directed edge (u, v) with weight w.
+func (b *Builder) AddEdge(u, v VertexID, w float64) {
+	b.tails = append(b.tails, u)
+	b.heads = append(b.heads, v)
+	b.weights = append(b.weights, w)
+}
+
+// AddUndirectedEdge adds directed edges (u, v) and (v, u), both with
+// weight w.
+func (b *Builder) AddUndirectedEdge(u, v VertexID, w float64) {
+	b.AddEdge(u, v, w)
+	b.AddEdge(v, u, w)
+}
+
+// Build validates the accumulated data and returns the immutable Graph.
+// It fails when an edge references an unknown vertex, has a negative,
+// NaN or infinite weight, or is a self-loop.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.points)
+	for i := range b.tails {
+		u, v, w := b.tails[i], b.heads[i], b.weights[i]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("roadnet: edge %d (%d->%d) references vertex outside [0,%d)", i, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("roadnet: edge %d is a self-loop at vertex %d", i, u)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("roadnet: edge %d (%d->%d) has invalid weight %v", i, u, v, w)
+		}
+	}
+
+	g := &Graph{
+		offsets: make([]int32, n+1),
+		edges:   make([]HalfEdge, len(b.tails)),
+	}
+	if b.embedded {
+		g.points = append([]geo.Point(nil), b.points...)
+	} else {
+		g.points = make([]geo.Point, n) // keep len(points)==n for Bounds etc.
+	}
+
+	// Counting sort by tail vertex into CSR form.
+	for _, u := range b.tails {
+		g.offsets[u+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] += g.offsets[v]
+	}
+	next := append([]int32(nil), g.offsets[:n]...)
+	for i := range b.tails {
+		u := b.tails[i]
+		g.edges[next[u]] = HalfEdge{To: b.heads[i], Weight: b.weights[i]}
+		next[u]++
+	}
+
+	g.metric = b.embedded
+	if b.embedded {
+		for i := range b.tails {
+			if b.weights[i] < b.points[b.tails[i]].Dist(b.points[b.heads[i]])-1e-9 {
+				g.metric = false
+				break
+			}
+		}
+	}
+	if !b.embedded {
+		g.points = nil
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// generators whose inputs are known valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

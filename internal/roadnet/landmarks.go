@@ -1,0 +1,106 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Landmarks provides ALT-style lower bounds (Goldberg & Harrelson):
+// after precomputing exact distances from k landmark vertices to every
+// vertex, the triangle inequality gives
+//
+//	dist(u, v) ≥ |dist(L, v) − dist(L, u)|
+//
+// for every landmark L. The bound is exact when u or v lies on a
+// shortest path through a landmark, and complements the grid index's
+// cell bounds — PTRider's metric takes the max of both. On symmetric
+// (undirected) graphs one table per landmark suffices.
+//
+// Landmarks are selected with the standard farthest-point heuristic:
+// start from an arbitrary vertex, repeatedly add the vertex maximising
+// the distance to the chosen set.
+type Landmarks struct {
+	dist []float64 // k rows of n entries
+	n    int
+	k    int
+}
+
+// SelectLandmarks builds k landmark tables for g, which must be
+// symmetric (undirected). It fails on k < 1 or graphs with no vertices.
+func SelectLandmarks(g *Graph, k int) (*Landmarks, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("roadnet: need at least one landmark")
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("roadnet: empty graph")
+	}
+	if k > n {
+		k = n
+	}
+	s := NewSearcher(g)
+	lm := &Landmarks{dist: make([]float64, 0, k*n), n: n, k: 0}
+
+	// Farthest-point selection, seeded at vertex 0 via a throwaway
+	// tree: the first landmark is the vertex farthest from 0, which
+	// tends to sit on the periphery.
+	seedTree := s.SPT(0, math.Inf(1))
+	first := VertexID(0)
+	best := -1.0
+	for v := 0; v < n; v++ {
+		if d := seedTree.Dist[v]; !math.IsInf(d, 1) && d > best {
+			best = d
+			first = VertexID(v)
+		}
+	}
+
+	minDist := make([]float64, n) // distance to nearest chosen landmark
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	next := first
+	for lm.k < k {
+		tree := s.SPT(next, math.Inf(1))
+		lm.dist = append(lm.dist, tree.Dist...)
+		lm.k++
+		farthest, far := next, -1.0
+		for v := 0; v < n; v++ {
+			if tree.Dist[v] < minDist[v] {
+				minDist[v] = tree.Dist[v]
+			}
+			if !math.IsInf(minDist[v], 1) && minDist[v] > far {
+				far = minDist[v]
+				farthest = VertexID(v)
+			}
+		}
+		if farthest == next || far <= 0 {
+			break // graph exhausted (fewer useful landmarks than asked)
+		}
+		next = farthest
+	}
+	return lm, nil
+}
+
+// K returns the number of landmark tables built.
+func (lm *Landmarks) K() int { return lm.k }
+
+// LB returns the ALT lower bound on dist(u, v): the maximum over
+// landmarks of |dist(L, v) − dist(L, u)|. Zero when either vertex is
+// unreachable from every landmark.
+func (lm *Landmarks) LB(u, v VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	best := 0.0
+	for i := 0; i < lm.k; i++ {
+		row := lm.dist[i*lm.n : (i+1)*lm.n]
+		du, dv := row[u], row[v]
+		if math.IsInf(du, 1) || math.IsInf(dv, 1) {
+			continue
+		}
+		if d := math.Abs(dv - du); d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,143 @@
+package roadnet_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/roadnet"
+	"ptrider/internal/testnet"
+)
+
+func TestLandmarkLBNeverExceedsDistance(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := testnet.RandomConnected(rng, 60, 2)
+		lm, err := roadnet.SelectLandmarks(g, 4)
+		if err != nil {
+			t.Fatalf("SelectLandmarks: %v", err)
+		}
+		oracle := roadnet.NewOracle(g)
+		for trial := 0; trial < 400; trial++ {
+			u := roadnet.VertexID(rng.Intn(g.NumVertices()))
+			v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+			if lb, d := lm.LB(u, v), oracle.Dist(u, v); lb > d+1e-9 {
+				t.Fatalf("seed %d: landmark LB(%d,%d) = %v > dist %v", seed, u, v, lb, d)
+			}
+		}
+	}
+}
+
+func TestLandmarkLBIsUsefullyTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testnet.Lattice(rng, 10, 10, 100)
+	lm, err := roadnet.SelectLandmarks(g, 6)
+	if err != nil {
+		t.Fatalf("SelectLandmarks: %v", err)
+	}
+	oracle := roadnet.NewOracle(g)
+	ratioSum, n := 0.0, 0
+	for trial := 0; trial < 500; trial++ {
+		u := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := oracle.Dist(u, v)
+		if d == 0 {
+			continue
+		}
+		ratioSum += lm.LB(u, v) / d
+		n++
+	}
+	if avg := ratioSum / float64(n); avg < 0.3 {
+		t.Fatalf("landmark bounds too loose on a lattice: avg LB/dist = %v", avg)
+	}
+}
+
+func TestLandmarkSelection(t *testing.T) {
+	g := testnet.Line(10, 5)
+	lm, err := roadnet.SelectLandmarks(g, 2)
+	if err != nil {
+		t.Fatalf("SelectLandmarks: %v", err)
+	}
+	if lm.K() != 2 {
+		t.Fatalf("K = %d", lm.K())
+	}
+	// On a line with landmarks at the ends, ALT bounds are exact.
+	for u := roadnet.VertexID(0); u < 10; u++ {
+		for v := roadnet.VertexID(0); v < 10; v++ {
+			want := math.Abs(float64(u-v)) * 5
+			if got := lm.LB(u, v); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("LB(%d,%d) = %v, want exact %v", u, v, got, want)
+			}
+		}
+	}
+	if _, err := roadnet.SelectLandmarks(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// Asking for more landmarks than vertices clamps.
+	if lm, err := roadnet.SelectLandmarks(g, 50); err != nil || lm.K() > 10 {
+		t.Fatalf("over-asked selection: k=%d err=%v", lm.K(), err)
+	}
+}
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := testnet.Lattice(rng, 6, 6, 100)
+	var buf bytes.Buffer
+	if err := roadnet.WriteGraph(&buf, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	g2, err := roadnet.ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if !g2.Embedded() || !g2.Metric() {
+		t.Fatal("embedding lost in round trip")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Point(roadnet.VertexID(v)) != g2.Point(roadnet.VertexID(v)) {
+			t.Fatalf("vertex %d moved", v)
+		}
+	}
+	// Distances agree.
+	s1, s2 := roadnet.NewSearcher(g), roadnet.NewSearcher(g2)
+	for trial := 0; trial < 50; trial++ {
+		u := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		if math.Abs(s1.Dist(u, v)-s2.Dist(u, v)) > 1e-9 {
+			t.Fatalf("distance changed for (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestGraphCodecRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "not-a-network\n",
+		"bad vertex":   "ptrider-network 1\nv x y\n",
+		"short vertex": "ptrider-network 1\nv 1\n",
+		"bad edge":     "ptrider-network 1\nv 0 0\nv 1 0\ne 0 x 1\n",
+		"edge range":   "ptrider-network 1\nv 0 0\ne 0 7 1\n",
+		"unknown rec":  "ptrider-network 1\nq 1 2\n",
+	}
+	for name, input := range cases {
+		if _, err := roadnet.ReadGraph(bytes.NewReader([]byte(input))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGraphCodecSkipsCommentsAndBlanks(t *testing.T) {
+	input := "ptrider-network 1\n# a comment\nv 0 0\n\nv 1 0\ne 0 1 5\ne 1 0 5\n"
+	g, err := roadnet.ReadGraph(bytes.NewReader([]byte(input)))
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("shape = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+}

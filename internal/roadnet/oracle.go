@@ -1,0 +1,72 @@
+package roadnet
+
+// Oracle is an all-pairs shortest-path table computed with
+// Floyd–Warshall. It is O(V³) to build and O(V²) space, so it exists
+// for tests and for the small worked examples of the paper, where it
+// cross-checks every other search.
+type Oracle struct {
+	n    int
+	dist []float64 // row-major n×n
+}
+
+// NewOracle computes all-pairs shortest paths for g.
+func NewOracle(g *Graph) *Oracle {
+	n := g.NumVertices()
+	o := &Oracle{n: n, dist: make([]float64, n*n)}
+	for i := range o.dist {
+		o.dist[i] = Inf
+	}
+	for v := 0; v < n; v++ {
+		o.dist[v*n+v] = 0
+		for _, e := range g.Out(VertexID(v)) {
+			if e.Weight < o.dist[v*n+int(e.To)] {
+				o.dist[v*n+int(e.To)] = e.Weight
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		rowK := o.dist[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			dik := o.dist[i*n+k]
+			if dik == Inf {
+				continue
+			}
+			rowI := o.dist[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if nd := dik + rowK[j]; nd < rowI[j] {
+					rowI[j] = nd
+				}
+			}
+		}
+	}
+	return o
+}
+
+// Dist returns the shortest-path distance from u to v.
+func (o *Oracle) Dist(u, v VertexID) float64 { return o.dist[int(u)*o.n+int(v)] }
+
+// Connected reports whether every vertex is reachable from vertex 0 —
+// the invariant PTRider's generator maintains so that every trip is
+// servable.
+func Connected(g *Graph) bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []VertexID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,80 @@
+package roadnet_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptrider/internal/roadnet"
+	"ptrider/internal/testnet"
+)
+
+// TestQuickMetricProperties: on undirected graphs the shortest-path
+// distance is a metric — symmetric, zero iff identical (connected
+// graph, positive weights), and satisfying the triangle inequality.
+func TestQuickMetricProperties(t *testing.T) {
+	g := testnet.RandomConnected(rand.New(rand.NewSource(60)), 50, 2)
+	oracle := roadnet.NewOracle(g)
+	n := g.NumVertices()
+	f := func(a, b, c uint16) bool {
+		u := roadnet.VertexID(int(a) % n)
+		v := roadnet.VertexID(int(b) % n)
+		w := roadnet.VertexID(int(c) % n)
+		duv, dvu := oracle.Dist(u, v), oracle.Dist(v, u)
+		if math.Abs(duv-dvu) > 1e-9 {
+			return false
+		}
+		if (duv == 0) != (u == v) {
+			return false
+		}
+		return oracle.Dist(u, w) <= duv+oracle.Dist(v, w)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSearchersAgree: Dijkstra/A* (Searcher) and bidirectional
+// search agree with the oracle on arbitrary pairs.
+func TestQuickSearchersAgree(t *testing.T) {
+	g := testnet.Lattice(rand.New(rand.NewSource(61)), 7, 7, 100)
+	oracle := roadnet.NewOracle(g)
+	s := roadnet.NewSearcher(g)
+	bi := roadnet.NewBiSearcher(g)
+	n := g.NumVertices()
+	f := func(a, b uint16) bool {
+		u := roadnet.VertexID(int(a) % n)
+		v := roadnet.VertexID(int(b) % n)
+		want := oracle.Dist(u, v)
+		return math.Abs(s.Dist(u, v)-want) <= 1e-9 &&
+			math.Abs(bi.Dist(u, v)-want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundedConsistency: DistBounded returns the true distance
+// exactly when it is within the bound, +Inf otherwise.
+func TestQuickBoundedConsistency(t *testing.T) {
+	g := testnet.Lattice(rand.New(rand.NewSource(62)), 6, 6, 100)
+	oracle := roadnet.NewOracle(g)
+	s := roadnet.NewSearcher(g)
+	n := g.NumVertices()
+	f := func(a, b uint16, frac float64) bool {
+		u := roadnet.VertexID(int(a) % n)
+		v := roadnet.VertexID(int(b) % n)
+		frac = math.Abs(math.Mod(frac, 2)) // bound between 0 and 2x dist
+		want := oracle.Dist(u, v)
+		bound := want * frac
+		got := s.DistBounded(u, v, bound)
+		if want <= bound {
+			return math.Abs(got-want) <= 1e-9
+		}
+		return math.IsInf(got, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

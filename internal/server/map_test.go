@@ -1,0 +1,71 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ptrider/internal/core"
+)
+
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMapEndpoint(t *testing.T) {
+	ts, eng := newTestServer(t)
+	code, body := getText(t, ts.URL+"/api/map?width=40&height=20")
+	if code != http.StatusOK {
+		t.Fatalf("map status %d", code)
+	}
+	if !strings.Contains(body, "legend:") {
+		t.Fatal("map missing legend")
+	}
+	if !strings.Contains(body, "v") {
+		t.Fatal("map missing idle vehicles")
+	}
+	lines := strings.Split(body, "\n")
+	if !strings.HasPrefix(lines[0], "+") {
+		t.Fatalf("map not bordered: %q", lines[0])
+	}
+
+	// Assign a request, then overlay that taxi's schedule.
+	_, out := postJSON(t, ts.URL+"/api/request", map[string]any{"s": 3, "d": 40, "riders": 1})
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	postJSON(t, ts.URL+"/api/choose", map[string]any{"id": id, "option": 0})
+	rec, _ := eng.Request(core.RequestID(id))
+
+	code, body = getText(t, fmt.Sprintf("%s/api/map?taxi=%d", ts.URL, rec.Vehicle))
+	if code != http.StatusOK {
+		t.Fatalf("taxi map status %d", code)
+	}
+	for _, glyph := range []string{"*", "P", "D"} {
+		if !strings.Contains(body, glyph) {
+			t.Fatalf("taxi overlay missing %q:\n%s", glyph, body)
+		}
+	}
+
+	if code, _ := getText(t, ts.URL+"/api/map?taxi=999"); code != http.StatusNotFound {
+		t.Fatalf("unknown taxi map status %d", code)
+	}
+	if code, _ := getText(t, ts.URL+"/api/map?taxi=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad taxi id status %d", code)
+	}
+	if code, _ := getText(t, ts.URL+"/api/map?width=1"); code != http.StatusBadRequest {
+		t.Fatalf("bad width status %d", code)
+	}
+}

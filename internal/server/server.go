@@ -1,0 +1,401 @@
+// Package server exposes PTRider over HTTP with JSON bodies, mirroring
+// the demo's two interfaces (paper §4):
+//
+// Smartphone interface (the rider's three-step protocol, §3.1):
+//
+//	POST /api/request  {"s":12,"d":17,"riders":2}
+//	POST /api/choose   {"id":1,"option":0}
+//	POST /api/decline  {"id":1}
+//	GET  /api/request?id=1
+//
+// Website interface (administrator):
+//
+//	GET  /api/stats          statistics panel (response time, sharing rate, …)
+//	GET  /api/taxi?id=3      a taxi's valid trip schedules (the red lines)
+//	GET  /api/vehicles       fleet positions and occupancy (the map data)
+//	GET  /api/map?taxi=3     the map view rendered as ASCII
+//	GET  /api/params         current global settings
+//	POST /api/params         {"algorithm":"dual-side"} switch matcher
+//	POST /api/tick           {"seconds":5} advance simulated time
+//	GET  /healthz
+//
+// The GUI itself is presentation and intentionally out of scope; every
+// piece of information the paper's screenshots show is served here.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/render"
+	"ptrider/internal/roadnet"
+)
+
+// Server wires an Engine to an http.Handler.
+type Server struct {
+	eng *core.Engine
+	mux *http.ServeMux
+}
+
+// New returns a Server for eng.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/request", s.handleRequest)
+	s.mux.HandleFunc("/api/choose", s.handleChoose)
+	s.mux.HandleFunc("/api/decline", s.handleDecline)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/taxi", s.handleTaxi)
+	s.mux.HandleFunc("/api/params", s.handleParams)
+	s.mux.HandleFunc("/api/tick", s.handleTick)
+	s.mux.HandleFunc("/api/vehicles", s.handleVehicles)
+	s.mux.HandleFunc("/api/map", s.handleMap)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// optionView is one row of the result display interface (Fig. 4b).
+type optionView struct {
+	Index         int     `json:"index"`
+	Vehicle       int32   `json:"vehicle"`
+	PickupSeconds float64 `json:"pickup_seconds"`
+	PickupMeters  float64 `json:"pickup_meters"`
+	Price         float64 `json:"price"`
+}
+
+func (s *Server) optionViews(opts []core.Option) []optionView {
+	out := make([]optionView, len(opts))
+	for i, o := range opts {
+		out[i] = optionView{
+			Index:         i,
+			Vehicle:       o.Vehicle,
+			PickupSeconds: s.eng.PickupSeconds(o),
+			PickupMeters:  o.PickupDist,
+			Price:         o.Price,
+		}
+	}
+	return out
+}
+
+type requestView struct {
+	ID      core.RequestID `json:"id"`
+	Status  string         `json:"status"`
+	S       int32          `json:"s"`
+	D       int32          `json:"d"`
+	Riders  int            `json:"riders"`
+	Options []optionView   `json:"options"`
+	Vehicle int32          `json:"vehicle,omitempty"`
+	Price   float64        `json:"price,omitempty"`
+	Shared  bool           `json:"shared,omitempty"`
+}
+
+func (s *Server) requestView(rec *core.RequestRecord) requestView {
+	rv := requestView{
+		ID: rec.ID, Status: rec.Status.String(),
+		S: rec.S, D: rec.D, Riders: rec.Riders,
+		Options: s.optionViews(rec.Options),
+		Shared:  rec.Shared,
+	}
+	if rec.Status != core.StatusQuoted && rec.Status != core.StatusDeclined {
+		rv.Vehicle = rec.Vehicle
+		rv.Price = rec.Price
+	}
+	return rv
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			S      int32 `json:"s"`
+			D      int32 `json:"d"`
+			Riders int   `json:"riders"`
+			// Optional per-rider overrides of the global constraints.
+			WaitSeconds float64  `json:"wait_seconds,omitempty"`
+			Sigma       *float64 `json:"sigma,omitempty"`
+		}
+		if err := decode(r, &body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cons := core.DefaultConstraints()
+		cons.WaitSeconds = body.WaitSeconds
+		if body.Sigma != nil {
+			cons.Sigma = *body.Sigma
+		}
+		rec, err := s.eng.SubmitWithConstraints(roadnet.VertexID(body.S), roadnet.VertexID(body.D), body.Riders, cons)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.requestView(rec))
+	case http.MethodGet:
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
+			return
+		}
+		rec, err := s.eng.Request(core.RequestID(id))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.requestView(rec))
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		ID     int64 `json:"id"`
+		Option int   `json:"option"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.Choose(core.RequestID(body.ID), body.Option); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "assigned"})
+}
+
+func (s *Server) handleDecline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		ID int64 `json:"id"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.Decline(core.RequestID(body.ID)); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "declined"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+type stopView struct {
+	Vertex  int32  `json:"vertex"`
+	Kind    string `json:"kind"`
+	Request int64  `json:"request"`
+}
+
+func (s *Server) handleTaxi(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
+		return
+	}
+	loc, branches, err := s.eng.VehicleSchedules(fleet.VehicleID(id))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out := struct {
+		Location int32        `json:"location"`
+		Branches [][]stopView `json:"branches"`
+	}{Location: loc}
+	for _, b := range branches {
+		row := make([]stopView, len(b))
+		for i, p := range b {
+			row[i] = stopView{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
+		}
+		out.Branches = append(out.Branches, row)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type paramsView struct {
+	Algorithm      string  `json:"algorithm"`
+	Capacity       int     `json:"capacity"`
+	NumTaxis       int     `json:"num_taxis"`
+	MaxWaitSeconds float64 `json:"max_wait_seconds"`
+	Sigma          float64 `json:"sigma"`
+	SpeedKmh       float64 `json:"speed_kmh"`
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		cfg := s.eng.Config()
+		writeJSON(w, http.StatusOK, paramsView{
+			Algorithm:      s.eng.Algorithm().String(),
+			Capacity:       cfg.Capacity,
+			NumTaxis:       s.eng.NumVehicles(),
+			MaxWaitSeconds: cfg.MaxWaitSeconds,
+			Sigma:          cfg.Sigma,
+			SpeedKmh:       cfg.SpeedKmh,
+		})
+	case http.MethodPost:
+		var body struct {
+			Algorithm string `json:"algorithm"`
+		}
+		if err := decode(r, &body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		algo, err := core.ParseAlgorithm(body.Algorithm)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if err := s.eng.SetAlgorithm(algo); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"algorithm": algo.String()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *Server) handleVehicles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		var err error
+		limit, err = strconv.Atoi(q)
+		if err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit"))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.eng.VehicleViews(limit))
+}
+
+// handleMap renders the fleet map as plain text (the website's map
+// view, ASCII edition). Optional query parameters: width and height in
+// characters (default 72×36) and taxi=<id> to overlay one vehicle's
+// schedule stops.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	width, height := 72, 36
+	if q := r.URL.Query().Get("width"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			width = v
+		}
+	}
+	if q := r.URL.Query().Get("height"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			height = v
+		}
+	}
+	m, err := render.NewMap(s.eng.Graph(), width, height)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, v := range s.eng.VehicleViews(0) {
+		m.PlotVehicle(v.Location, v.Onboard > 0)
+	}
+	if q := r.URL.Query().Get("taxi"); q != "" {
+		id, err := strconv.ParseInt(q, 10, 32)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad taxi id"))
+			return
+		}
+		loc, branches, err := s.eng.VehicleSchedules(fleet.VehicleID(id))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		var pickups, dropoffs []roadnet.VertexID
+		for _, b := range branches {
+			for _, p := range b {
+				if p.Kind.String() == "pickup" {
+					pickups = append(pickups, p.Loc)
+				} else {
+					dropoffs = append(dropoffs, p.Loc)
+				}
+			}
+		}
+		m.PlotSchedule(loc, pickups, dropoffs)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, m.String())
+	fmt.Fprintln(w, render.Legend())
+}
+
+type eventView struct {
+	Kind    string  `json:"kind"`
+	Vehicle int32   `json:"vehicle"`
+	Request int64   `json:"request"`
+	Odo     float64 `json:"odo"`
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	events, err := s.eng.Tick(body.Seconds)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]eventView, len(events))
+	for i, e := range events {
+		out[i] = eventView{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"clock": s.eng.Clock(), "events": out})
+}

@@ -1,0 +1,243 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/server"
+	"ptrider/internal/testnet"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	g := testnet.Lattice(rand.New(rand.NewSource(1)), 8, 8, 100)
+	eng, err := core.NewEngine(g, core.Config{
+		GridCols: 3, GridRows: 3, Capacity: 4,
+		Algorithm: core.AlgoDualSide, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	eng.AddVehiclesUniform(10)
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestRequestChooseFlow(t *testing.T) {
+	ts, eng := newTestServer(t)
+
+	resp, out := postJSON(t, ts.URL+"/api/request", map[string]any{"s": 3, "d": 40, "riders": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request status %d: %v", resp.StatusCode, out)
+	}
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	var options []map[string]any
+	json.Unmarshal(out["options"], &options)
+	if id == 0 || len(options) == 0 {
+		t.Fatalf("request response: id=%d options=%v", id, options)
+	}
+	if _, ok := options[0]["pickup_seconds"]; !ok {
+		t.Fatal("option missing pickup_seconds")
+	}
+	if _, ok := options[0]["price"]; !ok {
+		t.Fatal("option missing price")
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/api/choose", map[string]any{"id": id, "option": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("choose status %d", resp.StatusCode)
+	}
+
+	// GET the record back.
+	var rec map[string]any
+	getJSON(t, fmt.Sprintf("%s/api/request?id=%d", ts.URL, id), &rec)
+	if rec["status"] != "assigned" {
+		t.Fatalf("record status = %v", rec["status"])
+	}
+
+	// Engine agrees.
+	r, err := eng.Request(core.RequestID(id))
+	if err != nil || r.Status != core.StatusAssigned {
+		t.Fatalf("engine record: %+v, %v", r, err)
+	}
+}
+
+func TestDecline(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, out := postJSON(t, ts.URL+"/api/request", map[string]any{"s": 5, "d": 20, "riders": 1})
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	resp, _ := postJSON(t, ts.URL+"/api/decline", map[string]any{"id": id})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decline status %d", resp.StatusCode)
+	}
+	var rec map[string]any
+	getJSON(t, fmt.Sprintf("%s/api/request?id=%d", ts.URL, id), &rec)
+	if rec["status"] != "declined" {
+		t.Fatalf("status = %v", rec["status"])
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/api/request", map[string]any{"s": 1, "d": 1, "riders": 1})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("s==d status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/api/request", map[string]any{"s": 1, "d": 2, "riders": 1, "bogus": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/api/choose", map[string]any{"id": 999, "option": 0})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown request status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/api/request?id=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/api/choose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET choose status %d", r.StatusCode)
+	}
+}
+
+func TestStatsAndParams(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var st map[string]any
+	getJSON(t, ts.URL+"/api/stats", &st)
+	if _, ok := st["SharingRate"]; !ok {
+		t.Fatalf("stats missing SharingRate: %v", st)
+	}
+
+	var params map[string]any
+	getJSON(t, ts.URL+"/api/params", &params)
+	if params["algorithm"] != "dual-side" {
+		t.Fatalf("algorithm = %v", params["algorithm"])
+	}
+	if params["num_taxis"] != float64(10) {
+		t.Fatalf("num_taxis = %v", params["num_taxis"])
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/api/params", map[string]any{"algorithm": "single-side"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set params status %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/api/params", &params)
+	if params["algorithm"] != "single-side" {
+		t.Fatalf("algorithm after switch = %v", params["algorithm"])
+	}
+	resp, _ = postJSON(t, ts.URL+"/api/params", map[string]any{"algorithm": "bogus"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bogus algorithm status %d", resp.StatusCode)
+	}
+}
+
+func TestTaxiSchedules(t *testing.T) {
+	ts, eng := newTestServer(t)
+	// Assign a request so taxi 0..9 has schedules; find its vehicle.
+	_, out := postJSON(t, ts.URL+"/api/request", map[string]any{"s": 3, "d": 40, "riders": 1})
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	postJSON(t, ts.URL+"/api/choose", map[string]any{"id": id, "option": 0})
+	rec, _ := eng.Request(core.RequestID(id))
+
+	var taxi struct {
+		Location int32 `json:"location"`
+		Branches [][]struct {
+			Vertex  int32  `json:"vertex"`
+			Kind    string `json:"kind"`
+			Request int64  `json:"request"`
+		} `json:"branches"`
+	}
+	getJSON(t, fmt.Sprintf("%s/api/taxi?id=%d", ts.URL, rec.Vehicle), &taxi)
+	if len(taxi.Branches) == 0 {
+		t.Fatal("assigned taxi has no schedule branches")
+	}
+	foundPickup := false
+	for _, b := range taxi.Branches {
+		for _, p := range b {
+			if p.Request == id && p.Kind == "pickup" {
+				foundPickup = true
+			}
+		}
+	}
+	if !foundPickup {
+		t.Fatal("schedules do not show the committed pickup")
+	}
+
+	r, err := http.Get(ts.URL + "/api/taxi?id=999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown taxi status %d", r.StatusCode)
+	}
+}
+
+func TestTickAdvancesClock(t *testing.T) {
+	ts, eng := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 7.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d", resp.StatusCode)
+	}
+	var clock float64
+	json.Unmarshal(out["clock"], &clock)
+	if clock != 7.5 || eng.Clock() != 7.5 {
+		t.Fatalf("clock = %v / %v", clock, eng.Clock())
+	}
+}

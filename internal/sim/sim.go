@@ -1,0 +1,334 @@
+// Package sim drives PTRider through a day-scale workload (paper §4):
+// trips arrive from a trace, each is answered with its option skyline,
+// a rider choice model picks one (or declines), vehicles move at the
+// constant system speed, and the statistics panel quantities — average
+// response time, sharing rate, options per request — are accumulated.
+// Vehicle failure injection exercises the index-removal paths.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ptrider/internal/core"
+	"ptrider/internal/stats"
+	"ptrider/internal/trace"
+)
+
+// ChoiceModel selects one option from a skyline, or -1 to decline.
+// Implementations must be deterministic given the rng.
+type ChoiceModel interface {
+	Name() string
+	Choose(opts []core.Option, rng *rand.Rand) int
+}
+
+// EarliestPickup always takes the earliest pick-up option (index 0 of
+// the time-sorted skyline).
+type EarliestPickup struct{}
+
+// Name implements ChoiceModel.
+func (EarliestPickup) Name() string { return "earliest" }
+
+// Choose implements ChoiceModel.
+func (EarliestPickup) Choose(opts []core.Option, _ *rand.Rand) int {
+	if len(opts) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// Cheapest always takes the lowest-price option.
+type Cheapest struct{}
+
+// Name implements ChoiceModel.
+func (Cheapest) Name() string { return "cheapest" }
+
+// Choose implements ChoiceModel.
+func (Cheapest) Choose(opts []core.Option, _ *rand.Rand) int {
+	best, bestPrice := -1, math.Inf(1)
+	for i, o := range opts {
+		if o.Price < bestPrice {
+			best, bestPrice = i, o.Price
+		}
+	}
+	return best
+}
+
+// UniformChoice picks uniformly among the options — the demo's
+// assumption that riders have heterogeneous preferences across the
+// skyline.
+type UniformChoice struct{}
+
+// Name implements ChoiceModel.
+func (UniformChoice) Name() string { return "uniform" }
+
+// Choose implements ChoiceModel.
+func (UniformChoice) Choose(opts []core.Option, rng *rand.Rand) int {
+	if len(opts) == 0 {
+		return -1
+	}
+	return rng.Intn(len(opts))
+}
+
+// UtilityChoice trades pick-up time against price with per-rider random
+// weights: utility = −(α·time + (1−α)·β·price), α ~ U(0,1). Riders in a
+// hurry take early pickups; price-sensitive riders wait (the paper's
+// seaside-couple motivation).
+type UtilityChoice struct {
+	// PriceScale β converts price units into time-equivalent units
+	// (0 = 60: one price unit ≈ one minute).
+	PriceScale float64
+}
+
+// Name implements ChoiceModel.
+func (UtilityChoice) Name() string { return "utility" }
+
+// Choose implements ChoiceModel.
+func (u UtilityChoice) Choose(opts []core.Option, rng *rand.Rand) int {
+	if len(opts) == 0 {
+		return -1
+	}
+	beta := u.PriceScale
+	if beta == 0 {
+		beta = 60
+	}
+	alpha := rng.Float64()
+	best, bestU := -1, math.Inf(1)
+	for i, o := range opts {
+		cost := alpha*o.PickupDist + (1-alpha)*beta*o.Price
+		if cost < bestU {
+			best, bestU = i, cost
+		}
+	}
+	return best
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// TickSeconds is the movement step (0 = 1s).
+	TickSeconds float64
+	// Choice is the rider model (nil = UtilityChoice{}).
+	Choice ChoiceModel
+	// Seed drives choices and failure injection.
+	Seed int64
+	// FailuresPerHour removes that many random vehicles per simulated
+	// hour (failure injection; 0 = none). Orphaned requests are
+	// resubmitted once.
+	FailuresPerHour float64
+	// EndSeconds stops the run at this clock even if trips remain
+	// (0 = run to last trip + drain).
+	EndSeconds float64
+	// DrainSeconds keeps simulating after the last submission so
+	// onboard riders arrive (0 = 3600).
+	DrainSeconds float64
+}
+
+// HourBucket aggregates one hour of the day (the website panel's
+// statistics-over-time view).
+type HourBucket struct {
+	Hour      int
+	Submitted int
+	Accepted  int
+	NoOption  int
+	// AvgOptions is the mean skyline size for this hour's requests.
+	AvgOptions float64
+	optionsSum float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Engine core.EngineStats
+	// Submitted counts trips offered to the system.
+	Submitted int
+	// NoOption counts trips whose skyline was empty.
+	NoOption int
+	// Declined counts trips whose rider rejected all options.
+	Declined int
+	// Accepted counts trips that chose an option.
+	Accepted int
+	// FailuresInjected counts removed vehicles.
+	FailuresInjected int
+	// Resubmitted counts orphaned requests re-offered.
+	Resubmitted int
+	// OptionsPerRequest summarises skyline sizes.
+	OptionsPerRequest stats.Online
+	// PickupSeconds and Prices summarise chosen options.
+	PickupSeconds stats.Online
+	Prices        stats.Online
+	// Hourly buckets requests by submission hour (clock/3600, capped at
+	// 23). Only hours with traffic appear.
+	Hourly []HourBucket
+}
+
+func (r *Result) hourBucket(clock float64) *HourBucket {
+	h := int(clock / 3600)
+	if h < 0 {
+		h = 0
+	}
+	if h > 23 {
+		h = 23
+	}
+	for i := range r.Hourly {
+		if r.Hourly[i].Hour == h {
+			return &r.Hourly[i]
+		}
+	}
+	r.Hourly = append(r.Hourly, HourBucket{Hour: h})
+	return &r.Hourly[len(r.Hourly)-1]
+}
+
+// Simulation replays a workload against an engine.
+type Simulation struct {
+	eng    *core.Engine
+	trips  []trace.Trip
+	cfg    Config
+	rng    *rand.Rand
+	choice ChoiceModel
+}
+
+// New prepares a simulation. Trips must be sorted by Time.
+func New(eng *core.Engine, trips []trace.Trip, cfg Config) (*Simulation, error) {
+	for i := 1; i < len(trips); i++ {
+		if trips[i].Time < trips[i-1].Time {
+			return nil, fmt.Errorf("sim: trips not sorted by time at index %d", i)
+		}
+	}
+	if cfg.TickSeconds == 0 {
+		cfg.TickSeconds = 1
+	}
+	if cfg.TickSeconds < 0 {
+		return nil, fmt.Errorf("sim: negative tick")
+	}
+	if cfg.DrainSeconds == 0 {
+		cfg.DrainSeconds = 3600
+	}
+	choice := cfg.Choice
+	if choice == nil {
+		choice = UtilityChoice{}
+	}
+	return &Simulation{
+		eng:    eng,
+		trips:  trips,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		choice: choice,
+	}, nil
+}
+
+// Run replays the whole workload and returns the aggregate result.
+func (s *Simulation) Run() (*Result, error) {
+	res := &Result{}
+	end := s.cfg.EndSeconds
+	if end == 0 {
+		if len(s.trips) > 0 {
+			end = s.trips[len(s.trips)-1].Time + s.cfg.DrainSeconds
+		} else {
+			end = s.cfg.DrainSeconds
+		}
+	}
+
+	next := 0
+	clock := s.eng.Clock()
+	failBudget := 0.0
+	for clock < end {
+		// Submit every trip due in this tick.
+		for next < len(s.trips) && s.trips[next].Time <= clock {
+			if err := s.submit(s.trips[next], res); err != nil {
+				return res, err
+			}
+			next++
+		}
+		if _, err := s.eng.Tick(s.cfg.TickSeconds); err != nil {
+			return res, err
+		}
+		clock = s.eng.Clock()
+
+		if s.cfg.FailuresPerHour > 0 {
+			failBudget += s.cfg.FailuresPerHour * s.cfg.TickSeconds / 3600
+			for failBudget >= 1 {
+				failBudget--
+				if err := s.injectFailure(res); err != nil {
+					return res, err
+				}
+			}
+		}
+		if next >= len(s.trips) && s.eng.Stats().Completed >= int64(res.Accepted) {
+			break // drained
+		}
+	}
+	res.Engine = s.eng.Stats()
+	return res, nil
+}
+
+func (s *Simulation) submit(t trace.Trip, res *Result) error {
+	res.Submitted++
+	bucket := res.hourBucket(s.eng.Clock())
+	bucket.Submitted++
+	rec, err := s.eng.Submit(t.S, t.D, t.Riders)
+	if err != nil {
+		return fmt.Errorf("sim: trip %d: %w", t.ID, err)
+	}
+	res.OptionsPerRequest.Observe(float64(len(rec.Options)))
+	bucket.optionsSum += float64(len(rec.Options))
+	bucket.AvgOptions = bucket.optionsSum / float64(bucket.Submitted)
+	if len(rec.Options) == 0 {
+		res.NoOption++
+		bucket.NoOption++
+		return nil
+	}
+	pick := s.choice.Choose(rec.Options, s.rng)
+	if pick < 0 {
+		res.Declined++
+		return s.eng.Decline(rec.ID)
+	}
+	if err := s.eng.Choose(rec.ID, pick); err != nil {
+		return fmt.Errorf("sim: trip %d choose: %w", t.ID, err)
+	}
+	opt := rec.Options[pick]
+	res.Accepted++
+	bucket.Accepted++
+	res.PickupSeconds.Observe(s.eng.PickupSeconds(opt))
+	res.Prices.Observe(opt.Price)
+	return nil
+}
+
+func (s *Simulation) injectFailure(res *Result) error {
+	n := s.eng.NumVehicles()
+	if n <= 1 {
+		return nil
+	}
+	// Pick random ids until an active one is hit; ids are dense.
+	for attempt := 0; attempt < 32; attempt++ {
+		id := int32(s.rng.Intn(n))
+		orphans, err := s.eng.RemoveVehicle(id)
+		if err != nil {
+			continue // already removed
+		}
+		res.FailuresInjected++
+		for _, rid := range orphans {
+			rec, err := s.eng.Request(rid)
+			if err != nil {
+				continue
+			}
+			res.Resubmitted++
+			nrec, err := s.eng.Submit(rec.S, rec.D, rec.Riders)
+			if err != nil {
+				continue
+			}
+			res.OptionsPerRequest.Observe(float64(len(nrec.Options)))
+			if pick := s.choice.Choose(nrec.Options, s.rng); pick >= 0 {
+				if err := s.eng.Choose(nrec.ID, pick); err == nil {
+					res.Accepted++
+				}
+			} else if len(nrec.Options) == 0 {
+				res.NoOption++
+			} else {
+				res.Declined++
+				s.eng.Decline(nrec.ID)
+			}
+		}
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/sim"
+	"ptrider/internal/trace"
+)
+
+func smallWorld(t *testing.T, seed int64, vehicles, trips int) (*core.Engine, []trace.Trip) {
+	t.Helper()
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 12, Height: 12, Seed: seed})
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	e, err := core.NewEngine(g, core.Config{
+		GridCols: 4, GridRows: 4,
+		Capacity: 4, Algorithm: core.AlgoDualSide,
+		MaxWaitSeconds: 600, Sigma: 0.6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	e.AddVehiclesUniform(vehicles)
+	tr, err := gen.GenerateTrips(g, gen.TripConfig{
+		NumTrips: trips, DaySeconds: 600, Seed: seed, MinTripMeters: 400,
+	})
+	if err != nil {
+		t.Fatalf("trips: %v", err)
+	}
+	return e, tr
+}
+
+func TestChoiceModels(t *testing.T) {
+	opts := []core.Option{
+		{PickupDist: 100, Price: 9},
+		{PickupDist: 500, Price: 5},
+		{PickupDist: 900, Price: 2},
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := (sim.EarliestPickup{}).Choose(opts, rng); got != 0 {
+		t.Errorf("EarliestPickup = %d", got)
+	}
+	if got := (sim.Cheapest{}).Choose(opts, rng); got != 2 {
+		t.Errorf("Cheapest = %d", got)
+	}
+	if got := (sim.UniformChoice{}).Choose(nil, rng); got != -1 {
+		t.Errorf("UniformChoice on empty = %d", got)
+	}
+	if got := (sim.EarliestPickup{}).Choose(nil, rng); got != -1 {
+		t.Errorf("EarliestPickup on empty = %d", got)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		counts[(sim.UniformChoice{}).Choose(opts, rng)]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[i] == 0 {
+			t.Errorf("UniformChoice never picked %d: %v", i, counts)
+		}
+	}
+	counts = map[int]int{}
+	for i := 0; i < 500; i++ {
+		pick := (sim.UtilityChoice{}).Choose(opts, rng)
+		if pick < 0 || pick > 2 {
+			t.Fatalf("UtilityChoice out of range: %d", pick)
+		}
+		counts[pick]++
+	}
+	// Heterogeneous preferences must spread over the extremes.
+	if counts[0] == 0 || counts[2] == 0 {
+		t.Errorf("UtilityChoice degenerate: %v", counts)
+	}
+}
+
+func TestRunCompletesTrips(t *testing.T) {
+	e, trips := smallWorld(t, 1, 20, 60)
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Submitted != 60 {
+		t.Fatalf("Submitted = %d", res.Submitted)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if res.Accepted+res.Declined+res.NoOption != res.Submitted {
+		t.Fatalf("accounting mismatch: %+v", res)
+	}
+	if res.Engine.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Engine.Completed > int64(res.Accepted) {
+		t.Fatalf("completed %d > accepted %d", res.Engine.Completed, res.Accepted)
+	}
+	if res.OptionsPerRequest.Count() != int64(res.Submitted) {
+		t.Fatalf("options observed %d times", res.OptionsPerRequest.Count())
+	}
+	if res.Engine.AvgResponseMs <= 0 {
+		t.Fatal("no response time recorded")
+	}
+}
+
+func TestRunRejectsUnsortedTrips(t *testing.T) {
+	e, trips := smallWorld(t, 2, 3, 10)
+	trips[0], trips[1] = trips[1], trips[0]
+	trips[0].Time, trips[1].Time = trips[1].Time+100, trips[0].Time
+	if _, err := sim.New(e, trips, sim.Config{}); err == nil {
+		t.Fatal("unsorted trips accepted")
+	}
+	if _, err := sim.New(e, nil, sim.Config{TickSeconds: -1}); err == nil {
+		t.Fatal("negative tick accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *sim.Result {
+		e, trips := smallWorld(t, 3, 10, 40)
+		s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: 3})
+		if err != nil {
+			t.Fatalf("sim.New: %v", err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.NoOption != b.NoOption ||
+		a.Engine.Completed != b.Engine.Completed ||
+		a.Prices.Mean() != b.Prices.Mean() {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	e, trips := smallWorld(t, 4, 15, 40)
+	s, err := sim.New(e, trips, sim.Config{
+		TickSeconds: 2, Seed: 4,
+		FailuresPerHour: 120, // two per minute over a 10-minute day
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run with failures: %v", err)
+	}
+	if res.FailuresInjected == 0 {
+		t.Fatal("no failures injected")
+	}
+	if res.Engine.ActiveVehicles >= 15 {
+		t.Fatalf("active vehicles = %d, want < 15", res.Engine.ActiveVehicles)
+	}
+	// The run must stay consistent despite removals.
+	if res.Engine.Completed < 0 || res.Accepted < 0 {
+		t.Fatalf("corrupted result: %+v", res)
+	}
+}
+
+func TestSharingHappensUnderLoad(t *testing.T) {
+	// Few vehicles, many overlapping trips in a short window: the
+	// sharing rate must be positive (the demo's headline statistic).
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 10, Height: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	e, err := core.NewEngine(g, core.Config{
+		GridCols: 3, GridRows: 3, Capacity: 4,
+		MaxWaitSeconds: 1200, Sigma: 1.0, Algorithm: core.AlgoDualSide, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	e.AddVehiclesUniform(3)
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{NumTrips: 60, DaySeconds: 300, Seed: 5, MinTripMeters: 400})
+	if err != nil {
+		t.Fatalf("trips: %v", err)
+	}
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: 5, Choice: sim.Cheapest{}, DrainSeconds: 7200})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Engine.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Engine.SharingRate == 0 {
+		t.Fatalf("sharing rate 0 under heavy load: %+v", res.Engine)
+	}
+}
+
+func TestHourlyBreakdown(t *testing.T) {
+	e, trips := smallWorld(t, 7, 10, 50)
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Hourly) == 0 {
+		t.Fatal("no hourly buckets")
+	}
+	totalSub, totalAcc, totalNo := 0, 0, 0
+	for _, h := range res.Hourly {
+		if h.Hour < 0 || h.Hour > 23 {
+			t.Fatalf("bucket hour %d out of range", h.Hour)
+		}
+		if h.Accepted > h.Submitted || h.NoOption > h.Submitted {
+			t.Fatalf("inconsistent bucket %+v", h)
+		}
+		if h.Submitted > 0 && (h.AvgOptions < 0 || h.AvgOptions > 50) {
+			t.Fatalf("implausible AvgOptions %v", h.AvgOptions)
+		}
+		totalSub += h.Submitted
+		totalAcc += h.Accepted
+		totalNo += h.NoOption
+	}
+	if totalSub != res.Submitted || totalAcc != res.Accepted || totalNo != res.NoOption {
+		t.Fatalf("hourly totals %d/%d/%d do not match result %d/%d/%d",
+			totalSub, totalAcc, totalNo, res.Submitted, res.Accepted, res.NoOption)
+	}
+}
+
+func TestEndSecondsStopsEarly(t *testing.T) {
+	e, trips := smallWorld(t, 6, 5, 50)
+	s, err := sim.New(e, trips, sim.Config{TickSeconds: 5, Seed: 6, EndSeconds: 60})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Engine.Clock > 65 {
+		t.Fatalf("clock = %v, want ≤ 65", res.Engine.Clock)
+	}
+	if res.Submitted == 50 {
+		t.Fatal("early stop should leave trips unsubmitted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats provides the online statistics behind PTRider's website
+// interface (paper §4.2): running means and variances, P²-estimated
+// quantiles without sample retention, and fixed-bin histograms, all
+// O(1) per observation so the statistics panel never perturbs the
+// matching measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates count, mean, variance, min and max with Welford's
+// algorithm. The zero value is ready for use.
+type Online struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe adds x.
+func (o *Online) Observe(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// Count returns the number of observations.
+func (o *Online) Count() int64 { return o.n }
+
+// Mean returns the running mean (zero when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance (zero with < 2 samples).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.Inf(1)
+	}
+	return o.min
+}
+
+// Max returns the largest observation (-Inf when empty).
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.Inf(-1)
+	}
+	return o.max
+}
+
+// String summarises the accumulator.
+func (o *Online) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", o.n, o.Mean(), o.Std(), o.Min(), o.Max())
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac 1985): five markers, O(1) memory and time per
+// observation. Construct with NewP2Quantile.
+type P2Quantile struct {
+	p       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	dwant   [5]float64
+	init    []float64
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	q := &P2Quantile{p: p, init: make([]float64, 0, 5)}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Observe adds x.
+func (q *P2Quantile) Observe(x float64) {
+	q.n++
+	if len(q.init) < 5 {
+		q.init = append(q.init, x)
+		if len(q.init) == 5 {
+			sort.Float64s(q.init)
+			copy(q.heights[:], q.init)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and update extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.dwant[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := q.parabolic(i, s)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, s float64) float64 {
+	return q.heights[i] + s/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+s)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-s)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return q.heights[i] + s*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the exact sample quantile.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if len(q.init) < 5 {
+		tmp := append([]float64(nil), q.init...)
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(len(tmp)-1))
+		return tmp[idx]
+	}
+	return q.heights[2]
+}
+
+// Count returns the number of observations.
+func (q *P2Quantile) Count() int64 { return q.n }
+
+// Histogram counts observations into fixed-width bins over [Min, Max),
+// with underflow and overflow buckets.
+type Histogram struct {
+	Min, Max float64
+	bins     []int64
+	under    int64
+	over     int64
+	n        int64
+}
+
+// NewHistogram returns a histogram with n bins over [min, max).
+func NewHistogram(min, max float64, n int) (*Histogram, error) {
+	if n < 1 || !(max > min) {
+		return nil, fmt.Errorf("stats: invalid histogram [%v,%v) with %d bins", min, max, n)
+	}
+	return &Histogram{Min: min, Max: max, bins: make([]int64, n)}, nil
+}
+
+// Observe adds x.
+func (h *Histogram) Observe(x float64) {
+	h.n++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.bins)))
+		if i >= len(h.bins) { // guard boundary rounding
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of interior bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Under and Over return the out-of-range counts.
+func (h *Histogram) Under() int64 { return h.under }
+
+// Over returns the count of observations at or above Max.
+func (h *Histogram) Over() int64 { return h.over }
+
+// Count returns the total observations including out-of-range ones.
+func (h *Histogram) Count() int64 { return h.n }
+
+// BinBounds returns the [lo, hi) range of bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	w := (h.Max - h.Min) / float64(len(h.bins))
+	return h.Min + float64(i)*w, h.Min + float64(i+1)*w
+}

@@ -1,0 +1,518 @@
+// Package ptrider is a price-and-time-aware ridesharing system, a
+// from-scratch Go reproduction of
+//
+//	Chen, Gao, Liu, Xiao, Jensen, Zhu:
+//	"PTRider: A Price-and-Time-Aware Ridesharing System",
+//	PVLDB 11(12): 1938–1941, 2018.
+//
+// Unlike matchers that return a single system-optimal assignment,
+// PTRider answers every ridesharing request with the full skyline of
+// non-dominated ⟨vehicle, pick-up time, price⟩ options, so riders in a
+// hurry can pay for a quick pickup while patient riders wait and pay
+// less. Real-time answering is achieved with a grid index over the road
+// network, per-vehicle kinetic trees of valid trip schedules, and
+// single-/dual-side ring-search matching with bound-based pruning.
+//
+// # Quick start
+//
+//	net, _ := ptrider.GenerateCity(ptrider.CityConfig{Width: 40, Height: 40, Seed: 1})
+//	sys, _ := ptrider.New(net, ptrider.Config{NumTaxis: 200})
+//	req, _ := sys.Request(sys.RandomVertex(), sys.RandomVertex(), 2)
+//	for _, o := range req.Options {
+//		fmt.Printf("vehicle %d: pickup %.0fs price %.2f\n", o.Vehicle, o.PickupSeconds, o.Price)
+//	}
+//	sys.Choose(req.ID, 0)
+//	sys.Tick(60) // advance simulated time
+//
+// The internal packages implement the substrates (road network,
+// shortest paths, grid index, kinetic trees, matchers, simulator); this
+// package is the supported surface.
+package ptrider
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/geo"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/server"
+	"ptrider/internal/sim"
+	"ptrider/internal/trace"
+)
+
+// VertexID identifies a road-network vertex (an intersection).
+type VertexID = int32
+
+// Point is a planar coordinate in metres.
+type Point struct{ X, Y float64 }
+
+// Edge is an undirected road segment with a travel cost in metres.
+type Edge struct {
+	U, V   VertexID
+	Weight float64
+}
+
+// Network is an immutable road network.
+type Network struct {
+	g *roadnet.Graph
+}
+
+// NewNetwork builds a road network from explicit vertices and
+// undirected edges. Edge weights must be positive and, for the index
+// bounds to be as tight as possible, at least the Euclidean length of
+// the edge.
+func NewNetwork(points []Point, edges []Edge) (*Network, error) {
+	b := roadnet.NewBuilder(len(points), 2*len(edges))
+	for _, p := range points {
+		b.AddVertex(geo.Point{X: p.X, Y: p.Y})
+	}
+	for _, e := range edges {
+		b.AddUndirectedEdge(e.U, e.V, e.Weight)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !roadnet.Connected(g) {
+		return nil, fmt.Errorf("ptrider: network must be connected")
+	}
+	return &Network{g: g}, nil
+}
+
+// NumVertices returns the number of intersections.
+func (n *Network) NumVertices() int { return n.g.NumVertices() }
+
+// NumRoads returns the number of undirected road segments.
+func (n *Network) NumRoads() int { return n.g.NumEdges() / 2 }
+
+// VertexPoint returns the coordinates of vertex v.
+func (n *Network) VertexPoint(v VertexID) Point {
+	p := n.g.Point(v)
+	return Point{X: p.X, Y: p.Y}
+}
+
+// CityConfig parameterises the synthetic city generator (the stand-in
+// for the demo's Shanghai road network; see DESIGN.md §5).
+type CityConfig struct {
+	// Width and Height count intersections per side (≥ 2).
+	Width, Height int
+	// SpacingMeters is the block size (0 = 250).
+	SpacingMeters float64
+	// ArterialEvery makes every k-th street an arterial (0 = 5).
+	ArterialEvery int
+	// RemoveFrac removes this fraction of minor segments, in [0, 1).
+	RemoveFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// WriteNetwork serialises a network in the ptrider text format.
+func WriteNetwork(w io.Writer, n *Network) error {
+	return roadnet.WriteGraph(w, n.g)
+}
+
+// ReadNetwork parses a network written by WriteNetwork.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	g, err := roadnet.ReadGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	if !roadnet.Connected(g) {
+		return nil, fmt.Errorf("ptrider: network must be connected")
+	}
+	return &Network{g: g}, nil
+}
+
+// GenerateCity builds a synthetic city road network.
+func GenerateCity(cfg CityConfig) (*Network, error) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{
+		Width: cfg.Width, Height: cfg.Height,
+		Spacing:       cfg.SpacingMeters,
+		ArterialEvery: cfg.ArterialEvery,
+		RemoveFrac:    cfg.RemoveFrac,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// Trip is one workload entry: a ridesharing request submitted at Time
+// seconds into the day.
+type Trip = trace.Trip
+
+// WorkloadConfig parameterises the synthetic one-day trip workload (the
+// stand-in for the demo's 432,327 Shanghai trips).
+type WorkloadConfig struct {
+	// NumTrips scales the workload.
+	NumTrips int
+	// DaySeconds is the horizon (0 = 86400).
+	DaySeconds float64
+	// MinTripMeters drops very short trips (0 = 500).
+	MinTripMeters float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateWorkload synthesises a diurnal, hotspot-weighted trip
+// workload over the network, sorted by submission time.
+func GenerateWorkload(n *Network, cfg WorkloadConfig) ([]Trip, error) {
+	return gen.GenerateTrips(n.g, gen.TripConfig{
+		NumTrips:      cfg.NumTrips,
+		DaySeconds:    cfg.DaySeconds,
+		MinTripMeters: cfg.MinTripMeters,
+		Seed:          cfg.Seed,
+	})
+}
+
+// Config carries the system's global settings — the knobs on the demo's
+// website interface: taxi capacity, number of taxis, maximal waiting
+// time, service constraint, price function, and matching algorithm.
+type Config struct {
+	// NumTaxis places this many vehicles uniformly at random (0 = none;
+	// add more with AddVehicleAt/AddVehicles).
+	NumTaxis int
+	// Capacity is the per-vehicle rider capacity (0 = 4).
+	Capacity int
+	// SpeedKmh is the constant vehicle speed (0 = 48, the demo's).
+	SpeedKmh float64
+	// MaxWaitSeconds is the global maximal waiting time w (0 = 300).
+	MaxWaitSeconds float64
+	// Sigma is the global service (detour) constraint σ (0 = 0.4).
+	Sigma float64
+	// MaxPickupSeconds caps the planned pick-up time of options
+	// (0 = 1800).
+	MaxPickupSeconds float64
+	// Algorithm selects the matcher: "naive", "single-side" or
+	// "dual-side" ("" = "dual-side").
+	Algorithm string
+	// PriceRatio overrides the paper's f_n = 0.3 + (n−1)·0.1 when
+	// non-nil; it maps rider count to the price ratio.
+	PriceRatio func(n int) float64
+	// GridCols and GridRows set the index resolution (0 = 16×16).
+	GridCols, GridRows int
+	// NumLandmarks adds ALT landmark lower bounds to the grid bounds
+	// (0 = disabled).
+	NumLandmarks int
+	// Seed drives vehicle placement and roaming.
+	Seed int64
+}
+
+// Option is one non-dominated result ⟨vehicle, pick-up time, price⟩.
+type Option struct {
+	// Index is the option's position in Request.Options, passed to
+	// Choose.
+	Index int
+	// Vehicle identifies the offering taxi.
+	Vehicle VertexID
+	// PickupSeconds is the planned pick-up time from now.
+	PickupSeconds float64
+	// PickupMeters is the same as a distance along the road network.
+	PickupMeters float64
+	// Price is the fare under the system's price model.
+	Price float64
+}
+
+// Request is the answer to a submitted ridesharing request: the full
+// skyline of options, sorted by pick-up time ascending (price therefore
+// descending).
+type Request struct {
+	ID      int64
+	Options []Option
+}
+
+// Stats is the statistics panel of the demo's website interface.
+type Stats struct {
+	ClockSeconds    float64
+	Requests        int64
+	Assigned        int64
+	Completed       int64
+	SharingRate     float64
+	AvgResponseMs   float64
+	P95ResponseMs   float64
+	AvgOptions      float64
+	AvgWaitSeconds  float64
+	AvgDetourFactor float64
+	ActiveVehicles  int
+}
+
+// Event reports a pickup or dropoff produced by Tick.
+type Event struct {
+	Kind    string // "pickup" or "dropoff"
+	Vehicle VertexID
+	Request int64
+}
+
+// Stop is one entry of a vehicle trip schedule.
+type Stop struct {
+	Vertex  VertexID
+	Kind    string // "pickup" or "dropoff"
+	Request int64
+}
+
+// System is a running PTRider instance.
+type System struct {
+	eng *core.Engine
+	net *Network
+}
+
+// New builds a System over a network.
+func New(n *Network, cfg Config) (*System, error) {
+	algo := core.AlgoDualSide
+	if cfg.Algorithm != "" {
+		var err error
+		algo, err = core.ParseAlgorithm(cfg.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := core.NewEngine(n.g, core.Config{
+		GridCols: cfg.GridCols, GridRows: cfg.GridRows,
+		Capacity:         cfg.Capacity,
+		SpeedKmh:         cfg.SpeedKmh,
+		MaxWaitSeconds:   cfg.MaxWaitSeconds,
+		Sigma:            cfg.Sigma,
+		MaxPickupSeconds: cfg.MaxPickupSeconds,
+		PriceRatio:       cfg.PriceRatio,
+		Algorithm:        algo,
+		NumLandmarks:     cfg.NumLandmarks,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumTaxis > 0 {
+		eng.AddVehiclesUniform(cfg.NumTaxis)
+	}
+	return &System{eng: eng, net: n}, nil
+}
+
+// Network returns the system's road network.
+func (s *System) Network() *Network { return s.net }
+
+// AddVehicles places n vehicles uniformly at random.
+func (s *System) AddVehicles(n int) {
+	s.eng.AddVehiclesUniform(n)
+}
+
+// AddVehicleAt places one vehicle at a vertex and returns its id.
+func (s *System) AddVehicleAt(v VertexID) VertexID {
+	return s.eng.AddVehicleAt(v)
+}
+
+// NumVehicles returns the in-service vehicle count.
+func (s *System) NumVehicles() int { return s.eng.NumVehicles() }
+
+// RandomVertex returns a uniformly random vertex id.
+func (s *System) RandomVertex() VertexID { return s.eng.RandomVertex() }
+
+// Request submits a ridesharing request for riders travelling from
+// vertex from to vertex to under the system-global waiting time and
+// service constraint, returning all non-dominated options.
+func (s *System) Request(from, to VertexID, riders int) (Request, error) {
+	return s.RequestWithConstraints(from, to, riders, 0, -1)
+}
+
+// RequestWithConstraints lets the rider override the maximal waiting
+// time (seconds; ≤ 0 keeps the global) and the service constraint σ
+// (negative keeps the global; 0 forbids any detour) — the per-rider
+// settings the demo paper notes but simplifies away.
+func (s *System) RequestWithConstraints(from, to VertexID, riders int, waitSeconds, sigma float64) (Request, error) {
+	rec, err := s.eng.SubmitWithConstraints(from, to, riders, core.Constraints{
+		WaitSeconds: waitSeconds, Sigma: sigma,
+	})
+	if err != nil {
+		return Request{}, err
+	}
+	out := Request{ID: int64(rec.ID), Options: make([]Option, len(rec.Options))}
+	for i, o := range rec.Options {
+		out.Options[i] = Option{
+			Index:         i,
+			Vehicle:       o.Vehicle,
+			PickupSeconds: s.eng.PickupSeconds(o),
+			PickupMeters:  o.PickupDist,
+			Price:         o.Price,
+		}
+	}
+	return out, nil
+}
+
+// Choose commits the rider's selected option.
+func (s *System) Choose(requestID int64, optionIndex int) error {
+	return s.eng.Choose(core.RequestID(requestID), optionIndex)
+}
+
+// Decline records that the rider took none of the options.
+func (s *System) Decline(requestID int64) error {
+	return s.eng.Decline(core.RequestID(requestID))
+}
+
+// Tick advances simulated time by the given seconds: vehicles move,
+// pickups and dropoffs fire.
+func (s *System) Tick(seconds float64) ([]Event, error) {
+	events, err := s.eng.Tick(seconds)
+	out := make([]Event, len(events))
+	for i, e := range events {
+		out[i] = Event{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request)}
+	}
+	return out, err
+}
+
+// RequestStatus returns the lifecycle state of a request: "quoted",
+// "assigned", "onboard", "completed" or "declined".
+func (s *System) RequestStatus(requestID int64) (string, error) {
+	rec, err := s.eng.Request(core.RequestID(requestID))
+	if err != nil {
+		return "", err
+	}
+	return rec.Status.String(), nil
+}
+
+// VehicleSchedules returns a vehicle's current location and every valid
+// trip schedule of its kinetic tree.
+func (s *System) VehicleSchedules(vehicle VertexID) (location VertexID, schedules [][]Stop, err error) {
+	loc, branches, err := s.eng.VehicleSchedules(vehicle)
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([][]Stop, len(branches))
+	for i, b := range branches {
+		row := make([]Stop, len(b))
+		for j, p := range b {
+			row[j] = Stop{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
+		}
+		out[i] = row
+	}
+	return loc, out, nil
+}
+
+// SetAlgorithm switches the matching algorithm at run time.
+func (s *System) SetAlgorithm(name string) error {
+	algo, err := core.ParseAlgorithm(name)
+	if err != nil {
+		return err
+	}
+	return s.eng.SetAlgorithm(algo)
+}
+
+// Stats snapshots the statistics panel.
+func (s *System) Stats() Stats {
+	st := s.eng.Stats()
+	return Stats{
+		ClockSeconds:    st.Clock,
+		Requests:        st.Requests,
+		Assigned:        st.Assigned,
+		Completed:       st.Completed,
+		SharingRate:     st.SharingRate,
+		AvgResponseMs:   st.AvgResponseMs,
+		P95ResponseMs:   st.P95ResponseMs,
+		AvgOptions:      st.AvgOptions,
+		AvgWaitSeconds:  st.AvgWaitSeconds,
+		AvgDetourFactor: st.AvgDetourFactor,
+		ActiveVehicles:  st.ActiveVehicles,
+	}
+}
+
+// HTTPHandler exposes the system as the demo's JSON API (see
+// internal/server for the endpoint reference).
+func (s *System) HTTPHandler() http.Handler {
+	return server.New(s.eng).Handler()
+}
+
+// SimOptions parameterises RunWorkload.
+type SimOptions struct {
+	// TickSeconds is the movement step (0 = 1).
+	TickSeconds float64
+	// Choice selects the rider model: "earliest", "cheapest", "uniform"
+	// or "utility" ("" = "utility").
+	Choice string
+	// FailuresPerHour removes random vehicles at this rate (failure
+	// injection).
+	FailuresPerHour float64
+	// Seed drives choices and failures.
+	Seed int64
+}
+
+// HourStats is one hour of a replay (requests bucketed by submission
+// time).
+type HourStats struct {
+	Hour       int
+	Submitted  int
+	Accepted   int
+	NoOption   int
+	AvgOptions float64
+}
+
+// SimResult summarises a workload replay.
+type SimResult struct {
+	Stats      Stats
+	Submitted  int
+	Accepted   int
+	Declined   int
+	NoOption   int
+	AvgOptions float64
+	AvgPrice   float64
+	AvgPickupS float64
+	// Hourly is the statistics-over-the-day view, for hours with
+	// traffic, in chronological order.
+	Hourly []HourStats
+}
+
+func choiceModel(name string) (sim.ChoiceModel, error) {
+	switch name {
+	case "", "utility":
+		return sim.UtilityChoice{}, nil
+	case "earliest":
+		return sim.EarliestPickup{}, nil
+	case "cheapest":
+		return sim.Cheapest{}, nil
+	case "uniform":
+		return sim.UniformChoice{}, nil
+	}
+	return nil, fmt.Errorf("ptrider: unknown choice model %q", name)
+}
+
+// RunWorkload replays a trip workload (from GenerateWorkload or a
+// trace file) against the system and returns aggregate results.
+func (s *System) RunWorkload(trips []Trip, opts SimOptions) (SimResult, error) {
+	choice, err := choiceModel(opts.Choice)
+	if err != nil {
+		return SimResult{}, err
+	}
+	simu, err := sim.New(s.eng, trips, sim.Config{
+		TickSeconds:     opts.TickSeconds,
+		Choice:          choice,
+		Seed:            opts.Seed,
+		FailuresPerHour: opts.FailuresPerHour,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	res, err := simu.Run()
+	if err != nil {
+		return SimResult{}, err
+	}
+	out := SimResult{
+		Stats:      s.Stats(),
+		Submitted:  res.Submitted,
+		Accepted:   res.Accepted,
+		Declined:   res.Declined,
+		NoOption:   res.NoOption,
+		AvgOptions: res.OptionsPerRequest.Mean(),
+		AvgPrice:   res.Prices.Mean(),
+		AvgPickupS: res.PickupSeconds.Mean(),
+	}
+	for _, h := range res.Hourly {
+		out.Hourly = append(out.Hourly, HourStats{
+			Hour: h.Hour, Submitted: h.Submitted, Accepted: h.Accepted,
+			NoOption: h.NoOption, AvgOptions: h.AvgOptions,
+		})
+	}
+	sort.Slice(out.Hourly, func(i, j int) bool { return out.Hourly[i].Hour < out.Hourly[j].Hour })
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package ptrider_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"ptrider"
+)
+
+func testCity(t *testing.T) *ptrider.Network {
+	t.Helper()
+	net, err := ptrider.GenerateCity(ptrider.CityConfig{Width: 12, Height: 12, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateCity: %v", err)
+	}
+	return net
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	pts := []ptrider.Point{{0, 0}, {100, 0}, {200, 0}}
+	if _, err := ptrider.NewNetwork(pts, []ptrider.Edge{{U: 0, V: 1, Weight: 100}}); err == nil {
+		t.Error("disconnected network accepted")
+	}
+	if _, err := ptrider.NewNetwork(pts, []ptrider.Edge{{U: 0, V: 9, Weight: 1}}); err == nil {
+		t.Error("edge to unknown vertex accepted")
+	}
+	net, err := ptrider.NewNetwork(pts, []ptrider.Edge{
+		{U: 0, V: 1, Weight: 100}, {U: 1, V: 2, Weight: 100},
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if net.NumVertices() != 3 || net.NumRoads() != 2 {
+		t.Fatalf("network shape: %d vertices %d roads", net.NumVertices(), net.NumRoads())
+	}
+	if p := net.VertexPoint(1); p.X != 100 || p.Y != 0 {
+		t.Fatalf("VertexPoint = %+v", p)
+	}
+}
+
+func TestSystemRequestChooseTick(t *testing.T) {
+	sys, err := ptrider.New(testCity(t), ptrider.Config{NumTaxis: 15, Seed: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if sys.NumVehicles() != 15 {
+		t.Fatalf("NumVehicles = %d", sys.NumVehicles())
+	}
+	req, err := sys.Request(5, 100, 2)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if len(req.Options) == 0 {
+		t.Fatal("no options")
+	}
+	for i, o := range req.Options {
+		if o.Index != i {
+			t.Fatalf("option %d has Index %d", i, o.Index)
+		}
+		if o.PickupSeconds < 0 || o.Price <= 0 {
+			t.Fatalf("implausible option %+v", o)
+		}
+		if i > 0 && o.PickupSeconds < req.Options[i-1].PickupSeconds {
+			t.Fatal("options not time-sorted")
+		}
+	}
+	if err := sys.Choose(req.ID, 0); err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	status, err := sys.RequestStatus(req.ID)
+	if err != nil || status != "assigned" {
+		t.Fatalf("status = %q, %v", status, err)
+	}
+
+	completed := false
+	for i := 0; i < 2000 && !completed; i++ {
+		events, err := sys.Tick(1)
+		if err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		for _, e := range events {
+			if e.Kind == "dropoff" && e.Request == req.ID {
+				completed = true
+			}
+		}
+	}
+	if !completed {
+		t.Fatal("request never completed")
+	}
+	st := sys.Stats()
+	if st.Completed != 1 || st.Requests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVehicleSchedulesAndAlgorithmSwitch(t *testing.T) {
+	sys, err := ptrider.New(testCity(t), ptrider.Config{NumTaxis: 5, Algorithm: "single-side", Seed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	req, err := sys.Request(3, 97, 1)
+	if err != nil || len(req.Options) == 0 {
+		t.Fatalf("Request: %v (%d options)", err, len(req.Options))
+	}
+	if err := sys.Choose(req.ID, 0); err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	veh := req.Options[0].Vehicle
+	loc, schedules, err := sys.VehicleSchedules(veh)
+	if err != nil {
+		t.Fatalf("VehicleSchedules: %v", err)
+	}
+	if len(schedules) == 0 {
+		t.Fatal("no schedules after assignment")
+	}
+	_ = loc
+	if err := sys.SetAlgorithm("dual-side"); err != nil {
+		t.Fatalf("SetAlgorithm: %v", err)
+	}
+	if err := sys.SetAlgorithm("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if _, err := ptrider.New(testCity(t), ptrider.Config{Algorithm: "bogus"}); err == nil {
+		t.Fatal("bogus algorithm accepted at construction")
+	}
+}
+
+func TestGenerateWorkloadAndRun(t *testing.T) {
+	net := testCity(t)
+	trips, err := ptrider.GenerateWorkload(net, ptrider.WorkloadConfig{
+		NumTrips: 50, DaySeconds: 400, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	if len(trips) != 50 {
+		t.Fatalf("trips = %d", len(trips))
+	}
+	sys, err := ptrider.New(net, ptrider.Config{NumTaxis: 12, Seed: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := sys.RunWorkload(trips, ptrider.SimOptions{TickSeconds: 2, Choice: "cheapest", Seed: 4})
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	if res.Submitted != 50 || res.Accepted == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Stats.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if _, err := sys.RunWorkload(trips, ptrider.SimOptions{Choice: "bogus"}); err == nil {
+		t.Fatal("bogus choice model accepted")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	sys, err := ptrider.New(testCity(t), ptrider.Config{NumTaxis: 5, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(sys.HTTPHandler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, ok := st["ActiveVehicles"]; !ok {
+		t.Fatalf("stats = %v", st)
+	}
+}

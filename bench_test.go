@@ -12,6 +12,7 @@ package ptrider_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ptrider/internal/core"
@@ -71,6 +72,15 @@ func loadedWorld(b *testing.B) *benchWorld {
 				probes = append(probes, [2]roadnet.VertexID{s, d})
 			}
 		}
+		// Warm the shared distance memo over every probe once, so the
+		// benchmark that happens to run first doesn't pay the cold
+		// cache for the others (the serial/parallel submit pair must
+		// measure matching, not memo warming).
+		for _, p := range probes {
+			if _, _, err := eng.MatchOnce(core.AlgoDualSide, p[0], p[1], 1); err != nil {
+				panic(err)
+			}
+		}
 		world = &benchWorld{g: g, eng: eng, probes: probes}
 	})
 	return world
@@ -98,6 +108,7 @@ func BenchmarkMatch(b *testing.B) {
 func BenchmarkEndToEndRequest(b *testing.B) {
 	w := loadedWorld(b)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := w.probes[i%len(w.probes)]
 		rec, err := w.eng.Submit(p[0], p[1], 1)
@@ -108,6 +119,59 @@ func BenchmarkEndToEndRequest(b *testing.B) {
 		if err := w.eng.Decline(rec.ID); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitSerial is the single-client request-answering
+// baseline: one goroutine submits and declines against the loaded
+// city. Pair it with BenchmarkSubmitParallel to measure multi-core
+// scaling of the sharded engine (BENCH_seed.json records the ratio).
+func BenchmarkSubmitSerial(b *testing.B) {
+	w := loadedWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := w.probes[i%len(w.probes)]
+		rec, err := w.eng.Submit(p[0], p[1], 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.eng.Decline(rec.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitParallel issues the same workload from GOMAXPROCS
+// client goroutines at once. The engine holds no global lock during
+// matching — the routing substrate is immutable, the distance memo is
+// sharded, and vehicles are probed under per-vehicle locks — so
+// throughput (ops/s, the inverse of ns/op here) should scale with
+// cores; on a ≥4-core host expect >1.5× BenchmarkSubmitSerial.
+func BenchmarkSubmitParallel(b *testing.B) {
+	w := loadedWorld(b)
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1) - 1)
+			p := w.probes[i%len(w.probes)]
+			rec, err := w.eng.Submit(p[0], p[1], 1)
+			if err == nil {
+				err = w.eng.Decline(rec.ID)
+			}
+			if err != nil {
+				// b.Fatal must not run on RunParallel workers; record
+				// and fail from the benchmark goroutine below.
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+	})
+	if errp := firstErr.Load(); errp != nil {
+		b.Fatal(*errp)
 	}
 }
 

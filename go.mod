@@ -1,0 +1,3 @@
+module ptrider
+
+go 1.24

@@ -19,17 +19,17 @@ import (
 //	ΔLB = max(0, min(L_d, 2·L_d − maxLeg))
 //
 // often dominates such vehicles out of consideration without a
-// kinetic-tree insertion — exactly the paper's scenario of a schedule
-// "near the start location but far from the destination". Vehicles that
-// survive the bound are deferred; when the s-side expansion finishes,
-// survivors are re-tested against the final skyline and verified only
-// if still potentially non-dominated.
+// kinetic-tree insertion probe — exactly the paper's scenario of a
+// schedule "near the start location but far from the destination".
+// Vehicles that survive the bound are deferred; when the s-side
+// expansion finishes, survivors are re-tested against the final skyline
+// and verified only if still potentially non-dominated (concurrently,
+// with MatchWorkers > 1).
+//
+// The matcher is stateless; per-match workspace comes from the shared
+// scratch pool, so concurrent Match calls are safe.
 type DualSideMatcher struct {
 	ctx *matchContext
-
-	visitStamp []uint32 // s-side discovery
-	dSeenStamp []uint32 // d-side discovery
-	epoch      uint32
 }
 
 func newDualSideMatcher(ctx *matchContext) *DualSideMatcher {
@@ -39,39 +39,12 @@ func newDualSideMatcher(ctx *matchContext) *DualSideMatcher {
 // Name implements Matcher.
 func (m *DualSideMatcher) Name() string { return "dual-side" }
 
-func (m *DualSideMatcher) begin(n int) {
-	if len(m.visitStamp) < n {
-		grownV := make([]uint32, n)
-		copy(grownV, m.visitStamp)
-		m.visitStamp = grownV
-		grownD := make([]uint32, n)
-		copy(grownD, m.dSeenStamp)
-		m.dSeenStamp = grownD
-	}
-	m.epoch++
-	if m.epoch == 0 {
-		for i := range m.visitStamp {
-			m.visitStamp[i] = 0
-			m.dSeenStamp[i] = 0
-		}
-		m.epoch = 1
-	}
-}
-
-func (m *DualSideMatcher) firstVisit(id fleet.VehicleID) bool {
-	if m.visitStamp[id] == m.epoch {
-		return false
-	}
-	m.visitStamp[id] = m.epoch
-	return true
-}
-
-func (m *DualSideMatcher) dSeen(id fleet.VehicleID) bool { return m.dSeenStamp[id] == m.epoch }
-
-// pendingVehicle is a vehicle deferred by the d-side bound.
+// pendingVehicle is a vehicle deferred by the d-side bound, with the
+// probe state captured at deferral time.
 type pendingVehicle struct {
 	v        *fleet.Vehicle
 	pickupLB float64
+	maxLeg   float64
 }
 
 // detourLB returns the d-side detour lower bound for a vehicle none of
@@ -90,16 +63,22 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 	before := ctx.metric.DistCalls()
 	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
 
-	src := ctx.grid.CellOf(spec.Kin.S)
-	dst := ctx.grid.CellOf(spec.Kin.D)
-	sRing := ctx.grid.Cell(src).Ring
-	dRing := ctx.grid.Cell(dst).Ring
-	m.begin(ctx.fleet.NumVehicles())
+	sc := ctx.getScratch()
+	defer ctx.putScratch(sc)
+
+	src := ctx.grid().CellOf(spec.Kin.S)
+	dst := ctx.grid().CellOf(spec.Kin.D)
+	sRing := ctx.grid().Cell(src).Ring
+	dRing := ctx.grid().Cell(dst).Ring
+	n := ctx.fleet.NumVehicles()
+	sc.visit.begin(n)
+	sc.dseen.begin(n)
+	par := ctx.workers > 1
 
 	var sky skyline.Skyline[Option]
 	es := newEmptyScan()
 	nonEmptyDone := false
-	var pending []pendingVehicle
+	pending := sc.pending[:0]
 
 	di := 0
 	ld := 0.0 // every vehicle not d-seen has all schedule locations ≥ ld from d
@@ -111,8 +90,9 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		}
 		// Advance the d-ring in lockstep so ld grows with L.
 		for di < len(dRing) && dRing[di].LB <= L {
-			for _, id := range ctx.lists.NonEmpty(dRing[di].Cell) {
-				m.dSeenStamp[id] = m.epoch
+			sc.ids = ctx.lists.AppendNonEmpty(dRing[di].Cell, sc.ids[:0])
+			for _, id := range sc.ids {
+				sc.dseen.mark(id)
 			}
 			stats.CellsScanned++
 			di++
@@ -133,34 +113,44 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		stats.CellsScanned++
 
 		if !emptyDone {
-			es.scanCell(ctx, entry.Cell, spec, &sky, stats)
+			es.scanCell(ctx, sc, entry.Cell, spec, &sky, stats)
 		}
 		if !nonEmptyDone {
-			for _, id := range ctx.lists.NonEmpty(entry.Cell) {
-				if !m.firstVisit(id) {
+			sc.ids = ctx.lists.AppendNonEmpty(entry.Cell, sc.ids[:0])
+			for _, id := range sc.ids {
+				if !sc.visit.first(id) {
 					continue
 				}
 				v, err := ctx.fleet.Vehicle(id)
 				if err != nil {
 					continue
 				}
-				pickupLB := ctx.metric.LB(v.Loc(), spec.Kin.S)
+				loc, maxLeg, active := v.ProbeState()
+				if !active {
+					continue
+				}
+				pickupLB := ctx.metric.LB(loc, spec.Kin.S)
 				if pickupLB > spec.MaxPickupDist || sky.IsDominated(pickupLB, spec.MinPrice) {
 					stats.PrunedVehicles++
 					continue
 				}
-				if m.dSeen(id) {
-					quoteVehicle(v, spec, &sky, stats)
+				if sc.dseen.seen(id) {
+					if par {
+						sc.batch = append(sc.batch, v)
+					} else {
+						quoteVehicle(v, spec, &sky, stats)
+					}
 					continue
 				}
 				// Certifiably far from d at radius ld: price floor rises.
-				dlb := detourLB(ld, v.Tree.MaxLegUpper())
+				dlb := detourLB(ld, maxLeg)
 				if sky.IsDominated(pickupLB, spec.Ratio*(spec.Kin.SD+dlb)) {
 					stats.PrunedVehicles++
 					continue
 				}
-				pending = append(pending, pendingVehicle{v: v, pickupLB: pickupLB})
+				pending = append(pending, pendingVehicle{v: v, pickupLB: pickupLB, maxLeg: maxLeg})
 			}
+			ctx.flushBatch(sc, spec, &sky, stats)
 		}
 	}
 
@@ -170,15 +160,21 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 			stats.PrunedVehicles++
 			continue
 		}
-		if !m.dSeen(p.v.ID) {
-			dlb := detourLB(ld, p.v.Tree.MaxLegUpper())
+		if !sc.dseen.seen(p.v.ID) {
+			dlb := detourLB(ld, p.maxLeg)
 			if sky.IsDominated(p.pickupLB, spec.Ratio*(spec.Kin.SD+dlb)) {
 				stats.PrunedVehicles++
 				continue
 			}
 		}
-		quoteVehicle(p.v, spec, &sky, stats)
+		if par {
+			sc.batch = append(sc.batch, p.v)
+		} else {
+			quoteVehicle(p.v, spec, &sky, stats)
+		}
 	}
+	ctx.flushBatch(sc, spec, &sky, stats)
+	sc.pending = pending[:0]
 
 	es.finish(spec, &sky)
 	return skylineOptions(&sky, stats)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptrider/internal/fleet"
@@ -92,6 +94,22 @@ type Config struct {
 	// networks.
 	NumLandmarks int
 
+	// MatchWorkers bounds the per-match candidate-evaluation fan-out:
+	// vehicles surviving bound-based pruning are probed by up to this
+	// many goroutines. 0 means GOMAXPROCS; 1 forces fully serial
+	// evaluation (the reference algorithm, bit for bit). Independent of
+	// this setting, whole Submit calls always run concurrently.
+	MatchWorkers int
+
+	// CommitSlack loosens Choose's validate-then-commit: when the
+	// quoted candidate has gone stale (the vehicle moved or accepted
+	// other riders between quote and choice), the request is re-probed
+	// and a fresh candidate within CommitSlack·dist(s,d) metres of the
+	// quoted pick-up distance and detour is committed instead. Zero is
+	// strict: a stale candidate fails the choice, as the serial engine
+	// did.
+	CommitSlack float64
+
 	// DisableEmptyLemma and DisableLB switch off individual
 	// optimisations for the E8 ablation benchmarks.
 	DisableEmptyLemma bool
@@ -120,6 +138,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxPickupSeconds == 0 {
 		out.MaxPickupSeconds = 1800
+	}
+	if out.MatchWorkers == 0 {
+		out.MatchWorkers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -157,7 +178,9 @@ func (s RequestStatus) String() string {
 }
 
 // RequestRecord is the engine's view of a request's lifecycle, exposed
-// for statistics and the website interface.
+// for statistics and the website interface. Methods returning a record
+// return a snapshot copy; the ledger's live records stay behind the
+// engine's coordination lock.
 type RequestRecord struct {
 	ID     RequestID
 	S, D   roadnet.VertexID
@@ -184,31 +207,58 @@ type RequestRecord struct {
 
 // Engine is the PTRider system core: it owns the index structures, the
 // fleet and the matchers, answers requests with skyline options,
-// commits rider choices, and advances simulated time. Safe for
-// concurrent use.
+// commits rider choices, and advances simulated time.
+//
+// Safe for concurrent use — and, unlike the first generation of this
+// engine, internally parallel. State is layered by mutability:
+//
+//   - Substrate: graph, grid index, landmarks, pricing — immutable,
+//     shared lock-free (see Substrate).
+//   - Distance memo: internally sharded (see memoMetric).
+//   - Fleet: per-vehicle locks; probes and commits on distinct
+//     vehicles never contend (see package fleet).
+//   - Coordination core: the request ledger and lifecycle counters
+//     behind ledgerMu, the response/quality accumulators behind
+//     statsMu, the simulated clock in an atomic, the algorithm switch
+//     in an atomic, and the placement RNG behind rngMu. Ticks are
+//     serialised by tickMu but overlap freely with matching.
+//
+// Lock order: ledgerMu → statsMu, and ledgerMu → Vehicle.mu (Choose
+// holds the ledger across its vehicle commit so assignment is atomic
+// against event application and vehicle removal); no code path
+// acquires ledgerMu while holding a vehicle lock. Submit holds no
+// engine-wide lock while matching, so request answering scales with
+// cores.
 type Engine struct {
-	mu sync.Mutex
-
-	cfg    Config
-	g      *roadnet.Graph
-	grid   *gridindex.Grid
+	sub    *Substrate
+	metric *memoMetric
 	lists  *gridindex.VehicleLists
 	fleet  *fleet.Fleet
-	metric *memoMetric
-	model  pricing.Model
 
 	matchers map[Algorithm]Matcher
-	algo     Algorithm
+	algo     atomic.Int32
 
-	speed  float64 // m/s
-	rng    *rand.Rand
-	clock  float64 // seconds of simulated time
-	nextID RequestID
-	reqs   map[RequestID]*RequestRecord
-	byVeh  map[fleet.VehicleID]map[RequestID]bool // assigned, not yet dropped
-	search *roadnet.Searcher
+	clockBits atomic.Uint64 // simulated seconds, as math.Float64bits
+	nextID    atomic.Int64
+	requests  atomic.Int64 // quoted requests, for consistent Stats
 
-	// Statistics for the website panel (Fig. 4c).
+	tickMu sync.Mutex // serialises Tick's movement phase
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// ledgerMu guards the request ledger and the lifecycle counters.
+	ledgerMu  sync.Mutex
+	reqs      map[RequestID]*RequestRecord
+	byVeh     map[fleet.VehicleID]map[RequestID]bool // assigned, not yet dropped
+	completed int64
+	shared    int64
+	declined  int64
+	assigned  int64
+
+	// statsMu guards the online accumulators for the website panel
+	// (Fig. 4c). Taken after ledgerMu when both are needed.
+	statsMu    sync.Mutex
 	respNs     stats.Online // per-match wall time
 	respP95    *stats.P2Quantile
 	optCount   stats.Online
@@ -218,41 +268,18 @@ type Engine struct {
 	distCalls  stats.Online
 	waitDist   stats.Online // actual − planned pickup distance
 	detourFrac stats.Online // in-vehicle distance / direct distance
-	completed  int64
-	shared     int64
-	declined   int64
-	assigned   int64
 }
 
 // NewEngine builds the full system over an embedded road network.
 func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
-	if cfg.SpeedKmh <= 0 {
-		return nil, fmt.Errorf("core: speed must be positive")
-	}
-	if cfg.Sigma < 0 {
-		return nil, fmt.Errorf("core: sigma must be non-negative")
-	}
-	grid, err := gridindex.Build(g, gridindex.Config{
-		Cols: cfg.GridCols, Rows: cfg.GridRows, MaxBoundRadius: cfg.MaxBoundRadius,
-	})
+	sub, err := newSubstrate(g, cfg)
 	if err != nil {
 		return nil, err
 	}
-	model := pricing.NewModel(cfg.PriceRatio)
-	if err := model.Validate(cfg.Capacity); err != nil {
-		return nil, err
-	}
-	lists := gridindex.NewVehicleLists(grid.NumCells())
-	var lm *roadnet.Landmarks
-	if cfg.NumLandmarks > 0 {
-		lm, err = roadnet.SelectLandmarks(g, cfg.NumLandmarks)
-		if err != nil {
-			return nil, err
-		}
-	}
-	metric := newMemoMetric(grid, lm, cfg.DisableLB)
-	fl, err := fleet.New(grid, lists, metric, fleet.Config{
+	metric := newMemoMetric(sub.grid, sub.lm, cfg.DisableLB)
+	lists := gridindex.NewVehicleLists(sub.grid.NumCells())
+	fl, err := fleet.New(sub.grid, lists, metric, fleet.Config{
 		Capacity:          cfg.Capacity,
 		MaxSchedulePoints: cfg.MaxSchedulePoints,
 		Seed:              cfg.Seed,
@@ -261,30 +288,17 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		g:       g,
-		grid:    grid,
+		sub:     sub,
+		metric:  metric,
 		lists:   lists,
 		fleet:   fl,
-		metric:  metric,
-		model:   model,
-		algo:    cfg.Algorithm,
-		speed:   cfg.SpeedKmh / 3.6,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		nextID:  1,
 		reqs:    make(map[RequestID]*RequestRecord),
 		byVeh:   make(map[fleet.VehicleID]map[RequestID]bool),
-		search:  roadnet.NewSearcher(g),
 		respP95: stats.NewP2Quantile(0.95),
 	}
-	ctx := &matchContext{
-		fleet:             fl,
-		grid:              grid,
-		lists:             lists,
-		metric:            metric,
-		model:             model,
-		disableEmptyLemma: cfg.DisableEmptyLemma,
-	}
+	e.algo.Store(int32(cfg.Algorithm))
+	ctx := newMatchContext(sub, fl, lists, metric, cfg.MatchWorkers, cfg.DisableEmptyLemma)
 	e.matchers = map[Algorithm]Matcher{
 		AlgoNaive:      newNaiveMatcher(ctx),
 		AlgoSingleSide: newSingleSideMatcher(ctx),
@@ -294,58 +308,50 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 }
 
 // Grid exposes the road-network index (read-only).
-func (e *Engine) Grid() *gridindex.Grid { return e.grid }
+func (e *Engine) Grid() *gridindex.Grid { return e.sub.grid }
 
 // Graph exposes the road network.
-func (e *Engine) Graph() *roadnet.Graph { return e.g }
+func (e *Engine) Graph() *roadnet.Graph { return e.sub.g }
 
 // Speed returns the system speed in metres per second.
-func (e *Engine) Speed() float64 { return e.speed }
+func (e *Engine) Speed() float64 { return e.sub.speed }
 
 // Config returns the engine's effective configuration.
-func (e *Engine) Config() Config { return e.cfg }
+func (e *Engine) Config() Config { return e.sub.cfg }
 
 // Clock returns the simulated time in seconds.
 func (e *Engine) Clock() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.clock
+	return math.Float64frombits(e.clockBits.Load())
 }
 
 // SetAlgorithm switches the matching algorithm at run time (website
 // admin control).
 func (e *Engine) SetAlgorithm(a Algorithm) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.matchers[a]; !ok {
 		return fmt.Errorf("core: unknown algorithm %v", a)
 	}
-	e.algo = a
+	e.algo.Store(int32(a))
 	return nil
 }
 
 // Algorithm returns the active matching algorithm.
 func (e *Engine) Algorithm() Algorithm {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.algo
+	return Algorithm(e.algo.Load())
 }
 
 // AddVehicleAt places a vehicle at the given vertex.
 func (e *Engine) AddVehicleAt(loc roadnet.VertexID) fleet.VehicleID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.fleet.AddVehicle(loc).ID
 }
 
 // AddVehiclesUniform places n vehicles uniformly at random vertices
 // (the demo's initialisation) and returns their ids.
 func (e *Engine) AddVehiclesUniform(n int) []fleet.VehicleID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	ids := make([]fleet.VehicleID, n)
 	for i := range ids {
-		loc := roadnet.VertexID(e.rng.Intn(e.g.NumVertices()))
+		e.rngMu.Lock()
+		loc := roadnet.VertexID(e.rng.Intn(e.sub.g.NumVertices()))
+		e.rngMu.Unlock()
 		ids[i] = e.fleet.AddVehicle(loc).ID
 	}
 	return ids
@@ -353,8 +359,6 @@ func (e *Engine) AddVehiclesUniform(n int) []fleet.VehicleID {
 
 // NumVehicles returns the number of in-service vehicles.
 func (e *Engine) NumVehicles() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.fleet.NumActive()
 }
 
@@ -380,9 +384,10 @@ func DefaultConstraints() Constraints {
 }
 
 // Submit answers a ridesharing request under the global constraints: it
-// runs the active matcher and returns the request record holding all
-// qualified non-dominated options. The rider then calls Choose or
-// Decline.
+// runs the active matcher and returns a snapshot of the request record
+// holding all qualified non-dominated options. The rider then calls
+// Choose or Decline. Submissions run fully in parallel: no engine-wide
+// lock is held while matching.
 func (e *Engine) Submit(s, d roadnet.VertexID, riders int) (*RequestRecord, error) {
 	return e.SubmitWithConstraints(s, d, riders, DefaultConstraints())
 }
@@ -390,13 +395,7 @@ func (e *Engine) Submit(s, d roadnet.VertexID, riders int) (*RequestRecord, erro
 // SubmitWithConstraints is Submit with per-rider waiting-time and
 // service-constraint overrides.
 func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.submitLocked(s, d, riders, c)
-}
-
-func (e *Engine) submitLocked(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
-	n := e.g.NumVertices()
+	n := e.sub.g.NumVertices()
 	if s < 0 || int(s) >= n || d < 0 || int(d) >= n {
 		return nil, fmt.Errorf("core: request endpoints out of range")
 	}
@@ -416,32 +415,32 @@ func (e *Engine) submitLocked(s, d roadnet.VertexID, riders int, c Constraints) 
 	}
 	wait := c.WaitSeconds
 	if wait <= 0 {
-		wait = e.cfg.MaxWaitSeconds
+		wait = e.sub.cfg.MaxWaitSeconds
 	}
 	sigma := c.Sigma
 	if sigma < 0 {
-		sigma = e.cfg.Sigma
+		sigma = e.sub.cfg.Sigma
 	}
 
-	id := e.nextID
-	e.nextID++
+	id := RequestID(e.nextID.Add(1))
 	spec := &ReqSpec{
 		Kin: kinetic.Request{
 			ID: id, S: s, D: d, Riders: riders,
 			SD:           sd,
 			ServiceLimit: (1 + sigma) * sd,
-			WaitBudget:   wait * e.speed,
+			WaitBudget:   wait * e.sub.speed,
 		},
-		Ratio:         e.model.Ratio(riders),
-		MinPrice:      e.model.MinPrice(riders, sd),
-		MaxPickupDist: e.cfg.MaxPickupSeconds * e.speed,
+		Ratio:         e.sub.model.Ratio(riders),
+		MinPrice:      e.sub.model.MinPrice(riders, sd),
+		MaxPickupDist: e.sub.cfg.MaxPickupSeconds * e.sub.speed,
 	}
 
 	var ms MatchStats
 	start := time.Now()
-	options := e.matchers[e.algo].Match(spec, &ms)
+	options := e.matchers[e.Algorithm()].Match(spec, &ms)
 	elapsed := time.Since(start)
 
+	e.statsMu.Lock()
 	e.respNs.Observe(float64(elapsed.Nanoseconds()))
 	e.respP95.Observe(float64(elapsed.Nanoseconds()))
 	e.optCount.Observe(float64(len(options)))
@@ -449,25 +448,43 @@ func (e *Engine) submitLocked(s, d roadnet.VertexID, riders int, c Constraints) 
 	e.pruned.Observe(float64(ms.PrunedVehicles))
 	e.cells.Observe(float64(ms.CellsScanned))
 	e.distCalls.Observe(float64(ms.DistCalls))
+	e.statsMu.Unlock()
+	// Count the request before the record becomes visible: any assign
+	// that includes this request is then counted after it, keeping
+	// Stats' Assigned ≤ Requests under concurrency.
+	e.requests.Add(1)
 
 	rec := &RequestRecord{
 		ID: id, S: s, D: d, Riders: riders,
 		WaitSeconds: wait, Sigma: sigma,
 		Status: StatusQuoted, Options: options, Chosen: -1,
-		SD: sd, SubmitClock: e.clock,
+		SD: sd, SubmitClock: e.Clock(),
 	}
+	e.ledgerMu.Lock()
 	e.reqs[id] = rec
-	return rec, nil
+	cp := *rec
+	e.ledgerMu.Unlock()
+	return &cp, nil
 }
 
-// Choose commits the rider's selected option.
+// Choose commits the rider's selected option: a validate-then-commit
+// under the chosen vehicle's lock. The candidate quoted at Submit is
+// validated against the vehicle's current schedule state; if it has
+// gone stale and Config.CommitSlack allows, the request is re-probed
+// and an equivalent fresh candidate committed (see fleet.Commit).
+//
+// The ledger lock is held across the vehicle commit. That is what
+// makes assignment atomic with respect to the rest of the lifecycle:
+// a pickup served by a concurrent Tick, or an orphaning
+// RemoveVehicle, must pass through ledgerMu to touch the record, so
+// neither can observe — or be clobbered by — a half-finalised
+// assignment. The order ledgerMu → Vehicle.mu is safe because no
+// code path acquires ledgerMu while holding a vehicle lock (Tick
+// releases every vehicle before its ledger phase), and matching —
+// the hot path — never touches ledgerMu at all.
 func (e *Engine) Choose(id RequestID, optionIndex int) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.chooseLocked(id, optionIndex)
-}
-
-func (e *Engine) chooseLocked(id RequestID, optionIndex int) error {
+	e.ledgerMu.Lock()
+	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
 		return fmt.Errorf("core: unknown request %d", id)
@@ -483,20 +500,24 @@ func (e *Engine) chooseLocked(id RequestID, optionIndex int) error {
 		ID: id, S: rec.S, D: rec.D, Riders: rec.Riders,
 		SD:           rec.SD,
 		ServiceLimit: (1 + rec.Sigma) * rec.SD,
-		WaitBudget:   rec.WaitSeconds * e.speed,
+		WaitBudget:   rec.WaitSeconds * e.sub.speed,
 	}
-	v, err := e.fleet.Vehicle(opt.Vehicle)
+	ratio := e.sub.model.Ratio(rec.Riders)
+
+	res, err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate, e.sub.cfg.CommitSlack)
 	if err != nil {
-		return err
-	}
-	if err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate); err != nil {
 		return err
 	}
 	rec.Status = StatusAssigned
 	rec.Chosen = optionIndex
 	rec.Vehicle = opt.Vehicle
 	rec.Price = opt.Price
-	rec.PlannedPickupOdo = v.Odometer() + opt.Candidate.PickupDist
+	if res.Reprobed {
+		// The committed schedule differs from the quoted one; reprice
+		// from the committed detour so the record stays truthful.
+		rec.Price = ratio * (res.Candidate.Delta + rec.SD)
+	}
+	rec.PlannedPickupOdo = res.PlannedPickupOdo
 	if e.byVeh[opt.Vehicle] == nil {
 		e.byVeh[opt.Vehicle] = make(map[RequestID]bool)
 	}
@@ -516,36 +537,44 @@ type BatchItem struct {
 }
 
 // SubmitBatch processes simultaneously issued requests with the paper's
-// greedy strategy (§2.5): requests are quoted and committed one at a
-// time under a single engine lock, each seeing the fleet state left by
-// the previous commitments. It returns one record per item, in order;
+// greedy strategy (§2.5): the batch's requests are quoted and committed
+// one at a time, each seeing the fleet state left by the previous
+// commitments. It returns one record snapshot per item, in order;
 // individual failures are recorded as nil entries with the first error
-// returned.
+// returned. Unrelated traffic may interleave with a batch — the greedy
+// order is a property of the batch, not a global freeze.
 func (e *Engine) SubmitBatch(items []BatchItem) ([]*RequestRecord, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]*RequestRecord, len(items))
 	var firstErr error
 	for i, it := range items {
-		rec, err := e.submitLocked(it.S, it.D, it.Riders, it.Constraints)
+		rec, err := e.SubmitWithConstraints(it.S, it.D, it.Riders, it.Constraints)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("core: batch item %d: %w", i, err)
 			}
 			continue
 		}
-		out[i] = rec
 		pick := -1
 		if it.Choose != nil {
 			pick = it.Choose(rec.Options)
 		}
 		if pick >= 0 && pick < len(rec.Options) {
-			if err := e.chooseLocked(rec.ID, pick); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("core: batch item %d choose: %w", i, err)
+			if err := e.Choose(rec.ID, pick); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: batch item %d choose: %w", i, err)
+				}
+				// Don't abandon the record in the quoted state: a
+				// failed choice (e.g. the candidate went stale under a
+				// concurrent ticker) ends the item's lifecycle here.
+				_ = e.Decline(rec.ID)
 			}
 		} else {
-			rec.Status = StatusDeclined
-			e.declined++
+			_ = e.Decline(rec.ID)
+		}
+		if fresh, err := e.Request(rec.ID); err == nil {
+			out[i] = fresh
+		} else {
+			out[i] = rec
 		}
 	}
 	return out, firstErr
@@ -553,8 +582,8 @@ func (e *Engine) SubmitBatch(items []BatchItem) ([]*RequestRecord, error) {
 
 // Decline records that the rider took none of the options.
 func (e *Engine) Decline(id RequestID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.ledgerMu.Lock()
+	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
 		return fmt.Errorf("core: unknown request %d", id)
@@ -567,10 +596,10 @@ func (e *Engine) Decline(id RequestID) error {
 	return nil
 }
 
-// Request returns the record of request id.
+// Request returns a snapshot of the record of request id.
 func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.ledgerMu.Lock()
+	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown request %d", id)
@@ -581,34 +610,51 @@ func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
 
 // Tick advances simulated time by dt seconds: vehicles move at the
 // system speed, pickups and dropoffs fire, request records update.
+// Ticks serialise against each other but overlap with matching and
+// choices; a commit landing mid-tick simply waits for that one
+// vehicle's step.
 func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if dt < 0 {
 		return nil, fmt.Errorf("core: negative tick %v", dt)
 	}
-	e.clock += dt
-	events, err := e.fleet.Step(dt * e.speed)
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+	e.clockBits.Store(math.Float64bits(e.Clock() + dt))
+	events, err := e.fleet.Step(dt * e.sub.speed)
+	e.ledgerMu.Lock()
 	for _, ev := range events {
-		e.applyEvent(ev)
+		e.applyEventLocked(ev)
 	}
+	e.ledgerMu.Unlock()
 	return events, err
 }
 
-func (e *Engine) applyEvent(ev fleet.Event) {
+// applyEventLocked folds one movement event into the ledger. The caller
+// holds ledgerMu; the quality accumulators are taken under statsMu
+// inside (ledgerMu → statsMu is the documented order).
+func (e *Engine) applyEventLocked(ev fleet.Event) {
 	rec, ok := e.reqs[ev.Request]
 	if !ok {
 		return
 	}
 	switch ev.Kind {
 	case fleet.EventPickup:
+		if rec.Status != StatusAssigned {
+			// The record left the assigned state between the fleet step
+			// and this ledger phase — e.g. RemoveVehicle orphaned it to
+			// declined. The movement already happened; the lifecycle
+			// must not be resurrected.
+			return
+		}
 		rec.Status = StatusOnboard
 		rec.PickupOdo = ev.Odo
-		if wait := ev.Odo - rec.PlannedPickupOdo; wait > 0 {
-			e.waitDist.Observe(wait)
-		} else {
-			e.waitDist.Observe(0)
+		wait := ev.Odo - rec.PlannedPickupOdo
+		if wait < 0 {
+			wait = 0
 		}
+		e.statsMu.Lock()
+		e.waitDist.Observe(wait)
+		e.statsMu.Unlock()
 		// Sharing: this rider overlaps with every other request
 		// currently assigned to the vehicle and onboard.
 		for other := range e.byVeh[ev.Vehicle] {
@@ -616,17 +662,20 @@ func (e *Engine) applyEvent(ev fleet.Event) {
 				continue
 			}
 			if o := e.reqs[other]; o != nil && o.Status == StatusOnboard {
-				if !o.Shared {
-					o.Shared = true
-				}
+				o.Shared = true
 				rec.Shared = true
 			}
 		}
 	case fleet.EventDropoff:
+		if rec.Status != StatusOnboard {
+			return
+		}
 		rec.Status = StatusCompleted
 		rec.DropoffOdo = ev.Odo
 		if rec.SD > 0 {
+			e.statsMu.Lock()
 			e.detourFrac.Observe((ev.Odo - rec.PickupOdo) / rec.SD)
+			e.statsMu.Unlock()
 		}
 		if rec.Shared {
 			e.shared++
@@ -649,48 +698,49 @@ type VehicleView struct {
 // VehicleViews returns summaries of up to limit in-service vehicles
 // (limit ≤ 0 means all), in id order.
 func (e *Engine) VehicleViews(limit int) []VehicleView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var out []VehicleView
-	e.fleet.Vehicles(func(v *fleet.Vehicle) {
+	for _, v := range e.fleet.Snapshot() {
 		if limit > 0 && len(out) >= limit {
-			return
+			break
 		}
-		p := e.g.Point(v.Loc())
+		loc, onboard, pending, removed := v.View()
+		if removed {
+			continue
+		}
+		p := e.sub.g.Point(loc)
 		out = append(out, VehicleView{
 			ID:       v.ID,
-			Location: v.Loc(),
+			Location: loc,
 			X:        p.X,
 			Y:        p.Y,
-			Onboard:  v.Tree.Onboard(),
-			Pending:  v.Tree.NumRequests(),
+			Onboard:  onboard,
+			Pending:  pending,
 		})
-	})
+	}
 	return out
 }
 
 // VehicleSchedules returns every valid trip schedule of a vehicle (the
 // website's red lines) plus its current location.
 func (e *Engine) VehicleSchedules(id fleet.VehicleID) (loc roadnet.VertexID, branches [][]kinetic.Point, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	v, err := e.fleet.Vehicle(id)
 	if err != nil {
 		return 0, nil, err
 	}
-	return v.Loc(), v.Tree.Branches(), nil
+	loc, branches = v.Schedules()
+	return loc, branches, nil
 }
 
 // RemoveVehicle injects a vehicle failure. The vehicle's pending
 // requests are orphaned: their records are marked declined and their
 // ids returned so the caller can resubmit them.
 func (e *Engine) RemoveVehicle(id fleet.VehicleID) ([]RequestID, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	orphans, err := e.fleet.RemoveVehicle(id)
 	if err != nil {
 		return nil, err
 	}
+	e.ledgerMu.Lock()
+	defer e.ledgerMu.Unlock()
 	out := make([]RequestID, 0, len(orphans))
 	for _, r := range orphans {
 		out = append(out, r.ID)
@@ -723,43 +773,74 @@ type EngineStats struct {
 	ActiveVehicles  int
 }
 
-// Stats returns a snapshot of the running statistics.
+// Stats returns a consistent snapshot of the running statistics without
+// stalling the matchers: the lifecycle counters are copied in one brief
+// ledger lock, the quality accumulators in one brief stats lock, and
+// the request counter is read last so Assigned ≤ Requests and
+// Completed ≤ Assigned always hold in the result.
 func (e *Engine) Stats() EngineStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p95 := 0.0
+	var s EngineStats
+	e.ledgerMu.Lock()
+	s.Assigned = e.assigned
+	s.Declined = e.declined
+	s.Completed = e.completed
+	s.SharedCompleted = e.shared
+	e.ledgerMu.Unlock()
+
+	e.statsMu.Lock()
 	if e.respP95.Count() > 0 {
-		p95 = e.respP95.Value() / 1e6
+		s.P95ResponseMs = e.respP95.Value() / 1e6
 	}
-	s := EngineStats{
-		Clock:           e.clock,
-		Requests:        e.respNs.Count(),
-		Assigned:        e.assigned,
-		Declined:        e.declined,
-		Completed:       e.completed,
-		SharedCompleted: e.shared,
-		AvgResponseMs:   e.respNs.Mean() / 1e6,
-		P95ResponseMs:   p95,
-		AvgOptions:      e.optCount.Mean(),
-		AvgVerified:     e.verified.Mean(),
-		AvgPruned:       e.pruned.Mean(),
-		AvgCellsScanned: e.cells.Mean(),
-		AvgDistCalls:    e.distCalls.Mean(),
-		AvgWaitSeconds:  e.waitDist.Mean() / e.speed,
-		AvgDetourFactor: e.detourFrac.Mean(),
-		ActiveVehicles:  e.fleet.NumActive(),
-	}
-	if e.completed > 0 {
-		s.SharingRate = float64(e.shared) / float64(e.completed)
+	s.AvgResponseMs = e.respNs.Mean() / 1e6
+	s.AvgOptions = e.optCount.Mean()
+	s.AvgVerified = e.verified.Mean()
+	s.AvgPruned = e.pruned.Mean()
+	s.AvgCellsScanned = e.cells.Mean()
+	s.AvgDistCalls = e.distCalls.Mean()
+	s.AvgWaitSeconds = e.waitDist.Mean() / e.sub.speed
+	s.AvgDetourFactor = e.detourFrac.Mean()
+	e.statsMu.Unlock()
+
+	// Requests is loaded after Assigned: submissions count themselves
+	// before their record exists, so the ordering guarantees the
+	// snapshot never shows more assignments than requests.
+	s.Requests = e.requests.Load()
+	s.Clock = e.Clock()
+	s.ActiveVehicles = e.fleet.NumActive()
+	if s.Completed > 0 {
+		s.SharingRate = float64(s.SharedCompleted) / float64(s.Completed)
 	}
 	return s
+}
+
+// CheckInvariants verifies cross-layer consistency after (possibly
+// concurrent) operations: every in-service vehicle's schedule state is
+// valid under the engine's capacity, and the lifecycle counters are
+// mutually consistent. Intended for tests.
+func (e *Engine) CheckInvariants() error {
+	if err := e.fleet.CheckInvariants(); err != nil {
+		return err
+	}
+	st := e.Stats()
+	if st.Assigned > st.Requests {
+		return fmt.Errorf("core: assigned %d > requests %d", st.Assigned, st.Requests)
+	}
+	if st.Completed > st.Assigned {
+		return fmt.Errorf("core: completed %d > assigned %d", st.Completed, st.Assigned)
+	}
+	if st.SharedCompleted > st.Completed {
+		return fmt.Errorf("core: shared %d > completed %d", st.SharedCompleted, st.Completed)
+	}
+	return nil
 }
 
 // MatchOnce runs a single matching with an explicit algorithm without
 // registering a request — the benchmark harness's entry point.
 func (e *Engine) MatchOnce(algo Algorithm, s, d roadnet.VertexID, riders int) ([]Option, MatchStats, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	m, ok := e.matchers[algo]
+	if !ok {
+		return nil, MatchStats{}, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
 	if s == d {
 		return nil, MatchStats{}, fmt.Errorf("core: start and destination coincide")
 	}
@@ -771,35 +852,33 @@ func (e *Engine) MatchOnce(algo Algorithm, s, d roadnet.VertexID, riders int) ([
 		Kin: kinetic.Request{
 			ID: -1, S: s, D: d, Riders: riders,
 			SD:           sd,
-			ServiceLimit: (1 + e.cfg.Sigma) * sd,
-			WaitBudget:   e.cfg.MaxWaitSeconds * e.speed,
+			ServiceLimit: (1 + e.sub.cfg.Sigma) * sd,
+			WaitBudget:   e.sub.cfg.MaxWaitSeconds * e.sub.speed,
 		},
-		Ratio:         e.model.Ratio(riders),
-		MinPrice:      e.model.MinPrice(riders, sd),
-		MaxPickupDist: e.cfg.MaxPickupSeconds * e.speed,
+		Ratio:         e.sub.model.Ratio(riders),
+		MinPrice:      e.sub.model.MinPrice(riders, sd),
+		MaxPickupDist: e.sub.cfg.MaxPickupSeconds * e.sub.speed,
 	}
 	var ms MatchStats
-	opts := e.matchers[algo].Match(spec, &ms)
+	opts := m.Match(spec, &ms)
 	return opts, ms, nil
 }
 
 // PickupSeconds converts an option's pick-up distance to seconds under
 // the engine speed.
-func (e *Engine) PickupSeconds(o Option) float64 { return o.PickupDist / e.speed }
+func (e *Engine) PickupSeconds(o Option) float64 { return o.PickupDist / e.sub.speed }
 
 // ResetDistCache clears the shared distance memo, so the next matching
 // runs against a cold cache. Benchmark-harness use only.
 func (e *Engine) ResetDistCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.metric.Reset()
 }
 
 // RandomVertex returns a uniformly random vertex (generator helper).
 func (e *Engine) RandomVertex() roadnet.VertexID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return roadnet.VertexID(e.rng.Intn(e.g.NumVertices()))
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return roadnet.VertexID(e.rng.Intn(e.sub.g.NumVertices()))
 }
 
 // SortOptionsByPrice returns the options of a record re-sorted by price

@@ -7,44 +7,86 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"ptrider/internal/gridindex"
 	"ptrider/internal/roadnet"
 )
 
+// memoShards is the stripe count of the shared distance memo. Road
+// networks issue distance queries from many goroutines at once; 64
+// stripes keep lock contention negligible at match-worker counts far
+// above any realistic core count.
+const memoShards = 64
+
 // memoMetric is the kinetic.Metric shared by every kinetic tree and
-// matcher in one engine: exact distances from a Searcher with
-// memoisation (the same vertex pairs recur heavily during insertion
-// enumeration), lower bounds from the grid index.
+// matcher in one engine: exact distances from epoch-stamped Searchers
+// with memoisation (the same vertex pairs recur heavily during
+// insertion enumeration), lower bounds from the grid index and optional
+// ALT landmarks.
 //
-// Not safe for concurrent use; the engine serialises all matching.
+// Safe for concurrent use: the memo is striped across RWMutex-guarded
+// shards keyed by the (order-normalised, since road distances here are
+// symmetric) vertex pair, and cache-missing exact computations draw a
+// private Searcher from a pool. Two goroutines racing on the same cold
+// pair may both compute it — both arrive at the same exact value, so
+// the second store is idempotent; DistCalls then counts both, which
+// matches its meaning of "exact computations performed".
 type memoMetric struct {
-	s    *roadnet.Searcher
 	grid *gridindex.Grid
 	// lm optionally supplies ALT landmark bounds, combined with the
 	// grid bounds by max (both are sound lower bounds).
-	lm   *roadnet.Landmarks
-	memo map[memoKey]float64
-	max  int
+	lm *roadnet.Landmarks
+
+	searchers sync.Pool // *roadnet.Searcher
+	shards    [memoShards]memoShard
+	// maxPerShard bounds each shard's memo; wholesale per-shard reset
+	// once full, as in the serial engine.
+	maxPerShard int
 
 	// distCalls counts cache-missing exact computations, the "number of
 	// shortest path distance computations" metric of paper §3.3.
-	distCalls int64
+	distCalls atomic.Int64
 	// noLB disables lower bounds (ablation E8): LB returns 0, which is
 	// always sound but prunes nothing.
 	noLB bool
 }
 
+type memoShard struct {
+	mu   sync.RWMutex
+	memo map[memoKey]float64
+}
+
 type memoKey struct{ u, v roadnet.VertexID }
 
-func newMemoMetric(grid *gridindex.Grid, lm *roadnet.Landmarks, noLB bool) *memoMetric {
-	return &memoMetric{
-		s:    roadnet.NewSearcher(grid.Graph()),
-		grid: grid,
-		lm:   lm,
-		memo: make(map[memoKey]float64, 1<<12),
-		max:  1 << 20,
-		noLB: noLB,
+// normKey order-normalises a vertex pair: distances are symmetric, so
+// (u,v) and (v,u) share one memo entry (and one shard).
+func normKey(u, v roadnet.VertexID) memoKey {
+	if u > v {
+		u, v = v, u
 	}
+	return memoKey{u, v}
+}
+
+func (k memoKey) shard() int {
+	h := uint64(uint32(k.u))*0x9e3779b1 ^ uint64(uint32(k.v))*0x85ebca77
+	return int(h % memoShards)
+}
+
+func newMemoMetric(grid *gridindex.Grid, lm *roadnet.Landmarks, noLB bool) *memoMetric {
+	m := &memoMetric{
+		grid:        grid,
+		lm:          lm,
+		maxPerShard: (1 << 20) / memoShards,
+		noLB:        noLB,
+	}
+	g := grid.Graph()
+	m.searchers.New = func() any { return roadnet.NewSearcher(g) }
+	for i := range m.shards {
+		m.shards[i].memo = make(map[memoKey]float64, 1<<6)
+	}
+	return m
 }
 
 // Dist returns the exact shortest-path distance, memoised.
@@ -52,18 +94,24 @@ func (m *memoMetric) Dist(u, v roadnet.VertexID) float64 {
 	if u == v {
 		return 0
 	}
-	k := memoKey{u, v}
-	if d, ok := m.memo[k]; ok {
+	k := normKey(u, v)
+	sh := &m.shards[k.shard()]
+	sh.mu.RLock()
+	d, ok := sh.memo[k]
+	sh.mu.RUnlock()
+	if ok {
 		return d
 	}
-	m.distCalls++
-	d := m.s.Dist(u, v)
-	if len(m.memo) >= m.max {
-		m.memo = make(map[memoKey]float64, 1<<12)
+	m.distCalls.Add(1)
+	s := m.searchers.Get().(*roadnet.Searcher)
+	d = s.Dist(u, v)
+	m.searchers.Put(s)
+	sh.mu.Lock()
+	if len(sh.memo) >= m.maxPerShard {
+		sh.memo = make(map[memoKey]float64, 1<<6)
 	}
-	m.memo[k] = d
-	// Road networks are symmetric; cache the reverse too.
-	m.memo[memoKey{v, u}] = d
+	sh.memo[k] = d
+	sh.mu.Unlock()
 	return d
 }
 
@@ -72,7 +120,12 @@ func (m *memoMetric) LB(u, v roadnet.VertexID) float64 {
 	if m.noLB {
 		return 0
 	}
-	if d, ok := m.memo[memoKey{u, v}]; ok {
+	k := normKey(u, v)
+	sh := &m.shards[k.shard()]
+	sh.mu.RLock()
+	d, ok := sh.memo[k]
+	sh.mu.RUnlock()
+	if ok {
 		return d
 	}
 	lb := m.grid.LB(u, v)
@@ -86,10 +139,15 @@ func (m *memoMetric) LB(u, v roadnet.VertexID) float64 {
 
 // DistCalls returns the cumulative number of exact shortest-path
 // computations (cache misses) since construction.
-func (m *memoMetric) DistCalls() int64 { return m.distCalls }
+func (m *memoMetric) DistCalls() int64 { return m.distCalls.Load() }
 
 // Reset drops the memo so subsequent DistCalls deltas measure a cold
 // cache — used by the benchmark harness to compare algorithms fairly.
 func (m *memoMetric) Reset() {
-	m.memo = make(map[memoKey]float64, 1<<12)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.memo = make(map[memoKey]float64, 1<<6)
+		sh.mu.Unlock()
+	}
 }

@@ -6,11 +6,13 @@ import (
 )
 
 // NaiveMatcher is the baseline extended directly from the kinetic-tree
-// algorithm (paper §3.3): every vehicle is evaluated by inserting the
-// request into its kinetic tree; the global skyline filters the
+// algorithm (paper §3.3): every vehicle is evaluated by probing its
+// kinetic tree with the request; the global skyline filters the
 // results. No index pruning is used, so matching cost grows linearly in
 // the fleet size — the behaviour the single- and dual-side searches are
-// measured against.
+// measured against. With MatchWorkers > 1 the probes run concurrently
+// and fold in vehicle-id order, so the result is identical to the
+// serial scan.
 type NaiveMatcher struct {
 	ctx *matchContext
 }
@@ -22,11 +24,24 @@ func (m *NaiveMatcher) Name() string { return "naive" }
 
 // Match implements Matcher.
 func (m *NaiveMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
-	before := m.ctx.metric.DistCalls()
+	ctx := m.ctx
+	before := ctx.metric.DistCalls()
+	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
+
 	var sky skyline.Skyline[Option]
-	m.ctx.fleet.Vehicles(func(v *fleet.Vehicle) {
-		quoteVehicle(v, spec, &sky, stats)
-	})
-	stats.DistCalls += m.ctx.metric.DistCalls() - before
+	if ctx.workers > 1 {
+		sc := ctx.getScratch()
+		defer ctx.putScratch(sc)
+		for _, v := range ctx.fleet.Snapshot() {
+			if !v.Removed() {
+				sc.batch = append(sc.batch, v)
+			}
+		}
+		ctx.flushBatch(sc, spec, &sky, stats)
+	} else {
+		ctx.fleet.Vehicles(func(v *fleet.Vehicle) {
+			quoteVehicle(v, spec, &sky, stats)
+		})
+	}
 	return skylineOptions(&sky, stats)
 }

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"ptrider/internal/fleet"
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
-	"ptrider/internal/pricing"
 	"ptrider/internal/skyline"
 )
 
@@ -38,7 +39,12 @@ type ReqSpec struct {
 
 // MatchStats instruments one matching run (paper §3.3's efficiency
 // discussion: vehicles verified vs pruned, exact distance computations,
-// grid cells scanned).
+// grid cells scanned). With parallel candidate evaluation the pruning
+// counters can differ from a serial run of the same match — batched
+// vehicles skip the intra-cell skyline pruning — while the returned
+// option set stays identical. DistCalls deltas are attributed from a
+// shared counter, so concurrent matches bleed into each other's counts;
+// treat them as aggregate instrumentation, not per-request truth.
 type MatchStats struct {
 	// Verified counts vehicles whose kinetic tree was consulted.
 	Verified int
@@ -54,6 +60,7 @@ type MatchStats struct {
 }
 
 // Matcher answers a request with the global non-dominated option set.
+// Implementations are stateless and safe for concurrent Match calls.
 type Matcher interface {
 	// Name identifies the algorithm ("naive", "single-side",
 	// "dual-side") as selectable in the demo's website interface.
@@ -63,26 +70,54 @@ type Matcher interface {
 	Match(spec *ReqSpec, stats *MatchStats) []Option
 }
 
-// matchContext bundles the shared state every matcher operates on.
+// matchContext bundles the shared state every matcher operates on: the
+// immutable substrate, the concurrent metric, the fleet and its grid
+// lists, and the per-match scratch pool.
 type matchContext struct {
+	sub    *Substrate
 	fleet  *fleet.Fleet
-	grid   *gridindex.Grid
 	lists  *gridindex.VehicleLists
 	metric *memoMetric
-	model  pricing.Model
+	// workers bounds the candidate-evaluation fan-out of one match;
+	// 1 means fully serial evaluation (the seed algorithm, bit for bit).
+	workers int
 	// disableEmptyLemma turns off the nearest-empty-vehicle
 	// optimisation (ablation E8): empty vehicles are then verified like
 	// non-empty ones.
 	disableEmptyLemma bool
+
+	scratch sync.Pool // *matchScratch
 }
 
-// quoteVehicle verifies one vehicle: quotes its kinetic tree and folds
-// the per-vehicle candidates into the global skyline, applying the
-// pick-up cutoff. Coordinates already present are skipped so ties do
-// not multiply across vehicles.
+func newMatchContext(sub *Substrate, fl *fleet.Fleet, lists *gridindex.VehicleLists, metric *memoMetric, workers int, disableEmptyLemma bool) *matchContext {
+	ctx := &matchContext{
+		sub:               sub,
+		fleet:             fl,
+		lists:             lists,
+		metric:            metric,
+		workers:           workers,
+		disableEmptyLemma: disableEmptyLemma,
+	}
+	ctx.scratch.New = func() any { return &matchScratch{} }
+	return ctx
+}
+
+func (ctx *matchContext) grid() *gridindex.Grid { return ctx.sub.grid }
+
+// quoteVehicle verifies one vehicle immediately: probes its kinetic
+// tree and folds the candidates into the global skyline.
 func quoteVehicle(v *fleet.Vehicle, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
 	stats.Verified++
-	for _, cand := range v.Tree.Quote(spec.Kin) {
+	foldCandidates(v, v.Quote(spec.Kin), spec, sky, stats)
+}
+
+// foldCandidates merges one vehicle's probe results into the global
+// skyline, applying the pick-up cutoff. Coordinates already present are
+// skipped so ties do not multiply across vehicles; fold order therefore
+// decides tie winners, which is why parallel evaluation folds in
+// discovery order.
+func foldCandidates(v *fleet.Vehicle, cands []kinetic.Candidate, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+	for _, cand := range cands {
 		if cand.PickupDist > spec.MaxPickupDist {
 			continue
 		}

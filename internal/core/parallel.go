@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/skyline"
+)
+
+// This file holds the engine's parallel candidate-evaluation machinery.
+//
+// The matchers' hot cost is the kinetic-tree insertion probe
+// (Vehicle.Quote); ring scanning and bound checks are cheap by
+// comparison. With MatchWorkers > 1 the matchers therefore collect the
+// vehicles that survive bound-based pruning per ring cell into a batch,
+// probe the batch concurrently (each probe under its own vehicle's
+// lock, side-effect-free), and fold the returned candidates into the
+// skyline sequentially in discovery order.
+//
+// Folding in discovery order is what keeps the parallel matcher's
+// option sets identical to the serial matcher's: the skyline is a
+// deterministic function of the folded options and their order (order
+// decides which vehicle wins an exact coordinate tie), and vehicles the
+// serial matcher would have pruned mid-cell only ever contribute
+// strictly dominated candidates (the bounds are sound), which the fold
+// rejects. The parallel mode may therefore probe more vehicles —
+// Verified/PrunedVehicles in MatchStats shift — but the returned
+// skyline does not.
+
+// visitSet is an epoch-stamped membership set over dense vehicle ids,
+// reused across matches to avoid clearing. Ids beyond the current size
+// (vehicles added mid-match) grow the stamp slice on demand.
+type visitSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// begin starts a new epoch sized for n vehicles.
+func (s *visitSet) begin(n int) {
+	if len(s.stamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *visitSet) grow(id gridindex.VehicleID) {
+	if int(id) >= len(s.stamp) {
+		grown := make([]uint32, int(id)+1)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+}
+
+// first marks id visited and reports whether this was the first visit
+// this epoch.
+func (s *visitSet) first(id gridindex.VehicleID) bool {
+	s.grow(id)
+	if s.stamp[id] == s.epoch {
+		return false
+	}
+	s.stamp[id] = s.epoch
+	return true
+}
+
+// mark records id without reporting.
+func (s *visitSet) mark(id gridindex.VehicleID) {
+	s.grow(id)
+	s.stamp[id] = s.epoch
+}
+
+// seen reports whether id was marked this epoch.
+func (s *visitSet) seen(id gridindex.VehicleID) bool {
+	return int(id) < len(s.stamp) && s.stamp[id] == s.epoch
+}
+
+// matchScratch is the per-match workspace. Matchers are stateless and
+// safe for concurrent Match calls; each call checks a scratch out of
+// the context's pool.
+type matchScratch struct {
+	visit visitSet // s-side discovery
+	dseen visitSet // d-side discovery (dual-side only)
+
+	ids     []gridindex.VehicleID // cell-list read buffer
+	batch   []*fleet.Vehicle      // vehicles awaiting a parallel probe
+	quotes  [][]kinetic.Candidate // per-batch probe results
+	pending []pendingVehicle      // dual-side deferred vehicles
+}
+
+func (ctx *matchContext) getScratch() *matchScratch {
+	return ctx.scratch.Get().(*matchScratch)
+}
+
+func (ctx *matchContext) putScratch(sc *matchScratch) {
+	sc.batch = sc.batch[:0]
+	sc.pending = sc.pending[:0]
+	ctx.scratch.Put(sc)
+}
+
+// flushBatch probes every batched vehicle (concurrently when the batch
+// and the worker budget allow) and folds the candidates into the
+// skyline in batch order. The batch is reset.
+func (ctx *matchContext) flushBatch(sc *matchScratch, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+	n := len(sc.batch)
+	if n == 0 {
+		return
+	}
+	if n == 1 || ctx.workers <= 1 {
+		for _, v := range sc.batch {
+			quoteVehicle(v, spec, sky, stats)
+		}
+	} else {
+		if cap(sc.quotes) < n {
+			sc.quotes = make([][]kinetic.Candidate, n)
+		}
+		quotes := sc.quotes[:n]
+		parallelFor(ctx.workers, n, func(i int) {
+			quotes[i] = sc.batch[i].Quote(spec.Kin)
+		})
+		for i, v := range sc.batch {
+			stats.Verified++
+			foldCandidates(v, quotes[i], spec, sky, stats)
+			quotes[i] = nil
+		}
+	}
+	sc.batch = sc.batch[:0]
+}
+
+// parallelFor runs fn(0..n-1) across up to `workers` goroutines with
+// work stealing via an atomic index; the caller participates, so the
+// call makes progress even when the scheduler is saturated. fn must be
+// safe for concurrent invocation on distinct indices.
+func parallelFor(workers, n int, fn func(int)) {
+	k := workers
+	if n < k {
+		k = n
+	}
+	if k <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for w := 0; w < k-1; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	wg.Wait()
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 
-	"ptrider/internal/fleet"
 	"ptrider/internal/gridindex"
 	"ptrider/internal/skyline"
 )
@@ -18,18 +17,20 @@ import (
 //     with dist(l, s), so only the nearest empty vehicle can contribute
 //     (the empty-vehicle dominance lemma); the ring scan finds it
 //     without quoting the rest.
-//   - Non-empty vehicles: a vehicle is verified (kinetic-tree insertion)
-//     only if its optimistic option (LB(l, s), f_n·dist(s,d)) is not
-//     already dominated by the running skyline.
+//   - Non-empty vehicles: a vehicle is verified (kinetic-tree insertion
+//     probe) only if its optimistic option (LB(l, s), f_n·dist(s,d)) is
+//     not already dominated by the running skyline. With MatchWorkers
+//     > 1 the survivors of a cell are probed concurrently and folded in
+//     discovery order (see parallel.go).
 //
 // Ring expansion terminates when a hypothetical vehicle at the current
 // ring radius could no longer contribute a non-dominated option, or
 // when the radius exceeds the engine's pick-up cutoff.
+//
+// The matcher is stateless; per-match workspace comes from the shared
+// scratch pool, so concurrent Match calls are safe.
 type SingleSideMatcher struct {
 	ctx *matchContext
-
-	visitStamp []uint32
-	visitEpoch uint32
 }
 
 func newSingleSideMatcher(ctx *matchContext) *SingleSideMatcher {
@@ -39,29 +40,6 @@ func newSingleSideMatcher(ctx *matchContext) *SingleSideMatcher {
 // Name implements Matcher.
 func (m *SingleSideMatcher) Name() string { return "single-side" }
 
-func (m *SingleSideMatcher) beginVisit(n int) {
-	if len(m.visitStamp) < n {
-		grown := make([]uint32, n)
-		copy(grown, m.visitStamp)
-		m.visitStamp = grown
-	}
-	m.visitEpoch++
-	if m.visitEpoch == 0 {
-		for i := range m.visitStamp {
-			m.visitStamp[i] = 0
-		}
-		m.visitEpoch = 1
-	}
-}
-
-func (m *SingleSideMatcher) firstVisit(id fleet.VehicleID) bool {
-	if m.visitStamp[id] == m.visitEpoch {
-		return false
-	}
-	m.visitStamp[id] = m.visitEpoch
-	return true
-}
-
 // emptyScan tracks the nearest-empty-vehicle search shared by the
 // single- and dual-side matchers. Every improvement is folded into the
 // skyline eagerly: the improving option is achievable, so inserting it
@@ -70,14 +48,17 @@ func (m *SingleSideMatcher) firstVisit(id fleet.VehicleID) bool {
 // empty vehicle found later dominates (and evicts) the earlier entry.
 type emptyScan struct {
 	bestDist float64
-	best     *fleet.Vehicle
-	done     bool
+	// bestOpt is the winning option, snapshotted at scan time so a
+	// concurrent move of the vehicle cannot skew the final insert.
+	bestOpt Option
+	has     bool
+	done    bool
 }
 
 func newEmptyScan() emptyScan { return emptyScan{bestDist: math.Inf(1)} }
 
 // scanCell folds one cell's empty-vehicle list into the running best.
-func (es *emptyScan) scanCell(ctx *matchContext, cell gridindex.CellID, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+func (es *emptyScan) scanCell(ctx *matchContext, sc *matchScratch, cell gridindex.CellID, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
 	if spec.Kin.Riders > ctx.fleet.Capacity() {
 		// No vehicle can hold the group; the synthetic empty-vehicle
 		// option must not be fabricated (the kinetic quote path refuses
@@ -85,15 +66,20 @@ func (es *emptyScan) scanCell(ctx *matchContext, cell gridindex.CellID, spec *Re
 		es.done = true
 		return
 	}
-	for _, id := range ctx.lists.Empty(cell) {
+	sc.ids = ctx.lists.AppendEmpty(cell, sc.ids[:0])
+	for _, id := range sc.ids {
 		v, err := ctx.fleet.Vehicle(id)
 		if err != nil {
+			continue
+		}
+		loc, active := v.ActiveLoc()
+		if !active {
 			continue
 		}
 		if ctx.disableEmptyLemma {
 			// Ablation: treat like a non-empty vehicle — verify unless
 			// the optimistic option is dominated.
-			lb := ctx.metric.LB(v.Loc(), spec.Kin.S)
+			lb := ctx.metric.LB(loc, spec.Kin.S)
 			if lb > spec.MaxPickupDist || sky.IsDominated(lb, spec.Ratio*(lb+2*spec.Kin.SD)) {
 				stats.PrunedVehicles++
 				continue
@@ -101,16 +87,17 @@ func (es *emptyScan) scanCell(ctx *matchContext, cell gridindex.CellID, spec *Re
 			quoteVehicle(v, spec, sky, stats)
 			continue
 		}
-		lb := ctx.metric.LB(v.Loc(), spec.Kin.S)
+		lb := ctx.metric.LB(loc, spec.Kin.S)
 		if lb >= es.bestDist || lb > spec.MaxPickupDist {
 			stats.PrunedVehicles++
 			continue
 		}
-		if d := ctx.metric.Dist(v.Loc(), spec.Kin.S); d < es.bestDist {
+		if d := ctx.metric.Dist(loc, spec.Kin.S); d < es.bestDist {
 			es.bestDist = d
-			es.best = v
+			es.bestOpt = emptyVehicleOption(v, d, spec)
+			es.has = true
 			if d <= spec.MaxPickupDist {
-				opt := emptyVehicleOption(v, d, spec)
+				opt := es.bestOpt
 				if !sky.IsDominated(opt.PickupDist, opt.Price) && !sky.ContainsPoint(opt.PickupDist, opt.Price) {
 					sky.Add(opt.PickupDist, opt.Price, opt)
 				}
@@ -133,10 +120,10 @@ func (es *emptyScan) terminateAt(L float64, spec *ReqSpec, sky *skyline.Skyline[
 
 // finish inserts the winning empty vehicle's option, if any.
 func (es *emptyScan) finish(spec *ReqSpec, sky *skyline.Skyline[Option]) {
-	if es.best == nil || es.bestDist > spec.MaxPickupDist {
+	if !es.has || es.bestDist > spec.MaxPickupDist {
 		return
 	}
-	opt := emptyVehicleOption(es.best, es.bestDist, spec)
+	opt := es.bestOpt
 	if !sky.IsDominated(opt.PickupDist, opt.Price) && !sky.ContainsPoint(opt.PickupDist, opt.Price) {
 		sky.Add(opt.PickupDist, opt.Price, opt)
 	}
@@ -148,9 +135,13 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 	before := ctx.metric.DistCalls()
 	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
 
-	src := ctx.grid.CellOf(spec.Kin.S)
-	ring := ctx.grid.Cell(src).Ring
-	m.beginVisit(ctx.fleet.NumVehicles())
+	sc := ctx.getScratch()
+	defer ctx.putScratch(sc)
+
+	src := ctx.grid().CellOf(spec.Kin.S)
+	ring := ctx.grid().Cell(src).Ring
+	sc.visit.begin(ctx.fleet.NumVehicles())
+	par := ctx.workers > 1
 
 	var sky skyline.Skyline[Option]
 	es := newEmptyScan()
@@ -171,24 +162,34 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		stats.CellsScanned++
 
 		if !emptyDone {
-			es.scanCell(ctx, entry.Cell, spec, &sky, stats)
+			es.scanCell(ctx, sc, entry.Cell, spec, &sky, stats)
 		}
 		if !nonEmptyDone {
-			for _, id := range ctx.lists.NonEmpty(entry.Cell) {
-				if !m.firstVisit(id) {
+			sc.ids = ctx.lists.AppendNonEmpty(entry.Cell, sc.ids[:0])
+			for _, id := range sc.ids {
+				if !sc.visit.first(id) {
 					continue
 				}
 				v, err := ctx.fleet.Vehicle(id)
 				if err != nil {
 					continue
 				}
-				pickupLB := ctx.metric.LB(v.Loc(), spec.Kin.S)
+				loc, active := v.ActiveLoc()
+				if !active {
+					continue
+				}
+				pickupLB := ctx.metric.LB(loc, spec.Kin.S)
 				if pickupLB > spec.MaxPickupDist || sky.IsDominated(pickupLB, spec.MinPrice) {
 					stats.PrunedVehicles++
 					continue
 				}
-				quoteVehicle(v, spec, &sky, stats)
+				if par {
+					sc.batch = append(sc.batch, v)
+				} else {
+					quoteVehicle(v, spec, &sky, stats)
+				}
 			}
+			ctx.flushBatch(sc, spec, &sky, stats)
 		}
 	}
 	es.finish(spec, &sky)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"ptrider/internal/gridindex"
+	"ptrider/internal/pricing"
+	"ptrider/internal/roadnet"
+)
+
+// Substrate is the read-only routing substrate of one engine: the road
+// network, the grid index's static layer (cell bounds and sorted cell
+// lists), the optional ALT landmark tables, the pricing model, and the
+// derived constants. Everything here is immutable after construction,
+// so matchers, kinetic trees and HTTP handlers share it lock-free
+// across any number of goroutines; all mutable state lives behind the
+// fleet's per-vehicle locks and the engine's coordination core.
+type Substrate struct {
+	g     *roadnet.Graph
+	grid  *gridindex.Grid
+	lm    *roadnet.Landmarks
+	model pricing.Model
+	cfg   Config  // effective (defaulted) configuration
+	speed float64 // m/s
+}
+
+// newSubstrate builds the immutable layer from a road network and an
+// effective (defaulted) configuration.
+func newSubstrate(g *roadnet.Graph, cfg Config) (*Substrate, error) {
+	if cfg.SpeedKmh <= 0 {
+		return nil, fmt.Errorf("core: speed must be positive")
+	}
+	if cfg.Sigma < 0 {
+		return nil, fmt.Errorf("core: sigma must be non-negative")
+	}
+	grid, err := gridindex.Build(g, gridindex.Config{
+		Cols: cfg.GridCols, Rows: cfg.GridRows, MaxBoundRadius: cfg.MaxBoundRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model := pricing.NewModel(cfg.PriceRatio)
+	if err := model.Validate(cfg.Capacity); err != nil {
+		return nil, err
+	}
+	var lm *roadnet.Landmarks
+	if cfg.NumLandmarks > 0 {
+		lm, err = roadnet.SelectLandmarks(g, cfg.NumLandmarks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Substrate{
+		g:     g,
+		grid:  grid,
+		lm:    lm,
+		model: model,
+		cfg:   cfg,
+		speed: cfg.SpeedKmh / 3.6,
+	}, nil
+}
+
+// Graph returns the road network.
+func (s *Substrate) Graph() *roadnet.Graph { return s.g }
+
+// Grid returns the static grid index.
+func (s *Substrate) Grid() *gridindex.Grid { return s.grid }
+
+// Landmarks returns the ALT landmark tables, or nil when disabled.
+func (s *Substrate) Landmarks() *roadnet.Landmarks { return s.lm }
+
+// Model returns the pricing model.
+func (s *Substrate) Model() pricing.Model { return s.model }
+
+// Speed returns the system speed in metres per second.
+func (s *Substrate) Speed() float64 { return s.speed }
+
+// Config returns the effective configuration the substrate was built
+// from.
+func (s *Substrate) Config() Config { return s.cfg }

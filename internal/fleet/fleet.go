@@ -24,12 +24,34 @@
 // reading at arrival at the root vertex, so every budget the tree
 // checks is consistent with the distance actually driven.
 //
-// Fleet is not safe for concurrent use; the engine serialises access.
+// # Locking discipline
+//
+// The fleet is safe for concurrent use. Mutable state is split into
+// fine-grained locks so candidate evaluation parallelises:
+//
+//   - Each Vehicle owns a mutex guarding its kinetic tree and movement
+//     state. Quote (the side-effect-free matching probe), Commit (the
+//     validate-then-commit of a rider choice) and stepping all run
+//     under the vehicle's own lock, so distinct vehicles are probed
+//     and mutated fully in parallel.
+//   - The vehicles slice and the active count sit behind a fleet-level
+//     RWMutex taken only on AddVehicle/RemoveVehicle and snapshots.
+//   - The shared shortest-path searcher and the path-cell cache used
+//     for grid registration sit behind pathMu.
+//   - The roaming RNG sits behind rngMu.
+//   - The grid vehicle lists are internally synchronised.
+//
+// Lock order: Vehicle.mu → (pathMu | rngMu | lists). Fleet-level and
+// vehicle-level locks are never held together except the read lock
+// during snapshots. Exported Vehicle accessors acquire the vehicle
+// lock; fleet internals that already hold it use the unexported
+// *Locked variants.
 package fleet
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
@@ -67,7 +89,11 @@ type Event struct {
 
 // Vehicle is one taxi: its schedule tree plus movement state.
 type Vehicle struct {
-	ID   VehicleID
+	ID VehicleID
+
+	// mu guards Tree, remainToRoot and removed. Exported methods
+	// acquire it; code that already holds it uses the tree directly.
+	mu   sync.Mutex
 	Tree *kinetic.Tree
 
 	// remainToRoot is the distance left on the current edge before the
@@ -79,18 +105,91 @@ type Vehicle struct {
 
 // Loc returns the vertex the vehicle is at or driving toward — the
 // position all matching is computed from.
-func (v *Vehicle) Loc() roadnet.VertexID { return v.Tree.Root() }
+func (v *Vehicle) Loc() roadnet.VertexID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Root()
+}
 
 // Odometer returns the odometer reading at arrival at Loc.
-func (v *Vehicle) Odometer() float64 { return v.Tree.Odometer() }
+func (v *Vehicle) Odometer() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Odometer()
+}
 
 // RemainToRoot returns the metres left before the vehicle reaches Loc.
 // The engine adds it to every quoted pick-up distance when converting
 // to time, since matching measures from Loc.
-func (v *Vehicle) RemainToRoot() float64 { return v.remainToRoot }
+func (v *Vehicle) RemainToRoot() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.remainToRoot
+}
 
 // Removed reports whether the vehicle has been taken out of service.
-func (v *Vehicle) Removed() bool { return v.removed }
+func (v *Vehicle) Removed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.removed
+}
+
+// ActiveLoc returns the vehicle's location and whether it is still in
+// service, in one consistent read.
+func (v *Vehicle) ActiveLoc() (roadnet.VertexID, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Root(), !v.removed
+}
+
+// ProbeState returns the pruning inputs of the ring scan — location,
+// max-leg upper bound and service status — in one critical section,
+// so a match's bound checks see a mutually consistent view and each
+// candidate vehicle costs one lock acquisition instead of three.
+func (v *Vehicle) ProbeState() (loc roadnet.VertexID, maxLegUpper float64, active bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Root(), v.Tree.MaxLegUpper(), !v.removed
+}
+
+// Quote is the side-effect-free matching probe: it enumerates, under
+// the vehicle's lock, every valid schedule additionally serving req and
+// returns the non-dominated candidates. The schedule state is not
+// modified, so any number of vehicles can be probed concurrently.
+// Removed vehicles refuse all requests.
+func (v *Vehicle) Quote(req kinetic.Request) []kinetic.Candidate {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return nil
+	}
+	return v.Tree.Quote(req)
+}
+
+// MaxLegUpper returns an upper bound on the longest single leg across
+// the vehicle's valid schedules (see kinetic.Tree.MaxLegUpper), read
+// under the vehicle's lock.
+func (v *Vehicle) MaxLegUpper() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.MaxLegUpper()
+}
+
+// View reports the vehicle's location and load in one consistent read
+// (the website's map row).
+func (v *Vehicle) View() (loc roadnet.VertexID, onboard, pending int, removed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Root(), v.Tree.Onboard(), v.Tree.NumRequests(), v.removed
+}
+
+// Schedules returns the vehicle's location and every valid trip
+// schedule (the website's red lines) in one consistent read.
+func (v *Vehicle) Schedules() (roadnet.VertexID, [][]kinetic.Point) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Tree.Root(), v.Tree.Branches()
+}
 
 // Fleet owns all vehicles and their grid registration.
 type Fleet struct {
@@ -102,13 +201,16 @@ type Fleet struct {
 	capacity  int
 	maxPoints int
 
+	mu       sync.RWMutex // guards vehicles and active
 	vehicles []*Vehicle
 	active   int
 
-	searcher *roadnet.Searcher
-	rng      *rand.Rand
-
+	pathMu    sync.Mutex // guards searcher and pathCells
+	searcher  *roadnet.Searcher
 	pathCells *pathCellCache
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Config parameterises a Fleet.
@@ -125,7 +227,7 @@ type Config struct {
 
 // New returns an empty fleet over the given grid index. The metric is
 // shared with the matching engine so kinetic trees and matchers see
-// identical distances.
+// identical distances; it must be safe for concurrent use.
 func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Metric, cfg Config) (*Fleet, error) {
 	if cfg.Capacity < 1 {
 		return nil, fmt.Errorf("fleet: capacity %d < 1", cfg.Capacity)
@@ -150,15 +252,20 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 	}, nil
 }
 
-// AddVehicle places a new empty vehicle at loc and returns it.
+// AddVehicle places a new empty vehicle at loc and returns it. The
+// grid registration happens before the vehicle becomes visible to
+// snapshots, so a racing commit cannot have its PlaceNonEmpty
+// registration overwritten by this initial PlaceEmpty.
 func (f *Fleet) AddVehicle(loc roadnet.VertexID) *Vehicle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	v := &Vehicle{
 		ID:   VehicleID(len(f.vehicles)),
 		Tree: kinetic.New(f.metric, f.capacity, f.maxPoints, loc, 0),
 	}
+	f.lists.PlaceEmpty(v.ID, f.grid.CellOf(loc))
 	f.vehicles = append(f.vehicles, v)
 	f.active++
-	f.lists.PlaceEmpty(v.ID, f.grid.CellOf(loc))
 	return v
 }
 
@@ -170,23 +277,31 @@ func (f *Fleet) RemoveVehicle(id VehicleID) ([]kinetic.Request, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.mu.Lock()
 	if v.removed {
+		v.mu.Unlock()
 		return nil, fmt.Errorf("fleet: vehicle %d already removed", id)
 	}
 	orphans := v.Tree.Requests()
 	for _, r := range orphans {
 		if err := v.Tree.Cancel(r.ID); err != nil {
+			v.mu.Unlock()
 			return nil, err
 		}
 	}
 	v.removed = true
+	v.mu.Unlock()
+	f.mu.Lock()
 	f.active--
+	f.mu.Unlock()
 	f.lists.Remove(id)
 	return orphans, nil
 }
 
 // Vehicle returns vehicle id.
 func (f *Fleet) Vehicle(id VehicleID) (*Vehicle, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if id < 0 || int(id) >= len(f.vehicles) {
 		return nil, fmt.Errorf("fleet: unknown vehicle %d", id)
 	}
@@ -194,48 +309,148 @@ func (f *Fleet) Vehicle(id VehicleID) (*Vehicle, error) {
 }
 
 // NumVehicles returns the number of vehicles ever added.
-func (f *Fleet) NumVehicles() int { return len(f.vehicles) }
+func (f *Fleet) NumVehicles() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.vehicles)
+}
 
 // Capacity returns the per-vehicle rider capacity.
 func (f *Fleet) Capacity() int { return f.capacity }
 
 // NumActive returns the number of in-service vehicles.
-func (f *Fleet) NumActive() int { return f.active }
+func (f *Fleet) NumActive() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.active
+}
 
-// Vehicles calls fn for every in-service vehicle.
+// Snapshot returns a copy of the vehicle slice in id order. Vehicles
+// themselves are shared; use their locked accessors.
+func (f *Fleet) Snapshot() []*Vehicle {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]*Vehicle(nil), f.vehicles...)
+}
+
+// Vehicles calls fn for every in-service vehicle, in id order.
 func (f *Fleet) Vehicles(fn func(*Vehicle)) {
-	for _, v := range f.vehicles {
-		if !v.removed {
+	for _, v := range f.Snapshot() {
+		if !v.Removed() {
 			fn(v)
 		}
 	}
 }
 
-// Commit assigns req to vehicle id with the planned schedule cand (from
-// a quote against the same tree state) and refreshes the vehicle's grid
-// registration.
-func (f *Fleet) Commit(id VehicleID, req kinetic.Request, cand kinetic.Candidate) error {
-	v, err := f.Vehicle(id)
-	if err != nil {
-		return err
+// CheckInvariants verifies, under each vehicle's lock, that every
+// in-service vehicle's schedule state is valid: onboard riders within
+// capacity and at least one valid schedule whenever requests are
+// pending (the kinetic tree stores only schedules meeting the
+// capacity, order, waiting-time and service constraints, so a
+// non-empty branch set certifies them all). Intended for tests after
+// concurrent commit storms.
+func (f *Fleet) CheckInvariants() error {
+	for _, v := range f.Snapshot() {
+		v.mu.Lock()
+		removed := v.removed
+		onboard := v.Tree.Onboard()
+		pending := v.Tree.NumRequests()
+		branches := v.Tree.NumBranches()
+		v.mu.Unlock()
+		if removed {
+			continue
+		}
+		if onboard > f.capacity {
+			return fmt.Errorf("fleet: vehicle %d carries %d riders, capacity %d", v.ID, onboard, f.capacity)
+		}
+		if pending > 0 && branches == 0 {
+			return fmt.Errorf("fleet: vehicle %d has %d pending requests but no valid schedule", v.ID, pending)
+		}
 	}
-	if v.removed {
-		return fmt.Errorf("fleet: vehicle %d is out of service", id)
-	}
-	if err := v.Tree.Commit(req, cand); err != nil {
-		return err
-	}
-	f.register(v)
 	return nil
 }
 
-// register refreshes the vehicle's entry in the grid's vehicle lists.
-func (f *Fleet) register(v *Vehicle) {
+// CommitResult reports how a rider choice was committed.
+type CommitResult struct {
+	// Candidate is the schedule actually committed. It equals the
+	// quoted candidate unless a re-probe replaced it.
+	Candidate kinetic.Candidate
+	// PlannedPickupOdo is the odometer reading promised for the pickup.
+	PlannedPickupOdo float64
+	// Reprobed reports that the quoted candidate had gone stale and an
+	// equivalent fresh candidate within the slack was committed instead.
+	Reprobed bool
+}
+
+// Commit assigns req to vehicle id with the planned schedule cand (from
+// a quote against the same tree state) and refreshes the vehicle's grid
+// registration. It is the commit half of the probe/commit protocol:
+// under the vehicle's lock the candidate is validated against the
+// current tree state; if it has gone stale (the vehicle moved or
+// accepted other riders since the quote) and slack > 0, the request is
+// re-probed and a fresh candidate within slack·SD metres of the quoted
+// pick-up distance and detour is committed instead. slack ≤ 0 is
+// strict: a stale candidate fails.
+func (f *Fleet) Commit(id VehicleID, req kinetic.Request, cand kinetic.Candidate, slack float64) (CommitResult, error) {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return CommitResult{}, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return CommitResult{}, fmt.Errorf("fleet: vehicle %d is out of service", id)
+	}
+	res := CommitResult{Candidate: cand}
+	err = v.Tree.Commit(req, cand)
+	if err != nil && slack > 0 {
+		if fresh := f.reprobe(v, req, cand, slack); fresh != nil {
+			if err2 := v.Tree.Commit(req, *fresh); err2 == nil {
+				res.Candidate = *fresh
+				res.Reprobed = true
+				err = nil
+			}
+		}
+	}
+	if err != nil {
+		return CommitResult{}, err
+	}
+	if odo, ok := v.Tree.PlannedPickupOdo(req.ID); ok {
+		res.PlannedPickupOdo = odo
+	}
+	f.registerLocked(v)
+	return res, nil
+}
+
+// reprobe re-quotes req against the vehicle's current tree state (lock
+// held) and returns the fresh candidate closest to the stale quote, or
+// nil when none stays within the allowed slack on both the pick-up
+// distance and the detour delta — the quoted terms must not silently
+// degrade.
+func (f *Fleet) reprobe(v *Vehicle, req kinetic.Request, cand kinetic.Candidate, slack float64) *kinetic.Candidate {
+	allow := slack * req.SD
+	var best *kinetic.Candidate
+	for _, c := range v.Tree.Quote(req) {
+		if c.PickupDist > cand.PickupDist+allow || c.Delta > cand.Delta+allow {
+			continue
+		}
+		if best == nil || c.Delta < best.Delta ||
+			(c.Delta == best.Delta && c.PickupDist < best.PickupDist) {
+			cc := c
+			best = &cc
+		}
+	}
+	return best
+}
+
+// registerLocked refreshes the vehicle's entry in the grid's vehicle
+// lists. The caller holds v.mu.
+func (f *Fleet) registerLocked(v *Vehicle) {
 	if v.removed {
 		return
 	}
 	if v.Tree.Empty() {
-		f.lists.PlaceEmpty(v.ID, f.grid.CellOf(v.Loc()))
+		f.lists.PlaceEmpty(v.ID, f.grid.CellOf(v.Tree.Root()))
 		return
 	}
 	cells := make([]gridindex.CellID, 0, 8)
@@ -244,23 +459,29 @@ func (f *Fleet) register(v *Vehicle) {
 	}
 	// Cells along the driven branch's legs, so ring search discovers the
 	// vehicle as early as the paper's all-edge registration would.
-	prev := v.Loc()
+	prev := v.Tree.Root()
 	for _, p := range v.Tree.BestBranch() {
-		cells = append(cells, f.pathCells.get(f, prev, p.Loc)...)
+		cells = append(cells, f.cellsAlong(prev, p.Loc)...)
 		prev = p.Loc
 	}
 	f.lists.PlaceNonEmpty(v.ID, cells)
 }
 
+// cellsAlong returns the grid cells touched by the shortest path
+// between two vertices, via the shared memoising cache.
+func (f *Fleet) cellsAlong(u, v roadnet.VertexID) []gridindex.CellID {
+	f.pathMu.Lock()
+	defer f.pathMu.Unlock()
+	return f.pathCells.get(f, u, v)
+}
+
 // Step advances every in-service vehicle by the given distance budget
 // (metres = speed × Δt), serving pickups and dropoffs en route, and
-// returns the events in execution order.
+// returns the events in execution order. Concurrent Step calls are not
+// serialised here; the engine's tick loop owns that.
 func (f *Fleet) Step(budget float64) ([]Event, error) {
 	var events []Event
-	for _, v := range f.vehicles {
-		if v.removed {
-			continue
-		}
+	for _, v := range f.Snapshot() {
 		ev, err := f.stepVehicle(v, budget)
 		if err != nil {
 			return events, err
@@ -280,7 +501,15 @@ func (f *Fleet) StepVehicle(id VehicleID, budget float64) ([]Event, error) {
 	return f.stepVehicle(v, budget)
 }
 
+// stepVehicle holds the vehicle's lock for the whole step so the
+// serve/drive loop sees a consistent tree; commits on this vehicle wait
+// until the step completes.
 func (f *Fleet) stepVehicle(v *Vehicle, budget float64) ([]Event, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return nil, nil
+	}
 	var events []Event
 	for budget > 0 {
 		if v.remainToRoot > 0 {
@@ -293,7 +522,7 @@ func (f *Fleet) stepVehicle(v *Vehicle, budget float64) ([]Event, error) {
 		}
 
 		// Standing at the root vertex: serve every due stop here.
-		served, evs, err := f.serveHere(v)
+		served, evs, err := f.serveHereLocked(v)
 		if err != nil {
 			return events, err
 		}
@@ -304,7 +533,7 @@ func (f *Fleet) stepVehicle(v *Vehicle, budget float64) ([]Event, error) {
 
 		// Choose the next edge.
 		if v.Tree.Empty() {
-			if !f.randomWalkStep(v) {
+			if !f.randomWalkStepLocked(v) {
 				return events, nil // dead-end vertex; stay put
 			}
 			continue
@@ -313,16 +542,17 @@ func (f *Fleet) stepVehicle(v *Vehicle, budget float64) ([]Event, error) {
 		if len(bb) == 0 {
 			return events, fmt.Errorf("fleet: vehicle %d has pending requests but no valid schedule", v.ID)
 		}
-		if err := f.driveToward(v, bb[0].Loc); err != nil {
+		if err := f.driveTowardLocked(v, bb[0].Loc); err != nil {
 			return events, err
 		}
 	}
 	return events, nil
 }
 
-// serveHere performs every pickup/dropoff whose turn has come at the
-// vehicle's current vertex. It reports whether anything was served.
-func (f *Fleet) serveHere(v *Vehicle) (bool, []Event, error) {
+// serveHereLocked performs every pickup/dropoff whose turn has come at
+// the vehicle's current vertex. It reports whether anything was served.
+// The caller holds v.mu.
+func (f *Fleet) serveHereLocked(v *Vehicle) (bool, []Event, error) {
 	var events []Event
 	served := false
 	for !v.Tree.Empty() {
@@ -331,7 +561,7 @@ func (f *Fleet) serveHere(v *Vehicle) (bool, []Event, error) {
 			return served, events, fmt.Errorf("fleet: vehicle %d has pending requests but no valid schedule", v.ID)
 		}
 		next := bb[0]
-		if next.Loc != v.Loc() {
+		if next.Loc != v.Tree.Root() {
 			break
 		}
 		var err error
@@ -346,52 +576,57 @@ func (f *Fleet) serveHere(v *Vehicle) (bool, []Event, error) {
 		if err != nil {
 			return served, events, err
 		}
-		events = append(events, Event{Kind: kind, Vehicle: v.ID, Request: next.Req, Odo: v.Odometer()})
+		events = append(events, Event{Kind: kind, Vehicle: v.ID, Request: next.Req, Odo: v.Tree.Odometer()})
 		served = true
 	}
 	if served {
-		f.register(v)
+		f.registerLocked(v)
 	}
 	return served, events, nil
 }
 
-// driveToward enters the first edge of the shortest path from the
-// vehicle's vertex to target.
-func (f *Fleet) driveToward(v *Vehicle, target roadnet.VertexID) error {
-	if target == v.Loc() {
+// driveTowardLocked enters the first edge of the shortest path from the
+// vehicle's vertex to target. The caller holds v.mu.
+func (f *Fleet) driveTowardLocked(v *Vehicle, target roadnet.VertexID) error {
+	if target == v.Tree.Root() {
 		return fmt.Errorf("fleet: vehicle %d asked to drive to its own location", v.ID)
 	}
-	path, _ := f.searcher.Path(v.Loc(), target)
+	f.pathMu.Lock()
+	path, _ := f.searcher.Path(v.Tree.Root(), target)
+	f.pathMu.Unlock()
 	if path == nil {
-		return fmt.Errorf("fleet: no path from %d to %d", v.Loc(), target)
+		return fmt.Errorf("fleet: no path from %d to %d", v.Tree.Root(), target)
 	}
 	w, ok := f.g.EdgeWeight(path[0], path[1])
 	if !ok {
 		return fmt.Errorf("fleet: path step %d→%d is not an edge", path[0], path[1])
 	}
-	f.enterEdge(v, path[1], w)
+	f.enterEdgeLocked(v, path[1], w)
 	return nil
 }
 
-// randomWalkStep makes an empty vehicle enter a uniformly random
+// randomWalkStepLocked makes an empty vehicle enter a uniformly random
 // outgoing edge (the demo's roaming behaviour). It returns false at
-// dead-end vertices.
-func (f *Fleet) randomWalkStep(v *Vehicle) bool {
-	out := f.g.Out(v.Loc())
+// dead-end vertices. The caller holds v.mu.
+func (f *Fleet) randomWalkStepLocked(v *Vehicle) bool {
+	out := f.g.Out(v.Tree.Root())
 	if len(out) == 0 {
 		return false
 	}
+	f.rngMu.Lock()
 	e := out[f.rng.Intn(len(out))]
-	f.enterEdge(v, e.To, e.Weight)
+	f.rngMu.Unlock()
+	f.enterEdgeLocked(v, e.To, e.Weight)
 	return true
 }
 
-// enterEdge commits the vehicle to traversing one edge: the tree root
-// moves to the edge head (odometer pre-advanced by the edge weight) and
-// the physical remainder is tracked in remainToRoot.
-func (f *Fleet) enterEdge(v *Vehicle, head roadnet.VertexID, weight float64) {
-	fromCell := f.grid.CellOf(v.Loc())
-	v.Tree.SetRoot(head, v.Odometer()+weight)
+// enterEdgeLocked commits the vehicle to traversing one edge: the tree
+// root moves to the edge head (odometer pre-advanced by the edge
+// weight) and the physical remainder is tracked in remainToRoot. The
+// caller holds v.mu.
+func (f *Fleet) enterEdgeLocked(v *Vehicle, head roadnet.VertexID, weight float64) {
+	fromCell := f.grid.CellOf(v.Tree.Root())
+	v.Tree.SetRoot(head, v.Tree.Odometer()+weight)
 	// Zero-weight edges are legal in the graph model; give them a tiny
 	// physical length so movement always consumes budget and cannot
 	// spin on a zero-weight cycle.
@@ -400,12 +635,13 @@ func (f *Fleet) enterEdge(v *Vehicle, head roadnet.VertexID, weight float64) {
 	}
 	v.remainToRoot = weight
 	if f.grid.CellOf(head) != fromCell {
-		f.register(v) // crossed a cell boundary: refresh lists
+		f.registerLocked(v) // crossed a cell boundary: refresh lists
 	}
 }
 
 // pathCellCache memoises the grid cells touched by the shortest path
-// between two vertices. Bounded: wholesale reset once full.
+// between two vertices. Bounded: wholesale reset once full. Guarded by
+// the fleet's pathMu.
 type pathCellCache struct {
 	max   int
 	cells map[[2]roadnet.VertexID][]gridindex.CellID

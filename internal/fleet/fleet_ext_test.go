@@ -72,7 +72,7 @@ func TestCommitForeignCandidateFails(t *testing.T) {
 	}
 	// b is far away: a's planned pickup distance is unreachable within
 	// the tiny waiting budget, so the stale-candidate guard fires.
-	if err := w.fl.Commit(b.ID, req, candsA[0]); err == nil {
+	if _, err := w.fl.Commit(b.ID, req, candsA[0], 0); err == nil {
 		t.Fatal("foreign candidate accepted")
 	}
 	if !b.Tree.Empty() {
@@ -104,7 +104,7 @@ func TestRegistrationConsistencyUnderChurn(t *testing.T) {
 			}
 			req := w.request(t, next, s, d, 1, 0.6, 500)
 			if cands := v.Tree.Quote(req); len(cands) > 0 {
-				if err := w.fl.Commit(vid, req, cands[0]); err != nil {
+				if _, err := w.fl.Commit(vid, req, cands[0], 0); err != nil {
 					t.Fatalf("commit: %v", err)
 				}
 				next++

@@ -120,7 +120,7 @@ func TestCommitDriveServeLifecycle(t *testing.T) {
 	if len(cands) == 0 {
 		t.Fatal("no candidates for a fresh vehicle")
 	}
-	if err := w.fl.Commit(v.ID, req, cands[0]); err != nil {
+	if _, err := w.fl.Commit(v.ID, req, cands[0], 0); err != nil {
 		t.Fatalf("commit: %v", err)
 	}
 	if e, _ := w.lists.IsEmptyVehicle(v.ID); e {
@@ -174,7 +174,7 @@ func TestServiceConstraintHolds(t *testing.T) {
 	v := w.fl.AddVehicle(0)
 	r1 := w.request(t, 1, 18, 60, 1, 0.6, 1e6)
 	c1 := v.Tree.Quote(r1)
-	if err := w.fl.Commit(v.ID, r1, c1[0]); err != nil {
+	if _, err := w.fl.Commit(v.ID, r1, c1[0], 0); err != nil {
 		t.Fatalf("commit r1: %v", err)
 	}
 	r2 := w.request(t, 2, 19, 61, 1, 0.6, 1e6)
@@ -182,7 +182,7 @@ func TestServiceConstraintHolds(t *testing.T) {
 	if len(c2) == 0 {
 		t.Skip("no shared schedule on this topology/seed")
 	}
-	if err := w.fl.Commit(v.ID, r2, c2[0]); err != nil {
+	if _, err := w.fl.Commit(v.ID, r2, c2[0], 0); err != nil {
 		t.Fatalf("commit r2: %v", err)
 	}
 
@@ -220,7 +220,7 @@ func TestWaitingConstraintHolds(t *testing.T) {
 	v := w.fl.AddVehicle(0)
 	req := w.request(t, 1, 36, 50, 1, 0.4, 200)
 	cands := v.Tree.Quote(req)
-	if err := w.fl.Commit(v.ID, req, cands[0]); err != nil {
+	if _, err := w.fl.Commit(v.ID, req, cands[0], 0); err != nil {
 		t.Fatalf("commit: %v", err)
 	}
 	planned := cands[0].PickupDist
@@ -248,7 +248,7 @@ func TestRemoveVehicle(t *testing.T) {
 	w := newWorld(t, 7, 4)
 	v := w.fl.AddVehicle(0)
 	req := w.request(t, 1, 27, 45, 1, 0.5, 1e6)
-	w.fl.Commit(v.ID, req, v.Tree.Quote(req)[0])
+	w.fl.Commit(v.ID, req, v.Tree.Quote(req)[0], 0)
 
 	orphans, err := w.fl.RemoveVehicle(v.ID)
 	if err != nil {
@@ -266,7 +266,7 @@ func TestRemoveVehicle(t *testing.T) {
 	if _, err := w.fl.RemoveVehicle(v.ID); err == nil {
 		t.Fatal("double removal should fail")
 	}
-	if err := w.fl.Commit(v.ID, req, kinetic.Candidate{}); err == nil {
+	if _, err := w.fl.Commit(v.ID, req, kinetic.Candidate{}, 0); err == nil {
 		t.Fatal("commit to removed vehicle should fail")
 	}
 	// Stepping must skip it.
@@ -279,7 +279,7 @@ func TestStepConsumesExactBudget(t *testing.T) {
 	w := newWorld(t, 8, 4)
 	v := w.fl.AddVehicle(0)
 	req := w.request(t, 1, 27, 45, 1, 0.5, 1e6)
-	w.fl.Commit(v.ID, req, v.Tree.Quote(req)[0])
+	w.fl.Commit(v.ID, req, v.Tree.Quote(req)[0], 0)
 
 	// Odometer-at-root minus remainToRoot equals true distance driven;
 	// it must advance by exactly the budget while en route.
@@ -313,7 +313,7 @@ func TestManyVehiclesManyRequestsInvariant(t *testing.T) {
 				vid := fleet.VehicleID(rng.Intn(w.fl.NumVehicles()))
 				veh, _ := w.fl.Vehicle(vid)
 				if cands := veh.Tree.Quote(req); len(cands) > 0 {
-					if err := w.fl.Commit(vid, req, cands[rng.Intn(len(cands))]); err != nil {
+					if _, err := w.fl.Commit(vid, req, cands[rng.Intn(len(cands))], 0); err != nil {
 						t.Fatalf("tick %d: commit: %v", tick, err)
 					}
 					nextID++

@@ -1,5 +1,7 @@
 package gridindex
 
+import "sync"
+
 // VehicleID identifies a vehicle in the vehicle lists. It matches the
 // fleet's vehicle identifiers.
 type VehicleID = int32
@@ -49,9 +51,13 @@ func (s *idSet) contains(id VehicleID) bool {
 // (vehicles whose planned trip schedules pass through the cell), as in
 // paper §3.2.1 items (iv)–(v).
 //
-// VehicleLists is not safe for concurrent use; the engine mutates it
-// under its own lock.
+// VehicleLists is safe for concurrent use: registrations are serialised
+// by an internal read-write lock, and the read methods return snapshot
+// copies so callers never observe a list mid-mutation. Matchers on the
+// hot path use AppendEmpty/AppendNonEmpty with a reused buffer to keep
+// cell scans allocation-free.
 type VehicleLists struct {
+	mu       sync.RWMutex
 	empty    []idSet
 	nonEmpty []idSet
 	// cellsOf tracks, per vehicle, the cells the vehicle is currently
@@ -74,7 +80,9 @@ func NewVehicleLists(numCells int) *VehicleLists {
 // PlaceEmpty registers vehicle id as an empty vehicle located in cell c,
 // replacing any previous registration.
 func (vl *VehicleLists) PlaceEmpty(id VehicleID, c CellID) {
-	vl.Remove(id)
+	vl.mu.Lock()
+	defer vl.mu.Unlock()
+	vl.removeLocked(id)
 	vl.empty[c].add(id)
 	vl.cellsOf[id] = append(vl.cellsOf[id][:0], c)
 	vl.isEmpty[id] = true
@@ -84,7 +92,9 @@ func (vl *VehicleLists) PlaceEmpty(id VehicleID, c CellID) {
 // schedule passes through cells, replacing any previous registration.
 // Duplicate cells are tolerated.
 func (vl *VehicleLists) PlaceNonEmpty(id VehicleID, cells []CellID) {
-	vl.Remove(id)
+	vl.mu.Lock()
+	defer vl.mu.Unlock()
+	vl.removeLocked(id)
 	reg := vl.cellsOf[id][:0]
 	for _, c := range cells {
 		if vl.nonEmpty[c].add(id) {
@@ -98,6 +108,12 @@ func (vl *VehicleLists) PlaceNonEmpty(id VehicleID, cells []CellID) {
 // Remove deregisters vehicle id from every list. Removing an unknown
 // vehicle is a no-op.
 func (vl *VehicleLists) Remove(id VehicleID) {
+	vl.mu.Lock()
+	defer vl.mu.Unlock()
+	vl.removeLocked(id)
+}
+
+func (vl *VehicleLists) removeLocked(id VehicleID) {
 	cells, ok := vl.cellsOf[id]
 	if !ok {
 		return
@@ -115,24 +131,57 @@ func (vl *VehicleLists) Remove(id VehicleID) {
 	delete(vl.isEmpty, id)
 }
 
-// Empty returns the empty-vehicle list of cell c. The slice aliases
-// internal storage: do not modify, and do not hold across mutations.
-func (vl *VehicleLists) Empty(c CellID) []VehicleID { return vl.empty[c].items }
+// Empty returns a snapshot copy of the empty-vehicle list of cell c.
+func (vl *VehicleLists) Empty(c CellID) []VehicleID {
+	return vl.AppendEmpty(c, nil)
+}
 
-// NonEmpty returns the non-empty-vehicle list of cell c, with the same
-// aliasing caveat as Empty.
-func (vl *VehicleLists) NonEmpty(c CellID) []VehicleID { return vl.nonEmpty[c].items }
+// NonEmpty returns a snapshot copy of the non-empty-vehicle list of
+// cell c.
+func (vl *VehicleLists) NonEmpty(c CellID) []VehicleID {
+	return vl.AppendNonEmpty(c, nil)
+}
 
-// Cells returns the cells vehicle id is currently registered in, with
-// the same aliasing caveat as Empty. It returns nil for unknown ids.
-func (vl *VehicleLists) Cells(id VehicleID) []CellID { return vl.cellsOf[id] }
+// AppendEmpty appends the empty-vehicle list of cell c to buf and
+// returns it — the allocation-free read for hot ring scans.
+func (vl *VehicleLists) AppendEmpty(c CellID, buf []VehicleID) []VehicleID {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
+	return append(buf, vl.empty[c].items...)
+}
+
+// AppendNonEmpty appends the non-empty-vehicle list of cell c to buf
+// and returns it, with the same contract as AppendEmpty.
+func (vl *VehicleLists) AppendNonEmpty(c CellID, buf []VehicleID) []VehicleID {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
+	return append(buf, vl.nonEmpty[c].items...)
+}
+
+// Cells returns a snapshot copy of the cells vehicle id is currently
+// registered in. It returns nil for unknown ids.
+func (vl *VehicleLists) Cells(id VehicleID) []CellID {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
+	cells, ok := vl.cellsOf[id]
+	if !ok {
+		return nil
+	}
+	return append([]CellID(nil), cells...)
+}
 
 // IsEmptyVehicle reports whether id is registered as an empty vehicle.
 // The second result reports whether the vehicle is registered at all.
 func (vl *VehicleLists) IsEmptyVehicle(id VehicleID) (empty, registered bool) {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
 	e, ok := vl.isEmpty[id]
 	return e, ok
 }
 
 // NumRegistered returns the number of registered vehicles.
-func (vl *VehicleLists) NumRegistered() int { return len(vl.cellsOf) }
+func (vl *VehicleLists) NumRegistered() int {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
+	return len(vl.cellsOf)
+}

@@ -21,6 +21,12 @@
 //
 // The GUI itself is presentation and intentionally out of scope; every
 // piece of information the paper's screenshots show is served here.
+//
+// Handlers run on net/http's per-connection goroutines and call the
+// engine directly: the engine is internally parallel (immutable
+// routing substrate, per-vehicle locks, a small coordination core), so
+// concurrent requests no longer serialise behind an engine-wide lock —
+// request throughput scales with cores.
 package server
 
 import (
@@ -259,6 +265,7 @@ type paramsView struct {
 	MaxWaitSeconds float64 `json:"max_wait_seconds"`
 	Sigma          float64 `json:"sigma"`
 	SpeedKmh       float64 `json:"speed_kmh"`
+	MatchWorkers   int     `json:"match_workers"`
 }
 
 func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
@@ -272,6 +279,7 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 			MaxWaitSeconds: cfg.MaxWaitSeconds,
 			Sigma:          cfg.Sigma,
 			SpeedKmh:       cfg.SpeedKmh,
+			MatchWorkers:   cfg.MatchWorkers,
 		})
 	case http.MethodPost:
 		var body struct {

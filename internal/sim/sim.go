@@ -263,12 +263,15 @@ func (s *Simulation) Run() (*Result, error) {
 
 func (s *Simulation) submit(t trace.Trip, res *Result) error {
 	res.Submitted++
-	bucket := res.hourBucket(s.eng.Clock())
-	bucket.Submitted++
 	rec, err := s.eng.Submit(t.S, t.D, t.Riders)
 	if err != nil {
 		return fmt.Errorf("sim: trip %d: %w", t.ID, err)
 	}
+	// Bucket by the clock the engine stamped at submission — one
+	// atomic snapshot — rather than re-reading the clock, which could
+	// have advanced under a concurrent ticker.
+	bucket := res.hourBucket(rec.SubmitClock)
+	bucket.Submitted++
 	res.OptionsPerRequest.Observe(float64(len(rec.Options)))
 	bucket.optionsSum += float64(len(rec.Options))
 	bucket.AvgOptions = bucket.optionsSum / float64(bucket.Submitted)

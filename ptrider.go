@@ -13,6 +13,14 @@
 // network, per-vehicle kinetic trees of valid trip schedules, and
 // single-/dual-side ring-search matching with bound-based pruning.
 //
+// The engine is built for multi-core serving (see ARCHITECTURE.md): an
+// immutable routing substrate (graph, grid bounds, landmarks, pricing)
+// is shared lock-free across goroutines, per-vehicle state sits behind
+// per-vehicle locks, and candidate evaluation — the kinetic-tree
+// insertion probes that dominate matching cost — fans out over a
+// bounded worker pool. Requests, choices, ticks and stats reads may
+// all be issued concurrently; matching holds no engine-wide lock.
+//
 // # Quick start
 //
 //	net, _ := ptrider.GenerateCity(ptrider.CityConfig{Width: 40, Height: 40, Seed: 1})
@@ -199,6 +207,16 @@ type Config struct {
 	// NumLandmarks adds ALT landmark lower bounds to the grid bounds
 	// (0 = disabled).
 	NumLandmarks int
+	// MatchWorkers bounds the per-request parallel candidate
+	// evaluation (0 = one worker per CPU; 1 = fully serial matching,
+	// the paper's reference algorithm bit for bit).
+	MatchWorkers int
+	// CommitSlack loosens Choose when the quoted schedule went stale
+	// between quote and choice (vehicle moved, other riders accepted):
+	// a fresh schedule within CommitSlack·dist(s,d) metres of the
+	// quoted pick-up distance and detour is committed instead of
+	// failing. 0 = strict.
+	CommitSlack float64
 	// Seed drives vehicle placement and roaming.
 	Seed int64
 }
@@ -281,6 +299,8 @@ func New(n *Network, cfg Config) (*System, error) {
 		PriceRatio:       cfg.PriceRatio,
 		Algorithm:        algo,
 		NumLandmarks:     cfg.NumLandmarks,
+		MatchWorkers:     cfg.MatchWorkers,
+		CommitSlack:      cfg.CommitSlack,
 		Seed:             cfg.Seed,
 	})
 	if err != nil {

@@ -1,0 +1,127 @@
+package ptrider_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/sim"
+)
+
+// buildBatchWorld builds one loaded dual-side city for the coalescing
+// efficiency test. Both engines are built identically so option sets
+// are comparable item by item.
+func buildBatchWorld(t *testing.T) *core.Engine {
+	t.Helper()
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 24, Height: 24, RemoveFrac: 0.15, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, core.Config{
+		GridCols: 12, GridRows: 12, Capacity: 4,
+		MaxWaitSeconds: 300, Sigma: 0.4, Seed: 31,
+		Algorithm: core.AlgoDualSide,
+		// Serial probes keep the exact-search counts deterministic:
+		// concurrent probes racing on a cold memo pair may both compute
+		// it, which DistCalls counts twice (documented), so a
+		// multi-core host would wobble the measured ratio.
+		MatchWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddVehiclesUniform(120)
+	trips, err := gen.GenerateTrips(g, gen.TripConfig{NumTrips: 150, DaySeconds: 600, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(eng, trips, sim.Config{TickSeconds: 2, Seed: 32, EndSeconds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestBatchCoalescingDistCalls pins ISSUE 2's acceptance criterion in
+// CI: a hot-cell batch (many simultaneous requests sharing an origin
+// grid cell) answered by the coalesced SubmitBatch pipeline must
+// perform at least 2x fewer exact shortest-path searches than issuing
+// the same requests through per-request Submit, while returning the
+// same option sets. The coalesced path's searches are the two
+// whole-graph fills per request plus the shared residue; the
+// per-request path pays one pass per empty-scan cell and two per probe
+// flush.
+func TestBatchCoalescingDistCalls(t *testing.T) {
+	engA := buildBatchWorld(t) // answers the batch
+	engB := buildBatchWorld(t) // answers per-request
+
+	grid := engA.Grid()
+	best := gridindex.CellID(0)
+	for c := 0; c < grid.NumCells(); c++ {
+		if len(grid.Cell(gridindex.CellID(c)).Vertices) > len(grid.Cell(best).Vertices) {
+			best = gridindex.CellID(c)
+		}
+	}
+	verts := grid.Cell(best).Vertices
+	rng := rand.New(rand.NewSource(33))
+	n := engA.Graph().NumVertices()
+	var items []core.BatchItem
+	for len(items) < 16 {
+		s := verts[rng.Intn(len(verts))]
+		d := roadnet.VertexID(rng.Intn(n))
+		if s == d {
+			continue
+		}
+		items = append(items, core.BatchItem{S: s, D: d, Riders: 1, Constraints: core.DefaultConstraints()})
+	}
+
+	engA.ResetDistCache()
+	beforeA := engA.DistCalls()
+	recs, err := engA.SubmitBatch(items)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	batchCalls := engA.DistCalls() - beforeA
+
+	engB.ResetDistCache()
+	beforeB := engB.DistCalls()
+	perReq := make([][]core.Option, len(items))
+	for i, it := range items {
+		rec, err := engB.Submit(it.S, it.D, it.Riders)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		perReq[i] = rec.Options
+		if err := engB.Decline(rec.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perReqCalls := engB.DistCalls() - beforeB
+
+	t.Logf("dist calls: coalesced %d, per-request %d (%.2fx)",
+		batchCalls, perReqCalls, float64(perReqCalls)/float64(batchCalls))
+	if perReqCalls < 2*batchCalls {
+		t.Fatalf("coalescing saved too little: batch %d vs per-request %d exact searches (need ≥2x)",
+			batchCalls, perReqCalls)
+	}
+
+	// The savings must not change what riders are offered.
+	for i := range items {
+		a, b := recs[i].Options, perReq[i]
+		if len(a) != len(b) {
+			t.Fatalf("item %d: %d options coalesced vs %d per-request", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Vehicle != b[j].Vehicle || len(a[j].Candidate.Seq) != len(b[j].Candidate.Seq) {
+				t.Fatalf("item %d option %d: (%d, %d stops) vs (%d, %d stops)",
+					i, j, a[j].Vehicle, len(a[j].Candidate.Seq), b[j].Vehicle, len(b[j].Candidate.Seq))
+			}
+		}
+	}
+}

@@ -175,6 +175,118 @@ func BenchmarkSubmitParallel(b *testing.B) {
 	}
 }
 
+// batchBenchWorld is the coalesced-batch benchmark world: the loaded
+// city re-used from loadedWorld plus a precomputed hot cell (the most
+// populated grid cell) and item sets for the batch workloads.
+type batchBenchWorld struct {
+	*benchWorld
+	hotcell   []core.BatchItem // origins all in one cell
+	scattered []core.BatchItem // origins spread over the city
+}
+
+var (
+	batchOnce  sync.Once
+	batchState *batchBenchWorld
+)
+
+const batchBenchSize = 16
+
+func batchWorld(b *testing.B) *batchBenchWorld {
+	b.Helper()
+	w := loadedWorld(b)
+	batchOnce.Do(func() {
+		grid := w.eng.Grid()
+		best := gridindex.CellID(0)
+		for c := 0; c < grid.NumCells(); c++ {
+			if len(grid.Cell(gridindex.CellID(c)).Vertices) > len(grid.Cell(best).Vertices) {
+				best = gridindex.CellID(c)
+			}
+		}
+		verts := grid.Cell(best).Vertices
+		rng := rand.New(rand.NewSource(21))
+		n := w.g.NumVertices()
+		var hot, scat []core.BatchItem
+		for len(hot) < batchBenchSize {
+			s := verts[rng.Intn(len(verts))]
+			d := roadnet.VertexID(rng.Intn(n))
+			if s == d {
+				continue
+			}
+			hot = append(hot, core.BatchItem{S: s, D: d, Riders: 1, Constraints: core.DefaultConstraints()})
+		}
+		for len(scat) < batchBenchSize {
+			s := roadnet.VertexID(rng.Intn(n))
+			d := roadnet.VertexID(rng.Intn(n))
+			if s == d {
+				continue
+			}
+			scat = append(scat, core.BatchItem{S: s, D: d, Riders: 1, Constraints: core.DefaultConstraints()})
+		}
+		batchState = &batchBenchWorld{benchWorld: w, hotcell: hot, scattered: scat}
+	})
+	return batchState
+}
+
+// BenchmarkSubmitBatch measures the coalesced batch pipeline on the
+// loaded city (dual-side is the engine default here via SetAlgorithm).
+// Each op processes one 16-item quote-only batch against a cold
+// distance memo, so the exact-search counts are comparable across
+// sub-benchmarks; dist_calls/op reports them. "hotcell" shares one
+// origin cell across all items (one ring frontier, multi-target
+// passes); "cold" scatters the origins (several groups per wave);
+// "hotcell-perrequest" issues the same items through per-request Submit
+// — the baseline the coalescing win is measured against (ISSUE 2
+// acceptance: ≥2x fewer DistCalls, ≥50% fewer allocs/op).
+func BenchmarkSubmitBatch(b *testing.B) {
+	w := batchWorld(b)
+	if err := w.eng.SetAlgorithm(core.AlgoDualSide); err != nil {
+		b.Fatal(err)
+	}
+	runBatch := func(b *testing.B, items []core.BatchItem) {
+		b.Helper()
+		b.ReportAllocs()
+		var calls int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer() // the cache reset is harness setup, not batch cost
+			w.eng.ResetDistCache()
+			before := w.eng.DistCalls()
+			b.StartTimer()
+			if _, err := w.eng.SubmitBatch(items); err != nil {
+				b.Fatal(err)
+			}
+			calls += w.eng.DistCalls() - before
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(calls)/float64(b.N), "dist_calls/op")
+	}
+	b.Run("cold", func(b *testing.B) { runBatch(b, w.scattered) })
+	b.Run("hotcell", func(b *testing.B) { runBatch(b, w.hotcell) })
+	b.Run("hotcell-perrequest", func(b *testing.B) {
+		b.ReportAllocs()
+		var calls int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			w.eng.ResetDistCache()
+			before := w.eng.DistCalls()
+			b.StartTimer()
+			for _, it := range w.hotcell {
+				rec, err := w.eng.Submit(it.S, it.D, it.Riders)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.eng.Decline(rec.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			calls += w.eng.DistCalls() - before
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(calls)/float64(b.N), "dist_calls/op")
+	})
+}
+
 // BenchmarkAblate — E8: dual-side matching with optimisations disabled.
 func BenchmarkAblate(b *testing.B) {
 	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 24, Height: 24, Seed: 4})

@@ -1,0 +1,388 @@
+package core
+
+// batch.go implements the coalesced batch-matching pipeline for
+// simultaneously issued requests (paper §2.5). Requests that share an
+// origin grid cell share one ring frontier: each ring cell's vehicle
+// lists are fetched and each candidate vehicle's probe state resolved
+// once per cell, then evaluated for every co-located request against
+// that request's private skyline. Each request lazily runs one s-side
+// and one d-side whole-graph pass (Searcher.FillDists) that then
+// answers every empty-scan and probe-seed distance of its entire
+// frontier by array index — where the per-request matcher issues one
+// pass per empty-scan cell and two per probe flush.
+//
+// Equivalence with per-request matching: a request's skyline evolves
+// through exactly the per-request fold sequence — the same cells in the
+// same ring order, the same list orders, the same termination tests at
+// each ring boundary, and candidate folds in discovery order. Shared
+// resolution can only probe vehicles the per-request matcher would have
+// pruned mid-cell; the bounds are sound, so such vehicles contribute
+// only dominated candidates, which the fold rejects. The returned
+// option sets are therefore identical to running Match per request
+// against the same world; only the work counters (Verified,
+// PrunedVehicles, CellsScanned, DistCalls) shift, exactly as documented
+// for parallel candidate evaluation.
+
+import (
+	"math"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+)
+
+// vehProbe is one cell vehicle's shared probe state, resolved once per
+// ring cell and read by every co-located request.
+type vehProbe struct {
+	id     gridindex.VehicleID
+	v      *fleet.Vehicle
+	loc    roadnet.VertexID
+	maxLeg float64
+	active bool
+}
+
+// reqRun is the per-request state of one coalesced group match: the
+// private skyline, discovery sets, termination flags and (dual-side)
+// destination frontier of a single request riding the shared ring.
+type reqRun struct {
+	spec  *ReqSpec
+	stats *MatchStats
+	sc    *matchScratch
+	es    emptyScan
+
+	nonEmptyDone bool
+	done         bool
+
+	// Dual-side destination frontier.
+	dRing []gridindex.RingEntry
+	di    int
+	ld    float64
+}
+
+// groupScratch is the shared workspace of one coalesced group match.
+type groupScratch struct {
+	runs     []reqRun
+	ids      []gridindex.VehicleID
+	empty    []vehProbe
+	nonEmpty []vehProbe
+}
+
+func (ctx *matchContext) getGroupScratch() *groupScratch {
+	return ctx.groups.Get().(*groupScratch)
+}
+
+func (ctx *matchContext) putGroupScratch(gs *groupScratch) {
+	ctx.groups.Put(gs)
+}
+
+// resolveEmpty reads the cell's empty-vehicle list and each vehicle's
+// location once, for all requests of the group.
+func (gs *groupScratch) resolveEmpty(ctx *matchContext, cell gridindex.CellID) {
+	gs.ids = ctx.lists.AppendEmpty(cell, gs.ids[:0])
+	gs.empty = gs.empty[:0]
+	for _, id := range gs.ids {
+		vp := vehProbe{id: id}
+		if v, err := ctx.fleet.Vehicle(id); err == nil {
+			vp.v = v
+			vp.loc, vp.active = v.ActiveLoc()
+		}
+		gs.empty = append(gs.empty, vp)
+	}
+}
+
+// resolveNonEmpty reads the cell's non-empty-vehicle list and each
+// vehicle's probe state once, for all requests of the group.
+func (gs *groupScratch) resolveNonEmpty(ctx *matchContext, cell gridindex.CellID) {
+	gs.ids = ctx.lists.AppendNonEmpty(cell, gs.ids[:0])
+	gs.nonEmpty = gs.nonEmpty[:0]
+	for _, id := range gs.ids {
+		vp := vehProbe{id: id}
+		if v, err := ctx.fleet.Vehicle(id); err == nil {
+			vp.v = v
+			vp.loc, vp.maxLeg, vp.active = v.ProbeState()
+		}
+		gs.nonEmpty = append(gs.nonEmpty, vp)
+	}
+}
+
+// ensureSFill lazily runs the request's s-side whole-graph pass — one
+// search that then answers every empty-scan and seed lookup of the
+// request's entire frontier by array index. The values are identical
+// to what per-cell and per-flush passes would compute (a settled
+// Dijkstra distance does not depend on the target set), which is what
+// keeps the coalesced option sets equal to per-request ones:
+// structurally exact, with coordinates matching up to floating-point
+// ulps on pairs that different flows legitimately resolve first (see
+// the golden tests' coordEq).
+func (r *reqRun) ensureSFill(ctx *matchContext) {
+	sc := r.sc
+	if sc.sFillOK {
+		return
+	}
+	n := ctx.sub.g.NumVertices()
+	if cap(sc.sFill) < n {
+		sc.sFill = make([]float64, n)
+	}
+	sc.sFill = sc.sFill[:n]
+	ctx.metric.FillDistsUncached(r.spec.Kin.S, sc.sFill)
+	sc.sFillOK = true
+}
+
+// ensureDFill is ensureSFill for the destination side.
+func (r *reqRun) ensureDFill(ctx *matchContext) {
+	sc := r.sc
+	if sc.dFillOK {
+		return
+	}
+	n := ctx.sub.g.NumVertices()
+	if cap(sc.dFill) < n {
+		sc.dFill = make([]float64, n)
+	}
+	sc.dFill = sc.dFill[:n]
+	ctx.metric.FillDistsUncached(r.spec.Kin.D, sc.dFill)
+	sc.dFillOK = true
+}
+
+// scanEmptyShared folds the resolved empty-vehicle list into one
+// request's nearest-empty scan: the same lower-bound filter and batch
+// fill as the per-request scanCell, with the shared probe states and
+// the request's whole-graph fill answering the pass.
+func (ctx *matchContext) scanEmptyShared(gs *groupScratch, r *reqRun) {
+	es := &r.es
+	spec := r.spec
+	if spec.Kin.Riders > ctx.fleet.Capacity() {
+		es.done = true
+		return
+	}
+	sc := r.sc
+	sc.emptyVehs = sc.emptyVehs[:0]
+	sc.emptyLocs = sc.emptyLocs[:0]
+	for pi := range gs.empty {
+		vp := &gs.empty[pi]
+		if vp.v == nil || !vp.active {
+			continue
+		}
+		lb := ctx.metric.LB(vp.loc, spec.Kin.S)
+		if lb >= es.bestDist || lb > spec.MaxPickupDist {
+			r.stats.PrunedVehicles++
+			continue
+		}
+		sc.emptyVehs = append(sc.emptyVehs, vp.v)
+		sc.emptyLocs = append(sc.emptyLocs, vp.loc)
+	}
+	if len(sc.emptyLocs) == 0 {
+		return
+	}
+	r.ensureSFill(ctx)
+	es.foldPass(ctx, sc, spec, &sc.sky)
+}
+
+// scanNonEmptyShared evaluates the resolved non-empty list for one
+// request: bound-based pruning, dual-side deferral, then the seeded
+// probe flush reading the request's whole-graph fills.
+func (ctx *matchContext) scanNonEmptyShared(gs *groupScratch, r *reqRun, dual bool) {
+	spec := r.spec
+	sc := r.sc
+	sky := &sc.sky
+	for pi := range gs.nonEmpty {
+		vp := &gs.nonEmpty[pi]
+		if !sc.visit.first(vp.id) {
+			continue
+		}
+		if vp.v == nil || !vp.active {
+			continue
+		}
+		pickupLB := ctx.metric.LB(vp.loc, spec.Kin.S)
+		if pickupLB > spec.MaxPickupDist || sky.IsDominated(pickupLB, spec.MinPrice) {
+			r.stats.PrunedVehicles++
+			continue
+		}
+		if dual && !sc.dseen.seen(vp.id) {
+			// Certifiably far from d at radius ld: price floor rises.
+			dlb := detourLB(r.ld, vp.maxLeg)
+			if sky.IsDominated(pickupLB, spec.Ratio*(spec.Kin.SD+dlb)) {
+				r.stats.PrunedVehicles++
+				continue
+			}
+			sc.pending = append(sc.pending, pendingVehicle{v: vp.v, pickupLB: pickupLB, maxLeg: vp.maxLeg})
+			continue
+		}
+		sc.batch = append(sc.batch, vp.v)
+	}
+	if len(sc.batch) >= 2 {
+		r.ensureSFill(ctx)
+		r.ensureDFill(ctx)
+	}
+	ctx.flushBatch(sc, spec, sky, r.stats)
+}
+
+// matchGroup answers a group of requests sharing one origin grid cell
+// with a single shared ring frontier. statsOut[i] receives request i's
+// counters; the group's exact-search count is split evenly across the
+// group (the passes are genuinely shared work). The returned option
+// sets are identical to running the per-request matcher for each spec
+// against the same world.
+func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*MatchStats) [][]Option {
+	k := len(specs)
+	before := ctx.metric.DistCalls()
+	gs := ctx.getGroupScratch()
+	defer ctx.putGroupScratch(gs)
+
+	grid := ctx.grid()
+	n := ctx.fleet.NumVehicles()
+	ring := grid.Cell(grid.CellOf(specs[0].Kin.S)).Ring
+
+	if cap(gs.runs) < k {
+		gs.runs = make([]reqRun, k)
+	}
+	runs := gs.runs[:k]
+	for i := range runs {
+		r := &runs[i]
+		r.spec = specs[i]
+		r.stats = statsOut[i]
+		r.sc = ctx.getScratch()
+		r.sc.visit.begin(n)
+		r.sc.sky.Reset()
+		r.es = newEmptyScan()
+		r.nonEmptyDone = false
+		r.done = false
+		if dual {
+			r.sc.dseen.begin(n)
+			r.dRing = grid.Cell(grid.CellOf(specs[i].Kin.D)).Ring
+			r.di = 0
+			r.ld = 0
+		}
+	}
+
+	active := k
+	for ei := range ring {
+		if active == 0 {
+			break
+		}
+		entry := &ring[ei]
+		L := entry.LB
+
+		// Phase 1 — per-request frontier bookkeeping: pick-up cutoff,
+		// destination-ring lockstep advance, termination tests. Order
+		// matches the per-request matchers exactly, so each request
+		// freezes (done) with the same state it would have alone.
+		needEmpty, needNonEmpty := false, false
+		for i := range runs {
+			r := &runs[i]
+			if r.done {
+				continue
+			}
+			if L > r.spec.MaxPickupDist {
+				r.done = true
+				active--
+				continue
+			}
+			if dual {
+				for r.di < len(r.dRing) && r.dRing[r.di].LB <= L {
+					gs.ids = ctx.lists.AppendNonEmpty(r.dRing[r.di].Cell, gs.ids[:0])
+					for _, id := range gs.ids {
+						r.sc.dseen.mark(id)
+					}
+					r.stats.CellsScanned++
+					r.di++
+				}
+				if r.di < len(r.dRing) {
+					r.ld = r.dRing[r.di].LB
+				} else {
+					r.ld = math.Inf(1)
+				}
+			}
+			emptyDone := r.es.terminateAt(L, r.spec, &r.sc.sky)
+			if !r.nonEmptyDone && r.sc.sky.IsDominated(L, r.spec.MinPrice) {
+				r.nonEmptyDone = true
+			}
+			if emptyDone && r.nonEmptyDone {
+				r.done = true
+				active--
+				continue
+			}
+			r.stats.CellsScanned++
+			if !emptyDone {
+				needEmpty = true
+			}
+			if !r.nonEmptyDone {
+				needNonEmpty = true
+			}
+		}
+		if active == 0 {
+			break
+		}
+
+		// Phase 2 — shared resolution: each needed vehicle list is
+		// fetched and each vehicle's probe state read once per cell.
+		if needEmpty {
+			gs.resolveEmpty(ctx, entry.Cell)
+		}
+		if needNonEmpty {
+			gs.resolveNonEmpty(ctx, entry.Cell)
+		}
+
+		// Phase 3 — per-request evaluation against the shared lists.
+		for i := range runs {
+			r := &runs[i]
+			if r.done {
+				continue
+			}
+			if !r.es.done {
+				ctx.scanEmptyShared(gs, r)
+			}
+			if !r.nonEmptyDone {
+				ctx.scanNonEmptyShared(gs, r, dual)
+			}
+		}
+	}
+
+	// Finish each request: flush dual-side deferrals against the final
+	// skyline and frozen d-frontier, land the nearest empty vehicle,
+	// extract the skyline.
+	outs := make([][]Option, k)
+	for i := range runs {
+		r := &runs[i]
+		sc := r.sc
+		sky := &sc.sky
+		if dual {
+			for _, p := range sc.pending {
+				if sky.IsDominated(p.pickupLB, r.spec.MinPrice) {
+					r.stats.PrunedVehicles++
+					continue
+				}
+				if !sc.dseen.seen(p.v.ID) {
+					dlb := detourLB(r.ld, p.maxLeg)
+					if sky.IsDominated(p.pickupLB, r.spec.Ratio*(r.spec.Kin.SD+dlb)) {
+						r.stats.PrunedVehicles++
+						continue
+					}
+				}
+				sc.batch = append(sc.batch, p.v)
+			}
+			sc.pending = sc.pending[:0]
+			if len(sc.batch) >= 2 {
+				r.ensureSFill(ctx)
+				r.ensureDFill(ctx)
+			}
+			ctx.flushBatch(sc, r.spec, sky, r.stats)
+		}
+		r.es.finish(r.spec, sky)
+		outs[i] = skylineOptions(sky, r.stats)
+	}
+
+	// Attribute the group's exact-search count evenly: the multi-target
+	// passes are shared work, and per-request interleaving makes finer
+	// attribution meaningless (see MatchStats.DistCalls).
+	delta := ctx.metric.DistCalls() - before
+	share, rem := delta/int64(k), delta%int64(k)
+	for i := range runs {
+		runs[i].stats.DistCalls += share
+		if int64(i) < rem {
+			runs[i].stats.DistCalls++
+		}
+		ctx.putScratch(runs[i].sc)
+		runs[i] = reqRun{}
+	}
+	return outs
+}

@@ -199,6 +199,90 @@ func TestConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestBatchHotcellRaceStress hammers the coalesced batch pipeline
+// specifically: several goroutines issue hot-cell batches (many items
+// sharing one origin cell, so the shared ring frontier, the probe-state
+// snapshots and the multi-target memo fills are all exercised) while
+// tickers move the fleet and a saboteur removes and replaces vehicles
+// mid-batch. Under -race this pins the batch path's locking; the
+// invariant checks pin that stale probe snapshots can never commit an
+// invalid schedule.
+func TestBatchHotcellRaceStress(t *testing.T) {
+	e := latticeEngine(t, 34, 10, 10, core.Config{
+		Capacity:     3,
+		CommitSlack:  0.2,
+		MatchWorkers: 4,
+	})
+	e.AddVehiclesUniform(24)
+	removable := int32(24)
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				items := hotcellItems(e, seed*1000+int64(i), 5)
+				for j := range items {
+					if rng.Intn(2) == 0 {
+						items[j].Choose = func(opts []core.Option) int {
+							if len(opts) == 0 {
+								return -1
+							}
+							return rng.Intn(len(opts))
+						}
+					}
+				}
+				// Commit failures under concurrent ticks/removals are
+				// expected behaviour (reported via the error), not bugs.
+				_, _ = e.SubmitBatch(items)
+				if i%8 == 0 {
+					if err := e.CheckInvariants(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(500 + w))
+	}
+	for tickers := 0; tickers < 2; tickers++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				if _, err := e.Tick(0.5 + rng.Float64()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(600 + tickers))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(700))
+		for i := 0; i < 10; i++ {
+			_, _ = e.RemoveVehicle(rng.Int31n(removable))
+			e.AddVehicleAt(roadnet.VertexID(rng.Intn(e.Graph().NumVertices())))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("batch stress: %v", err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("post-storm invariants: %v", err)
+	}
+	if st := e.Stats(); st.Requests == 0 {
+		t.Fatal("storm did no work")
+	}
+}
+
 type statErr core.EngineStats
 
 func errAssignedExceedsRequests(st core.EngineStats) error { return statErr(st) }

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"ptrider/internal/fleet"
-	"ptrider/internal/skyline"
 )
 
 // DualSideMatcher implements the dual-side search algorithm (paper
@@ -73,9 +72,9 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 	n := ctx.fleet.NumVehicles()
 	sc.visit.begin(n)
 	sc.dseen.begin(n)
-	par := ctx.workers > 1
 
-	var sky skyline.Skyline[Option]
+	sky := &sc.sky
+	sky.Reset()
 	es := newEmptyScan()
 	nonEmptyDone := false
 	pending := sc.pending[:0]
@@ -103,7 +102,7 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 			ld = math.Inf(1)
 		}
 
-		emptyDone := es.terminateAt(L, spec, &sky)
+		emptyDone := es.terminateAt(L, spec, sky)
 		if !nonEmptyDone && sky.IsDominated(L, spec.MinPrice) {
 			nonEmptyDone = true
 		}
@@ -113,7 +112,7 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		stats.CellsScanned++
 
 		if !emptyDone {
-			es.scanCell(ctx, sc, entry.Cell, spec, &sky, stats)
+			es.scanCell(ctx, sc, entry.Cell, spec, sky, stats)
 		}
 		if !nonEmptyDone {
 			sc.ids = ctx.lists.AppendNonEmpty(entry.Cell, sc.ids[:0])
@@ -135,11 +134,7 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 					continue
 				}
 				if sc.dseen.seen(id) {
-					if par {
-						sc.batch = append(sc.batch, v)
-					} else {
-						quoteVehicle(v, spec, &sky, stats)
-					}
+					sc.batch = append(sc.batch, v)
 					continue
 				}
 				// Certifiably far from d at radius ld: price floor rises.
@@ -150,7 +145,7 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 				}
 				pending = append(pending, pendingVehicle{v: v, pickupLB: pickupLB, maxLeg: maxLeg})
 			}
-			ctx.flushBatch(sc, spec, &sky, stats)
+			ctx.flushBatch(sc, spec, sky, stats)
 		}
 	}
 
@@ -167,15 +162,11 @@ func (m *DualSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 				continue
 			}
 		}
-		if par {
-			sc.batch = append(sc.batch, p.v)
-		} else {
-			quoteVehicle(p.v, spec, &sky, stats)
-		}
+		sc.batch = append(sc.batch, p.v)
 	}
-	ctx.flushBatch(sc, spec, &sky, stats)
+	ctx.flushBatch(sc, spec, sky, stats)
 	sc.pending = pending[:0]
 
-	es.finish(spec, &sky)
-	return skylineOptions(&sky, stats)
+	es.finish(spec, sky)
+	return skylineOptions(sky, stats)
 }

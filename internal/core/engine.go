@@ -66,7 +66,9 @@ type Config struct {
 
 	// Capacity is the per-vehicle rider capacity.
 	Capacity int
-	// MaxSchedulePoints caps pending stops per vehicle (0 = 8).
+	// MaxSchedulePoints caps pending stops per vehicle (0 = 8; at most
+	// 16 — the kinetic quote's permutation encoding and factorial
+	// enumeration both cap there, and NewEngine rejects more).
 	MaxSchedulePoints int
 
 	// SpeedKmh is the constant vehicle speed; the demo uses 48 km/h.
@@ -236,6 +238,7 @@ type Engine struct {
 	fleet  *fleet.Fleet
 
 	matchers map[Algorithm]Matcher
+	mctx     *matchContext
 	algo     atomic.Int32
 
 	clockBits atomic.Uint64 // simulated seconds, as math.Float64bits
@@ -266,6 +269,7 @@ type Engine struct {
 	pruned     stats.Online
 	cells      stats.Online
 	distCalls  stats.Online
+	parWidth   stats.Online // widest probe fan-out per match
 	waitDist   stats.Online // actual − planned pickup distance
 	detourFrac stats.Online // in-vehicle distance / direct distance
 }
@@ -298,11 +302,11 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		respP95: stats.NewP2Quantile(0.95),
 	}
 	e.algo.Store(int32(cfg.Algorithm))
-	ctx := newMatchContext(sub, fl, lists, metric, cfg.MatchWorkers, cfg.DisableEmptyLemma)
+	e.mctx = newMatchContext(sub, fl, lists, metric, cfg.MatchWorkers, cfg.DisableEmptyLemma)
 	e.matchers = map[Algorithm]Matcher{
-		AlgoNaive:      newNaiveMatcher(ctx),
-		AlgoSingleSide: newSingleSideMatcher(ctx),
-		AlgoDualSide:   newDualSideMatcher(ctx),
+		AlgoNaive:      newNaiveMatcher(e.mctx),
+		AlgoSingleSide: newSingleSideMatcher(e.mctx),
+		AlgoDualSide:   newDualSideMatcher(e.mctx),
 	}
 	return e, nil
 }
@@ -395,15 +399,33 @@ func (e *Engine) Submit(s, d roadnet.VertexID, riders int) (*RequestRecord, erro
 // SubmitWithConstraints is Submit with per-rider waiting-time and
 // service-constraint overrides.
 func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
+	spec, wait, sigma, err := e.prepareRequest(s, d, riders, c)
+	if err != nil {
+		return nil, err
+	}
+
+	var ms MatchStats
+	start := time.Now()
+	options := e.matchers[e.Algorithm()].Match(&spec, &ms)
+	e.observeMatch(&ms, len(options), float64(time.Since(start).Nanoseconds()))
+
+	cp := e.registerRecord(&spec, wait, sigma, options)
+	return &cp, nil
+}
+
+// prepareRequest validates a request, resolves constraint defaults, and
+// builds the matcher-level spec under a freshly assigned id — the entry
+// work shared by per-request and batch submission.
+func (e *Engine) prepareRequest(s, d roadnet.VertexID, riders int, c Constraints) (spec ReqSpec, wait, sigma float64, err error) {
 	n := e.sub.g.NumVertices()
 	if s < 0 || int(s) >= n || d < 0 || int(d) >= n {
-		return nil, fmt.Errorf("core: request endpoints out of range")
+		return spec, 0, 0, fmt.Errorf("core: request endpoints out of range")
 	}
 	if s == d {
-		return nil, fmt.Errorf("core: start and destination coincide")
+		return spec, 0, 0, fmt.Errorf("core: start and destination coincide")
 	}
 	if riders < 1 {
-		return nil, fmt.Errorf("core: rider count %d < 1", riders)
+		return spec, 0, 0, fmt.Errorf("core: rider count %d < 1", riders)
 	}
 	// A group larger than every vehicle's capacity is a legitimate
 	// request that simply cannot be served: matching returns an empty
@@ -411,21 +433,19 @@ func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Cons
 	// behaviour of showing no taxis rather than an input error.
 	sd := e.metric.Dist(s, d)
 	if math.IsInf(sd, 1) {
-		return nil, fmt.Errorf("core: no route from %d to %d", s, d)
+		return spec, 0, 0, fmt.Errorf("core: no route from %d to %d", s, d)
 	}
-	wait := c.WaitSeconds
+	wait = c.WaitSeconds
 	if wait <= 0 {
 		wait = e.sub.cfg.MaxWaitSeconds
 	}
-	sigma := c.Sigma
+	sigma = c.Sigma
 	if sigma < 0 {
 		sigma = e.sub.cfg.Sigma
 	}
-
-	id := RequestID(e.nextID.Add(1))
-	spec := &ReqSpec{
+	spec = ReqSpec{
 		Kin: kinetic.Request{
-			ID: id, S: s, D: d, Riders: riders,
+			ID: RequestID(e.nextID.Add(1)), S: s, D: d, Riders: riders,
 			SD:           sd,
 			ServiceLimit: (1 + sigma) * sd,
 			WaitBudget:   wait * e.sub.speed,
@@ -434,37 +454,41 @@ func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Cons
 		MinPrice:      e.sub.model.MinPrice(riders, sd),
 		MaxPickupDist: e.sub.cfg.MaxPickupSeconds * e.sub.speed,
 	}
+	return spec, wait, sigma, nil
+}
 
-	var ms MatchStats
-	start := time.Now()
-	options := e.matchers[e.Algorithm()].Match(spec, &ms)
-	elapsed := time.Since(start)
-
+// observeMatch folds one answered match into the online accumulators
+// and counts the request. The count lands before the record becomes
+// visible: any assign that includes this request is then counted after
+// it, keeping Stats' Assigned ≤ Requests under concurrency.
+func (e *Engine) observeMatch(ms *MatchStats, numOptions int, elapsedNs float64) {
 	e.statsMu.Lock()
-	e.respNs.Observe(float64(elapsed.Nanoseconds()))
-	e.respP95.Observe(float64(elapsed.Nanoseconds()))
-	e.optCount.Observe(float64(len(options)))
+	e.respNs.Observe(elapsedNs)
+	e.respP95.Observe(elapsedNs)
+	e.optCount.Observe(float64(numOptions))
 	e.verified.Observe(float64(ms.Verified))
 	e.pruned.Observe(float64(ms.PrunedVehicles))
 	e.cells.Observe(float64(ms.CellsScanned))
 	e.distCalls.Observe(float64(ms.DistCalls))
+	e.parWidth.Observe(float64(ms.ParallelWidth))
 	e.statsMu.Unlock()
-	// Count the request before the record becomes visible: any assign
-	// that includes this request is then counted after it, keeping
-	// Stats' Assigned ≤ Requests under concurrency.
 	e.requests.Add(1)
+}
 
+// registerRecord creates the quoted ledger record for an answered
+// request and returns a snapshot copy.
+func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Option) RequestRecord {
 	rec := &RequestRecord{
-		ID: id, S: s, D: d, Riders: riders,
+		ID: spec.Kin.ID, S: spec.Kin.S, D: spec.Kin.D, Riders: spec.Kin.Riders,
 		WaitSeconds: wait, Sigma: sigma,
 		Status: StatusQuoted, Options: options, Chosen: -1,
-		SD: sd, SubmitClock: e.Clock(),
+		SD: spec.Kin.SD, SubmitClock: e.Clock(),
 	}
 	e.ledgerMu.Lock()
-	e.reqs[id] = rec
+	e.reqs[rec.ID] = rec
 	cp := *rec
 	e.ledgerMu.Unlock()
-	return &cp, nil
+	return cp
 }
 
 // Choose commits the rider's selected option: a validate-then-commit
@@ -536,48 +560,170 @@ type BatchItem struct {
 	Choose func(options []Option) int
 }
 
+// batchWaveTail bounds how many items past the first potential
+// committer one wave speculatively quotes (see SubmitBatch).
+const batchWaveTail = 7
+
+// batchPrep is one validated batch item awaiting its quote.
+type batchPrep struct {
+	idx         int // index into the caller's items
+	spec        ReqSpec
+	wait, sigma float64
+}
+
 // SubmitBatch processes simultaneously issued requests with the paper's
-// greedy strategy (§2.5): the batch's requests are quoted and committed
-// one at a time, each seeing the fleet state left by the previous
-// commitments. It returns one record snapshot per item, in order;
-// individual failures are recorded as nil entries with the first error
-// returned. Unrelated traffic may interleave with a batch — the greedy
-// order is a property of the batch, not a global freeze.
+// greedy strategy (§2.5): commitments are applied one at a time in
+// batch order, each subsequent quote seeing the fleet state left by the
+// previous commitments. Between commitments, quoting is coalesced:
+// maximal runs of consecutive items ("waves") are matched together, and
+// items sharing an origin grid cell share one ring frontier, one
+// vehicle-list fetch and probe-state read per ring cell, and
+// multi-target distance passes (see matchGroup) — the hot-cell path
+// that makes N co-located simultaneous requests cost far less than N
+// independent submits. A successful commitment ends the wave; the
+// remaining items are re-quoted in a fresh wave so greedy semantics are
+// preserved exactly.
+//
+// It returns one record snapshot per item, in order; individual
+// failures are recorded as nil entries with the first error returned.
+// Unrelated traffic may interleave with a batch — the greedy order is a
+// property of the batch, not a global freeze.
 func (e *Engine) SubmitBatch(items []BatchItem) ([]*RequestRecord, error) {
 	out := make([]*RequestRecord, len(items))
 	var firstErr error
+	fail := func(i int, err error) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: batch item %d: %w", i, err)
+		}
+	}
+
+	preps := make([]batchPrep, 0, len(items))
 	for i, it := range items {
-		rec, err := e.SubmitWithConstraints(it.S, it.D, it.Riders, it.Constraints)
+		spec, wait, sigma, err := e.prepareRequest(it.S, it.D, it.Riders, it.Constraints)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: batch item %d: %w", i, err)
-			}
+			fail(i, err)
 			continue
 		}
-		pick := -1
-		if it.Choose != nil {
-			pick = it.Choose(rec.Options)
+		preps = append(preps, batchPrep{idx: i, spec: spec, wait: wait, sigma: sigma})
+	}
+
+	for start := 0; start < len(preps); {
+		// A wave is a maximal run of items that cannot commit (nil
+		// Choose) — their coalesced quotes are never discarded — plus a
+		// bounded tail once choosers appear. The tail bounds the
+		// speculation: a commit discards at most batchWaveTail quotes
+		// (so commit-heavy batches cost O(k·tail), not O(k²)), while
+		// decline-heavy chooser batches still coalesce about
+		// batchWaveTail+1 items per wave.
+		end := start
+		for end < len(preps) && items[preps[end].idx].Choose == nil {
+			end++
 		}
-		if pick >= 0 && pick < len(rec.Options) {
-			if err := e.Choose(rec.ID, pick); err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: batch item %d choose: %w", i, err)
-				}
+		for tail := 0; end < len(preps) && tail <= batchWaveTail; tail++ {
+			end++
+		}
+		start += e.runWave(preps[start:end], items, out, fail)
+	}
+	return out, firstErr
+}
+
+// runWave quotes a maximal commit-free run of batch items in one
+// coalesced pass, then walks the wave in batch order applying choices.
+// The first successful commitment truncates the wave — its tail is
+// discarded and re-quoted by the caller against the post-commit fleet,
+// which is exactly the paper's greedy order. It returns the number of
+// items consumed.
+func (e *Engine) runWave(wave []batchPrep, items []BatchItem, out []*RequestRecord, fail func(int, error)) int {
+	start := time.Now()
+	optsList, statsList := e.matchWave(wave)
+	perNs := float64(time.Since(start).Nanoseconds()) / float64(len(wave))
+
+	consumed := 0
+	for wi := range wave {
+		p := &wave[wi]
+		id := p.spec.Kin.ID
+		e.observeMatch(&statsList[wi], len(optsList[wi]), perNs)
+		snap := e.registerRecord(&p.spec, p.wait, p.sigma, optsList[wi])
+
+		committed := false
+		pick := -1
+		if ch := items[p.idx].Choose; ch != nil {
+			pick = ch(snap.Options)
+		}
+		if pick >= 0 && pick < len(snap.Options) {
+			if err := e.Choose(id, pick); err != nil {
 				// Don't abandon the record in the quoted state: a
 				// failed choice (e.g. the candidate went stale under a
 				// concurrent ticker) ends the item's lifecycle here.
-				_ = e.Decline(rec.ID)
+				fail(p.idx, fmt.Errorf("choose: %w", err))
+				_ = e.Decline(id)
+			} else {
+				committed = true
 			}
 		} else {
-			_ = e.Decline(rec.ID)
+			_ = e.Decline(id)
 		}
-		if fresh, err := e.Request(rec.ID); err == nil {
-			out[i] = fresh
+		if fresh, err := e.Request(id); err == nil {
+			out[p.idx] = fresh
 		} else {
-			out[i] = rec
+			cp := snap
+			out[p.idx] = &cp
+		}
+		consumed = wi + 1
+		if committed {
+			break
 		}
 	}
-	return out, firstErr
+	return consumed
+}
+
+// matchWave quotes one wave: items are grouped by origin grid cell and
+// each group of two or more rides one shared ring frontier
+// (matchGroup); singleton groups — and the naive algorithm, which scans
+// no rings — run the ordinary per-request matcher.
+func (e *Engine) matchWave(wave []batchPrep) ([][]Option, []MatchStats) {
+	k := len(wave)
+	optsList := make([][]Option, k)
+	statsList := make([]MatchStats, k)
+	algo := e.Algorithm()
+	m := e.matchers[algo]
+	dual := algo == AlgoDualSide
+	coalesce := (algo == AlgoSingleSide || dual) && !e.sub.cfg.DisableEmptyLemma
+	if !coalesce || k == 1 {
+		for i := range wave {
+			optsList[i] = m.Match(&wave[i].spec, &statsList[i])
+		}
+		return optsList, statsList
+	}
+
+	grouped := make([]bool, k)
+	var specs []*ReqSpec
+	var stats []*MatchStats
+	var idxs []int
+	for i := 0; i < k; i++ {
+		if grouped[i] {
+			continue
+		}
+		cell := e.sub.grid.CellOf(wave[i].spec.Kin.S)
+		specs, stats, idxs = specs[:0], stats[:0], idxs[:0]
+		for j := i; j < k; j++ {
+			if !grouped[j] && e.sub.grid.CellOf(wave[j].spec.Kin.S) == cell {
+				grouped[j] = true
+				specs = append(specs, &wave[j].spec)
+				stats = append(stats, &statsList[j])
+				idxs = append(idxs, j)
+			}
+		}
+		if len(specs) == 1 {
+			optsList[idxs[0]] = m.Match(specs[0], stats[0])
+			continue
+		}
+		groupOuts := e.mctx.matchGroup(specs, dual, stats)
+		for gi, j := range idxs {
+			optsList[j] = groupOuts[gi]
+		}
+	}
+	return optsList, statsList
 }
 
 // Decline records that the rider took none of the options.
@@ -768,6 +914,7 @@ type EngineStats struct {
 	AvgPruned       float64
 	AvgCellsScanned float64
 	AvgDistCalls    float64
+	AvgMatchWidth   float64 // widest candidate-probe fan-out per match
 	AvgWaitSeconds  float64 // actual−planned pickup wait
 	AvgDetourFactor float64 // in-vehicle distance / direct
 	ActiveVehicles  int
@@ -797,6 +944,7 @@ func (e *Engine) Stats() EngineStats {
 	s.AvgPruned = e.pruned.Mean()
 	s.AvgCellsScanned = e.cells.Mean()
 	s.AvgDistCalls = e.distCalls.Mean()
+	s.AvgMatchWidth = e.parWidth.Mean()
 	s.AvgWaitSeconds = e.waitDist.Mean() / e.sub.speed
 	s.AvgDetourFactor = e.detourFrac.Mean()
 	e.statsMu.Unlock()
@@ -873,6 +1021,12 @@ func (e *Engine) PickupSeconds(o Option) float64 { return o.PickupDist / e.sub.s
 func (e *Engine) ResetDistCache() {
 	e.metric.Reset()
 }
+
+// DistCalls returns the cumulative number of exact shortest-path
+// searches the engine has performed (a multi-target batch pass counts
+// once) — the paper's §3.3 efficiency metric, exposed for the
+// benchmark harness.
+func (e *Engine) DistCalls() int64 { return e.metric.DistCalls() }
 
 // RandomVertex returns a uniformly random vertex (generator helper).
 func (e *Engine) RandomVertex() roadnet.VertexID {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -135,6 +136,187 @@ func (m *memoMetric) LB(u, v roadnet.VertexID) float64 {
 		}
 	}
 	return lb
+}
+
+// memoBatchScratch is the caller-owned workspace of the batch-fill
+// APIs, reused across calls so batch fills allocate nothing in steady
+// state.
+type memoBatchScratch struct {
+	keys    []memoKey
+	shardOf []uint8
+	miss    []bool
+	missLoc []roadnet.VertexID
+	missOut []float64
+	missIdx []int32
+	counts  [memoShards]int32
+}
+
+func (sc *memoBatchScratch) reset(k int) {
+	if cap(sc.keys) < k {
+		sc.keys = make([]memoKey, k)
+		sc.shardOf = make([]uint8, k)
+		sc.miss = make([]bool, k)
+	}
+	sc.keys = sc.keys[:k]
+	sc.shardOf = sc.shardOf[:k]
+	sc.miss = sc.miss[:k]
+	sc.missLoc = sc.missLoc[:0]
+	sc.missOut = sc.missOut[:0]
+	sc.missIdx = sc.missIdx[:0]
+	sc.counts = [memoShards]int32{}
+}
+
+// batchLookup is the shared read phase of the batch-fill APIs: it
+// resolves every cached (from, target) pair with one read lock per
+// touched stripe — not one lock round-trip per pair — and collects the
+// misses in sc. It reports whether any miss remains.
+func (m *memoMetric) batchLookup(from roadnet.VertexID, targets []roadnet.VertexID, out []float64, sc *memoBatchScratch) bool {
+	k := len(targets)
+	if len(out) != k {
+		panic("core: batch fill out length mismatch")
+	}
+	sc.reset(k)
+	for i, t := range targets {
+		sc.miss[i] = false
+		if t == from {
+			out[i] = 0
+			sc.shardOf[i] = memoShards // no stripe visit needed
+			continue
+		}
+		key := normKey(from, t)
+		sh := key.shard()
+		sc.keys[i] = key
+		sc.shardOf[i] = uint8(sh)
+		sc.counts[sh]++
+	}
+	for sh := 0; sh < memoShards; sh++ {
+		if sc.counts[sh] == 0 {
+			continue
+		}
+		stripe := &m.shards[sh]
+		stripe.mu.RLock()
+		for i := range targets {
+			if int(sc.shardOf[i]) != sh {
+				continue
+			}
+			if d, ok := stripe.memo[sc.keys[i]]; ok {
+				out[i] = d
+			} else {
+				sc.miss[i] = true
+			}
+		}
+		stripe.mu.RUnlock()
+	}
+	for i := range targets {
+		if sc.miss[i] {
+			sc.missLoc = append(sc.missLoc, targets[i])
+			sc.missIdx = append(sc.missIdx, int32(i))
+		}
+	}
+	return len(sc.missLoc) > 0
+}
+
+// batchStore is the shared write phase: the resolved misses (sc.missOut)
+// are scattered into out and stored with one write lock per touched
+// stripe. Values beyond maxDist are truncation artefacts, not proven
+// distances, and are not cached; with maxDist = +Inf a +Inf value is a
+// proven disconnection and is cached like any other.
+func (m *memoMetric) batchStore(maxDist float64, out []float64, sc *memoBatchScratch) {
+	storeInf := math.IsInf(maxDist, 1)
+	for j, i := range sc.missIdx {
+		out[i] = sc.missOut[j]
+	}
+	for sh := 0; sh < memoShards; sh++ {
+		if sc.counts[sh] == 0 {
+			continue
+		}
+		stripe := &m.shards[sh]
+		locked := false
+		for j, i := range sc.missIdx {
+			if int(sc.shardOf[i]) != sh {
+				continue
+			}
+			d := sc.missOut[j]
+			if math.IsInf(d, 1) && !storeInf {
+				continue
+			}
+			if !locked {
+				stripe.mu.Lock()
+				locked = true
+			}
+			if len(stripe.memo) >= m.maxPerShard {
+				stripe.memo = make(map[memoKey]float64, 1<<6)
+			}
+			stripe.memo[sc.keys[i]] = d
+		}
+		if locked {
+			stripe.mu.Unlock()
+		}
+	}
+}
+
+// DistBatch fills out[i] = Dist(from, targets[i]) for every target
+// within maxDist: cached pairs are read with one shard visit per
+// touched stripe, the misses are resolved by a single multi-target
+// Dijkstra pass, and the freshly computed distances warm the memo with
+// one write lock per touched stripe.
+//
+// One multi-target pass counts as one DistCall: the metric counts
+// shortest-path searches performed, and the pass is a single search —
+// that is exactly the batching win over per-pair point queries.
+func (m *memoMetric) DistBatch(from roadnet.VertexID, targets []roadnet.VertexID, maxDist float64, out []float64, sc *memoBatchScratch) {
+	if len(targets) == 0 {
+		return
+	}
+	if !m.batchLookup(from, targets, out, sc) {
+		return
+	}
+	m.distCalls.Add(1)
+	s := m.searchers.Get().(*roadnet.Searcher)
+	if cap(sc.missOut) < len(sc.missLoc) {
+		sc.missOut = make([]float64, len(sc.missLoc))
+	}
+	sc.missOut = sc.missOut[:len(sc.missLoc)]
+	s.DistsTo(from, sc.missLoc, maxDist, sc.missOut)
+	m.searchers.Put(s)
+	m.batchStore(maxDist, out, sc)
+}
+
+// DistBatchPrefilled is DistBatch with the misses answered from a
+// whole-graph fill (see FillDistsUncached) instead of a fresh pass: the
+// memo read, the truncation semantics and the grouped store are
+// identical — so the memo evolves exactly as if DistBatch had run — but
+// no additional search is performed (the fill was already counted).
+func (m *memoMetric) DistBatchPrefilled(from roadnet.VertexID, targets []roadnet.VertexID, maxDist float64, out []float64, fill []float64, sc *memoBatchScratch) {
+	if len(targets) == 0 {
+		return
+	}
+	if !m.batchLookup(from, targets, out, sc) {
+		return
+	}
+	if cap(sc.missOut) < len(sc.missLoc) {
+		sc.missOut = make([]float64, len(sc.missLoc))
+	}
+	sc.missOut = sc.missOut[:len(sc.missLoc)]
+	for j, t := range sc.missLoc {
+		d := fill[t]
+		if d > maxDist {
+			d = math.Inf(1) // mirror the bounded pass's truncation
+		}
+		sc.missOut[j] = d
+	}
+	m.batchStore(maxDist, out, sc)
+}
+
+// FillDistsUncached runs one whole-graph pass from one origin, filling
+// out[v] for every vertex without touching the memo. One fill per
+// request side is what the coalesced batch pipeline amortises all of
+// its distance queries against. Counts one DistCall: one search.
+func (m *memoMetric) FillDistsUncached(from roadnet.VertexID, out []float64) {
+	m.distCalls.Add(1)
+	s := m.searchers.Get().(*roadnet.Searcher)
+	s.FillDists(from, math.Inf(1), out)
+	m.searchers.Put(s)
 }
 
 // DistCalls returns the cumulative number of exact shortest-path

@@ -1,10 +1,5 @@
 package core
 
-import (
-	"ptrider/internal/fleet"
-	"ptrider/internal/skyline"
-)
-
 // NaiveMatcher is the baseline extended directly from the kinetic-tree
 // algorithm (paper §3.3): every vehicle is evaluated by probing its
 // kinetic tree with the request; the global skyline filters the
@@ -28,20 +23,15 @@ func (m *NaiveMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 	before := ctx.metric.DistCalls()
 	defer func() { stats.DistCalls += ctx.metric.DistCalls() - before }()
 
-	var sky skyline.Skyline[Option]
-	if ctx.workers > 1 {
-		sc := ctx.getScratch()
-		defer ctx.putScratch(sc)
-		for _, v := range ctx.fleet.Snapshot() {
-			if !v.Removed() {
-				sc.batch = append(sc.batch, v)
-			}
+	sc := ctx.getScratch()
+	defer ctx.putScratch(sc)
+	sky := &sc.sky
+	sky.Reset()
+	for _, v := range ctx.fleet.Snapshot() {
+		if !v.Removed() {
+			sc.batch = append(sc.batch, v)
 		}
-		ctx.flushBatch(sc, spec, &sky, stats)
-	} else {
-		ctx.fleet.Vehicles(func(v *fleet.Vehicle) {
-			quoteVehicle(v, spec, &sky, stats)
-		})
 	}
-	return skylineOptions(&sky, stats)
+	ctx.flushBatch(sc, spec, sky, stats)
+	return skylineOptions(sky, stats)
 }

@@ -53,10 +53,15 @@ type MatchStats struct {
 	// CellsScanned counts ring cells visited across both sides.
 	CellsScanned int
 	// DistCalls counts exact shortest-path computations attributable to
-	// this match.
+	// this match. A multi-target batch pass counts once: it is one
+	// search, however many targets it settles.
 	DistCalls int64
 	// Options is the size of the returned skyline.
 	Options int
+	// ParallelWidth is the widest candidate-evaluation fan-out the
+	// match used (see Config.MatchWorkers); 1 means every probe ran
+	// serially. Zero when no probe batch was flushed at all.
+	ParallelWidth int
 }
 
 // Matcher answers a request with the global non-dominated option set.
@@ -87,6 +92,7 @@ type matchContext struct {
 	disableEmptyLemma bool
 
 	scratch sync.Pool // *matchScratch
+	groups  sync.Pool // *groupScratch
 }
 
 func newMatchContext(sub *Substrate, fl *fleet.Fleet, lists *gridindex.VehicleLists, metric *memoMetric, workers int, disableEmptyLemma bool) *matchContext {
@@ -99,24 +105,20 @@ func newMatchContext(sub *Substrate, fl *fleet.Fleet, lists *gridindex.VehicleLi
 		disableEmptyLemma: disableEmptyLemma,
 	}
 	ctx.scratch.New = func() any { return &matchScratch{} }
+	ctx.groups.New = func() any { return &groupScratch{} }
 	return ctx
 }
 
 func (ctx *matchContext) grid() *gridindex.Grid { return ctx.sub.grid }
 
-// quoteVehicle verifies one vehicle immediately: probes its kinetic
-// tree and folds the candidates into the global skyline.
-func quoteVehicle(v *fleet.Vehicle, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
-	stats.Verified++
-	foldCandidates(v, v.Quote(spec.Kin), spec, sky, stats)
-}
-
-// foldCandidates merges one vehicle's probe results into the global
-// skyline, applying the pick-up cutoff. Coordinates already present are
-// skipped so ties do not multiply across vehicles; fold order therefore
-// decides tie winners, which is why parallel evaluation folds in
-// discovery order.
-func foldCandidates(v *fleet.Vehicle, cands []kinetic.Candidate, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
+// foldPacked merges one vehicle's packed probe results into the global
+// skyline, applying the pick-up cutoff. The stop sequence is
+// materialised only for entries the skyline accepts — rejected
+// candidates (the vast majority on a loaded fleet) cost no allocation.
+// Coordinates already present are skipped so ties do not multiply
+// across vehicles; fold order therefore decides tie winners, which is
+// why parallel evaluation folds in discovery order.
+func foldPacked(v *fleet.Vehicle, cands []kinetic.PackedCandidate, pts []kinetic.Point, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
 	for _, cand := range cands {
 		if cand.PickupDist > spec.MaxPickupDist {
 			continue
@@ -129,15 +131,21 @@ func foldCandidates(v *fleet.Vehicle, cands []kinetic.Candidate, spec *ReqSpec, 
 			Vehicle:    v.ID,
 			PickupDist: cand.PickupDist,
 			Price:      price,
-			Candidate:  cand,
+			Candidate: kinetic.Candidate{
+				Seq:        kinetic.UnpackSeq(cand.Perm, pts),
+				PickupDist: cand.PickupDist,
+				TotalDist:  cand.TotalDist,
+				Delta:      cand.Delta,
+			},
 		})
 	}
 }
 
 // skylineOptions extracts the final option list, sorted by pick-up
-// distance.
+// distance. Only the returned slice is allocated; the skyline sorts in
+// place (it is pooled scratch, reset by the next match).
 func skylineOptions(sky *skyline.Skyline[Option], stats *MatchStats) []Option {
-	entries := sky.Entries()
+	entries := sky.Sorted()
 	out := make([]Option, len(entries))
 	for i, e := range entries {
 		out[i] = e.Payload

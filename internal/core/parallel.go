@@ -1,12 +1,14 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"ptrider/internal/fleet"
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
 	"ptrider/internal/skyline"
 )
 
@@ -86,15 +88,52 @@ func (s *visitSet) seen(id gridindex.VehicleID) bool {
 
 // matchScratch is the per-match workspace. Matchers are stateless and
 // safe for concurrent Match calls; each call checks a scratch out of
-// the context's pool.
+// the context's pool. The scratch covers every reusable buffer of the
+// hot path — cell-list reads, probe batches, candidate slices, the
+// result skyline, and the distance-memo batch-fill workspace — so a
+// steady-state match allocates only what escapes into the returned
+// options.
 type matchScratch struct {
 	visit visitSet // s-side discovery
 	dseen visitSet // d-side discovery (dual-side only)
 
 	ids     []gridindex.VehicleID // cell-list read buffer
 	batch   []*fleet.Vehicle      // vehicles awaiting a parallel probe
-	quotes  [][]kinetic.Candidate // per-batch probe results
 	pending []pendingVehicle      // dual-side deferred vehicles
+
+	// Packed-probe buffers: candidates stay permutation-encoded until
+	// the fold accepts them, so probing allocates nothing.
+	pcands  []kinetic.PackedCandidate   // serial-probe candidates
+	ptsBuf  []kinetic.Point             // serial-probe point set
+	pquotes [][]kinetic.PackedCandidate // per-slot probe result views
+	ppts    [][]kinetic.Point           // per-slot point-set views
+	pbufs   [][]kinetic.PackedCandidate // per-slot candidate storage
+	ptsBufs [][]kinetic.Point           // per-slot point-set storage
+
+	sky skyline.Skyline[Option] // per-match result skyline
+
+	// Empty-scan staging: the lower-bound survivors of one cell,
+	// resolved by one batch fill.
+	memoSc     memoBatchScratch
+	emptyVehs  []*fleet.Vehicle
+	emptyLocs  []roadnet.VertexID
+	emptyDists []float64
+
+	// Seeded-flush staging: the batched vehicles' schedule locations
+	// (concatenated, with per-slot offsets) and the request-specific
+	// distance rows fanned out to them.
+	probeLocs   []roadnet.VertexID
+	probeStarts []int32
+	probeS      []float64
+	probeD      []float64
+	seeds       []kinetic.QuoteSeed
+
+	// Whole-graph fills, valid only during a coalesced group match:
+	// when set, the seeded flush and the empty scan read these instead
+	// of issuing per-flush and per-cell passes — one s-side and one
+	// d-side search amortised across the request's whole frontier.
+	sFill, dFill     []float64
+	sFillOK, dFillOK bool
 }
 
 func (ctx *matchContext) getScratch() *matchScratch {
@@ -104,33 +143,110 @@ func (ctx *matchContext) getScratch() *matchScratch {
 func (ctx *matchContext) putScratch(sc *matchScratch) {
 	sc.batch = sc.batch[:0]
 	sc.pending = sc.pending[:0]
+	sc.sFillOK = false
+	sc.dFillOK = false
 	ctx.scratch.Put(sc)
 }
 
-// flushBatch probes every batched vehicle (concurrently when the batch
-// and the worker budget allow) and folds the candidates into the
-// skyline in batch order. The batch is reset.
+// parallelGrain is the smallest probe count worth one extra goroutine:
+// batches below 2×grain run serially, so sparsely populated cells do
+// not pay goroutine handoff for a couple of kinetic-tree probes.
+const parallelGrain = 2
+
+// adaptiveWidth sizes the candidate-evaluation fan-out from the
+// surviving candidate count: one worker per parallelGrain probes,
+// capped by the configured MatchWorkers budget.
+func adaptiveWidth(workers, n int) int {
+	if workers <= 1 || n < 2*parallelGrain {
+		return 1
+	}
+	w := n / parallelGrain
+	if w > workers {
+		w = workers
+	}
+	return w
+}
+
+// flushBatch probes every batched vehicle and folds the candidates into
+// the skyline in batch order. Probes run seeded: the vehicles' schedule
+// locations are snapshotted, every request-specific distance the
+// probes will read — dist(x, s) and dist(x, d) for every schedule
+// point x — is answered through the memo's batch-fill API (one shared
+// multi-target pass per side for the misses; the request's whole-graph
+// fills answer them during a coalesced group match), and the probes
+// consume the results straight from their enumeration matrices instead
+// of issuing per-pair point searches. The fan-out width adapts to the
+// batch size (see adaptiveWidth) and the widest fan-out used is
+// recorded in stats.ParallelWidth. The batch is reset.
 func (ctx *matchContext) flushBatch(sc *matchScratch, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
 	n := len(sc.batch)
 	if n == 0 {
 		return
 	}
-	if n == 1 || ctx.workers <= 1 {
-		for _, v := range sc.batch {
-			quoteVehicle(v, spec, sky, stats)
+	sc.probeLocs = sc.probeLocs[:0]
+	sc.probeStarts = sc.probeStarts[:0]
+	for _, v := range sc.batch {
+		sc.probeStarts = append(sc.probeStarts, int32(len(sc.probeLocs)))
+		sc.probeLocs = v.AppendProbeLocs(sc.probeLocs)
+	}
+	sc.probeStarts = append(sc.probeStarts, int32(len(sc.probeLocs)))
+	total := len(sc.probeLocs)
+	if cap(sc.probeS) < total {
+		sc.probeS = make([]float64, total)
+		sc.probeD = make([]float64, total)
+	}
+	probeS, probeD := sc.probeS[:total], sc.probeD[:total]
+	if sc.sFillOK && sc.dFillOK {
+		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.probeLocs, math.Inf(1), probeS, sc.sFill, &sc.memoSc)
+		ctx.metric.DistBatchPrefilled(spec.Kin.D, sc.probeLocs, math.Inf(1), probeD, sc.dFill, &sc.memoSc)
+	} else {
+		ctx.metric.DistBatch(spec.Kin.S, sc.probeLocs, math.Inf(1), probeS, &sc.memoSc)
+		ctx.metric.DistBatch(spec.Kin.D, sc.probeLocs, math.Inf(1), probeD, &sc.memoSc)
+	}
+	for len(sc.seeds) < n {
+		sc.seeds = append(sc.seeds, kinetic.QuoteSeed{})
+	}
+	for i := 0; i < n; i++ {
+		a, b := sc.probeStarts[i], sc.probeStarts[i+1]
+		sc.seeds[i] = kinetic.QuoteSeed{Locs: sc.probeLocs[a:b], SDist: probeS[a:b], DDist: probeD[a:b]}
+	}
+
+	width := adaptiveWidth(ctx.workers, n)
+	if width > stats.ParallelWidth {
+		stats.ParallelWidth = width
+	}
+	if width <= 1 {
+		for i, v := range sc.batch {
+			stats.Verified++
+			pcands, pts := v.QuotePacked(spec.Kin, sc.pcands[:0], sc.ptsBuf[:0], &sc.seeds[i])
+			foldPacked(v, pcands, pts, spec, sky, stats)
+			sc.pcands, sc.ptsBuf = pcands[:0], pts[:0] // retain grown buffers
 		}
 	} else {
-		if cap(sc.quotes) < n {
-			sc.quotes = make([][]kinetic.Candidate, n)
+		if cap(sc.pquotes) < n {
+			sc.pquotes = make([][]kinetic.PackedCandidate, n)
+			sc.ppts = make([][]kinetic.Point, n)
 		}
-		quotes := sc.quotes[:n]
-		parallelFor(ctx.workers, n, func(i int) {
-			quotes[i] = sc.batch[i].Quote(spec.Kin)
+		for len(sc.pbufs) < n {
+			sc.pbufs = append(sc.pbufs, nil)
+			sc.ptsBufs = append(sc.ptsBufs, nil)
+		}
+		pquotes, ppts := sc.pquotes[:n], sc.ppts[:n]
+		pbufs, ptsBufs := sc.pbufs, sc.ptsBufs
+		seeds := sc.seeds
+		parallelFor(width, n, func(i int) {
+			pquotes[i], ppts[i] = sc.batch[i].QuotePacked(spec.Kin, pbufs[i][:0], ptsBufs[i][:0], &seeds[i])
 		})
 		for i, v := range sc.batch {
 			stats.Verified++
-			foldCandidates(v, quotes[i], spec, sky, stats)
-			quotes[i] = nil
+			foldPacked(v, pquotes[i], ppts[i], spec, sky, stats)
+			if pquotes[i] != nil {
+				pbufs[i] = pquotes[i][:0] // retain grown buffers
+			}
+			if ppts[i] != nil {
+				ptsBufs[i] = ppts[i][:0]
+			}
+			pquotes[i], ppts[i] = nil, nil
 		}
 	}
 	sc.batch = sc.batch[:0]

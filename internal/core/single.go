@@ -57,7 +57,11 @@ type emptyScan struct {
 
 func newEmptyScan() emptyScan { return emptyScan{bestDist: math.Inf(1)} }
 
-// scanCell folds one cell's empty-vehicle list into the running best.
+// scanCell folds one cell's empty-vehicle list into the running best:
+// lower-bound filtering first, then one batch fill — a single
+// multi-target pass bounded by the current best, since anything at or
+// beyond it cannot change the scan's outcome — resolves the survivors'
+// exact distances, folded in list order.
 func (es *emptyScan) scanCell(ctx *matchContext, sc *matchScratch, cell gridindex.CellID, spec *ReqSpec, sky *skyline.Skyline[Option], stats *MatchStats) {
 	if spec.Kin.Riders > ctx.fleet.Capacity() {
 		// No vehicle can hold the group; the synthetic empty-vehicle
@@ -67,6 +71,8 @@ func (es *emptyScan) scanCell(ctx *matchContext, sc *matchScratch, cell gridinde
 		return
 	}
 	sc.ids = ctx.lists.AppendEmpty(cell, sc.ids[:0])
+	sc.emptyVehs = sc.emptyVehs[:0]
+	sc.emptyLocs = sc.emptyLocs[:0]
 	for _, id := range sc.ids {
 		v, err := ctx.fleet.Vehicle(id)
 		if err != nil {
@@ -84,7 +90,7 @@ func (es *emptyScan) scanCell(ctx *matchContext, sc *matchScratch, cell gridinde
 				stats.PrunedVehicles++
 				continue
 			}
-			quoteVehicle(v, spec, sky, stats)
+			sc.batch = append(sc.batch, v)
 			continue
 		}
 		lb := ctx.metric.LB(loc, spec.Kin.S)
@@ -92,7 +98,41 @@ func (es *emptyScan) scanCell(ctx *matchContext, sc *matchScratch, cell gridinde
 			stats.PrunedVehicles++
 			continue
 		}
-		if d := ctx.metric.Dist(loc, spec.Kin.S); d < es.bestDist {
+		sc.emptyVehs = append(sc.emptyVehs, v)
+		sc.emptyLocs = append(sc.emptyLocs, loc)
+	}
+	if ctx.disableEmptyLemma {
+		// Flush the ablation probes before the cell's non-empty scan,
+		// preserving the per-cell phase order.
+		ctx.flushBatch(sc, spec, sky, stats)
+		return
+	}
+	es.foldPass(ctx, sc, spec, sky)
+}
+
+// foldPass resolves the staged lower-bound survivors
+// (sc.emptyVehs/emptyLocs) with one batch fill and folds them in list
+// order — shared by the per-request scan and the coalesced group scan,
+// whose whole-graph fill answers the pass when present. The filter ran
+// against the cell-entry best, so the fill may cover vehicles an
+// eagerly-updating scan would have pruned; their distances are at or
+// beyond the running best by the bounds' soundness, so the fold
+// rejects them and the outcome is identical.
+func (es *emptyScan) foldPass(ctx *matchContext, sc *matchScratch, spec *ReqSpec, sky *skyline.Skyline[Option]) {
+	if len(sc.emptyLocs) == 0 {
+		return
+	}
+	if cap(sc.emptyDists) < len(sc.emptyLocs) {
+		sc.emptyDists = make([]float64, len(sc.emptyLocs))
+	}
+	dists := sc.emptyDists[:len(sc.emptyLocs)]
+	if sc.sFillOK {
+		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.emptyLocs, es.bestDist, dists, sc.sFill, &sc.memoSc)
+	} else {
+		ctx.metric.DistBatch(spec.Kin.S, sc.emptyLocs, es.bestDist, dists, &sc.memoSc)
+	}
+	for j, v := range sc.emptyVehs {
+		if d := dists[j]; d < es.bestDist {
 			es.bestDist = d
 			es.bestOpt = emptyVehicleOption(v, d, spec)
 			es.has = true
@@ -141,9 +181,9 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 	src := ctx.grid().CellOf(spec.Kin.S)
 	ring := ctx.grid().Cell(src).Ring
 	sc.visit.begin(ctx.fleet.NumVehicles())
-	par := ctx.workers > 1
 
-	var sky skyline.Skyline[Option]
+	sky := &sc.sky
+	sky.Reset()
 	es := newEmptyScan()
 	nonEmptyDone := false
 
@@ -152,7 +192,7 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		if L > spec.MaxPickupDist {
 			break
 		}
-		emptyDone := es.terminateAt(L, spec, &sky)
+		emptyDone := es.terminateAt(L, spec, sky)
 		if !nonEmptyDone && sky.IsDominated(L, spec.MinPrice) {
 			nonEmptyDone = true
 		}
@@ -162,7 +202,7 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 		stats.CellsScanned++
 
 		if !emptyDone {
-			es.scanCell(ctx, sc, entry.Cell, spec, &sky, stats)
+			es.scanCell(ctx, sc, entry.Cell, spec, sky, stats)
 		}
 		if !nonEmptyDone {
 			sc.ids = ctx.lists.AppendNonEmpty(entry.Cell, sc.ids[:0])
@@ -183,15 +223,11 @@ func (m *SingleSideMatcher) Match(spec *ReqSpec, stats *MatchStats) []Option {
 					stats.PrunedVehicles++
 					continue
 				}
-				if par {
-					sc.batch = append(sc.batch, v)
-				} else {
-					quoteVehicle(v, spec, &sky, stats)
-				}
+				sc.batch = append(sc.batch, v)
 			}
-			ctx.flushBatch(sc, spec, &sky, stats)
+			ctx.flushBatch(sc, spec, sky, stats)
 		}
 	}
-	es.finish(spec, &sky)
-	return skylineOptions(&sky, stats)
+	es.finish(spec, sky)
+	return skylineOptions(sky, stats)
 }

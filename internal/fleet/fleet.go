@@ -36,12 +36,14 @@
 //     and mutated fully in parallel.
 //   - The vehicles slice and the active count sit behind a fleet-level
 //     RWMutex taken only on AddVehicle/RemoveVehicle and snapshots.
-//   - The shared shortest-path searcher and the path-cell cache used
-//     for grid registration sit behind pathMu.
+//   - Shortest-path searchers for grid registration and drive planning
+//     come from a pool (one per concurrent caller); the path-cell
+//     cache is internally striped (the distance-memo pattern), so
+//     concurrent commits no longer serialise on a single path lock.
 //   - The roaming RNG sits behind rngMu.
 //   - The grid vehicle lists are internally synchronised.
 //
-// Lock order: Vehicle.mu → (pathMu | rngMu | lists). Fleet-level and
+// Lock order: Vehicle.mu → (pathCellCache stripes | rngMu | lists). Fleet-level and
 // vehicle-level locks are never held together except the read lock
 // during snapshots. Exported Vehicle accessors acquire the vehicle
 // lock; fleet internals that already hold it use the unexported
@@ -166,6 +168,33 @@ func (v *Vehicle) Quote(req kinetic.Request) []kinetic.Candidate {
 	return v.Tree.Quote(req)
 }
 
+// AppendProbeLocs appends the vehicle's root location followed by its
+// pending points' locations, in order, under the vehicle's lock —
+// the snapshot a coalesced matcher feeds to its shared multi-target
+// distance pass (see kinetic.QuoteSeed). Removed vehicles append
+// nothing.
+func (v *Vehicle) AppendProbeLocs(dst []roadnet.VertexID) []roadnet.VertexID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return dst
+	}
+	return v.Tree.AppendPointLocs(dst)
+}
+
+// QuotePacked is the allocation-free seeded probe: candidates come back
+// permutation-encoded with the quoted point set, both appended to
+// caller-owned buffers (see kinetic.Tree.QuotePacked). The matchers
+// materialise schedules only for candidates their skylines accept.
+func (v *Vehicle) QuotePacked(req kinetic.Request, dst []kinetic.PackedCandidate, ptsBuf []kinetic.Point, seed *kinetic.QuoteSeed) ([]kinetic.PackedCandidate, []kinetic.Point) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return dst, ptsBuf
+	}
+	return v.Tree.QuotePacked(req, dst, ptsBuf, seed)
+}
+
 // MaxLegUpper returns an upper bound on the longest single leg across
 // the vehicle's valid schedules (see kinetic.Tree.MaxLegUpper), read
 // under the vehicle's lock.
@@ -205,8 +234,11 @@ type Fleet struct {
 	vehicles []*Vehicle
 	active   int
 
-	pathMu    sync.Mutex // guards searcher and pathCells
-	searcher  *roadnet.Searcher
+	// searchers pools private shortest-path searchers for schedule
+	// registration and drive planning; pathCells is internally striped.
+	// Neither serialises concurrent commits (the old single pathMu
+	// did), so commits on distinct vehicles proceed fully in parallel.
+	searchers sync.Pool // *roadnet.Searcher
 	pathCells *pathCellCache
 
 	rngMu sync.Mutex
@@ -239,17 +271,25 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 	if mp < 2 {
 		return nil, fmt.Errorf("fleet: MaxSchedulePoints %d < 2", mp)
 	}
-	return &Fleet{
+	if mp > 16 {
+		// The kinetic quote encodes schedules as permutation words of
+		// 4-bit point indices, and enumerating more than 16 points is
+		// factorially infeasible anyway; reject rather than silently
+		// narrow the configured capacity (kinetic.New would clamp).
+		return nil, fmt.Errorf("fleet: MaxSchedulePoints %d > 16 (kinetic enumeration limit)", mp)
+	}
+	f := &Fleet{
 		g:         grid.Graph(),
 		grid:      grid,
 		lists:     lists,
 		metric:    metric,
 		capacity:  cfg.Capacity,
 		maxPoints: mp,
-		searcher:  roadnet.NewSearcher(grid.Graph()),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		pathCells: newPathCellCache(1 << 16),
-	}, nil
+	}
+	f.searchers.New = func() any { return roadnet.NewSearcher(grid.Graph()) }
+	return f, nil
 }
 
 // AddVehicle places a new empty vehicle at loc and returns it. The
@@ -468,10 +508,8 @@ func (f *Fleet) registerLocked(v *Vehicle) {
 }
 
 // cellsAlong returns the grid cells touched by the shortest path
-// between two vertices, via the shared memoising cache.
+// between two vertices, via the striped memoising cache.
 func (f *Fleet) cellsAlong(u, v roadnet.VertexID) []gridindex.CellID {
-	f.pathMu.Lock()
-	defer f.pathMu.Unlock()
 	return f.pathCells.get(f, u, v)
 }
 
@@ -591,9 +629,9 @@ func (f *Fleet) driveTowardLocked(v *Vehicle, target roadnet.VertexID) error {
 	if target == v.Tree.Root() {
 		return fmt.Errorf("fleet: vehicle %d asked to drive to its own location", v.ID)
 	}
-	f.pathMu.Lock()
-	path, _ := f.searcher.Path(v.Tree.Root(), target)
-	f.pathMu.Unlock()
+	s := f.searchers.Get().(*roadnet.Searcher)
+	path, _ := s.Path(v.Tree.Root(), target)
+	f.searchers.Put(s)
 	if path == nil {
 		return fmt.Errorf("fleet: no path from %d to %d", v.Tree.Root(), target)
 	}
@@ -639,24 +677,57 @@ func (f *Fleet) enterEdgeLocked(v *Vehicle, head roadnet.VertexID, weight float6
 	}
 }
 
+// pathCellStripes is the stripe count of the path-cell cache. Commits
+// from many vehicles register schedules at once; 16 RWMutex-guarded
+// stripes follow the distance memo's pattern and keep the cache off the
+// commit path's critical section.
+const pathCellStripes = 16
+
 // pathCellCache memoises the grid cells touched by the shortest path
-// between two vertices. Bounded: wholesale reset once full. Guarded by
-// the fleet's pathMu.
+// between two vertices, striped by vertex pair so concurrent schedule
+// registrations do not serialise. Each stripe is bounded: wholesale
+// per-stripe reset once full, as in the distance memo. Cache-missing
+// path computations run outside any stripe lock on a pooled searcher;
+// two goroutines racing on the same cold pair both compute the same
+// cells, so the second store is idempotent.
 type pathCellCache struct {
-	max   int
+	maxPerStripe int
+	stripes      [pathCellStripes]pathCellStripe
+}
+
+type pathCellStripe struct {
+	mu    sync.RWMutex
 	cells map[[2]roadnet.VertexID][]gridindex.CellID
 }
 
 func newPathCellCache(max int) *pathCellCache {
-	return &pathCellCache{max: max, cells: make(map[[2]roadnet.VertexID][]gridindex.CellID)}
+	c := &pathCellCache{maxPerStripe: max / pathCellStripes}
+	if c.maxPerStripe < 1 {
+		c.maxPerStripe = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].cells = make(map[[2]roadnet.VertexID][]gridindex.CellID, 1<<6)
+	}
+	return c
+}
+
+func (c *pathCellCache) stripe(u, v roadnet.VertexID) *pathCellStripe {
+	h := uint64(uint32(u))*0x9e3779b1 ^ uint64(uint32(v))*0x85ebca77
+	return &c.stripes[h%pathCellStripes]
 }
 
 func (c *pathCellCache) get(f *Fleet, u, v roadnet.VertexID) []gridindex.CellID {
 	key := [2]roadnet.VertexID{u, v}
-	if cs, ok := c.cells[key]; ok {
+	st := c.stripe(u, v)
+	st.mu.RLock()
+	cs, ok := st.cells[key]
+	st.mu.RUnlock()
+	if ok {
 		return cs
 	}
-	path, _ := f.searcher.Path(u, v)
+	s := f.searchers.Get().(*roadnet.Searcher)
+	path, _ := s.Path(u, v)
+	f.searchers.Put(s)
 	var out []gridindex.CellID
 	var last gridindex.CellID = gridindex.NoCell
 	for _, x := range path {
@@ -665,9 +736,11 @@ func (c *pathCellCache) get(f *Fleet, u, v roadnet.VertexID) []gridindex.CellID 
 			last = cl
 		}
 	}
-	if len(c.cells) >= c.max {
-		c.cells = make(map[[2]roadnet.VertexID][]gridindex.CellID)
+	st.mu.Lock()
+	if len(st.cells) >= c.maxPerStripe {
+		st.cells = make(map[[2]roadnet.VertexID][]gridindex.CellID, 1<<6)
 	}
-	c.cells[key] = out
+	st.cells[key] = out
+	st.mu.Unlock()
 	return out
 }

@@ -202,12 +202,162 @@ func (t *Tree) buildChildren(sc *dfsScratch, parent *Node, used int, cur int, cu
 	return best, count
 }
 
+// quoteScratch is the tree-owned workspace of QuoteAppend, reused
+// across quotes. Quotes run under the vehicle's lock, so one workspace
+// per tree suffices; only the candidate schedules that survive the
+// per-vehicle skyline escape to the heap.
+type quoteScratch struct {
+	sc     dfsScratch
+	reqs   []*reqState
+	pts    []Point
+	reqIdx []int
+	newReq reqState
+
+	// sky holds candidate schedules as permutation words — 4-bit point
+	// indices packed little-endian by schedule position — so inserting
+	// (and evicting) a candidate never allocates; the []Point sequences
+	// are materialised only for the survivors.
+	sky skyline.Skyline[uint64]
+
+	// Per-walk constants, hoisted into the scratch so the recursive
+	// enumeration is a method rather than an allocating closure.
+	pickupPos int
+	full      int
+	baseline  float64
+}
+
+// QuoteSeed carries exact distances precomputed by a caller's
+// multi-target pass, fanned directly into the enumeration's distance
+// matrix: Locs must be exactly the sequence AppendPointLocs returned
+// for the tree state being quoted (the root location followed by the
+// pending points' locations, in order), SDist[i] = dist(Locs[i],
+// req.S) and DDist[i] = dist(Locs[i], req.D). A seed whose Locs no
+// longer match the tree (the vehicle moved or committed between the
+// snapshot and the quote) is ignored and the quote falls back to lazy
+// computation, so a stale seed can never misattribute a distance.
+type QuoteSeed struct {
+	Locs         []roadnet.VertexID
+	SDist, DDist []float64
+}
+
+// matches reports whether the seed still describes the tree's point
+// set.
+func (s *QuoteSeed) matches(t *Tree) bool {
+	if len(s.Locs) != len(t.pts)+1 || len(s.SDist) != len(s.Locs) || len(s.DDist) != len(s.Locs) {
+		return false
+	}
+	if s.Locs[0] != t.rootLoc {
+		return false
+	}
+	for i, p := range t.pts {
+		if s.Locs[i+1] != p.Loc {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendPointLocs appends the tree's root location followed by each
+// pending point's location, in point order — the alignment contract of
+// QuoteSeed.
+func (t *Tree) AppendPointLocs(dst []roadnet.VertexID) []roadnet.VertexID {
+	dst = append(dst, t.rootLoc)
+	for _, p := range t.pts {
+		dst = append(dst, p.Loc)
+	}
+	return dst
+}
+
 // Quote enumerates every valid schedule that additionally serves req and
 // returns the vehicle's non-dominated candidates over (pick-up distance,
 // detour delta). It returns nil when the vehicle cannot serve the
 // request at all (capacity, budgets, or the pending-point cap). The
 // tree itself is not modified.
 func (t *Tree) Quote(req Request) []Candidate {
+	return t.QuoteAppend(req, nil)
+}
+
+// QuoteAppend is Quote appending into dst, the allocation-lean probe of
+// the matching hot path: the enumeration runs entirely in the tree's
+// reused workspace, and only the returned candidates' schedules are
+// freshly allocated (they outlive the call by design — skylines and
+// request records retain them). dst is returned unchanged when the
+// vehicle cannot serve the request.
+func (t *Tree) QuoteAppend(req Request, dst []Candidate) []Candidate {
+	return t.QuoteAppendSeeded(req, dst, nil)
+}
+
+// PackedCandidate is a feasible schedule whose stop sequence is still
+// permutation-encoded (4-bit point indices over the quoted point set):
+// the allocation-free probe result. Callers that filter candidates —
+// the matchers' skylines reject most — materialise []Point schedules
+// only for the survivors via UnpackSeq.
+type PackedCandidate struct {
+	Perm       uint64
+	PickupDist float64
+	TotalDist  float64
+	Delta      float64
+}
+
+// UnpackSeq materialises the stop sequence of a packed candidate over
+// the point set returned by QuotePacked. The result is freshly
+// allocated and safe to retain.
+func UnpackSeq(perm uint64, pts []Point) []Point {
+	seq := make([]Point, len(pts))
+	for j := range seq {
+		seq[j] = pts[(perm>>(4*uint(j)))&0xF]
+	}
+	return seq
+}
+
+// QuoteAppendSeeded is QuoteAppend with the request-specific rows of
+// the enumeration's distance matrix pre-filled from seed (when it still
+// matches the tree state): every dist(x, s) and dist(x, d) the
+// enumeration would compute lazily — one point search each through the
+// metric — is answered from the caller's shared multi-target pass
+// instead. The batched matchers use this to replace per-pair point
+// queries with two passes per probe batch.
+func (t *Tree) QuoteAppendSeeded(req Request, dst []Candidate, seed *QuoteSeed) []Candidate {
+	entries := t.quotePacked(req, seed)
+	for _, e := range entries {
+		dst = append(dst, Candidate{
+			Seq:        UnpackSeq(e.Payload, t.quote.pts),
+			PickupDist: e.Time,
+			TotalDist:  e.Price + t.quote.baseline,
+			Delta:      e.Price,
+		})
+	}
+	return dst
+}
+
+// QuotePacked is the allocation-free probe: candidates come back
+// permutation-encoded (appended to dst) together with the quoted point
+// set (appended to ptsBuf, which the permutations index). Both buffers
+// are caller-owned; nothing else escapes. The point set is only valid
+// for this quote — materialise surviving schedules with UnpackSeq
+// before the next probe reuses the buffers.
+func (t *Tree) QuotePacked(req Request, dst []PackedCandidate, ptsBuf []Point, seed *QuoteSeed) ([]PackedCandidate, []Point) {
+	entries := t.quotePacked(req, seed)
+	if len(entries) == 0 {
+		return dst, ptsBuf
+	}
+	for _, e := range entries {
+		dst = append(dst, PackedCandidate{
+			Perm:       e.Payload,
+			PickupDist: e.Time,
+			TotalDist:  e.Price + t.quote.baseline,
+			Delta:      e.Price,
+		})
+	}
+	return dst, append(ptsBuf, t.quote.pts...)
+}
+
+// quotePacked runs the seeded enumeration and returns the non-dominated
+// candidates as sorted skyline entries over (pick-up distance, detour
+// delta), permutation-encoded. The entries alias the tree's quote
+// workspace and are valid until the next quote on this tree (callers
+// hold the vehicle lock for the duration).
+func (t *Tree) quotePacked(req Request, seed *QuoteSeed) []skyline.Entry[uint64] {
 	if req.Riders > t.capacity || len(t.pts)+2 > t.maxPoints {
 		return nil
 	}
@@ -223,92 +373,97 @@ func (t *Tree) Quote(req Request) []Candidate {
 	}
 
 	// Temporary point and request sets including the quoted request.
-	newReq := &reqState{Request: req, pickupDeadline: math.Inf(1)}
-	reqs := append(append([]*reqState(nil), t.reqs...), newReq)
-	newReqIdx := len(reqs) - 1
-	pts := append(append([]Point(nil), t.pts...),
+	qs := &t.quote
+	qs.newReq = reqState{Request: req, pickupDeadline: math.Inf(1)}
+	qs.reqs = append(qs.reqs[:0], t.reqs...)
+	qs.reqs = append(qs.reqs, &qs.newReq)
+	newReqIdx := len(qs.reqs) - 1
+	qs.pts = append(qs.pts[:0], t.pts...)
+	qs.pts = append(qs.pts,
 		Point{Loc: req.S, Kind: Pickup, Req: req.ID},
 		Point{Loc: req.D, Kind: Dropoff, Req: req.ID},
 	)
-	reqIdx := append(append([]int(nil), t.reqIdx...), newReqIdx, newReqIdx)
-	pickupPos := len(pts) - 2
+	qs.reqIdx = append(qs.reqIdx[:0], t.reqIdx...)
+	qs.reqIdx = append(qs.reqIdx, newReqIdx, newReqIdx)
+	qs.pickupPos = len(qs.pts) - 2
+	qs.full = (1 << len(qs.pts)) - 1
+	qs.baseline = baseline
 
-	var sc dfsScratch
-	sc.init(t.rootLoc, pts, len(reqs))
+	qs.sc.init(t.rootLoc, qs.pts, len(qs.reqs))
+	if seed != nil && seed.matches(t) {
+		m := len(t.pts)
+		n := qs.sc.n
+		sIdx, dIdx := m+1, m+2
+		for i := 0; i <= m; i++ {
+			qs.sc.exact[i*n+sIdx] = seed.SDist[i]
+			qs.sc.exact[sIdx*n+i] = seed.SDist[i]
+			qs.sc.exact[i*n+dIdx] = seed.DDist[i]
+			qs.sc.exact[dIdx*n+i] = seed.DDist[i]
+		}
+		qs.sc.exact[sIdx*n+dIdx] = req.SD
+		qs.sc.exact[dIdx*n+sIdx] = req.SD
+	}
+	qs.sky.Reset()
+	t.quoteWalk(qs, 0, 0, 0, t.startOccupancy(), math.NaN(), 0, 0)
+	return qs.sky.Sorted()
+}
 
-	var sky skyline.Skyline[[]Point]
-	seq := make([]Point, 0, len(pts))
-	var walk func(used, cur int, curDist float64, occ int, newPickDist float64)
-	full := (1 << len(pts)) - 1
-	walk = func(used, cur int, curDist float64, occ int, newPickDist float64) {
-		for pi := range pts {
-			bit := 1 << pi
-			if used&bit != 0 {
-				continue
-			}
-			p := pts[pi]
-			ri := reqIdx[pi]
-			r := reqs[ri]
-			budget, ok := t.stepBudgetFor(&sc, pts, reqIdx, reqs, pi)
-			if !ok {
-				continue
-			}
-			if p.Kind == Pickup && occ+r.Riders > t.capacity {
-				continue
-			}
-			if curDist+t.lbDist(&sc, cur, pi+1) > budget+budgetEps {
-				continue
-			}
-			nd := curDist + t.exactDist(&sc, cur, pi+1)
-			if nd > budget+budgetEps {
-				continue
-			}
+// quoteWalk extends the current partial schedule with every feasible
+// unused point, recursing to complete schedules and folding them into
+// the per-vehicle skyline. The partial schedule is carried as a
+// permutation word (perm, with depth points placed), so the recursion
+// allocates nothing.
+func (t *Tree) quoteWalk(qs *quoteScratch, used, cur int, curDist float64, occ int, newPickDist float64, perm uint64, depth uint) {
+	for pi := range qs.pts {
+		bit := 1 << pi
+		if used&bit != 0 {
+			continue
+		}
+		p := qs.pts[pi]
+		ri := qs.reqIdx[pi]
+		r := qs.reqs[ri]
+		budget, ok := t.stepBudgetFor(&qs.sc, qs.pts, qs.reqIdx, qs.reqs, pi)
+		if !ok {
+			continue
+		}
+		if p.Kind == Pickup && occ+r.Riders > t.capacity {
+			continue
+		}
+		if curDist+t.lbDist(&qs.sc, cur, pi+1) > budget+budgetEps {
+			continue
+		}
+		nd := curDist + t.exactDist(&qs.sc, cur, pi+1)
+		if nd > budget+budgetEps {
+			continue
+		}
 
-			nocc := occ
-			npd := newPickDist
-			var undoPick bool
-			if p.Kind == Pickup {
-				nocc += r.Riders
-				sc.picked[ri] = true
-				sc.pickDist[ri] = nd
-				undoPick = true
-				if pi == pickupPos {
-					npd = nd
-				}
-			} else {
-				nocc -= r.Riders
+		nocc := occ
+		npd := newPickDist
+		var undoPick bool
+		if p.Kind == Pickup {
+			nocc += r.Riders
+			qs.sc.picked[ri] = true
+			qs.sc.pickDist[ri] = nd
+			undoPick = true
+			if pi == qs.pickupPos {
+				npd = nd
 			}
+		} else {
+			nocc -= r.Riders
+		}
 
-			seq = append(seq, p)
-			if used|bit == full {
-				if !sky.IsDominated(npd, nd-baseline) && !sky.ContainsPoint(npd, nd-baseline) {
-					sky.Add(npd, nd-baseline, append([]Point(nil), seq...))
-				}
-			} else {
-				walk(used|bit, pi+1, nd, nocc, npd)
+		nperm := perm | uint64(pi)<<(4*depth)
+		if used|bit == qs.full {
+			if !qs.sky.IsDominated(npd, nd-qs.baseline) && !qs.sky.ContainsPoint(npd, nd-qs.baseline) {
+				qs.sky.Add(npd, nd-qs.baseline, nperm)
 			}
-			seq = seq[:len(seq)-1]
-			if undoPick {
-				sc.picked[ri] = false
-			}
+		} else {
+			t.quoteWalk(qs, used|bit, pi+1, nd, nocc, npd, nperm, depth+1)
+		}
+		if undoPick {
+			qs.sc.picked[ri] = false
 		}
 	}
-	walk(0, 0, 0, t.startOccupancy(), math.NaN())
-
-	entries := sky.Entries()
-	if len(entries) == 0 {
-		return nil
-	}
-	out := make([]Candidate, len(entries))
-	for i, e := range entries {
-		out[i] = Candidate{
-			Seq:        e.Payload,
-			PickupDist: e.Time,
-			TotalDist:  e.Price + baseline,
-			Delta:      e.Price,
-		}
-	}
-	return out
 }
 
 // stepBudgetFor is stepBudget over caller-supplied point/request sets

@@ -142,8 +142,11 @@ type Tree struct {
 	odoAtBuild float64
 	dirty      bool
 
-	// enumeration scratch
+	// enumeration scratch: rebuild's workspace plus the quote
+	// workspace (separate, since Quote must not disturb a rebuild
+	// triggered by ensureFresh inside the same call).
 	scratch dfsScratch
+	quote   quoteScratch
 }
 
 // New returns an empty kinetic tree for a vehicle with the given
@@ -152,6 +155,13 @@ type Tree struct {
 func New(m Metric, capacity, maxPoints int, loc roadnet.VertexID, odo float64) *Tree {
 	if maxPoints <= 0 {
 		maxPoints = 8
+	}
+	if maxPoints > 16 {
+		// Quote encodes candidate schedules as permutation words of
+		// 4-bit point indices, which caps enumerable points at 16 — far
+		// beyond what factorial enumeration can visit anyway (16! ≈
+		// 2·10¹³ orderings), so the clamp costs nothing real.
+		maxPoints = 16
 	}
 	return &Tree{
 		metric:    m,

@@ -208,6 +208,46 @@ func (s *Searcher) DistsTo(u VertexID, targets []VertexID, maxDist float64, out 
 	}
 }
 
+// FillDists runs one Dijkstra from u and writes every vertex's
+// shortest-path distance into out (len must equal the vertex count);
+// vertices beyond maxDist — or unreachable — get +Inf. It is the
+// allocation-free whole-graph variant of DistsTo: one pass answers
+// every subsequent "distance from u" lookup by array index, which is
+// what lets a coalesced matcher replace its per-cell and per-probe
+// passes with a single fill per request side. Values are identical to
+// DistsTo's for any target set (the settled distance of a vertex does
+// not depend on which targets terminate the search), so mixing the two
+// is bit-safe.
+func (s *Searcher) FillDists(u VertexID, maxDist float64, out []float64) {
+	if len(out) != s.g.NumVertices() {
+		panic("roadnet: FillDists out length mismatch")
+	}
+	s.begin()
+	s.relax(u, 0, NoVertex)
+	s.heap.Push(u, 0)
+	for s.heap.Len() > 0 {
+		it := s.heap.Pop()
+		if it.Dist > s.dist[it.Node] {
+			continue
+		}
+		if it.Dist > maxDist {
+			break
+		}
+		for _, e := range s.g.Out(it.Node) {
+			if nd := it.Dist + e.Weight; nd <= maxDist && s.relax(e.To, nd, it.Node) {
+				s.heap.Push(e.To, nd)
+			}
+		}
+	}
+	for v := range out {
+		if s.stamp[v] == s.epoch {
+			out[v] = s.dist[v]
+		} else {
+			out[v] = Inf
+		}
+	}
+}
+
 // Tree is a shortest-path tree rooted at Source: Dist[v] is the distance
 // from Source to v (Inf when unreachable) and Parent[v] the predecessor
 // of v on one shortest path (NoVertex for the source and unreachable

@@ -17,7 +17,6 @@ package skyline
 
 import (
 	"math"
-	"sort"
 )
 
 // Dominates reports whether option (t1, p1) dominates option (t2, p2)
@@ -94,13 +93,34 @@ func (s *Skyline[T]) ContainsPoint(t, p float64) bool {
 // descending, up to ties). The slice is freshly allocated.
 func (s *Skyline[T]) Entries() []Entry[T] {
 	out := append([]Entry[T](nil), s.entries...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
-		}
-		return out[i].Price < out[j].Price
-	})
+	sortEntries(out)
 	return out
+}
+
+// Sorted sorts the skyline's internal storage by time ascending (price
+// ascending at ties) and returns it without copying — the
+// allocation-free variant of Entries for hot paths that consume the
+// result before the next mutation. The returned slice aliases the
+// skyline; it is invalidated by any subsequent Insert/Add/Reset.
+func (s *Skyline[T]) Sorted() []Entry[T] {
+	sortEntries(s.entries)
+	return s.entries
+}
+
+// sortEntries orders by time ascending, price ascending at ties.
+// Skylines are small (one entry per non-dominated offer), so an
+// allocation-free insertion sort beats sort.Slice, whose reflection
+// footprint showed up as a leading allocator in match profiles.
+func sortEntries[T any](out []Entry[T]) {
+	for i := 1; i < len(out); i++ {
+		e := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].Time > e.Time || (out[j].Time == e.Time && out[j].Price > e.Price)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = e
+	}
 }
 
 // MinPrice returns the smallest price in the skyline, or +Inf when

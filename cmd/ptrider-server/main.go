@@ -3,6 +3,11 @@
 // (statistics, schedules, parameters) as a JSON API over HTTP, backed
 // by a synthetic city with roaming taxis.
 //
+// With -cities, the server runs the multi-city router instead: one
+// independent engine per city, requests assigned to cities by origin
+// coordinate, and a city dimension in every view (see
+// internal/server's multi-city endpoint reference).
+//
 // With -realtime, simulated time advances with wall-clock time in the
 // background, like the live demo; otherwise advance it manually via
 // POST /api/tick.
@@ -10,14 +15,17 @@
 // Usage:
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
+//	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200"
 //
 // Endpoints (see internal/server):
 //
-//	POST /api/request {"s":12,"d":17,"riders":2}
+//	POST /api/request {"s":12,"d":17,"riders":2}          (single city)
+//	POST /api/request {"city":"east","s":12,"d":17,...}   (multi-city)
+//	POST /api/request {"ox":..,"oy":..,"dx":..,"dy":..}   (multi-city, by coordinate)
 //	POST /api/choose  {"id":1,"option":0}
-//	GET  /api/stats
-//	GET  /api/taxi?id=3
-//	GET  /api/params · POST /api/params {"algorithm":"single-side"}
+//	GET  /api/stats · GET /api/cities
+//	GET  /api/taxi?id=3           (multi-city: &city=east)
+//	GET  /api/params · POST /api/params
 //	POST /api/tick    {"seconds":5}
 package main
 
@@ -29,6 +37,9 @@ import (
 	"time"
 
 	"ptrider"
+	"ptrider/internal/core"
+	"ptrider/internal/multicity"
+	"ptrider/internal/server"
 )
 
 func main() {
@@ -40,8 +51,16 @@ func main() {
 		algo     = flag.String("algo", "dual-side", "matching algorithm")
 		seed     = flag.Int64("seed", 1, "random seed")
 		realtime = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
+		cities   = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
 	)
 	flag.Parse()
+
+	if *cities != "" {
+		if err := runMulti(*addr, *cities, *algo, *seed, *realtime); err != nil {
+			log.Fatalf("ptrider-server: %v", err)
+		}
+		return
+	}
 
 	net, err := ptrider.GenerateCity(ptrider.CityConfig{Width: *width, Height: *height, Seed: *seed})
 	if err != nil {
@@ -68,4 +87,41 @@ func main() {
 	fmt.Printf("PTRider serving %d taxis on a %dx%d city at %s (realtime=%v)\n",
 		*taxis, *width, *height, *addr, *realtime)
 	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler()))
+}
+
+// runMulti serves a multi-city router built from the compact spec.
+func runMulti(addr, spec, algoName string, seed int64, realtime bool) error {
+	algo, err := core.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	router, err := multicity.BuildFromSpec(spec, core.Config{Algorithm: algo}, seed)
+	if err != nil {
+		return err
+	}
+
+	if realtime {
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := router.Tick(1); err != nil {
+					log.Printf("ptrider-server: tick: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	total := 0
+	for _, name := range router.CityNames() {
+		eng, err := router.Engine(name)
+		if err != nil {
+			return err
+		}
+		total += eng.NumVehicles()
+	}
+	fmt.Printf("PTRider serving %d cities (%d taxis total) at %s (realtime=%v)\n",
+		router.NumCities(), total, addr, realtime)
+	return http.ListenAndServe(addr, server.NewMulti(router).Handler())
 }

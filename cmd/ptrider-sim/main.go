@@ -10,15 +10,28 @@
 //
 //	ptrider-sim -width 40 -height 40 -taxis 500 -trips 20000 -day 86400 \
 //	            -algo dual-side -choice utility -tick 1 -seed 1
+//
+// With -cities the replay runs against the multi-city router instead:
+// per-city engines behind one front door, load skewed by -skew, and a
+// -cross fraction of trips relocated across city borders (which the
+// router rejects with its typed cross-city error):
+//
+//	ptrider-sim -cities "east:40x40:500,west:28x28:200" \
+//	            -skew "east=3,west=1" -cross 0.1 -trips 20000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"ptrider"
+	"ptrider/internal/core"
+	"ptrider/internal/multicity"
+	"ptrider/internal/sim"
 	"ptrider/internal/trace"
 )
 
@@ -41,13 +54,133 @@ func main() {
 		saveNet   = flag.String("save-network", "", "write the generated network to this file")
 		loadNet   = flag.String("load-network", "", "load the road network from this file instead of generating")
 		loadTrips = flag.String("load-trips", "", "load the workload from this CSV file instead of generating")
+		cities    = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (switches to the multi-city replay)`)
+		skew      = flag.String("skew", "", `per-city load weights "name=w,..." (default uniform)`)
+		cross     = flag.Float64("cross", 0, "fraction of trips relocated across city borders")
 	)
 	flag.Parse()
+
+	if *cities != "" {
+		// The multi-city replay generates its own workload and has no
+		// failure injection yet; refuse flags it would silently drop.
+		switch {
+		case *fail != 0:
+			fmt.Fprintln(os.Stderr, "ptrider-sim: -failures is not supported with -cities")
+			os.Exit(2)
+		case *saveCSV != "" || *loadTrips != "":
+			fmt.Fprintln(os.Stderr, "ptrider-sim: -save-trips/-load-trips are not supported with -cities (multi-city trips are coordinates, not vertex traces)")
+			os.Exit(2)
+		case *saveNet != "" || *loadNet != "":
+			fmt.Fprintln(os.Stderr, "ptrider-sim: -save-network/-load-network are not supported with -cities (networks come from the city spec)")
+			os.Exit(2)
+		}
+		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma); err != nil {
+			fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips); err != nil {
 		fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWeights reads a "name=w,name=w" skew spec.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad skew entry %q (want name=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad skew weight %q: %v", kv[1], err)
+		}
+		out[strings.TrimSpace(kv[0])] = w
+	}
+	return out, nil
+}
+
+// runMulti replays a skewed multi-city day against the router and
+// prints per-city panels plus the aggregate.
+func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64) error {
+	algo, err := core.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	weights, err := parseWeights(skewSpec)
+	if err != nil {
+		return err
+	}
+	choice, err := sim.ParseChoiceModel(choiceName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("building cities %q …\n", citySpec)
+	router, err := multicity.BuildFromSpec(citySpec, core.Config{
+		Capacity:       capacity,
+		MaxWaitSeconds: wait,
+		Sigma:          sigma,
+		Algorithm:      algo,
+	}, seed)
+	if err != nil {
+		return err
+	}
+	for _, name := range router.CityNames() {
+		eng, err := router.Engine(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %5d intersections, %4d taxis\n", name, eng.Graph().NumVertices(), eng.NumVehicles())
+	}
+
+	fmt.Printf("generating %d trips over %.0fs (cross-city fraction %.2f) …\n", trips, day, crossFrac)
+	workload, err := sim.GenerateMultiWorkload(router, sim.MultiWorkloadConfig{
+		NumTrips: trips, DaySeconds: day,
+		Weights: weights, CrossFrac: crossFrac, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("running day with algorithm=%s, choice=%s …\n", algoName, choiceName)
+	res, err := sim.RunMulti(router, workload, sim.Config{
+		TickSeconds: tick, Choice: choice, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\n== PTRider multi-city panel ==")
+	fmt.Fprintf(w, "simulated clock\t%.0f s\n", res.Stats.Total.Clock)
+	fmt.Fprintf(w, "trips submitted\t%d\n", res.Submitted)
+	fmt.Fprintf(w, "cross-city rejected\t%d\n", res.CrossRejected)
+	fmt.Fprintf(w, "accepted / declined / no option\t%d / %d / %d\n", res.Accepted, res.Declined, res.NoOption)
+	fmt.Fprintf(w, "completed trips\t%d\n", res.Stats.Total.Completed)
+	fmt.Fprintf(w, "average response time\t%.3f ms\n", res.Stats.Total.AvgResponseMs)
+	fmt.Fprintf(w, "average sharing rate\t%.1f %%\n", 100*res.Stats.Total.SharingRate)
+	fmt.Fprintf(w, "active taxis\t%d\n", res.Stats.Total.ActiveVehicles)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	cw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(cw, "\ncity\tsubmitted\taccepted\tcompleted\tavg resp ms\tsharing %\ttaxis\t")
+	for _, name := range router.CityNames() {
+		st := res.Stats.Cities[name]
+		pc := res.PerCity[name]
+		fmt.Fprintf(cw, "%s\t%d\t%d\t%d\t%.3f\t%.1f\t%d\t\n",
+			name, pc.Submitted, pc.Accepted, st.Completed, st.AvgResponseMs, 100*st.SharingRate, st.ActiveVehicles)
+	}
+	return cw.Flush()
 }
 
 func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string) error {

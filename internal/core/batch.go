@@ -219,10 +219,12 @@ func (ctx *matchContext) scanNonEmptyShared(gs *groupScratch, r *reqRun, dual bo
 // matchGroup answers a group of requests sharing one origin grid cell
 // with a single shared ring frontier. statsOut[i] receives request i's
 // counters; the group's exact-search count is split evenly across the
-// group (the passes are genuinely shared work). The returned option
-// sets are identical to running the per-request matcher for each spec
-// against the same world.
-func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*MatchStats) [][]Option {
+// group (the passes are genuinely shared work). widthCap, when
+// positive, caps the group's probe fan-out below the configured worker
+// budget (groups running concurrently inside one wave split the budget
+// between them). The returned option sets are identical to running the
+// per-request matcher for each spec against the same world.
+func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*MatchStats, widthCap int) [][]Option {
 	k := len(specs)
 	before := ctx.metric.DistCalls()
 	gs := ctx.getGroupScratch()
@@ -241,6 +243,7 @@ func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*Mat
 		r.spec = specs[i]
 		r.stats = statsOut[i]
 		r.sc = ctx.getScratch()
+		r.sc.widthCap = widthCap
 		r.sc.visit.begin(n)
 		r.sc.sky.Reset()
 		r.es = newEmptyScan()

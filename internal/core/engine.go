@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -147,6 +148,12 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// ErrInvalidArgument marks errors caused by invalid caller input —
+// a negative tick, for example — as opposed to internal engine
+// failures. Transport layers classify with errors.Is: caller errors map
+// to 4xx, everything else to 5xx.
+var ErrInvalidArgument = errors.New("invalid argument")
+
 // RequestID identifies a request across the engine (it doubles as the
 // kinetic request id).
 type RequestID = kinetic.RequestID
@@ -246,6 +253,9 @@ type Engine struct {
 	requests  atomic.Int64 // quoted requests, for consistent Stats
 
 	tickMu sync.Mutex // serialises Tick's movement phase
+	// stepOverride replaces fleet.Step in Tick when non-nil (test seam;
+	// see SetStepOverride). Written before concurrency starts.
+	stepOverride func(budget float64) ([]fleet.Event, error)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -680,7 +690,15 @@ func (e *Engine) runWave(wave []batchPrep, items []BatchItem, out []*RequestReco
 // matchWave quotes one wave: items are grouped by origin grid cell and
 // each group of two or more rides one shared ring frontier
 // (matchGroup); singleton groups — and the naive algorithm, which scans
-// no rings — run the ordinary per-request matcher.
+// no rings — run the ordinary per-request matcher. Groups are mutually
+// independent (each owns its requests' skylines and counters, and
+// quoting never mutates fleet state), so they fan out over the engine's
+// worker budget like candidate probes do; the per-group results are
+// deterministic, so the wave's option sets match a serial pass exactly.
+// Per-request DistCalls deltas are read from the shared counter, so
+// concurrently-running groups bleed into each other's counts — the same
+// documented imprecision concurrent Submits always had (see
+// MatchStats); the engine-level DistCalls() total stays exact.
 func (e *Engine) matchWave(wave []batchPrep) ([][]Option, []MatchStats) {
 	k := len(wave)
 	optsList := make([][]Option, k)
@@ -690,39 +708,76 @@ func (e *Engine) matchWave(wave []batchPrep) ([][]Option, []MatchStats) {
 	dual := algo == AlgoDualSide
 	coalesce := (algo == AlgoSingleSide || dual) && !e.sub.cfg.DisableEmptyLemma
 	if !coalesce || k == 1 {
-		for i := range wave {
-			optsList[i] = m.Match(&wave[i].spec, &statsList[i])
+		// No grouping: every item is its own independent match.
+		width := e.mctx.workers
+		if width > k {
+			width = k
 		}
+		parallelFor(width, k, func(i int) {
+			optsList[i] = m.Match(&wave[i].spec, &statsList[i])
+		})
 		return optsList, statsList
 	}
 
+	// Group the wave's items by origin cell. idxs holds the members of
+	// every group back to back; groups[g] is the offset of group g+1,
+	// so group g spans idxs[groups[g-1]:groups[g]].
 	grouped := make([]bool, k)
-	var specs []*ReqSpec
-	var stats []*MatchStats
-	var idxs []int
+	idxs := make([]int, 0, k)
+	groups := make([]int, 0, 4)
 	for i := 0; i < k; i++ {
 		if grouped[i] {
 			continue
 		}
 		cell := e.sub.grid.CellOf(wave[i].spec.Kin.S)
-		specs, stats, idxs = specs[:0], stats[:0], idxs[:0]
 		for j := i; j < k; j++ {
 			if !grouped[j] && e.sub.grid.CellOf(wave[j].spec.Kin.S) == cell {
 				grouped[j] = true
-				specs = append(specs, &wave[j].spec)
-				stats = append(stats, &statsList[j])
 				idxs = append(idxs, j)
 			}
 		}
-		if len(specs) == 1 {
-			optsList[idxs[0]] = m.Match(specs[0], stats[0])
-			continue
-		}
-		groupOuts := e.mctx.matchGroup(specs, dual, stats)
-		for gi, j := range idxs {
-			optsList[j] = groupOuts[gi]
+		groups = append(groups, len(idxs))
+	}
+
+	specs := make([]*ReqSpec, k)
+	stats := make([]*MatchStats, k)
+	for pos, j := range idxs {
+		specs[pos] = &wave[j].spec
+		stats[pos] = &statsList[j]
+	}
+
+	// Split the worker budget between the two axes: up to `width`
+	// groups run concurrently, and each grouped match caps its probe
+	// fan-out at workers/width, so the wave's total concurrency stays
+	// within MatchWorkers instead of multiplying. (Singleton groups run
+	// the plain per-request matcher, whose fan-out is not cappable from
+	// here — exactly like independent concurrent Submits.)
+	width := e.mctx.workers
+	if width > len(groups) {
+		width = len(groups)
+	}
+	innerCap := 0
+	if width > 1 {
+		innerCap = e.mctx.workers / width
+		if innerCap < 1 {
+			innerCap = 1
 		}
 	}
+	parallelFor(width, len(groups), func(g int) {
+		lo := 0
+		if g > 0 {
+			lo = groups[g-1]
+		}
+		hi := groups[g]
+		if hi-lo == 1 {
+			optsList[idxs[lo]] = m.Match(specs[lo], stats[lo])
+			return
+		}
+		groupOuts := e.mctx.matchGroup(specs[lo:hi], dual, stats[lo:hi], innerCap)
+		for gi, j := range idxs[lo:hi] {
+			optsList[j] = groupOuts[gi]
+		}
+	})
 	return optsList, statsList
 }
 
@@ -761,18 +816,44 @@ func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
 // vehicle's step.
 func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 	if dt < 0 {
-		return nil, fmt.Errorf("core: negative tick %v", dt)
+		return nil, fmt.Errorf("core: negative tick %v: %w", dt, ErrInvalidArgument)
 	}
 	e.tickMu.Lock()
 	defer e.tickMu.Unlock()
-	e.clockBits.Store(math.Float64bits(e.Clock() + dt))
-	events, err := e.fleet.Step(dt * e.sub.speed)
+	step := e.fleet.Step
+	if e.stepOverride != nil {
+		step = e.stepOverride
+	}
+	events, err := step(dt * e.sub.speed)
+	if err == nil {
+		// The clock advances only after the fleet completed the whole
+		// movement step: a failed step must not leave the engine clock
+		// permanently ahead of fleet odometry. Events a partially-failed
+		// step did produce are still folded below — that movement
+		// physically happened, and dropping the pickups/dropoffs would
+		// desynchronise the ledger from the fleet. (A failed step is an
+		// engine inconsistency; retrying the tick is best-effort, not
+		// exactly-once, for the vehicles that did move.)
+		e.clockBits.Store(math.Float64bits(e.Clock() + dt))
+	}
 	e.ledgerMu.Lock()
 	for _, ev := range events {
 		e.applyEventLocked(ev)
 	}
 	e.ledgerMu.Unlock()
 	return events, err
+}
+
+// SetStepOverride replaces the fleet movement step used by Tick.
+// A fleet step failure is not reachable through the public API on a
+// consistent engine, so tests that pin the failure semantics (clock
+// stays put, HTTP layer answers 500) inject one here. Passing nil
+// restores the real fleet step. Call before concurrent use; not part
+// of the supported surface.
+func (e *Engine) SetStepOverride(fn func(budget float64) ([]fleet.Event, error)) {
+	e.tickMu.Lock()
+	e.stepOverride = fn
+	e.tickMu.Unlock()
 }
 
 // applyEventLocked folds one movement event into the ledger. The caller

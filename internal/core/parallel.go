@@ -110,6 +110,12 @@ type matchScratch struct {
 	pbufs   [][]kinetic.PackedCandidate // per-slot candidate storage
 	ptsBufs [][]kinetic.Point           // per-slot point-set storage
 
+	// widthCap, when non-zero, caps the probe fan-out below the
+	// configured worker budget. Group matches running inside a parallel
+	// wave set it so the wave's total concurrency (groups × probes per
+	// group) stays within MatchWorkers instead of multiplying.
+	widthCap int
+
 	sky skyline.Skyline[Option] // per-match result skyline
 
 	// Empty-scan staging: the lower-bound survivors of one cell,
@@ -145,6 +151,7 @@ func (ctx *matchContext) putScratch(sc *matchScratch) {
 	sc.pending = sc.pending[:0]
 	sc.sFillOK = false
 	sc.dFillOK = false
+	sc.widthCap = 0
 	ctx.scratch.Put(sc)
 }
 
@@ -211,7 +218,11 @@ func (ctx *matchContext) flushBatch(sc *matchScratch, spec *ReqSpec, sky *skylin
 		sc.seeds[i] = kinetic.QuoteSeed{Locs: sc.probeLocs[a:b], SDist: probeS[a:b], DDist: probeD[a:b]}
 	}
 
-	width := adaptiveWidth(ctx.workers, n)
+	budget := ctx.workers
+	if sc.widthCap > 0 && sc.widthCap < budget {
+		budget = sc.widthCap
+	}
+	width := adaptiveWidth(budget, n)
 	if width > stats.ParallelWidth {
 		stats.ParallelWidth = width
 	}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+)
+
+// TestTickClockUnchangedOnStepFailure is the regression test for the
+// clock/odometry desync: Tick used to advance the simulated clock
+// before fleet.Step ran and left it advanced even when the step failed,
+// permanently desynchronising the engine clock from fleet odometry. A
+// failing step must leave Clock() exactly where it was.
+func TestTickClockUnchangedOnStepFailure(t *testing.T) {
+	e := latticeEngine(t, 40, 6, 6, core.Config{Capacity: 2})
+	e.AddVehiclesUniform(3)
+
+	if _, err := e.Tick(5); err != nil {
+		t.Fatalf("warmup tick: %v", err)
+	}
+	before := e.Clock()
+	if before != 5 {
+		t.Fatalf("clock after warmup = %v, want 5", before)
+	}
+
+	boom := errors.New("injected fleet failure")
+	e.SetStepOverride(func(float64) ([]fleet.Event, error) { return nil, boom })
+	if _, err := e.Tick(3); !errors.Is(err, boom) {
+		t.Fatalf("Tick error = %v, want injected failure", err)
+	}
+	if got := e.Clock(); got != before {
+		t.Fatalf("clock advanced across failed step: %v -> %v", before, got)
+	}
+
+	// Partial progress still surfaces its events, but the clock holds.
+	e.SetStepOverride(func(float64) ([]fleet.Event, error) {
+		return []fleet.Event{}, boom
+	})
+	if _, err := e.Tick(2); !errors.Is(err, boom) {
+		t.Fatalf("Tick error = %v, want injected failure", err)
+	}
+	if got := e.Clock(); got != before {
+		t.Fatalf("clock advanced across failed step with events: %v -> %v", before, got)
+	}
+
+	// Recovery: with the real step restored the clock resumes from
+	// where the last successful step left it.
+	e.SetStepOverride(nil)
+	if _, err := e.Tick(3); err != nil {
+		t.Fatalf("recovery tick: %v", err)
+	}
+	if got := e.Clock(); got != before+3 {
+		t.Fatalf("clock after recovery = %v, want %v", got, before+3)
+	}
+}
+
+// TestNegativeTickIsInvalidArgument pins the error classification the
+// HTTP layer relies on: a negative tick is a caller error
+// (ErrInvalidArgument), and it leaves the clock untouched.
+func TestNegativeTickIsInvalidArgument(t *testing.T) {
+	e := latticeEngine(t, 41, 5, 5, core.Config{Capacity: 2})
+	before := e.Clock()
+	_, err := e.Tick(-1)
+	if err == nil {
+		t.Fatal("negative tick accepted")
+	}
+	if !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("negative tick error %v does not wrap ErrInvalidArgument", err)
+	}
+	if e.Clock() != before {
+		t.Fatalf("negative tick moved the clock: %v -> %v", before, e.Clock())
+	}
+}

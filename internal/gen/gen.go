@@ -39,6 +39,10 @@ type CityConfig struct {
 	// RemoveFrac removes this fraction of non-spanning-tree minor edges
 	// to break the lattice regularity. Must be in [0, 1).
 	RemoveFrac float64
+	// OriginX and OriginY translate the whole city in the plane, so
+	// several generated cities can occupy disjoint regions (the
+	// multi-city router assigns requests to cities by coordinate).
+	OriginX, OriginY float64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -73,8 +77,8 @@ func GenerateNetwork(cfg CityConfig) (*roadnet.Graph, error) {
 			jitterX := (rng.Float64() - 0.5) * 0.2 * cfg.Spacing
 			jitterY := (rng.Float64() - 0.5) * 0.2 * cfg.Spacing
 			pts[j*w+i] = geo.Point{
-				X: float64(i)*cfg.Spacing + jitterX,
-				Y: float64(j)*cfg.Spacing + jitterY,
+				X: cfg.OriginX + float64(i)*cfg.Spacing + jitterX,
+				Y: cfg.OriginY + float64(j)*cfg.Spacing + jitterY,
 			}
 		}
 	}

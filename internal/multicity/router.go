@@ -1,0 +1,557 @@
+// Package multicity serves many cities behind one front door: a Router
+// owns N fully independent core.Engine instances — one immutable
+// routing substrate, fleet, grid index and pricing configuration per
+// city — and assigns every request to the city whose service region
+// contains its origin coordinate.
+//
+// Isolation is the design point. Cities share no mutable state: a
+// hot-cell storm in one city cannot stall another's matchers, per-city
+// pricing and constraint settings stay independently tunable, and each
+// city's Tick runs on its own goroutine (per-city movement is naturally
+// parallel work). The router layer adds only coordinate→city
+// assignment, a global request-id namespace, concurrent fan-out of
+// batches and ticks, and cross-city aggregation of the statistics
+// panel.
+//
+// Cross-city trips (origin in one city, destination in another) are
+// rejected with a typed error (*CrossCityError, matchable as
+// ErrCrossCity): serving them needs inter-city relay scheduling, a
+// known follow-up (see ROADMAP.md).
+//
+// Request ids are made globally unique by striding: a request answered
+// by city c out of n receives id local*n + c, so Choose/Decline/Request
+// route by plain arithmetic with no shared map — the router holds no
+// lock on the request path at all. With a single city the encoding is
+// the identity, so routing adds no id translation overhead there.
+package multicity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/geo"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+)
+
+// ErrCrossCity matches (with errors.Is) the rejection of a trip whose
+// origin and destination fall in different cities.
+var ErrCrossCity = errors.New("multicity: cross-city trip not supported")
+
+// ErrNoCity matches the rejection of a coordinate outside every city's
+// service region.
+var ErrNoCity = errors.New("multicity: no city serves this location")
+
+// ErrUnknownCity matches lookups of a city name the router does not
+// own.
+var ErrUnknownCity = errors.New("multicity: unknown city")
+
+// CrossCityError reports a rejected cross-city trip with the two cities
+// involved. errors.Is(err, ErrCrossCity) matches it.
+type CrossCityError struct {
+	Origin, Dest string
+}
+
+func (e *CrossCityError) Error() string {
+	return fmt.Sprintf("multicity: cross-city trip %s → %s not supported", e.Origin, e.Dest)
+}
+
+// Is makes errors.Is(err, ErrCrossCity) match.
+func (e *CrossCityError) Is(target error) bool { return target == ErrCrossCity }
+
+// CitySpec declares one city of a Router.
+type CitySpec struct {
+	// Name identifies the city in every view; must be unique and
+	// non-empty.
+	Name string
+	// Graph is the city's embedded road network.
+	Graph *roadnet.Graph
+	// Region is the city's service area. The zero Rect means "the
+	// graph's bounding box". Regions of different cities must be
+	// disjoint — they are what assigns a coordinate to a city.
+	Region geo.Rect
+	// Config is the city's engine configuration (capacity, constraints,
+	// pricing, matching algorithm — independently tunable per market).
+	Config core.Config
+	// Vehicles places this many taxis uniformly at random.
+	Vehicles int
+}
+
+// city is one registered city.
+type city struct {
+	name   string
+	region geo.Rect
+	eng    *core.Engine
+}
+
+// Router fans requests out to per-city engines. All methods are safe
+// for concurrent use; the router itself is immutable after New — every
+// mutable bit of state lives inside the per-city engines.
+type Router struct {
+	cities []city
+	byName map[string]int
+}
+
+// New builds a Router over the given cities. Regions default to each
+// graph's bounding box and must be pairwise disjoint.
+func New(specs []CitySpec) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("multicity: no cities")
+	}
+	r := &Router{
+		cities: make([]city, 0, len(specs)),
+		byName: make(map[string]int, len(specs)),
+	}
+	for i, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("multicity: city %d has no name", i)
+		}
+		if _, dup := r.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("multicity: duplicate city %q", spec.Name)
+		}
+		if spec.Graph == nil {
+			return nil, fmt.Errorf("multicity: city %q has no graph", spec.Name)
+		}
+		region := spec.Region
+		if region == (geo.Rect{}) {
+			region = spec.Graph.Bounds()
+		}
+		for j := range r.cities {
+			if r.cities[j].region.Intersects(region) {
+				return nil, fmt.Errorf("multicity: regions of %q and %q overlap", r.cities[j].name, spec.Name)
+			}
+		}
+		eng, err := core.NewEngine(spec.Graph, spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("multicity: city %q: %w", spec.Name, err)
+		}
+		if spec.Vehicles > 0 {
+			eng.AddVehiclesUniform(spec.Vehicles)
+		}
+		r.byName[spec.Name] = len(r.cities)
+		r.cities = append(r.cities, city{name: spec.Name, region: region, eng: eng})
+	}
+	return r, nil
+}
+
+// NumCities returns the number of cities behind the router.
+func (r *Router) NumCities() int { return len(r.cities) }
+
+// CityNames returns the city names in registration order.
+func (r *Router) CityNames() []string {
+	out := make([]string, len(r.cities))
+	for i := range r.cities {
+		out[i] = r.cities[i].name
+	}
+	return out
+}
+
+// Region returns the service region of a city.
+func (r *Router) Region(name string) (geo.Rect, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return geo.Rect{}, err
+	}
+	return r.cities[ci].region, nil
+}
+
+// Engine exposes a city's engine for inspection (views, invariants,
+// benchmarks). Request ids obtained directly from the engine are local
+// to that city and do not route through the Router's id space.
+func (r *Router) Engine(name string) (*core.Engine, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.cities[ci].eng, nil
+}
+
+func (r *Router) cityIndex(name string) (int, error) {
+	ci, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownCity, name)
+	}
+	return ci, nil
+}
+
+// Locate returns the name of the city whose region contains p.
+func (r *Router) Locate(p geo.Point) (string, error) {
+	ci, err := r.locate(p)
+	if err != nil {
+		return "", err
+	}
+	return r.cities[ci].name, nil
+}
+
+func (r *Router) locate(p geo.Point) (int, error) {
+	for i := range r.cities {
+		if r.cities[i].region.Contains(p) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: (%.0f, %.0f)", ErrNoCity, p.X, p.Y)
+}
+
+// NearestVertex snaps a coordinate inside a city to a road-network
+// vertex: the closest vertex of the grid cell containing p, falling
+// back to a whole-graph scan when that cell is unpopulated (rare —
+// only cells without any vertex).
+func (r *Router) NearestVertex(name string, p geo.Point) (roadnet.VertexID, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return 0, err
+	}
+	return r.nearestVertex(ci, p), nil
+}
+
+func (r *Router) nearestVertex(ci int, p geo.Point) roadnet.VertexID {
+	eng := r.cities[ci].eng
+	grid := eng.Grid()
+	g := eng.Graph()
+	verts := grid.Cell(grid.CellAt(p)).Vertices
+	best, bestD := roadnet.VertexID(0), math.Inf(1)
+	for _, v := range verts {
+		if d := g.Point(v).DistSq(p); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	if len(verts) > 0 {
+		return best
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Point(roadnet.VertexID(v)).DistSq(p); d < bestD {
+			best, bestD = roadnet.VertexID(v), d
+		}
+	}
+	return best
+}
+
+// globalID strides a city-local request id into the router's id space.
+func (r *Router) globalID(ci int, local core.RequestID) core.RequestID {
+	return local*core.RequestID(len(r.cities)) + core.RequestID(ci)
+}
+
+// splitID decodes a global request id into (city index, local id).
+func (r *Router) splitID(id core.RequestID) (int, core.RequestID, error) {
+	n := core.RequestID(len(r.cities))
+	if id < n {
+		return 0, 0, fmt.Errorf("multicity: unknown request %d", id)
+	}
+	return int(id % n), id / n, nil
+}
+
+// Record is the router's view of a request record: the engine snapshot
+// with the id lifted into the global namespace, plus the owning city.
+type Record struct {
+	core.RequestRecord
+	City string
+}
+
+func (r *Router) wrap(ci int, rec *core.RequestRecord) *Record {
+	out := &Record{RequestRecord: *rec, City: r.cities[ci].name}
+	out.ID = r.globalID(ci, rec.ID)
+	return out
+}
+
+// Submit answers a ridesharing request given by planar coordinates: the
+// origin's city is located, both endpoints are snapped to that city's
+// road network, and the city's engine matches the request. A
+// destination in a different city is rejected with *CrossCityError; a
+// coordinate outside every region with ErrNoCity.
+func (r *Router) Submit(o, d geo.Point, riders int) (*Record, error) {
+	return r.SubmitWithConstraints(o, d, riders, core.DefaultConstraints())
+}
+
+// SubmitWithConstraints is Submit with per-rider constraint overrides.
+func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constraints) (*Record, error) {
+	oc, err := r.locate(o)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := r.locate(d)
+	if err != nil {
+		return nil, err
+	}
+	if oc != dc {
+		return nil, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name}
+	}
+	rec, err := r.cities[oc].eng.SubmitWithConstraints(
+		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c)
+	if err != nil {
+		return nil, fmt.Errorf("multicity: %s: %w", r.cities[oc].name, err)
+	}
+	return r.wrap(oc, rec), nil
+}
+
+// SubmitIn answers a request addressed by city name and city-local
+// vertex ids — the zero-translation path used when the caller already
+// resolved the city (load replay, benchmarks).
+func (r *Router) SubmitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints) (*Record, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := r.cities[ci].eng.SubmitWithConstraints(s, d, riders, c)
+	if err != nil {
+		return nil, fmt.Errorf("multicity: %s: %w", name, err)
+	}
+	return r.wrap(ci, rec), nil
+}
+
+// BatchItem is one request of a simultaneous multi-city batch,
+// addressed by coordinates like Submit.
+type BatchItem struct {
+	O, D        geo.Point
+	Riders      int
+	Constraints core.Constraints
+	// Choose picks an option index from the quoted skyline (or -1 to
+	// decline). Nil declines everything. Called on the owning city's
+	// batch goroutine.
+	Choose func(options []core.Option) int
+}
+
+// SubmitBatch processes simultaneously issued requests across cities:
+// items are partitioned by origin city and each city's sub-batch runs
+// through that engine's coalesced SubmitBatch concurrently — the waves
+// of different cities proceed fully in parallel because the engines
+// share no state. Within one city the paper's greedy order over that
+// city's items is preserved exactly.
+//
+// One record is returned per item, in order; items that fail city
+// assignment (cross-city, outside every region) or fail inside the
+// engine get a nil entry, with the first error returned.
+func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
+	out := make([]*Record, len(items))
+	var firstErr error
+	fail := func(i int, err error) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("multicity: batch item %d: %w", i, err)
+		}
+	}
+
+	// Partition by origin city, preserving each city's item order.
+	perCity := make([][]core.BatchItem, len(r.cities))
+	perCityIdx := make([][]int, len(r.cities))
+	for i, it := range items {
+		oc, err := r.locate(it.O)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		dc, err := r.locate(it.D)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		if oc != dc {
+			fail(i, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name})
+			continue
+		}
+		perCity[oc] = append(perCity[oc], core.BatchItem{
+			S: r.nearestVertex(oc, it.O), D: r.nearestVertex(oc, it.D),
+			Riders: it.Riders, Constraints: it.Constraints, Choose: it.Choose,
+		})
+		perCityIdx[oc] = append(perCityIdx[oc], i)
+	}
+
+	// Fan the per-city sub-batches out; engines are independent.
+	recs := make([][]*core.RequestRecord, len(r.cities))
+	errs := make([]error, len(r.cities))
+	var wg sync.WaitGroup
+	for ci := range r.cities {
+		if len(perCity[ci]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			recs[ci], errs[ci] = r.cities[ci].eng.SubmitBatch(perCity[ci])
+		}(ci)
+	}
+	wg.Wait()
+
+	for ci := range r.cities {
+		if errs[ci] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("multicity: %s: %w", r.cities[ci].name, errs[ci])
+		}
+		for k, rec := range recs[ci] {
+			if rec != nil {
+				out[perCityIdx[ci][k]] = r.wrap(ci, rec)
+			}
+		}
+	}
+	return out, firstErr
+}
+
+// Choose commits the rider's selected option of a request previously
+// answered by the router.
+func (r *Router) Choose(id core.RequestID, optionIndex int) error {
+	ci, local, err := r.splitID(id)
+	if err != nil {
+		return err
+	}
+	return r.cities[ci].eng.Choose(local, optionIndex)
+}
+
+// Decline records that the rider took none of the options.
+func (r *Router) Decline(id core.RequestID) error {
+	ci, local, err := r.splitID(id)
+	if err != nil {
+		return err
+	}
+	return r.cities[ci].eng.Decline(local)
+}
+
+// Request returns a snapshot of the record of a router-answered
+// request.
+func (r *Router) Request(id core.RequestID) (*Record, error) {
+	ci, local, err := r.splitID(id)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := r.cities[ci].eng.Request(local)
+	if err != nil {
+		return nil, err
+	}
+	return r.wrap(ci, rec), nil
+}
+
+// CityEvents is one city's slice of a tick's movement events.
+type CityEvents struct {
+	City   string
+	Events []fleet.Event
+}
+
+// Tick advances simulated time by dt seconds in every city, each city's
+// movement phase on its own goroutine — per-city ticks are naturally
+// parallel because fleets share nothing. The per-city events are
+// returned in city registration order; the first city error (if any)
+// is returned after every city finished, so one failing city never
+// stalls or skips the others.
+func (r *Router) Tick(dt float64) ([]CityEvents, error) {
+	if dt < 0 {
+		// Reject before any engine moves so the city clocks stay in
+		// lockstep even on caller errors.
+		return nil, fmt.Errorf("multicity: negative tick %v: %w", dt, core.ErrInvalidArgument)
+	}
+	out := make([]CityEvents, len(r.cities))
+	errs := make([]error, len(r.cities))
+	var wg sync.WaitGroup
+	for ci := range r.cities {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			evs, err := r.cities[ci].eng.Tick(dt)
+			out[ci] = CityEvents{City: r.cities[ci].name, Events: evs}
+			errs[ci] = err
+		}(ci)
+	}
+	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("multicity: %s: %w", r.cities[ci].name, err)
+		}
+	}
+	return out, nil
+}
+
+// Stats is the aggregated statistics panel: per-city engine snapshots
+// plus a cross-city total. In the total, lifecycle counters and vehicle
+// counts are sums; per-match averages are request-weighted and quality
+// averages completed-weighted means of the city values; P95 response
+// time and the clock are the maxima (a true cross-city quantile is not
+// derivable from per-city summaries).
+type Stats struct {
+	Total  core.EngineStats
+	Cities map[string]core.EngineStats
+}
+
+// Stats snapshots every city and aggregates the totals.
+func (r *Router) Stats() Stats {
+	out := Stats{Cities: make(map[string]core.EngineStats, len(r.cities))}
+	t := &out.Total
+	var requestW, completedW float64
+	for i := range r.cities {
+		st := r.cities[i].eng.Stats()
+		out.Cities[r.cities[i].name] = st
+
+		t.Requests += st.Requests
+		t.Assigned += st.Assigned
+		t.Declined += st.Declined
+		t.Completed += st.Completed
+		t.SharedCompleted += st.SharedCompleted
+		t.ActiveVehicles += st.ActiveVehicles
+		if st.Clock > t.Clock {
+			t.Clock = st.Clock
+		}
+		if st.P95ResponseMs > t.P95ResponseMs {
+			t.P95ResponseMs = st.P95ResponseMs
+		}
+
+		reqs := float64(st.Requests)
+		t.AvgResponseMs += reqs * st.AvgResponseMs
+		t.AvgOptions += reqs * st.AvgOptions
+		t.AvgVerified += reqs * st.AvgVerified
+		t.AvgPruned += reqs * st.AvgPruned
+		t.AvgCellsScanned += reqs * st.AvgCellsScanned
+		t.AvgDistCalls += reqs * st.AvgDistCalls
+		t.AvgMatchWidth += reqs * st.AvgMatchWidth
+		requestW += reqs
+
+		done := float64(st.Completed)
+		t.AvgWaitSeconds += done * st.AvgWaitSeconds
+		t.AvgDetourFactor += done * st.AvgDetourFactor
+		completedW += done
+	}
+	if requestW > 0 {
+		t.AvgResponseMs /= requestW
+		t.AvgOptions /= requestW
+		t.AvgVerified /= requestW
+		t.AvgPruned /= requestW
+		t.AvgCellsScanned /= requestW
+		t.AvgDistCalls /= requestW
+		t.AvgMatchWidth /= requestW
+	}
+	if completedW > 0 {
+		t.AvgWaitSeconds /= completedW
+		t.AvgDetourFactor /= completedW
+	}
+	if t.Completed > 0 {
+		t.SharingRate = float64(t.SharedCompleted) / float64(t.Completed)
+	}
+	return out
+}
+
+// VehicleViews returns one city's vehicle summaries (see
+// core.Engine.VehicleViews).
+func (r *Router) VehicleViews(name string, limit int) ([]core.VehicleView, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.cities[ci].eng.VehicleViews(limit), nil
+}
+
+// VehicleSchedules returns one vehicle's valid trip schedules in the
+// given city.
+func (r *Router) VehicleSchedules(name string, id fleet.VehicleID) (roadnet.VertexID, [][]kinetic.Point, error) {
+	ci, err := r.cityIndex(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.cities[ci].eng.VehicleSchedules(id)
+}
+
+// CheckInvariants verifies every city's engine invariants (tests).
+func (r *Router) CheckInvariants() error {
+	for i := range r.cities {
+		if err := r.cities[i].eng.CheckInvariants(); err != nil {
+			return fmt.Errorf("multicity: %s: %w", r.cities[i].name, err)
+		}
+	}
+	return nil
+}

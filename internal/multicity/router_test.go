@@ -1,0 +1,433 @@
+package multicity_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/geo"
+	"ptrider/internal/multicity"
+	"ptrider/internal/roadnet"
+)
+
+// twinRouter builds a two-city router ("alpha" at the origin, "beta"
+// offset to the east) over small synthetic cities.
+func twinRouter(t *testing.T, cfg core.Config, taxisA, taxisB int) *multicity.Router {
+	t.Helper()
+	ga, err := gen.GenerateNetwork(gen.CityConfig{Width: 10, Height: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("gen alpha: %v", err)
+	}
+	gb, err := gen.GenerateNetwork(gen.CityConfig{Width: 8, Height: 8, OriginX: 20000, Seed: 2})
+	if err != nil {
+		t.Fatalf("gen beta: %v", err)
+	}
+	cfgA, cfgB := cfg, cfg
+	cfgA.Seed, cfgB.Seed = 1, 2
+	r, err := multicity.New([]multicity.CitySpec{
+		{Name: "alpha", Graph: ga, Config: cfgA, Vehicles: taxisA},
+		{Name: "beta", Graph: gb, Config: cfgB, Vehicles: taxisB},
+	})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	return r
+}
+
+// cityPoints returns the coordinates of two distinct random vertices of
+// a city.
+func cityPoints(t *testing.T, r *multicity.Router, name string, rng *rand.Rand) (geo.Point, geo.Point) {
+	t.Helper()
+	eng, err := r.Engine(name)
+	if err != nil {
+		t.Fatalf("engine %s: %v", name, err)
+	}
+	g := eng.Graph()
+	for {
+		s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		if s != d {
+			return g.Point(s), g.Point(d)
+		}
+	}
+}
+
+func TestRouterAssignsByOriginCoordinate(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 4}, 8, 8)
+	rng := rand.New(rand.NewSource(10))
+
+	o, d := cityPoints(t, r, "alpha", rng)
+	if city, err := r.Locate(o); err != nil || city != "alpha" {
+		t.Fatalf("Locate(alpha point) = %q, %v", city, err)
+	}
+	rec, err := r.Submit(o, d, 1)
+	if err != nil {
+		t.Fatalf("submit alpha: %v", err)
+	}
+	if rec.City != "alpha" {
+		t.Fatalf("record city = %q, want alpha", rec.City)
+	}
+
+	o, d = cityPoints(t, r, "beta", rng)
+	rec, err = r.Submit(o, d, 1)
+	if err != nil {
+		t.Fatalf("submit beta: %v", err)
+	}
+	if rec.City != "beta" {
+		t.Fatalf("record city = %q, want beta", rec.City)
+	}
+}
+
+func TestRouterRejectsCrossCityTrips(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 4}, 5, 5)
+	rng := rand.New(rand.NewSource(11))
+	oa, _ := cityPoints(t, r, "alpha", rng)
+	ob, _ := cityPoints(t, r, "beta", rng)
+
+	_, err := r.Submit(oa, ob, 1)
+	if err == nil {
+		t.Fatal("cross-city trip accepted")
+	}
+	if !errors.Is(err, multicity.ErrCrossCity) {
+		t.Fatalf("cross-city error %v does not match ErrCrossCity", err)
+	}
+	var cce *multicity.CrossCityError
+	if !errors.As(err, &cce) {
+		t.Fatalf("cross-city error %v is not a *CrossCityError", err)
+	}
+	if cce.Origin != "alpha" || cce.Dest != "beta" {
+		t.Fatalf("cross-city error cities = %q → %q", cce.Origin, cce.Dest)
+	}
+
+	// A coordinate in the sea between the cities belongs to no one.
+	sea := geo.Point{X: 12000, Y: 0}
+	if _, err := r.Submit(sea, ob, 1); !errors.Is(err, multicity.ErrNoCity) {
+		t.Fatalf("no-city origin error = %v, want ErrNoCity", err)
+	}
+	if _, err := r.Locate(sea); !errors.Is(err, multicity.ErrNoCity) {
+		t.Fatalf("Locate(sea) error = %v, want ErrNoCity", err)
+	}
+
+	// The typed rejection also surfaces per item in batches, without
+	// poisoning the other items.
+	ga, da := cityPoints(t, r, "alpha", rng)
+	recs, err := r.SubmitBatch([]multicity.BatchItem{
+		{O: ga, D: da, Riders: 1, Constraints: core.DefaultConstraints()},
+		{O: oa, D: ob, Riders: 1, Constraints: core.DefaultConstraints()},
+	})
+	if !errors.Is(err, multicity.ErrCrossCity) {
+		t.Fatalf("batch error = %v, want ErrCrossCity", err)
+	}
+	if recs[0] == nil || recs[0].City != "alpha" {
+		t.Fatalf("in-city batch item did not survive: %+v", recs[0])
+	}
+	if recs[1] != nil {
+		t.Fatalf("cross-city batch item produced a record: %+v", recs[1])
+	}
+}
+
+func TestRouterGlobalIDsRoundTrip(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 4}, 10, 10)
+	rng := rand.New(rand.NewSource(12))
+
+	seen := map[core.RequestID]string{}
+	for i := 0; i < 20; i++ {
+		name := "alpha"
+		if i%2 == 1 {
+			name = "beta"
+		}
+		o, d := cityPoints(t, r, name, rng)
+		rec, err := r.Submit(o, d, 1)
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		if prev, dup := seen[rec.ID]; dup {
+			t.Fatalf("global id %d reused across %s and %s", rec.ID, prev, name)
+		}
+		seen[rec.ID] = name
+
+		got, err := r.Request(rec.ID)
+		if err != nil {
+			t.Fatalf("request %d: %v", rec.ID, err)
+		}
+		if got.City != name || got.ID != rec.ID {
+			t.Fatalf("round trip: got city %q id %d, want %q %d", got.City, got.ID, name, rec.ID)
+		}
+
+		if len(rec.Options) > 0 && i%4 == 0 {
+			if err := r.Choose(rec.ID, 0); err != nil {
+				t.Fatalf("choose %d: %v", rec.ID, err)
+			}
+			if got, _ := r.Request(rec.ID); got.Status != core.StatusAssigned {
+				t.Fatalf("after choose: status %v", got.Status)
+			}
+		} else {
+			if err := r.Decline(rec.ID); err != nil {
+				t.Fatalf("decline %d: %v", rec.ID, err)
+			}
+		}
+	}
+	if _, err := r.Request(core.RequestID(1)); err == nil {
+		// id 1 < numCities is outside the striped namespace.
+		t.Fatal("sub-stride id accepted")
+	}
+}
+
+// TestRouterStatsIsolation pins per-city isolation under concurrent
+// submit/tick: city A's counters reflect only city A's traffic, and the
+// aggregate is the sum of the cities.
+func TestRouterStatsIsolation(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 4}, 8, 8)
+
+	const perCity = 12
+	var wg sync.WaitGroup
+	for w, name := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(seed int64, name string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perCity; i++ {
+				o, d := cityPoints(t, r, name, rng)
+				rec, err := r.Submit(o, d, 1)
+				if err != nil {
+					t.Errorf("submit %s: %v", name, err)
+					return
+				}
+				if len(rec.Options) > 0 && i%2 == 0 {
+					_ = r.Choose(rec.ID, 0)
+				} else {
+					_ = r.Decline(rec.ID)
+				}
+				if i%3 == 0 {
+					if _, err := r.Tick(1); err != nil {
+						t.Errorf("tick: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(20+w), name)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	a, b := st.Cities["alpha"], st.Cities["beta"]
+	if a.Requests != perCity || b.Requests != perCity {
+		t.Fatalf("per-city requests = %d / %d, want %d each", a.Requests, b.Requests, perCity)
+	}
+	if st.Total.Requests != a.Requests+b.Requests {
+		t.Fatalf("total requests %d != %d + %d", st.Total.Requests, a.Requests, b.Requests)
+	}
+	if st.Total.Assigned != a.Assigned+b.Assigned || st.Total.Completed != a.Completed+b.Completed {
+		t.Fatalf("total lifecycle counters not the sum of cities: %+v vs %+v / %+v", st.Total, a, b)
+	}
+	if a.Clock != b.Clock {
+		t.Fatalf("city clocks diverged under shared ticks: %v vs %v", a.Clock, b.Clock)
+	}
+	if st.Total.Clock != a.Clock {
+		t.Fatalf("total clock %v != city clock %v", st.Total.Clock, a.Clock)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestRouterConcurrentStress is the multi-city race stress in the style
+// of core's TestConcurrentStress: goroutines mixing coordinate submits,
+// direct submits, batches, chooses, declines, router ticks and stats
+// reads across two cities, with invariants checked during and after.
+func TestRouterConcurrentStress(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 3, CommitSlack: 0.2}, 10, 10)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			name := "alpha"
+			if seed%2 == 0 {
+				name = "beta"
+			}
+			other := "beta"
+			if name == "beta" {
+				other = "alpha"
+			}
+			for i := 0; i < 40; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					o, d := cityPoints(t, r, name, rng)
+					rec, err := r.Submit(o, d, 1+rng.Intn(2))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rec.Options) > 0 && rng.Intn(3) > 0 {
+						// Stale-candidate failures under concurrent ticks
+						// are expected behaviour.
+						_ = r.Choose(rec.ID, rng.Intn(len(rec.Options)))
+					} else {
+						_ = r.Decline(rec.ID)
+					}
+				case 4:
+					// Cross-city attempts must fail typed, never crash.
+					o, _ := cityPoints(t, r, name, rng)
+					_, d := cityPoints(t, r, other, rng)
+					if _, err := r.Submit(o, d, 1); !errors.Is(err, multicity.ErrCrossCity) {
+						errs <- err
+						return
+					}
+				case 5, 6:
+					if _, err := r.Tick(0.5 + rng.Float64()); err != nil {
+						errs <- err
+						return
+					}
+				case 7:
+					st := r.Stats()
+					if st.Total.Assigned > st.Total.Requests {
+						errs <- errors.New("total assigned > requests")
+						return
+					}
+					if _, err := r.VehicleViews(name, 5); err != nil {
+						errs <- err
+						return
+					}
+				case 8:
+					o1, d1 := cityPoints(t, r, name, rng)
+					o2, d2 := cityPoints(t, r, other, rng)
+					_, _ = r.SubmitBatch([]multicity.BatchItem{
+						{O: o1, D: d1, Riders: 1, Constraints: core.DefaultConstraints(),
+							Choose: func(opts []core.Option) int {
+								if len(opts) == 0 {
+									return -1
+								}
+								return 0
+							}},
+						{O: o2, D: d2, Riders: 1, Constraints: core.DefaultConstraints()},
+					})
+				case 9:
+					o, d := cityPoints(t, r, other, rng)
+					rec, err := r.Submit(o, d, 1)
+					if err != nil {
+						errs <- err
+						return
+					}
+					_ = r.Decline(rec.ID)
+				}
+				if i%16 == 0 {
+					if err := r.CheckInvariants(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("stress worker: %v", err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("post-storm invariants: %v", err)
+	}
+	st := r.Stats()
+	if st.Cities["alpha"].Requests == 0 || st.Cities["beta"].Requests == 0 {
+		t.Fatalf("storm left a city idle: %+v", st.Total)
+	}
+
+	// Drain: both fleets must still finish every onboard rider.
+	for i := 0; i < 4000 && st.Total.Completed < st.Total.Assigned; i++ {
+		if _, err := r.Tick(1); err != nil {
+			t.Fatalf("drain tick: %v", err)
+		}
+		st = r.Stats()
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("post-drain invariants: %v", err)
+	}
+}
+
+func TestRouterConstructionValidation(t *testing.T) {
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: 5, Height: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multicity.New(nil); err == nil {
+		t.Error("empty city list accepted")
+	}
+	if _, err := multicity.New([]multicity.CitySpec{{Name: "", Graph: g}}); err == nil {
+		t.Error("unnamed city accepted")
+	}
+	if _, err := multicity.New([]multicity.CitySpec{
+		{Name: "a", Graph: g}, {Name: "a", Graph: g},
+	}); err == nil {
+		t.Error("duplicate city name accepted")
+	}
+	// Two cities over the same graph occupy the same region.
+	if _, err := multicity.New([]multicity.CitySpec{
+		{Name: "a", Graph: g}, {Name: "b", Graph: g},
+	}); err == nil {
+		t.Error("overlapping regions accepted")
+	}
+	if _, err := multicity.New([]multicity.CitySpec{{Name: "a", Graph: nil}}); err == nil {
+		t.Error("nil graph accepted")
+	}
+
+	r, err := multicity.New([]multicity.CitySpec{{Name: "a", Graph: g, Vehicles: 2}})
+	if err != nil {
+		t.Fatalf("single city: %v", err)
+	}
+	if _, err := r.Engine("nope"); !errors.Is(err, multicity.ErrUnknownCity) {
+		t.Errorf("unknown city error = %v", err)
+	}
+	if _, err := r.VehicleViews("nope", 0); !errors.Is(err, multicity.ErrUnknownCity) {
+		t.Errorf("unknown city views error = %v", err)
+	}
+}
+
+func TestRouterTickClassifiesAndIsolatesFailures(t *testing.T) {
+	r := twinRouter(t, core.Config{Capacity: 2}, 2, 2)
+	if _, err := r.Tick(-1); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("negative tick error = %v, want ErrInvalidArgument", err)
+	}
+	st := r.Stats()
+	if st.Total.Clock != 0 {
+		t.Fatalf("negative tick moved a clock: %v", st.Total.Clock)
+	}
+	if _, err := r.Tick(2); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	if st := r.Stats(); st.Cities["alpha"].Clock != 2 || st.Cities["beta"].Clock != 2 {
+		t.Fatalf("clocks after tick: %+v", st)
+	}
+}
+
+func TestBuildFromSpec(t *testing.T) {
+	r, err := multicity.BuildFromSpec("east:6x6:4,west:5x5:3", core.Config{Capacity: 4}, 9)
+	if err != nil {
+		t.Fatalf("BuildFromSpec: %v", err)
+	}
+	if got := r.CityNames(); len(got) != 2 || got[0] != "east" || got[1] != "west" {
+		t.Fatalf("cities = %v", got)
+	}
+	east, _ := r.Engine("east")
+	west, _ := r.Engine("west")
+	if east.NumVehicles() != 4 || west.NumVehicles() != 3 {
+		t.Fatalf("vehicles = %d / %d", east.NumVehicles(), west.NumVehicles())
+	}
+	re, _ := r.Region("east")
+	rw, _ := r.Region("west")
+	if re.Intersects(rw) {
+		t.Fatalf("spec regions overlap: %+v %+v", re, rw)
+	}
+	for _, bad := range []string{"", "east", "east:6:4", "east:axb:4", "east:6x6:x"} {
+		if _, err := multicity.BuildFromSpec(bad, core.Config{}, 1); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

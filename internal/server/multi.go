@@ -1,0 +1,421 @@
+// multi.go exposes a multicity.Router over HTTP: the same two demo
+// interfaces as the single-engine server, with a city dimension in
+// every view.
+//
+// Smartphone interface:
+//
+//	POST /api/request  {"city":"east","s":12,"d":17,"riders":2}
+//	POST /api/request  {"ox":100,"oy":900,"dx":3500,"dy":200,"riders":1}
+//	POST /api/choose   {"id":41,"option":0}
+//	POST /api/decline  {"id":41}
+//	GET  /api/request?id=41
+//
+// A request body either names the city and city-local vertices, or
+// gives planar coordinates (ox/oy → dx/dy) and lets the router assign
+// the city by origin; a cross-city pair is rejected with 422 and a
+// typed error message. Request ids are global across cities.
+//
+// Website interface:
+//
+//	GET  /api/cities               city names, regions, fleet sizes
+//	GET  /api/stats                per-city panels plus aggregate totals
+//	GET  /api/vehicles?city=east   one city's fleet positions
+//	GET  /api/taxi?city=east&id=3  one taxi's schedules
+//	GET  /api/map?city=east        one city's ASCII map
+//	GET  /api/params?city=east · POST /api/params {"city":"east","algorithm":"naive"}
+//	POST /api/tick {"seconds":5}   advances every city concurrently
+//	GET  /healthz
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/geo"
+	"ptrider/internal/multicity"
+	"ptrider/internal/roadnet"
+)
+
+// MultiServer wires a multicity.Router to an http.Handler.
+type MultiServer struct {
+	router *multicity.Router
+	mux    *http.ServeMux
+}
+
+// NewMulti returns a MultiServer for router.
+func NewMulti(router *multicity.Router) *MultiServer {
+	s := &MultiServer{router: router, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/cities", s.handleCities)
+	s.mux.HandleFunc("/api/request", s.handleRequest)
+	s.mux.HandleFunc("/api/choose", s.handleChoose)
+	s.mux.HandleFunc("/api/decline", s.handleDecline)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/taxi", s.handleTaxi)
+	s.mux.HandleFunc("/api/params", s.handleParams)
+	s.mux.HandleFunc("/api/tick", s.handleTick)
+	s.mux.HandleFunc("/api/vehicles", s.handleVehicles)
+	s.mux.HandleFunc("/api/map", s.handleMap)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *MultiServer) Handler() http.Handler { return s.mux }
+
+// cityOf resolves the engine behind a record's city for view building.
+func (s *MultiServer) cityOf(rec *multicity.Record) (*core.Engine, error) {
+	return s.router.Engine(rec.City)
+}
+
+// cityRequestView is requestView plus the owning city.
+type cityRequestView struct {
+	requestView
+	City string `json:"city"`
+}
+
+func (s *MultiServer) recordView(rec *multicity.Record) (cityRequestView, error) {
+	eng, err := s.cityOf(rec)
+	if err != nil {
+		return cityRequestView{}, err
+	}
+	rv := requestViewFor(eng, &rec.RequestRecord)
+	return cityRequestView{requestView: rv, City: rec.City}, nil
+}
+
+type cityView struct {
+	Name     string  `json:"name"`
+	Vertices int     `json:"vertices"`
+	Vehicles int     `json:"vehicles"`
+	MinX     float64 `json:"min_x"`
+	MinY     float64 `json:"min_y"`
+	MaxX     float64 `json:"max_x"`
+	MaxY     float64 `json:"max_y"`
+}
+
+func (s *MultiServer) handleCities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	names := s.router.CityNames()
+	out := make([]cityView, 0, len(names))
+	for _, name := range names {
+		eng, err := s.router.Engine(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		region, err := s.router.Region(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, cityView{
+			Name:     name,
+			Vertices: eng.Graph().NumVertices(),
+			Vehicles: eng.NumVehicles(),
+			MinX:     region.Min.X, MinY: region.Min.Y,
+			MaxX: region.Max.X, MaxY: region.Max.Y,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *MultiServer) handleRequest(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			// City + city-local vertices…
+			City string `json:"city,omitempty"`
+			S    *int32 `json:"s,omitempty"`
+			D    *int32 `json:"d,omitempty"`
+			// …or planar coordinates, routed by origin.
+			OX *float64 `json:"ox,omitempty"`
+			OY *float64 `json:"oy,omitempty"`
+			DX *float64 `json:"dx,omitempty"`
+			DY *float64 `json:"dy,omitempty"`
+
+			Riders      int      `json:"riders"`
+			WaitSeconds float64  `json:"wait_seconds,omitempty"`
+			Sigma       *float64 `json:"sigma,omitempty"`
+		}
+		if err := decode(r, &body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cons := core.DefaultConstraints()
+		cons.WaitSeconds = body.WaitSeconds
+		if body.Sigma != nil {
+			cons.Sigma = *body.Sigma
+		}
+		var rec *multicity.Record
+		var err error
+		switch {
+		case body.City != "" && body.S != nil && body.D != nil:
+			rec, err = s.router.SubmitIn(body.City, roadnet.VertexID(*body.S), roadnet.VertexID(*body.D), body.Riders, cons)
+		case body.OX != nil && body.OY != nil && body.DX != nil && body.DY != nil:
+			rec, err = s.router.SubmitWithConstraints(
+				geo.Point{X: *body.OX, Y: *body.OY},
+				geo.Point{X: *body.DX, Y: *body.DY},
+				body.Riders, cons)
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("give either city+s+d or ox/oy/dx/dy"))
+			return
+		}
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		rv, err := s.recordView(rec)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rv)
+	case http.MethodGet:
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
+			return
+		}
+		rec, err := s.router.Request(core.RequestID(id))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		rv, err := s.recordView(rec)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rv)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *MultiServer) handleChoose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		ID     int64 `json:"id"`
+		Option int   `json:"option"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.router.Choose(core.RequestID(body.ID), body.Option); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "assigned"})
+}
+
+func (s *MultiServer) handleDecline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		ID int64 `json:"id"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.router.Decline(core.RequestID(body.ID)); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "declined"})
+}
+
+func (s *MultiServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	st := s.router.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  st.Total,
+		"cities": st.Cities,
+	})
+}
+
+// cityQuery resolves the mandatory ?city= parameter.
+func (s *MultiServer) cityQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.URL.Query().Get("city")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing city parameter"))
+		return "", false
+	}
+	if _, err := s.router.Engine(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return "", false
+	}
+	return name, true
+}
+
+func (s *MultiServer) handleTaxi(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	name, ok := s.cityQuery(w, r)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
+		return
+	}
+	eng, _ := s.router.Engine(name)
+	out, err := taxiViewFor(eng, fleet.VehicleID(id))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		City string `json:"city"`
+		taxiView
+	}{City: name, taxiView: out})
+}
+
+func (s *MultiServer) handleParams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		name, ok := s.cityQuery(w, r)
+		if !ok {
+			return
+		}
+		eng, _ := s.router.Engine(name)
+		cfg := eng.Config()
+		writeJSON(w, http.StatusOK, struct {
+			City string `json:"city"`
+			paramsView
+		}{City: name, paramsView: paramsView{
+			Algorithm:      eng.Algorithm().String(),
+			Capacity:       cfg.Capacity,
+			NumTaxis:       eng.NumVehicles(),
+			MaxWaitSeconds: cfg.MaxWaitSeconds,
+			Sigma:          cfg.Sigma,
+			SpeedKmh:       cfg.SpeedKmh,
+			MatchWorkers:   cfg.MatchWorkers,
+		}})
+	case http.MethodPost:
+		var body struct {
+			City      string `json:"city"`
+			Algorithm string `json:"algorithm"`
+		}
+		if err := decode(r, &body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		eng, err := s.router.Engine(body.City)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		algo, err := core.ParseAlgorithm(body.Algorithm)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if err := eng.SetAlgorithm(algo); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"city": body.City, "algorithm": algo.String()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *MultiServer) handleVehicles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	name, ok := s.cityQuery(w, r)
+	if !ok {
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		var err error
+		limit, err = strconv.Atoi(q)
+		if err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit"))
+			return
+		}
+	}
+	views, err := s.router.VehicleViews(name, limit)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"city": name, "vehicles": views})
+}
+
+func (s *MultiServer) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	name, ok := s.cityQuery(w, r)
+	if !ok {
+		return
+	}
+	eng, _ := s.router.Engine(name)
+	writeMapFor(w, r, eng)
+}
+
+// cityEventView tags a movement event with its city.
+type cityEventView struct {
+	City    string  `json:"city"`
+	Kind    string  `json:"kind"`
+	Vehicle int32   `json:"vehicle"`
+	Request int64   `json:"request"`
+	Odo     float64 `json:"odo"`
+}
+
+func (s *MultiServer) handleTick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var body struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	perCity, err := s.router.Tick(body.Seconds)
+	if err != nil {
+		writeErr(w, tickStatus(err), err)
+		return
+	}
+	out := make([]cityEventView, 0, 8) // non-nil: an empty tick serialises as [], like the single-city handler
+	for _, ce := range perCity {
+		for _, e := range ce.Events {
+			out = append(out, cityEventView{
+				City: ce.City, Kind: e.Kind.String(),
+				Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"clock":  s.router.Stats().Total.Clock,
+		"events": out,
+	})
+}

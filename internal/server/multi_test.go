@@ -1,0 +1,248 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/multicity"
+	"ptrider/internal/server"
+)
+
+// newMultiServer spins up a two-city router behind the multi-city HTTP
+// layer.
+func newMultiServer(t *testing.T) (*httptest.Server, *multicity.Router) {
+	t.Helper()
+	router, err := multicity.BuildFromSpec("east:8x8:6,west:6x6:4",
+		core.Config{GridCols: 4, GridRows: 4, Capacity: 4, Algorithm: core.AlgoDualSide}, 5)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	ts := httptest.NewServer(server.NewMulti(router).Handler())
+	t.Cleanup(ts.Close)
+	return ts, router
+}
+
+func TestMultiCitiesEndpoint(t *testing.T) {
+	ts, _ := newMultiServer(t)
+	var cities []map[string]any
+	resp := getJSON(t, ts.URL+"/api/cities", &cities)
+	if resp.StatusCode != http.StatusOK || len(cities) != 2 {
+		t.Fatalf("cities = %d: %v", resp.StatusCode, cities)
+	}
+	if cities[0]["name"] != "east" || cities[1]["name"] != "west" {
+		t.Fatalf("city names = %v", cities)
+	}
+	if cities[0]["vehicles"].(float64) != 6 || cities[1]["vehicles"].(float64) != 4 {
+		t.Fatalf("city fleets = %v", cities)
+	}
+}
+
+func TestMultiRequestByCityAndVertex(t *testing.T) {
+	ts, router := newMultiServer(t)
+	resp, out := postJSON(t, ts.URL+"/api/request", map[string]any{
+		"city": "west", "s": 3, "d": 30, "riders": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request status %d: %v", resp.StatusCode, out)
+	}
+	var city string
+	json.Unmarshal(out["city"], &city)
+	if city != "west" {
+		t.Fatalf("record city = %q", city)
+	}
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	if id == 0 {
+		t.Fatal("no id in response")
+	}
+
+	// The id is global: the router resolves it back to west's record.
+	rec, err := router.Request(core.RequestID(id))
+	if err != nil || rec.City != "west" {
+		t.Fatalf("router record: %+v, %v", rec, err)
+	}
+
+	// GET the record back over HTTP, choose or decline.
+	var got map[string]json.RawMessage
+	getJSON(t, fmt.Sprintf("%s/api/request?id=%d", ts.URL, id), &got)
+	var options []map[string]any
+	json.Unmarshal(got["options"], &options)
+	if len(options) > 0 {
+		resp, _ := postJSON(t, ts.URL+"/api/choose", map[string]any{"id": id, "option": 0})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("choose status %d", resp.StatusCode)
+		}
+	} else {
+		resp, _ := postJSON(t, ts.URL+"/api/decline", map[string]any{"id": id})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("decline status %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestMultiRequestByCoordinatesAndCrossCity(t *testing.T) {
+	ts, router := newMultiServer(t)
+	east, _ := router.Engine("east")
+	west, _ := router.Engine("west")
+	eo := east.Graph().Point(2)
+	ed := east.Graph().Point(50)
+	wo := west.Graph().Point(1)
+
+	resp, out := postJSON(t, ts.URL+"/api/request", map[string]any{
+		"ox": eo.X, "oy": eo.Y, "dx": ed.X, "dy": ed.Y, "riders": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coord request status %d: %v", resp.StatusCode, out)
+	}
+	var city string
+	json.Unmarshal(out["city"], &city)
+	if city != "east" {
+		t.Fatalf("coord request city = %q, want east", city)
+	}
+
+	// Cross-city pair: typed rejection surfaces as 422 with the city
+	// names in the message.
+	resp, out = postJSON(t, ts.URL+"/api/request", map[string]any{
+		"ox": eo.X, "oy": eo.Y, "dx": wo.X, "dy": wo.Y, "riders": 1,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("cross-city status = %d, want 422", resp.StatusCode)
+	}
+	var msg string
+	json.Unmarshal(out["error"], &msg)
+	if !strings.Contains(msg, "cross-city") || !strings.Contains(msg, "east") || !strings.Contains(msg, "west") {
+		t.Fatalf("cross-city error message %q lacks detail", msg)
+	}
+
+	// Underspecified body: neither addressing mode.
+	resp, _ = postJSON(t, ts.URL+"/api/request", map[string]any{"riders": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("underspecified request status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMultiStatsHasCityDimension(t *testing.T) {
+	ts, router := newMultiServer(t)
+	// Traffic in east only: the west panel must stay clean.
+	if _, err := router.SubmitIn("east", 1, 40, 1, core.DefaultConstraints()); err != nil {
+		t.Fatalf("submit east: %v", err)
+	}
+
+	var out map[string]json.RawMessage
+	getJSON(t, ts.URL+"/api/stats", &out)
+	var total core.EngineStats
+	var cities map[string]core.EngineStats
+	json.Unmarshal(out["total"], &total)
+	json.Unmarshal(out["cities"], &cities)
+	if cities["east"].Requests != 1 || cities["west"].Requests != 0 {
+		t.Fatalf("per-city requests = %d/%d", cities["east"].Requests, cities["west"].Requests)
+	}
+	if total.Requests != 1 {
+		t.Fatalf("total requests = %d", total.Requests)
+	}
+	if total.ActiveVehicles != 10 {
+		t.Fatalf("total vehicles = %d, want 10", total.ActiveVehicles)
+	}
+}
+
+func TestMultiTickAdvancesAllCities(t *testing.T) {
+	ts, router := newMultiServer(t)
+	resp, out := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d: %v", resp.StatusCode, out)
+	}
+	var clock float64
+	json.Unmarshal(out["clock"], &clock)
+	if clock != 4 {
+		t.Fatalf("clock = %v", clock)
+	}
+	st := router.Stats()
+	if st.Cities["east"].Clock != 4 || st.Cities["west"].Clock != 4 {
+		t.Fatalf("city clocks = %v / %v", st.Cities["east"].Clock, st.Cities["west"].Clock)
+	}
+
+	// Caller error classification carries over: negative seconds is 400.
+	resp, _ = postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": -2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative tick status = %d, want 400", resp.StatusCode)
+	}
+	if st := router.Stats(); st.Total.Clock != 4 {
+		t.Fatalf("negative tick moved clock to %v", st.Total.Clock)
+	}
+}
+
+func TestMultiCityScopedViews(t *testing.T) {
+	ts, _ := newMultiServer(t)
+
+	// vehicles needs a city.
+	r, err := http.Get(ts.URL + "/api/vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing city status = %d, want 400", r.StatusCode)
+	}
+
+	var out map[string]json.RawMessage
+	resp := getJSON(t, ts.URL+"/api/vehicles?city=east", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vehicles status %d", resp.StatusCode)
+	}
+	var vehicles []map[string]any
+	json.Unmarshal(out["vehicles"], &vehicles)
+	if len(vehicles) != 6 {
+		t.Fatalf("east vehicles = %d, want 6", len(vehicles))
+	}
+
+	// Unknown city is 404.
+	r, err = http.Get(ts.URL + "/api/vehicles?city=atlantis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown city status = %d, want 404", r.StatusCode)
+	}
+
+	// taxi and params are city-scoped too.
+	var taxi map[string]any
+	resp = getJSON(t, ts.URL+"/api/taxi?city=west&id=0", &taxi)
+	if resp.StatusCode != http.StatusOK || taxi["city"] != "west" {
+		t.Fatalf("taxi view = %d %v", resp.StatusCode, taxi)
+	}
+	var params map[string]any
+	resp = getJSON(t, ts.URL+"/api/params?city=west", &params)
+	if resp.StatusCode != http.StatusOK || params["city"] != "west" {
+		t.Fatalf("params view = %d %v", resp.StatusCode, params)
+	}
+
+	// Per-city algorithm switch touches only that city.
+	resp, _ = postJSON(t, ts.URL+"/api/params", map[string]any{"city": "west", "algorithm": "naive"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("params post status %d", resp.StatusCode)
+	}
+	var eastParams map[string]any
+	getJSON(t, ts.URL+"/api/params?city=east", &eastParams)
+	if eastParams["algorithm"] != "dual-side" {
+		t.Fatalf("east algorithm changed to %v", eastParams["algorithm"])
+	}
+
+	// The map renders per city.
+	r, err = http.Get(ts.URL + "/api/map?city=east&width=40&height=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("map content type %q", ct)
+	}
+}

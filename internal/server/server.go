@@ -31,6 +31,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -93,18 +94,25 @@ type optionView struct {
 	Price         float64 `json:"price"`
 }
 
-func (s *Server) optionViews(opts []core.Option) []optionView {
+// optionViewsFor builds option rows against the quoting engine (the
+// engine's speed converts pick-up distance to seconds). Shared by the
+// single-engine and multi-city servers.
+func optionViewsFor(eng *core.Engine, opts []core.Option) []optionView {
 	out := make([]optionView, len(opts))
 	for i, o := range opts {
 		out[i] = optionView{
 			Index:         i,
 			Vehicle:       o.Vehicle,
-			PickupSeconds: s.eng.PickupSeconds(o),
+			PickupSeconds: eng.PickupSeconds(o),
 			PickupMeters:  o.PickupDist,
 			Price:         o.Price,
 		}
 	}
 	return out
+}
+
+func (s *Server) optionViews(opts []core.Option) []optionView {
+	return optionViewsFor(s.eng, opts)
 }
 
 type requestView struct {
@@ -119,11 +127,13 @@ type requestView struct {
 	Shared  bool           `json:"shared,omitempty"`
 }
 
-func (s *Server) requestView(rec *core.RequestRecord) requestView {
+// requestViewFor builds the record view against the owning engine.
+// Shared by the single-engine and multi-city servers.
+func requestViewFor(eng *core.Engine, rec *core.RequestRecord) requestView {
 	rv := requestView{
 		ID: rec.ID, Status: rec.Status.String(),
 		S: rec.S, D: rec.D, Riders: rec.Riders,
-		Options: s.optionViews(rec.Options),
+		Options: optionViewsFor(eng, rec.Options),
 		Shared:  rec.Shared,
 	}
 	if rec.Status != core.StatusQuoted && rec.Status != core.StatusDeclined {
@@ -131,6 +141,10 @@ func (s *Server) requestView(rec *core.RequestRecord) requestView {
 		rv.Price = rec.Price
 	}
 	return rv
+}
+
+func (s *Server) requestView(rec *core.RequestRecord) requestView {
+	return requestViewFor(s.eng, rec)
 }
 
 func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
@@ -229,6 +243,29 @@ type stopView struct {
 	Request int64  `json:"request"`
 }
 
+// taxiView is the schedule view of one vehicle (the website's red
+// lines).
+type taxiView struct {
+	Location int32        `json:"location"`
+	Branches [][]stopView `json:"branches"`
+}
+
+func taxiViewFor(eng *core.Engine, id fleet.VehicleID) (taxiView, error) {
+	loc, branches, err := eng.VehicleSchedules(id)
+	if err != nil {
+		return taxiView{}, err
+	}
+	out := taxiView{Location: loc}
+	for _, b := range branches {
+		row := make([]stopView, len(b))
+		for i, p := range b {
+			row[i] = stopView{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
+		}
+		out.Branches = append(out.Branches, row)
+	}
+	return out, nil
+}
+
 func (s *Server) handleTaxi(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -239,21 +276,10 @@ func (s *Server) handleTaxi(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
 		return
 	}
-	loc, branches, err := s.eng.VehicleSchedules(fleet.VehicleID(id))
+	out, err := taxiViewFor(s.eng, fleet.VehicleID(id))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
-	}
-	out := struct {
-		Location int32        `json:"location"`
-		Branches [][]stopView `json:"branches"`
-	}{Location: loc}
-	for _, b := range branches {
-		row := make([]stopView, len(b))
-		for i, p := range b {
-			row[i] = stopView{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
-		}
-		out.Branches = append(out.Branches, row)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -330,6 +356,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
+	writeMapFor(w, r, s.eng)
+}
+
+// writeMapFor renders one engine's fleet map as plain text, honouring
+// the width/height/taxi query parameters. Shared by the single-engine
+// and multi-city servers.
+func writeMapFor(w http.ResponseWriter, r *http.Request, eng *core.Engine) {
 	width, height := 72, 36
 	if q := r.URL.Query().Get("width"); q != "" {
 		if v, err := strconv.Atoi(q); err == nil {
@@ -341,12 +374,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			height = v
 		}
 	}
-	m, err := render.NewMap(s.eng.Graph(), width, height)
+	m, err := render.NewMap(eng.Graph(), width, height)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	for _, v := range s.eng.VehicleViews(0) {
+	for _, v := range eng.VehicleViews(0) {
 		m.PlotVehicle(v.Location, v.Onboard > 0)
 	}
 	if q := r.URL.Query().Get("taxi"); q != "" {
@@ -355,7 +388,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad taxi id"))
 			return
 		}
-		loc, branches, err := s.eng.VehicleSchedules(fleet.VehicleID(id))
+		loc, branches, err := eng.VehicleSchedules(fleet.VehicleID(id))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -398,7 +431,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	events, err := s.eng.Tick(body.Seconds)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, tickStatus(err), err)
 		return
 	}
 	out := make([]eventView, len(events))
@@ -406,4 +439,14 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		out[i] = eventView{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"clock": s.eng.Clock(), "events": out})
+}
+
+// tickStatus classifies a Tick error: invalid caller input (a negative
+// duration, say) is the caller's fault and maps to 400; anything else
+// is an internal movement failure and stays 500.
+func tickStatus(err error) int {
+	if errors.Is(err, core.ErrInvalidArgument) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }

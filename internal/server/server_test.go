@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ptrider/internal/core"
+	"ptrider/internal/fleet"
 	"ptrider/internal/server"
 	"ptrider/internal/testnet"
 )
@@ -239,5 +240,49 @@ func TestTickAdvancesClock(t *testing.T) {
 	json.Unmarshal(out["clock"], &clock)
 	if clock != 7.5 || eng.Clock() != 7.5 {
 		t.Fatalf("clock = %v / %v", clock, eng.Clock())
+	}
+}
+
+// TestTickNegativeSecondsIs400 pins the handler's error classification:
+// a caller error like {"seconds": -1} is a 400, not a 500, and the
+// clock does not move.
+func TestTickNegativeSecondsIs400(t *testing.T) {
+	ts, eng := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative tick status = %d, want 400 (%v)", resp.StatusCode, out)
+	}
+	if _, ok := out["error"]; !ok {
+		t.Fatal("negative tick response has no error field")
+	}
+	if eng.Clock() != 0 {
+		t.Fatalf("negative tick moved the clock to %v", eng.Clock())
+	}
+}
+
+// TestTickInternalFailureIs500 pins the other side: an internal fleet
+// movement failure keeps answering 500, and a failed step leaves the
+// reported clock unchanged.
+func TestTickInternalFailureIs500(t *testing.T) {
+	ts, eng := newTestServer(t)
+	if resp, _ := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup tick status %d", resp.StatusCode)
+	}
+	eng.SetStepOverride(func(float64) ([]fleet.Event, error) {
+		return nil, fmt.Errorf("injected fleet failure")
+	})
+	resp, out := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 3})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("internal failure status = %d, want 500 (%v)", resp.StatusCode, out)
+	}
+	if eng.Clock() != 2 {
+		t.Fatalf("failed step moved the clock to %v, want 2", eng.Clock())
+	}
+	eng.SetStepOverride(nil)
+	if resp, _ := postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery tick status %d", resp.StatusCode)
+	}
+	if eng.Clock() != 3 {
+		t.Fatalf("clock after recovery = %v, want 3", eng.Clock())
 	}
 }

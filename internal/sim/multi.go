@@ -1,0 +1,295 @@
+// multi.go drives a multi-city router through a day-scale workload:
+// trips arrive as planar coordinates, the router assigns each to the
+// city owning its origin, rider choice models pick options, and every
+// city's fleet moves concurrently on each tick. The generator skews
+// load across cities and injects a configurable fraction of cross-city
+// trips, which the router rejects with its typed error — the workload
+// that demonstrates both per-city isolation and the current cross-city
+// limitation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ptrider/internal/gen"
+	"ptrider/internal/geo"
+	"ptrider/internal/multicity"
+)
+
+// MultiTrip is one entry of a multi-city workload: endpoints are planar
+// coordinates — city assignment is the router's job, not the trace's.
+type MultiTrip struct {
+	// Time is the submission time in seconds from the start of the day.
+	Time float64
+	// O and D are the origin and destination coordinates.
+	O, D geo.Point
+	// Riders is the group size.
+	Riders int
+	// Cross marks a trip whose destination was deliberately moved to
+	// another city (the router will reject it).
+	Cross bool
+	// City is the origin city the generator drew the trip from (for
+	// assertions; the router re-derives it from O).
+	City string
+}
+
+// MultiWorkloadConfig parameterises the multi-city workload generator.
+type MultiWorkloadConfig struct {
+	// NumTrips is the total trip count across all cities.
+	NumTrips int
+	// DaySeconds is the horizon (0 = 86400).
+	DaySeconds float64
+	// Weights skews the per-city load share by city name; cities
+	// missing from the map get weight 1, so nil means uniform. A
+	// weight of 3 sends a city three times the traffic of a weight-1
+	// city.
+	Weights map[string]float64
+	// CrossFrac moves this fraction of each city's trips' destinations
+	// into another city (0 = none; must be < 1). The router rejects
+	// them — they exercise the typed cross-city error path.
+	CrossFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateMultiWorkload synthesises a skewed multi-city day: each
+// city's share of trips comes from the standard hotspot/diurnal
+// generator on that city's own network, converted to coordinates, and
+// a CrossFrac fraction of destinations is relocated into another city.
+// The merged workload is sorted by submission time.
+func GenerateMultiWorkload(r *multicity.Router, cfg MultiWorkloadConfig) ([]MultiTrip, error) {
+	if cfg.NumTrips <= 0 {
+		return nil, fmt.Errorf("sim: NumTrips %d < 1", cfg.NumTrips)
+	}
+	if cfg.CrossFrac < 0 || cfg.CrossFrac >= 1 {
+		return nil, fmt.Errorf("sim: CrossFrac %v outside [0,1)", cfg.CrossFrac)
+	}
+	names := r.CityNames()
+	if cfg.CrossFrac > 0 && len(names) < 2 {
+		return nil, fmt.Errorf("sim: cross-city trips need at least two cities")
+	}
+	// A misspelled weight key would silently degrade the run to uniform
+	// load; reject it instead.
+	for key := range cfg.Weights {
+		if _, err := r.Engine(key); err != nil {
+			return nil, fmt.Errorf("sim: weight for unknown city %q", key)
+		}
+	}
+	weight := func(name string) float64 {
+		if w, ok := cfg.Weights[name]; ok {
+			if w < 0 {
+				return 0
+			}
+			return w
+		}
+		return 1
+	}
+	var totalW float64
+	for _, name := range names {
+		totalW += weight(name)
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("sim: all city weights are zero")
+	}
+
+	// The rounding remainder goes to the last city with positive
+	// weight, never to a city the caller explicitly zeroed out.
+	lastPositive := -1
+	for i, name := range names {
+		if weight(name) > 0 {
+			lastPositive = i
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []MultiTrip
+	assigned := 0
+	for i, name := range names {
+		share := int(float64(cfg.NumTrips) * weight(name) / totalW)
+		if i == lastPositive {
+			share = cfg.NumTrips - assigned // remainder keeps the total exact
+		}
+		assigned += share
+		if share == 0 {
+			continue
+		}
+		eng, err := r.Engine(name)
+		if err != nil {
+			return nil, err
+		}
+		g := eng.Graph()
+		trips, err := gen.GenerateTrips(g, gen.TripConfig{
+			NumTrips:   share,
+			DaySeconds: cfg.DaySeconds,
+			Seed:       cfg.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: city %s: %w", name, err)
+		}
+		for _, t := range trips {
+			mt := MultiTrip{
+				Time:   t.Time,
+				O:      g.Point(t.S),
+				D:      g.Point(t.D),
+				Riders: t.Riders,
+				City:   name,
+			}
+			if cfg.CrossFrac > 0 && rng.Float64() < cfg.CrossFrac {
+				// Relocate the destination into a random other city.
+				other := names[rng.Intn(len(names)-1)]
+				if other == name {
+					other = names[len(names)-1]
+				}
+				oeng, err := r.Engine(other)
+				if err != nil {
+					return nil, err
+				}
+				og := oeng.Graph()
+				mt.D = og.Point(int32(rng.Intn(og.NumVertices())))
+				mt.Cross = true
+			}
+			out = append(out, mt)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// CityResult is one city's slice of a multi-city replay.
+type CityResult struct {
+	Submitted int
+	Accepted  int
+	Declined  int
+	NoOption  int
+}
+
+// MultiResult aggregates a multi-city replay.
+type MultiResult struct {
+	// Submitted counts trips offered to the router (including rejected
+	// cross-city trips).
+	Submitted int
+	// CrossRejected counts trips the router rejected as cross-city.
+	CrossRejected int
+	// NoCity counts trips whose origin no city serves (0 with
+	// generated workloads).
+	NoCity int
+	// Accepted / Declined / NoOption mirror the single-city simulator.
+	Accepted int
+	Declined int
+	NoOption int
+	// PerCity breaks the served trips down by owning city.
+	PerCity map[string]CityResult
+	// Stats is the router's final aggregated panel.
+	Stats multicity.Stats
+}
+
+// RunMulti replays a multi-city workload against the router: trips are
+// submitted by coordinate at their due tick, a rider model chooses,
+// and the router's parallel Tick moves every city's fleet. Cross-city
+// trips must be pre-labelled by the generator; their rejection is
+// counted, not fatal.
+func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult, error) {
+	for i := 1; i < len(trips); i++ {
+		if trips[i].Time < trips[i-1].Time {
+			return nil, fmt.Errorf("sim: trips not sorted by time at index %d", i)
+		}
+	}
+	if cfg.TickSeconds == 0 {
+		cfg.TickSeconds = 1
+	}
+	if cfg.TickSeconds < 0 {
+		return nil, fmt.Errorf("sim: negative tick")
+	}
+	if cfg.FailuresPerHour != 0 {
+		// Multi-city failure injection is not implemented yet; rejecting
+		// beats silently running a zero-failure day.
+		return nil, fmt.Errorf("sim: FailuresPerHour is not supported by the multi-city replay")
+	}
+	if cfg.DrainSeconds == 0 {
+		cfg.DrainSeconds = 3600
+	}
+	choice := cfg.Choice
+	if choice == nil {
+		choice = UtilityChoice{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &MultiResult{PerCity: make(map[string]CityResult)}
+	end := cfg.EndSeconds
+	if end == 0 {
+		if len(trips) > 0 {
+			end = trips[len(trips)-1].Time + cfg.DrainSeconds
+		} else {
+			end = cfg.DrainSeconds
+		}
+	}
+
+	// The router ticks every city in lockstep, so the loop tracks the
+	// clock locally instead of paying a full cross-city Stats()
+	// aggregation per tick; the aggregation runs only for the drain
+	// check once submissions are exhausted.
+	next := 0
+	clock := r.Stats().Total.Clock
+	for clock < end {
+		for next < len(trips) && trips[next].Time <= clock {
+			if err := submitMulti(r, trips[next], choice, rng, res); err != nil {
+				return res, err
+			}
+			next++
+		}
+		if _, err := r.Tick(cfg.TickSeconds); err != nil {
+			return res, err
+		}
+		clock += cfg.TickSeconds
+
+		if next >= len(trips) && r.Stats().Total.Completed >= int64(res.Accepted) {
+			break // drained
+		}
+	}
+	res.Stats = r.Stats()
+	return res, nil
+}
+
+func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand.Rand, res *MultiResult) error {
+	res.Submitted++
+	rec, err := r.Submit(t.O, t.D, t.Riders)
+	if err != nil {
+		switch {
+		case errors.Is(err, multicity.ErrCrossCity):
+			res.CrossRejected++
+			return nil
+		case errors.Is(err, multicity.ErrNoCity):
+			res.NoCity++
+			return nil
+		default:
+			return fmt.Errorf("sim: multi trip at %.0fs: %w", t.Time, err)
+		}
+	}
+	city := res.PerCity[rec.City]
+	city.Submitted++
+	defer func() { res.PerCity[rec.City] = city }()
+	if len(rec.Options) == 0 {
+		res.NoOption++
+		city.NoOption++
+		return nil
+	}
+	pick := choice.Choose(rec.Options, rng)
+	if pick < 0 {
+		res.Declined++
+		city.Declined++
+		return r.Decline(rec.ID)
+	}
+	if err := r.Choose(rec.ID, pick); err != nil {
+		// Stale candidates under the concurrent per-city tickers are
+		// expected; the trip ends declined rather than failing the run.
+		res.Declined++
+		city.Declined++
+		return r.Decline(rec.ID)
+	}
+	res.Accepted++
+	city.Accepted++
+	return nil
+}

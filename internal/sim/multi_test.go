@@ -1,0 +1,161 @@
+package sim_test
+
+import (
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/multicity"
+	"ptrider/internal/sim"
+)
+
+func twinRouter(t *testing.T) *multicity.Router {
+	t.Helper()
+	r, err := multicity.BuildFromSpec("east:8x8:8,west:6x6:6",
+		core.Config{GridCols: 4, GridRows: 4, Capacity: 4, Algorithm: core.AlgoDualSide}, 17)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	return r
+}
+
+func TestGenerateMultiWorkloadSkewAndCross(t *testing.T) {
+	r := twinRouter(t)
+	trips, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips:   200,
+		DaySeconds: 3600,
+		Weights:    map[string]float64{"east": 3, "west": 1},
+		CrossFrac:  0.2,
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(trips) != 200 {
+		t.Fatalf("trip count = %d, want 200", len(trips))
+	}
+
+	perCity := map[string]int{}
+	cross := 0
+	for i, tr := range trips {
+		if i > 0 && tr.Time < trips[i-1].Time {
+			t.Fatalf("trips not sorted at %d", i)
+		}
+		perCity[tr.City]++
+		origin, err := r.Locate(tr.O)
+		if err != nil || origin != tr.City {
+			t.Fatalf("trip %d origin locates to %q (%v), labelled %q", i, origin, err, tr.City)
+		}
+		dest, err := r.Locate(tr.D)
+		if err != nil {
+			t.Fatalf("trip %d destination outside all cities: %v", i, err)
+		}
+		if tr.Cross {
+			cross++
+			if dest == tr.City {
+				t.Fatalf("trip %d marked cross but stays in %q", i, tr.City)
+			}
+		} else if dest != tr.City {
+			t.Fatalf("trip %d not marked cross but leaves %q for %q", i, tr.City, dest)
+		}
+	}
+	// 3:1 skew on 200 trips: east gets 150 by construction.
+	if perCity["east"] != 150 || perCity["west"] != 50 {
+		t.Fatalf("skew = %v, want east 150 / west 50", perCity)
+	}
+	// CrossFrac 0.2 over 200 trips: expect a healthy band around 40.
+	if cross < 15 || cross > 80 {
+		t.Fatalf("cross trips = %d, outside sane band for frac 0.2", cross)
+	}
+
+	// Validation paths.
+	if _, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{NumTrips: 0}); err == nil {
+		t.Error("zero trips accepted")
+	}
+	if _, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{NumTrips: 10, CrossFrac: 1}); err == nil {
+		t.Error("CrossFrac 1 accepted")
+	}
+	if _, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips: 10, Weights: map[string]float64{"east": 0, "west": 0},
+	}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips: 10, Weights: map[string]float64{"esat": 3},
+	}); err == nil {
+		t.Error("weight for unknown city accepted")
+	}
+	if _, err := sim.RunMulti(r, nil, sim.Config{FailuresPerHour: 2}); err == nil {
+		t.Error("unsupported failure injection accepted")
+	}
+
+	// A zero-weight city must receive no trips, including the rounding
+	// remainder.
+	zeroed, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips: 101, DaySeconds: 600,
+		Weights: map[string]float64{"east": 1, "west": 0},
+		Seed:    19,
+	})
+	if err != nil {
+		t.Fatalf("zero-weight generate: %v", err)
+	}
+	if len(zeroed) != 101 {
+		t.Fatalf("zero-weight trip count = %d, want 101", len(zeroed))
+	}
+	for i, tr := range zeroed {
+		if tr.City == "west" {
+			t.Fatalf("trip %d landed in zero-weight west", i)
+		}
+	}
+}
+
+func TestRunMultiServesTwoCitiesWithIsolatedStats(t *testing.T) {
+	r := twinRouter(t)
+	trips, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips:   120,
+		DaySeconds: 900,
+		Weights:    map[string]float64{"east": 2, "west": 1},
+		CrossFrac:  0.15,
+		Seed:       18,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	res, err := sim.RunMulti(r, trips, sim.Config{TickSeconds: 2, Seed: 18})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if res.Submitted != 120 {
+		t.Fatalf("submitted = %d", res.Submitted)
+	}
+	if res.CrossRejected == 0 {
+		t.Fatal("no cross-city rejections despite CrossFrac")
+	}
+	if res.NoCity != 0 {
+		t.Fatalf("generated trips fell outside all cities: %d", res.NoCity)
+	}
+	served := res.Accepted + res.Declined + res.NoOption
+	if served+res.CrossRejected != res.Submitted {
+		t.Fatalf("accounting: %d served + %d rejected != %d submitted", served, res.CrossRejected, res.Submitted)
+	}
+	if res.PerCity["east"].Submitted == 0 || res.PerCity["west"].Submitted == 0 {
+		t.Fatalf("a city saw no traffic: %+v", res.PerCity)
+	}
+
+	// Per-city engine panels agree with the per-city accounting, and
+	// the aggregate is their sum — the isolation the router promises.
+	for _, name := range []string{"east", "west"} {
+		if got := res.Stats.Cities[name].Requests; got != int64(res.PerCity[name].Submitted) {
+			t.Fatalf("%s: engine requests %d != sim submitted %d", name, got, res.PerCity[name].Submitted)
+		}
+	}
+	if res.Stats.Total.Requests != res.Stats.Cities["east"].Requests+res.Stats.Cities["west"].Requests {
+		t.Fatalf("total requests %d not the sum of cities", res.Stats.Total.Requests)
+	}
+	if res.Accepted == 0 || res.Stats.Total.Completed == 0 {
+		t.Fatalf("run served nothing: %+v", res)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("post-run invariants: %v", err)
+	}
+}

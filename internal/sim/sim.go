@@ -104,6 +104,22 @@ func (u UtilityChoice) Choose(opts []core.Option, rng *rand.Rand) int {
 	return best
 }
 
+// ParseChoiceModel maps a rider-model name — "earliest", "cheapest",
+// "uniform" or "utility" (the default for "") — to its ChoiceModel.
+func ParseChoiceModel(name string) (ChoiceModel, error) {
+	switch name {
+	case "", "utility":
+		return UtilityChoice{}, nil
+	case "earliest":
+		return EarliestPickup{}, nil
+	case "cheapest":
+		return Cheapest{}, nil
+	case "uniform":
+		return UniformChoice{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown choice model %q", name)
+}
+
 // Config parameterises a simulation run.
 type Config struct {
 	// TickSeconds is the movement step (0 = 1s).

@@ -484,17 +484,11 @@ type SimResult struct {
 }
 
 func choiceModel(name string) (sim.ChoiceModel, error) {
-	switch name {
-	case "", "utility":
-		return sim.UtilityChoice{}, nil
-	case "earliest":
-		return sim.EarliestPickup{}, nil
-	case "cheapest":
-		return sim.Cheapest{}, nil
-	case "uniform":
-		return sim.UniformChoice{}, nil
+	m, err := sim.ParseChoiceModel(name)
+	if err != nil {
+		return nil, fmt.Errorf("ptrider: unknown choice model %q", name)
 	}
-	return nil, fmt.Errorf("ptrider: unknown choice model %q", name)
+	return m, nil
 }
 
 // RunWorkload replays a trip workload (from GenerateWorkload or a

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
-//	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200"
+//	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200" -relay
 //
 // Endpoints (see internal/server):
 //
@@ -52,11 +52,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		realtime = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
 		cities   = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
+		relayOn  = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
 	)
 	flag.Parse()
 
 	if *cities != "" {
-		if err := runMulti(*addr, *cities, *algo, *seed, *realtime); err != nil {
+		if err := runMulti(*addr, *cities, *algo, *seed, *realtime, *relayOn); err != nil {
 			log.Fatalf("ptrider-server: %v", err)
 		}
 		return
@@ -89,13 +90,15 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler()))
 }
 
-// runMulti serves a multi-city router built from the compact spec.
-func runMulti(addr, spec, algoName string, seed int64, realtime bool) error {
+// runMulti serves a multi-city router built from the compact spec,
+// optionally with relay scheduling for cross-city trips.
+func runMulti(addr, spec, algoName string, seed int64, realtime, relayOn bool) error {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
 	}
-	router, err := multicity.BuildFromSpec(spec, core.Config{Algorithm: algo}, seed)
+	router, err := multicity.BuildFromSpecWithConfig(spec, core.Config{Algorithm: algo}, seed,
+		multicity.RouterConfig{EnableRelay: relayOn})
 	if err != nil {
 		return err
 	}
@@ -121,7 +124,7 @@ func runMulti(addr, spec, algoName string, seed int64, realtime bool) error {
 		}
 		total += eng.NumVehicles()
 	}
-	fmt.Printf("PTRider serving %d cities (%d taxis total) at %s (realtime=%v)\n",
-		router.NumCities(), total, addr, realtime)
+	fmt.Printf("PTRider serving %d cities (%d taxis total) at %s (realtime=%v, relay=%v)\n",
+		router.NumCities(), total, addr, realtime, router.RelayEnabled())
 	return http.ListenAndServe(addr, server.NewMulti(router).Handler())
 }

@@ -13,11 +13,13 @@
 //
 // With -cities the replay runs against the multi-city router instead:
 // per-city engines behind one front door, load skewed by -skew, and a
-// -cross fraction of trips relocated across city borders (which the
-// router rejects with its typed cross-city error):
+// -cross fraction of trips relocated across city borders. With -relay
+// those cross-city trips are served as two-leg relay trips (hand-off
+// gateways, joint price/time skylines, two-phase commits); without it
+// the router rejects them with its typed cross-city error:
 //
 //	ptrider-sim -cities "east:40x40:500,west:28x28:200" \
-//	            -skew "east=3,west=1" -cross 0.1 -trips 20000
+//	            -skew "east=3,west=1" -cross 0.1 -relay -trips 20000
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"ptrider"
 	"ptrider/internal/core"
 	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
 	"ptrider/internal/sim"
 	"ptrider/internal/trace"
 )
@@ -57,6 +60,8 @@ func main() {
 		cities    = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (switches to the multi-city replay)`)
 		skew      = flag.String("skew", "", `per-city load weights "name=w,..." (default uniform)`)
 		cross     = flag.Float64("cross", 0, "fraction of trips relocated across city borders")
+		relayOn   = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips instead of rejecting them")
+		transfer  = flag.Float64("transfer-buffer", 120, "relay hand-off margin in seconds (0 = none)")
 	)
 	flag.Parse()
 
@@ -74,7 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ptrider-sim: -save-network/-load-network are not supported with -cities (networks come from the city spec)")
 			os.Exit(2)
 		}
-		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma); err != nil {
+		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *relayOn, *transfer); err != nil {
 			fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 			os.Exit(1)
 		}
@@ -85,6 +90,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// literalSeconds maps the flag's "0 means none" onto relay.Config's
+// "0 means default, negative means none" encoding.
+func literalSeconds(s float64) float64 {
+	if s == 0 {
+		return -1
+	}
+	return s
 }
 
 // parseWeights reads a "name=w,name=w" skew spec.
@@ -108,8 +122,9 @@ func parseWeights(s string) (map[string]float64, error) {
 }
 
 // runMulti replays a skewed multi-city day against the router and
-// prints per-city panels plus the aggregate.
-func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64) error {
+// prints per-city panels plus the aggregate (and the relay panel when
+// relay scheduling is on).
+func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64) error {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -123,13 +138,16 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 		return err
 	}
 
-	fmt.Printf("building cities %q …\n", citySpec)
-	router, err := multicity.BuildFromSpec(citySpec, core.Config{
+	fmt.Printf("building cities %q (relay=%v) …\n", citySpec, relayOn)
+	router, err := multicity.BuildFromSpecWithConfig(citySpec, core.Config{
 		Capacity:       capacity,
 		MaxWaitSeconds: wait,
 		Sigma:          sigma,
 		Algorithm:      algo,
-	}, seed)
+	}, seed, multicity.RouterConfig{
+		EnableRelay: relayOn,
+		Relay:       relay.Config{TransferBufferSeconds: literalSeconds(transferBuffer)},
+	})
 	if err != nil {
 		return err
 	}
@@ -162,14 +180,31 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 	fmt.Fprintln(w, "\n== PTRider multi-city panel ==")
 	fmt.Fprintf(w, "simulated clock\t%.0f s\n", res.Stats.Total.Clock)
 	fmt.Fprintf(w, "trips submitted\t%d\n", res.Submitted)
-	fmt.Fprintf(w, "cross-city rejected\t%d\n", res.CrossRejected)
+	if res.Stats.RelayEnabled {
+		fmt.Fprintf(w, "cross-city relayed\t%d\n", res.Relayed)
+	} else {
+		fmt.Fprintf(w, "cross-city rejected\t%d\n", res.CrossRejected)
+	}
 	fmt.Fprintf(w, "accepted / declined / no option\t%d / %d / %d\n", res.Accepted, res.Declined, res.NoOption)
 	fmt.Fprintf(w, "completed trips\t%d\n", res.Stats.Total.Completed)
 	fmt.Fprintf(w, "average response time\t%.3f ms\n", res.Stats.Total.AvgResponseMs)
 	fmt.Fprintf(w, "average sharing rate\t%.1f %%\n", 100*res.Stats.Total.SharingRate)
+	fmt.Fprintf(w, "commit stale / re-probed / salvaged\t%d / %d / %d\n",
+		res.Stats.Total.CommitStale, res.Stats.Total.Reprobes, res.Stats.Total.ReprobeCommits)
 	fmt.Fprintf(w, "active taxis\t%d\n", res.Stats.Total.ActiveVehicles)
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if res.Stats.RelayEnabled {
+		rs := res.Stats.Relay
+		rw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(rw, "\n== relay panel ==")
+		fmt.Fprintf(rw, "trips quoted / leg quotes\t%d / %d\n", rs.Quoted, rs.LegQuotes)
+		fmt.Fprintf(rw, "committed / aborted / declined\t%d / %d / %d\n", rs.Committed, rs.Aborted, rs.Declined)
+		fmt.Fprintf(rw, "completed / failed / still active\t%d / %d / %d\n", rs.Completed, rs.Failed, rs.Active)
+		if err := rw.Flush(); err != nil {
+			return err
+		}
 	}
 
 	cw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)

@@ -3,10 +3,14 @@
 // fleet and engine, served concurrently by the multi-city router.
 //
 // The workload is deliberately skewed (metro takes 3x the traffic) and
-// includes a slice of cross-city trips, which the router rejects with
-// its typed error — cross-city relay scheduling is a known follow-up.
-// The run demonstrates the multi-city acceptance criteria: isolated
-// per-city statistics panels plus correctly aggregated totals.
+// includes a slice of cross-city trips. With relay scheduling enabled
+// (PR 4) those are no longer rejected: each is quoted as two
+// coordinated legs over hand-off gateways at the water's edge, its
+// joint price/time skyline composed from the per-city quotes, and both
+// legs committed atomically. The run demonstrates the relay acceptance
+// criteria: cross-city demand served end to end — quoted, committed,
+// handed off and completed — next to isolated per-city panels and
+// correctly aggregated totals.
 //
 //	go run ./examples/twincities
 package main
@@ -17,14 +21,19 @@ import (
 
 	"ptrider/internal/core"
 	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
 	"ptrider/internal/sim"
 )
 
 func main() {
-	router, err := multicity.BuildFromSpec("metro:20x20:60,harbour:12x12:25", core.Config{
-		Capacity:  4,
-		Algorithm: core.AlgoDualSide,
-	}, 42)
+	router, err := multicity.BuildFromSpecWithConfig("metro:20x20:60,harbour:12x12:25", core.Config{
+		Capacity:    4,
+		Algorithm:   core.AlgoDualSide,
+		CommitSlack: 0.3,
+	}, 42, multicity.RouterConfig{
+		EnableRelay: true,
+		Relay:       relay.Config{TransferBufferSeconds: 120},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +48,7 @@ func main() {
 	}
 
 	// One compressed hour, 3:1 skew toward the metro, 10% of trips
-	// trying to cross the water.
+	// crossing the water — now served by relay instead of rejected.
 	trips, err := sim.GenerateMultiWorkload(router, sim.MultiWorkloadConfig{
 		NumTrips:   1200,
 		DaySeconds: 3600,
@@ -51,7 +60,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nreplaying %d trips across %d cities …\n", len(trips), router.NumCities())
+	fmt.Printf("\nreplaying %d trips across %d cities (relay on) …\n", len(trips), router.NumCities())
 	res, err := sim.RunMulti(router, trips, sim.Config{
 		TickSeconds: 2,
 		Choice:      sim.UtilityChoice{},
@@ -63,7 +72,7 @@ func main() {
 
 	fmt.Println("\n-- aggregate panel --")
 	fmt.Printf("trips submitted         %d\n", res.Submitted)
-	fmt.Printf("cross-city rejected     %d (typed multicity.ErrCrossCity)\n", res.CrossRejected)
+	fmt.Printf("cross-city relayed      %d (rejected: %d)\n", res.Relayed, res.CrossRejected)
 	fmt.Printf("accepted / declined     %d / %d\n", res.Accepted, res.Declined)
 	fmt.Printf("no option available     %d\n", res.NoOption)
 	fmt.Printf("trips completed         %d\n", res.Stats.Total.Completed)
@@ -71,17 +80,24 @@ func main() {
 	fmt.Printf("avg sharing rate        %.1f %%\n", 100*res.Stats.Total.SharingRate)
 	fmt.Printf("active taxis            %d\n", res.Stats.Total.ActiveVehicles)
 
+	rs := res.Stats.Relay
+	fmt.Println("\n-- relay panel --")
+	fmt.Printf("trips quoted            %d (%d per-city leg quotes)\n", rs.Quoted, rs.LegQuotes)
+	fmt.Printf("committed / aborted     %d / %d\n", rs.Committed, rs.Aborted)
+	fmt.Printf("completed / failed      %d / %d (still active: %d)\n", rs.Completed, rs.Failed, rs.Active)
+
 	fmt.Println("\n-- per-city panels --")
 	for _, name := range router.CityNames() {
 		st := res.Stats.Cities[name]
 		pc := res.PerCity[name]
-		fmt.Printf("%-8s submitted %4d · accepted %4d · completed %4d · avg resp %.2f ms · sharing %.1f %% · taxis %d\n",
-			name, pc.Submitted, pc.Accepted, st.Completed, st.AvgResponseMs, 100*st.SharingRate, st.ActiveVehicles)
+		fmt.Printf("%-8s submitted %4d · relayed %3d · accepted %4d · completed %4d · avg resp %.2f ms · sharing %.1f %% · taxis %d\n",
+			name, pc.Submitted, pc.Relayed, pc.Accepted, st.Completed, st.AvgResponseMs, 100*st.SharingRate, st.ActiveVehicles)
 	}
 
 	// The acceptance checks: both cities served traffic, the totals are
-	// the sums of the isolated per-city panels, and cross-city load was
-	// rejected rather than silently dropped or misrouted.
+	// the sums of the isolated per-city panels, cross-city demand was
+	// relayed rather than rejected, and at least one relayed trip made
+	// it all the way through the hand-off to completion.
 	metro, harbour := res.Stats.Cities["metro"], res.Stats.Cities["harbour"]
 	switch {
 	case metro.Requests == 0 || harbour.Requests == 0:
@@ -90,10 +106,16 @@ func main() {
 		log.Fatal("total requests are not the sum of the cities")
 	case res.Stats.Total.Completed != metro.Completed+harbour.Completed:
 		log.Fatal("total completions are not the sum of the cities")
-	case res.CrossRejected == 0:
+	case res.CrossRejected != 0:
+		log.Fatal("cross-city trips were rejected despite relay")
+	case res.Relayed == 0:
 		log.Fatal("no cross-city trips were exercised")
+	case rs.Committed == 0:
+		log.Fatal("no relay trip was committed")
+	case rs.Completed == 0:
+		log.Fatal("no relay trip completed its hand-off")
 	case metro.Requests <= harbour.Requests:
 		log.Fatal("skew did not reach the metro")
 	}
-	fmt.Println("\ntwin cities served concurrently; per-city stats isolated, totals aggregate.")
+	fmt.Println("\ntwin cities served concurrently; cross-city demand relayed across the water, end to end.")
 }

@@ -105,17 +105,42 @@ func (gs *groupScratch) resolveNonEmpty(ctx *matchContext, cell gridindex.CellID
 	}
 }
 
-// ensureSFill lazily runs the request's s-side whole-graph pass — one
-// search that then answers every empty-scan and seed lookup of the
+// fillRadiusSlack scales the farthest target's lower bound into the
+// fill radius: sound lower bounds on metric graphs are tight enough
+// that 1.5x headroom settles nearly every target the wave will ever
+// ask about, while still truncating the search far below the graph
+// diameter on continent-scale networks.
+const fillRadiusSlack = 1.5
+
+// fillRadius derives a fill's truncation radius from the targets it is
+// about to answer: slack times the farthest target's lower bound (the
+// wave's farthest schedule point, for a probe flush), floored at the
+// request's pick-up cutoff so the fill also covers every later ring
+// cell's empty scan. Targets a later, farther flush asks about beyond
+// this radius fall back to per-pair searches (see DistBatchPrefilled)
+// — rare by construction, pinned by the dist-calls regression tests.
+func fillRadius(ctx *matchContext, from roadnet.VertexID, targets []roadnet.VertexID, floor float64) float64 {
+	maxLB := floor
+	for _, t := range targets {
+		if lb := ctx.metric.LB(from, t) * fillRadiusSlack; lb > maxLB {
+			maxLB = lb
+		}
+	}
+	return maxLB
+}
+
+// ensureSFill lazily runs the request's s-side radius-bounded pass —
+// one search that then answers every empty-scan and seed lookup of the
 // request's entire frontier by array index. The values are identical
 // to what per-cell and per-flush passes would compute (a settled
 // Dijkstra distance does not depend on the target set), which is what
 // keeps the coalesced option sets equal to per-request ones:
 // structurally exact, with coordinates matching up to floating-point
 // ulps on pairs that different flows legitimately resolve first (see
-// the golden tests' coordEq).
-func (r *reqRun) ensureSFill(ctx *matchContext) {
-	sc := r.sc
+// the golden tests' coordEq). The radius derives from the triggering
+// targets (see fillRadius); the stored bound routes later beyond-bound
+// lookups to the per-pair fallback.
+func (sc *matchScratch) ensureSFill(ctx *matchContext, spec *ReqSpec, targets []roadnet.VertexID) {
 	if sc.sFillOK {
 		return
 	}
@@ -124,13 +149,13 @@ func (r *reqRun) ensureSFill(ctx *matchContext) {
 		sc.sFill = make([]float64, n)
 	}
 	sc.sFill = sc.sFill[:n]
-	ctx.metric.FillDistsUncached(r.spec.Kin.S, sc.sFill)
+	sc.sFillBound = fillRadius(ctx, spec.Kin.S, targets, spec.MaxPickupDist)
+	ctx.metric.FillDistsUncached(spec.Kin.S, sc.sFillBound, sc.sFill)
 	sc.sFillOK = true
 }
 
 // ensureDFill is ensureSFill for the destination side.
-func (r *reqRun) ensureDFill(ctx *matchContext) {
-	sc := r.sc
+func (sc *matchScratch) ensureDFill(ctx *matchContext, spec *ReqSpec, targets []roadnet.VertexID) {
 	if sc.dFillOK {
 		return
 	}
@@ -139,7 +164,8 @@ func (r *reqRun) ensureDFill(ctx *matchContext) {
 		sc.dFill = make([]float64, n)
 	}
 	sc.dFill = sc.dFill[:n]
-	ctx.metric.FillDistsUncached(r.spec.Kin.D, sc.dFill)
+	sc.dFillBound = fillRadius(ctx, spec.Kin.D, targets, spec.MaxPickupDist)
+	ctx.metric.FillDistsUncached(spec.Kin.D, sc.dFillBound, sc.dFill)
 	sc.dFillOK = true
 }
 
@@ -173,7 +199,7 @@ func (ctx *matchContext) scanEmptyShared(gs *groupScratch, r *reqRun) {
 	if len(sc.emptyLocs) == 0 {
 		return
 	}
-	r.ensureSFill(ctx)
+	sc.ensureSFill(ctx, spec, sc.emptyLocs)
 	es.foldPass(ctx, sc, spec, &sc.sky)
 }
 
@@ -209,10 +235,6 @@ func (ctx *matchContext) scanNonEmptyShared(gs *groupScratch, r *reqRun, dual bo
 		}
 		sc.batch = append(sc.batch, vp.v)
 	}
-	if len(sc.batch) >= 2 {
-		r.ensureSFill(ctx)
-		r.ensureDFill(ctx)
-	}
 	ctx.flushBatch(sc, spec, sky, r.stats)
 }
 
@@ -244,6 +266,7 @@ func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*Mat
 		r.stats = statsOut[i]
 		r.sc = ctx.getScratch()
 		r.sc.widthCap = widthCap
+		r.sc.groupFills = true
 		r.sc.visit.begin(n)
 		r.sc.sky.Reset()
 		r.es = newEmptyScan()
@@ -364,10 +387,6 @@ func (ctx *matchContext) matchGroup(specs []*ReqSpec, dual bool, statsOut []*Mat
 				sc.batch = append(sc.batch, p.v)
 			}
 			sc.pending = sc.pending[:0]
-			if len(sc.batch) >= 2 {
-				r.ensureSFill(ctx)
-				r.ensureDFill(ctx)
-			}
 			ctx.flushBatch(sc, r.spec, sky, r.stats)
 		}
 		r.es.finish(r.spec, sky)

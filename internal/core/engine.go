@@ -387,6 +387,11 @@ type Constraints struct {
 	// global"; zero is a valid override (no detour allowed), so use
 	// DefaultSigma (-1) for fallback.
 	Sigma float64
+	// MaxPickupSeconds overrides the engine-global planned pick-up
+	// cutoff for this request (0 = global). Relay leg quoting widens it:
+	// a hand-off pickup may legitimately be planned one transfer window
+	// later than an ordinary door pickup.
+	MaxPickupSeconds float64
 }
 
 // DefaultSigma requests the engine-global service constraint.
@@ -453,6 +458,10 @@ func (e *Engine) prepareRequest(s, d roadnet.VertexID, riders int, c Constraints
 	if sigma < 0 {
 		sigma = e.sub.cfg.Sigma
 	}
+	maxPickup := c.MaxPickupSeconds
+	if maxPickup <= 0 {
+		maxPickup = e.sub.cfg.MaxPickupSeconds
+	}
 	spec = ReqSpec{
 		Kin: kinetic.Request{
 			ID: RequestID(e.nextID.Add(1)), S: s, D: d, Riders: riders,
@@ -462,7 +471,7 @@ func (e *Engine) prepareRequest(s, d roadnet.VertexID, riders int, c Constraints
 		},
 		Ratio:         e.sub.model.Ratio(riders),
 		MinPrice:      e.sub.model.MinPrice(riders, sd),
-		MaxPickupDist: e.sub.cfg.MaxPickupSeconds * e.sub.speed,
+		MaxPickupDist: maxPickup * e.sub.speed,
 	}
 	return spec, wait, sigma, nil
 }
@@ -557,6 +566,39 @@ func (e *Engine) Choose(id RequestID, optionIndex int) error {
 	}
 	e.byVeh[opt.Vehicle][id] = true
 	e.assigned++
+	return nil
+}
+
+// CancelAssigned releases an assigned request whose rider has not been
+// picked up yet: the vehicle reservation is dropped (see fleet.Cancel)
+// and the record ends declined. It is the compensation primitive of the
+// relay scheduler's two-phase commit — abort of leg 2 must release
+// leg 1 — and doubles as a rider cancellation. A request whose rider is
+// already onboard cannot be cancelled; the error reports it.
+//
+// Like Choose, the ledger lock is held across the fleet mutation so a
+// concurrent Tick's event application cannot interleave with the
+// cancellation: a pickup that already physically happened makes
+// fleet.Cancel refuse (the record then stays assigned and the pickup
+// lands normally), and one that has not cannot land afterwards because
+// the request has left the vehicle's tree.
+func (e *Engine) CancelAssigned(id RequestID) error {
+	e.ledgerMu.Lock()
+	defer e.ledgerMu.Unlock()
+	rec, ok := e.reqs[id]
+	if !ok {
+		return fmt.Errorf("core: unknown request %d", id)
+	}
+	if rec.Status != StatusAssigned {
+		return fmt.Errorf("core: request %d is %v, not assigned", id, rec.Status)
+	}
+	if err := e.fleet.Cancel(rec.Vehicle, id); err != nil {
+		return err
+	}
+	rec.Status = StatusDeclined
+	delete(e.byVeh[rec.Vehicle], id)
+	e.assigned--
+	e.declined++
 	return nil
 }
 
@@ -999,6 +1041,13 @@ type EngineStats struct {
 	AvgWaitSeconds  float64 // actual−planned pickup wait
 	AvgDetourFactor float64 // in-vehicle distance / direct
 	ActiveVehicles  int
+
+	// Commit-protocol effectiveness (see fleet.CommitStats): stale
+	// first-commit attempts, CommitSlack re-probes, and the commits the
+	// re-probe salvaged.
+	CommitStale    int64
+	Reprobes       int64
+	ReprobeCommits int64
 }
 
 // Stats returns a consistent snapshot of the running statistics without
@@ -1036,6 +1085,7 @@ func (e *Engine) Stats() EngineStats {
 	s.Requests = e.requests.Load()
 	s.Clock = e.Clock()
 	s.ActiveVehicles = e.fleet.NumActive()
+	s.CommitStale, s.Reprobes, s.ReprobeCommits = e.fleet.CommitStats()
 	if s.Completed > 0 {
 		s.SharingRate = float64(s.SharedCompleted) / float64(s.Completed)
 	}

@@ -1,0 +1,140 @@
+package core
+
+// Internal regression tests for the radius-bounded batch fills: a
+// bounded fill must answer within-bound targets exactly in one search,
+// route the rare beyond-bound target through the per-pair fallback
+// (counted in DistCalls like any other exact search), and never leak a
+// truncation artefact as a fake disconnection. These pin the
+// dist-calls accounting the coalescing efficiency test
+// (TestBatchCoalescingDistCalls) measures end to end.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/gridindex"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/testnet"
+)
+
+func fillBoundMetric(t *testing.T) (*memoMetric, *roadnet.Graph) {
+	t.Helper()
+	g := testnet.Lattice(rand.New(rand.NewSource(7)), 12, 12, 250)
+	grid, err := gridindex.Build(g, gridindex.Config{Cols: 6, Rows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newMemoMetric(grid, nil, false), g
+}
+
+// TestBoundedFillFallbackDistCalls pins the accounting: one bounded
+// fill is one DistCall; a beyond-bound target resolved by fallback is
+// one more; within-bound targets cost nothing extra and match the
+// unbounded values exactly.
+func TestBoundedFillFallbackDistCalls(t *testing.T) {
+	m, g := fillBoundMetric(t)
+	n := g.NumVertices()
+	from := roadnet.VertexID(0)
+
+	exact := make([]float64, n)
+	m.FillDistsUncached(from, math.Inf(1), exact)
+	if got := m.DistCalls(); got != 1 {
+		t.Fatalf("unbounded fill cost %d dist calls, want 1", got)
+	}
+
+	// Bound the fill at half the farthest vertex: some targets settle,
+	// the rest truncate to +Inf.
+	far := 0.0
+	for v := 0; v < n; v++ {
+		if !math.IsInf(exact[v], 1) && exact[v] > far {
+			far = exact[v]
+		}
+	}
+	bound := far / 2
+	fill := make([]float64, n)
+	m.FillDistsUncached(from, bound, fill)
+	var within, beyond []roadnet.VertexID
+	for v := 0; v < n; v++ {
+		if roadnet.VertexID(v) == from {
+			continue
+		}
+		if math.IsInf(fill[v], 1) {
+			beyond = append(beyond, roadnet.VertexID(v))
+		} else {
+			within = append(within, roadnet.VertexID(v))
+			if fill[v] != exact[v] {
+				t.Fatalf("bounded fill[%d] = %v, exact %v", v, fill[v], exact[v])
+			}
+		}
+	}
+	if len(beyond) == 0 {
+		t.Fatal("bound truncated nothing; test graph too small")
+	}
+
+	// Prefilled batch over a mixed target set at maxDist = Inf: the
+	// within-bound targets read from the fill, each beyond-bound target
+	// falls back to one exact per-pair search.
+	targets := append(append([]roadnet.VertexID(nil), within[:3]...), beyond[:2]...)
+	out := make([]float64, len(targets))
+	var sc memoBatchScratch
+	callsBefore, fbBefore := m.DistCalls(), m.FillFallbacks()
+	m.DistBatchPrefilled(from, targets, math.Inf(1), out, fill, bound, &sc)
+	if got := m.FillFallbacks() - fbBefore; got != 2 {
+		t.Fatalf("fallbacks = %d, want 2 (one per beyond-bound target)", got)
+	}
+	if got := m.DistCalls() - callsBefore; got != 2 {
+		t.Fatalf("fallback dist calls = %d, want 2", got)
+	}
+	for i, target := range targets {
+		if out[i] != exact[target] {
+			t.Fatalf("prefilled dist to %d = %v, exact %v", target, out[i], exact[target])
+		}
+	}
+
+	// A second pass over the same targets is fully memoised: the
+	// fallback values were stored like any other batch result.
+	callsBefore = m.DistCalls()
+	m.DistBatchPrefilled(from, targets, math.Inf(1), out, fill, bound, &sc)
+	if got := m.DistCalls() - callsBefore; got != 0 {
+		t.Fatalf("memoised re-read cost %d dist calls, want 0", got)
+	}
+}
+
+// TestBoundedFillNoFallbackWithinBound pins that a query whose own
+// cutoff stays within the fill radius never pays a fallback: a +Inf
+// fill entry then proves the target is beyond the cutoff, which is all
+// the truncating query needs.
+func TestBoundedFillNoFallbackWithinBound(t *testing.T) {
+	m, g := fillBoundMetric(t)
+	n := g.NumVertices()
+	from := roadnet.VertexID(0)
+
+	fill := make([]float64, n)
+	bound := 800.0
+	m.FillDistsUncached(from, bound, fill)
+	var beyond roadnet.VertexID = -1
+	for v := 0; v < n; v++ {
+		if roadnet.VertexID(v) != from && math.IsInf(fill[v], 1) {
+			beyond = roadnet.VertexID(v)
+			break
+		}
+	}
+	if beyond < 0 {
+		t.Fatal("bound truncated nothing")
+	}
+
+	out := make([]float64, 1)
+	var sc memoBatchScratch
+	callsBefore, fbBefore := m.DistCalls(), m.FillFallbacks()
+	m.DistBatchPrefilled(from, []roadnet.VertexID{beyond}, bound/2, out, fill, bound, &sc)
+	if got := m.FillFallbacks() - fbBefore; got != 0 {
+		t.Fatalf("within-cutoff query paid %d fallbacks, want 0", got)
+	}
+	if got := m.DistCalls() - callsBefore; got != 0 {
+		t.Fatalf("within-cutoff query cost %d dist calls, want 0", got)
+	}
+	if !math.IsInf(out[0], 1) {
+		t.Fatalf("beyond-cutoff target resolved to %v, want +Inf truncation", out[0])
+	}
+}

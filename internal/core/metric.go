@@ -49,6 +49,9 @@ type memoMetric struct {
 	// distCalls counts cache-missing exact computations, the "number of
 	// shortest path distance computations" metric of paper §3.3.
 	distCalls atomic.Int64
+	// fillFallbacks counts beyond-bound targets of radius-bounded fills
+	// resolved by per-pair fallback searches (see DistBatchPrefilled).
+	fillFallbacks atomic.Int64
 	// noLB disables lower bounds (ablation E8): LB returns 0, which is
 	// always sound but prunes nothing.
 	noLB bool
@@ -283,11 +286,17 @@ func (m *memoMetric) DistBatch(from roadnet.VertexID, targets []roadnet.VertexID
 }
 
 // DistBatchPrefilled is DistBatch with the misses answered from a
-// whole-graph fill (see FillDistsUncached) instead of a fresh pass: the
-// memo read, the truncation semantics and the grouped store are
-// identical — so the memo evolves exactly as if DistBatch had run — but
-// no additional search is performed (the fill was already counted).
-func (m *memoMetric) DistBatchPrefilled(from roadnet.VertexID, targets []roadnet.VertexID, maxDist float64, out []float64, fill []float64, sc *memoBatchScratch) {
+// radius-bounded fill (see FillDistsUncached) instead of a fresh pass:
+// the memo read, the truncation semantics and the grouped store are
+// identical — so the memo evolves exactly as if DistBatch had run —
+// and no additional search runs for targets the fill settled.
+// fillBound is the radius the fill was truncated at: a +Inf fill entry
+// within it is a proven disconnection, while one beyond it only means
+// "farther than the bound", so when the query's maxDist reaches past
+// the bound the pair falls back to one exact point search (counted in
+// DistCalls like any other). The bound is sized so that fallbacks are
+// rare — see fillRadius.
+func (m *memoMetric) DistBatchPrefilled(from roadnet.VertexID, targets []roadnet.VertexID, maxDist float64, out []float64, fill []float64, fillBound float64, sc *memoBatchScratch) {
 	if len(targets) == 0 {
 		return
 	}
@@ -300,6 +309,12 @@ func (m *memoMetric) DistBatchPrefilled(from roadnet.VertexID, targets []roadnet
 	sc.missOut = sc.missOut[:len(sc.missLoc)]
 	for j, t := range sc.missLoc {
 		d := fill[t]
+		if math.IsInf(d, 1) && maxDist > fillBound {
+			// Beyond-bound target: the truncated fill cannot tell "far"
+			// from "unreachable" and the query needs the real value.
+			m.fillFallbacks.Add(1)
+			d = m.Dist(from, t)
+		}
 		if d > maxDist {
 			d = math.Inf(1) // mirror the bounded pass's truncation
 		}
@@ -308,16 +323,24 @@ func (m *memoMetric) DistBatchPrefilled(from roadnet.VertexID, targets []roadnet
 	m.batchStore(maxDist, out, sc)
 }
 
-// FillDistsUncached runs one whole-graph pass from one origin, filling
-// out[v] for every vertex without touching the memo. One fill per
-// request side is what the coalesced batch pipeline amortises all of
-// its distance queries against. Counts one DistCall: one search.
-func (m *memoMetric) FillDistsUncached(from roadnet.VertexID, out []float64) {
+// FillDistsUncached runs one radius-bounded pass from one origin,
+// filling out[v] for every vertex within maxDist and +Inf beyond it,
+// without touching the memo. One fill per request side is what the
+// coalesced batch pipeline amortises all of its distance queries
+// against; the bound keeps a continent-scale graph from paying a
+// whole-graph settle for a city-scale frontier. Counts one DistCall:
+// one search.
+func (m *memoMetric) FillDistsUncached(from roadnet.VertexID, maxDist float64, out []float64) {
 	m.distCalls.Add(1)
 	s := m.searchers.Get().(*roadnet.Searcher)
-	s.FillDists(from, math.Inf(1), out)
+	s.FillDists(from, maxDist, out)
 	m.searchers.Put(s)
 }
+
+// FillFallbacks returns the cumulative number of beyond-bound targets
+// DistBatchPrefilled resolved by per-pair fallback searches — the
+// "rare" in the radius-bound design, pinned by regression tests.
+func (m *memoMetric) FillFallbacks() int64 { return m.fillFallbacks.Load() }
 
 // DistCalls returns the cumulative number of exact shortest-path
 // computations (cache misses) since construction.

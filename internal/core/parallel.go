@@ -134,12 +134,16 @@ type matchScratch struct {
 	probeD      []float64
 	seeds       []kinetic.QuoteSeed
 
-	// Whole-graph fills, valid only during a coalesced group match:
+	// Radius-bounded fills, valid only during a coalesced group match:
 	// when set, the seeded flush and the empty scan read these instead
 	// of issuing per-flush and per-cell passes — one s-side and one
-	// d-side search amortised across the request's whole frontier.
-	sFill, dFill     []float64
-	sFillOK, dFillOK bool
+	// d-side search amortised across the request's whole frontier. The
+	// bounds record each fill's truncation radius; lookups past them
+	// fall back to per-pair searches (see DistBatchPrefilled).
+	groupFills             bool
+	sFill, dFill           []float64
+	sFillOK, dFillOK       bool
+	sFillBound, dFillBound float64
 }
 
 func (ctx *matchContext) getScratch() *matchScratch {
@@ -149,6 +153,7 @@ func (ctx *matchContext) getScratch() *matchScratch {
 func (ctx *matchContext) putScratch(sc *matchScratch) {
 	sc.batch = sc.batch[:0]
 	sc.pending = sc.pending[:0]
+	sc.groupFills = false
 	sc.sFillOK = false
 	sc.dFillOK = false
 	sc.widthCap = 0
@@ -203,9 +208,18 @@ func (ctx *matchContext) flushBatch(sc *matchScratch, spec *ReqSpec, sky *skylin
 		sc.probeD = make([]float64, total)
 	}
 	probeS, probeD := sc.probeS[:total], sc.probeD[:total]
+	if sc.groupFills && n >= 2 {
+		// A coalesced group match amortises its probe passes against the
+		// request's radius-bounded fills, created on the first flush
+		// worth one (a single-vehicle flush is cheaper as a plain batch
+		// pass). The radius derives from this flush's own probe
+		// locations — the wave's farthest schedule point so far.
+		sc.ensureSFill(ctx, spec, sc.probeLocs)
+		sc.ensureDFill(ctx, spec, sc.probeLocs)
+	}
 	if sc.sFillOK && sc.dFillOK {
-		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.probeLocs, math.Inf(1), probeS, sc.sFill, &sc.memoSc)
-		ctx.metric.DistBatchPrefilled(spec.Kin.D, sc.probeLocs, math.Inf(1), probeD, sc.dFill, &sc.memoSc)
+		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.probeLocs, math.Inf(1), probeS, sc.sFill, sc.sFillBound, &sc.memoSc)
+		ctx.metric.DistBatchPrefilled(spec.Kin.D, sc.probeLocs, math.Inf(1), probeD, sc.dFill, sc.dFillBound, &sc.memoSc)
 	} else {
 		ctx.metric.DistBatch(spec.Kin.S, sc.probeLocs, math.Inf(1), probeS, &sc.memoSc)
 		ctx.metric.DistBatch(spec.Kin.D, sc.probeLocs, math.Inf(1), probeD, &sc.memoSc)

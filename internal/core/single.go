@@ -127,7 +127,7 @@ func (es *emptyScan) foldPass(ctx *matchContext, sc *matchScratch, spec *ReqSpec
 	}
 	dists := sc.emptyDists[:len(sc.emptyLocs)]
 	if sc.sFillOK {
-		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.emptyLocs, es.bestDist, dists, sc.sFill, &sc.memoSc)
+		ctx.metric.DistBatchPrefilled(spec.Kin.S, sc.emptyLocs, es.bestDist, dists, sc.sFill, sc.sFillBound, &sc.memoSc)
 	} else {
 		ctx.metric.DistBatch(spec.Kin.S, sc.emptyLocs, es.bestDist, dists, &sc.memoSc)
 	}

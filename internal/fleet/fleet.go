@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
@@ -243,6 +244,14 @@ type Fleet struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Commit-protocol effectiveness counters (see CommitStats): how
+	// often the validate-then-commit found the quoted candidate stale,
+	// how often CommitSlack triggered a re-probe, and how many commits
+	// the re-probe salvaged.
+	commitStale    atomic.Int64
+	reprobes       atomic.Int64
+	reprobeCommits atomic.Int64
 }
 
 // Config parameterises a Fleet.
@@ -443,12 +452,17 @@ func (f *Fleet) Commit(id VehicleID, req kinetic.Request, cand kinetic.Candidate
 	}
 	res := CommitResult{Candidate: cand}
 	err = v.Tree.Commit(req, cand)
-	if err != nil && slack > 0 {
-		if fresh := f.reprobe(v, req, cand, slack); fresh != nil {
-			if err2 := v.Tree.Commit(req, *fresh); err2 == nil {
-				res.Candidate = *fresh
-				res.Reprobed = true
-				err = nil
+	if err != nil {
+		f.commitStale.Add(1)
+		if slack > 0 {
+			f.reprobes.Add(1)
+			if fresh := f.reprobe(v, req, cand, slack); fresh != nil {
+				if err2 := v.Tree.Commit(req, *fresh); err2 == nil {
+					res.Candidate = *fresh
+					res.Reprobed = true
+					f.reprobeCommits.Add(1)
+					err = nil
+				}
 			}
 		}
 	}
@@ -481,6 +495,47 @@ func (f *Fleet) reprobe(v *Vehicle, req kinetic.Request, cand kinetic.Candidate,
 		}
 	}
 	return best
+}
+
+// CommitStats reports the commit protocol's effectiveness counters:
+// stale counts first commit attempts that found the quoted candidate
+// invalidated (the probe-decline rate the ROADMAP's CommitSlack study
+// needs), reprobes counts the re-probe attempts CommitSlack allowed,
+// and salvaged counts the commits a re-probed candidate rescued. With
+// slack 0, every stale commit is a decline; salvaged/stale is the
+// fraction the slack converts into assignments.
+func (f *Fleet) CommitStats() (stale, reprobes, salvaged int64) {
+	return f.commitStale.Load(), f.reprobes.Load(), f.reprobeCommits.Load()
+}
+
+// Cancel releases a committed-but-not-yet-picked-up request from its
+// vehicle and refreshes the grid registration — the compensation half
+// of a two-phase relay commit (and the rider-cancellation primitive).
+// A rider already onboard cannot be cancelled: the vehicle is
+// physically carrying them, so the caller must let the trip complete.
+func (f *Fleet) Cancel(id VehicleID, req kinetic.RequestID) error {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		// RemoveVehicle already cancelled every pending request.
+		return fmt.Errorf("fleet: vehicle %d is out of service", id)
+	}
+	onboard, pending := v.Tree.IsOnboard(req)
+	if !pending {
+		return fmt.Errorf("fleet: vehicle %d has no pending request %d", id, req)
+	}
+	if onboard {
+		return fmt.Errorf("fleet: request %d is onboard vehicle %d, cannot cancel", req, id)
+	}
+	if err := v.Tree.Cancel(req); err != nil {
+		return err
+	}
+	f.registerLocked(v)
+	return nil
 }
 
 // registerLocked refreshes the vehicle's entry in the grid's vehicle

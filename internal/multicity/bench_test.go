@@ -144,6 +144,99 @@ func BenchmarkRouterSubmit(b *testing.B) {
 	})
 }
 
+// Relay-bench world: the router-bench city plus a second city across
+// the gap, with probe pairs for same-city (city A) and cross-city
+// traffic. Shared immutable state only; each sub-benchmark builds its
+// own router.
+var (
+	relayBenchOnce   sync.Once
+	relayBenchGraphB *roadnet.Graph
+	relayBenchCross  [][2]geo.Point
+)
+
+func relayBenchSetup(b *testing.B) {
+	b.Helper()
+	routerBenchSetup(b)
+	relayBenchOnce.Do(func() {
+		gb, err := gen.GenerateNetwork(gen.CityConfig{Width: 16, Height: 16, RemoveFrac: 0.15, OriginX: 30000, Seed: 33})
+		if err != nil {
+			panic(err)
+		}
+		relayBenchGraphB = gb
+		rng := rand.New(rand.NewSource(34))
+		for len(relayBenchCross) < 128 {
+			o := routerBenchGraph.Point(roadnet.VertexID(rng.Intn(routerBenchGraph.NumVertices())))
+			d := gb.Point(roadnet.VertexID(rng.Intn(gb.NumVertices())))
+			relayBenchCross = append(relayBenchCross, [2]geo.Point{o, d})
+		}
+	})
+}
+
+func newTwinRouter(b *testing.B, enableRelay bool) *multicity.Router {
+	b.Helper()
+	cfgB := routerBenchCfg()
+	cfgB.Seed = 33
+	router, err := multicity.NewWithConfig([]multicity.CitySpec{
+		{Name: "solo", Graph: routerBenchGraph, Config: routerBenchCfg(), Vehicles: 100},
+		{Name: "far", Graph: relayBenchGraphB, Config: cfgB, Vehicles: 60},
+	}, multicity.RouterConfig{EnableRelay: enableRelay})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solo, err := router.Engine("solo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmEngine(b, solo)
+	return router
+}
+
+// BenchmarkRelaySubmit measures what relay scheduling costs traffic
+// that never crosses a city border (acceptance target: "relay-enabled"
+// within 2% of "plain" — the relay path adds only nil checks to
+// same-city routing) and, for scale, what a full cross-city relay
+// quote costs ("cross": 2·MaxGateways engine quotes plus skyline
+// composition per call).
+func BenchmarkRelaySubmit(b *testing.B) {
+	relayBenchSetup(b)
+	sameCity := func(b *testing.B, router *multicity.Router) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := routerBenchProbes[i%len(routerBenchProbes)]
+			rec, err := router.SubmitIn("solo", p[0], p[1], 1, core.DefaultConstraints())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := router.Decline(rec.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		sameCity(b, newTwinRouter(b, false))
+	})
+	b.Run("relay-enabled", func(b *testing.B) {
+		sameCity(b, newTwinRouter(b, true))
+	})
+	b.Run("cross", func(b *testing.B) {
+		router := newTwinRouter(b, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := relayBenchCross[i%len(relayBenchCross)]
+			rec, err := router.Submit(p[0], p[1], 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := router.Decline(rec.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRouterTick measures the parallel per-city tick fan-out on a
 // two-city router.
 func BenchmarkRouterTick(b *testing.B) {

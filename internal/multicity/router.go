@@ -15,14 +15,20 @@
 //
 // Cross-city trips (origin in one city, destination in another) are
 // rejected with a typed error (*CrossCityError, matchable as
-// ErrCrossCity): serving them needs inter-city relay scheduling, a
-// known follow-up (see ROADMAP.md).
+// ErrCrossCity) by default. With RouterConfig.EnableRelay they are
+// served instead: the relay scheduler (internal/relay) quotes the trip
+// as two coordinated legs over precomputed hand-off gateways, composes
+// the per-leg skylines into a joint one, and commits both legs with a
+// two-phase protocol — see the relay package for the full design. The
+// typed rejection stays the default so callers relying on it keep it.
 //
 // Request ids are made globally unique by striding: a request answered
 // by city c out of n receives id local*n + c, so Choose/Decline/Request
 // route by plain arithmetic with no shared map — the router holds no
 // lock on the request path at all. With a single city the encoding is
 // the identity, so routing adds no id translation overhead there.
+// Relay trips live in the negative half of the id space (trip t is
+// global id −t), so same-city routing pays nothing for them either.
 package multicity
 
 import (
@@ -35,6 +41,7 @@ import (
 	"ptrider/internal/fleet"
 	"ptrider/internal/geo"
 	"ptrider/internal/kinetic"
+	"ptrider/internal/relay"
 	"ptrider/internal/roadnet"
 )
 
@@ -88,17 +95,37 @@ type city struct {
 	eng    *core.Engine
 }
 
+// RouterConfig carries the router-level settings (per-city settings
+// live in each CitySpec).
+type RouterConfig struct {
+	// EnableRelay serves cross-city O/D pairs as two-leg relay trips
+	// instead of rejecting them with *CrossCityError. Needs at least
+	// two cities.
+	EnableRelay bool
+	// Relay tunes the relay scheduler (gateway count, transfer buffer;
+	// zero = defaults). Ignored unless EnableRelay.
+	Relay relay.Config
+}
+
 // Router fans requests out to per-city engines. All methods are safe
 // for concurrent use; the router itself is immutable after New — every
-// mutable bit of state lives inside the per-city engines.
+// mutable bit of state lives inside the per-city engines (and, with
+// relay enabled, the relay scheduler's ledger).
 type Router struct {
 	cities []city
 	byName map[string]int
+	relay  *relay.Scheduler // nil unless RouterConfig.EnableRelay
 }
 
-// New builds a Router over the given cities. Regions default to each
+// New builds a Router over the given cities with default router
+// settings (cross-city trips rejected). Regions default to each
 // graph's bounding box and must be pairwise disjoint.
 func New(specs []CitySpec) (*Router, error) {
+	return NewWithConfig(specs, RouterConfig{})
+}
+
+// NewWithConfig is New with router-level settings.
+func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("multicity: no cities")
 	}
@@ -135,8 +162,27 @@ func New(specs []CitySpec) (*Router, error) {
 		r.byName[spec.Name] = len(r.cities)
 		r.cities = append(r.cities, city{name: spec.Name, region: region, eng: eng})
 	}
+	if rc.EnableRelay {
+		refs := make([]relay.CityRef, len(r.cities))
+		for i := range r.cities {
+			refs[i] = relay.CityRef{
+				Name:   r.cities[i].name,
+				Engine: r.cities[i].eng,
+				Region: r.cities[i].region,
+			}
+		}
+		sched, err := relay.New(refs, rc.Relay)
+		if err != nil {
+			return nil, fmt.Errorf("multicity: %w", err)
+		}
+		r.relay = sched
+	}
 	return r, nil
 }
+
+// RelayEnabled reports whether cross-city trips are served by relay
+// scheduling rather than rejected.
+func (r *Router) RelayEnabled() bool { return r.relay != nil }
 
 // NumCities returns the number of cities behind the router.
 func (r *Router) NumCities() int { return len(r.cities) }
@@ -246,9 +292,17 @@ func (r *Router) splitID(id core.RequestID) (int, core.RequestID, error) {
 
 // Record is the router's view of a request record: the engine snapshot
 // with the id lifted into the global namespace, plus the owning city.
+// For a relay trip the embedded record is synthesised — a negative
+// global id, the origin city, the joint skyline rendered as core
+// options (price = composed fare, pick-up distance = composed ETA as a
+// distance equivalent), the whole-trip lifecycle mapped onto the
+// single-city states — and Relay carries the two-leg detail.
 type Record struct {
 	core.RequestRecord
 	City string
+	// Relay is the relay trip view when this record is a cross-city
+	// relay trip; nil for ordinary same-city requests.
+	Relay *relay.TripView
 }
 
 func (r *Router) wrap(ci int, rec *core.RequestRecord) *Record {
@@ -257,11 +311,44 @@ func (r *Router) wrap(ci int, rec *core.RequestRecord) *Record {
 	return out
 }
 
+// wrapRelay synthesises the router record of a relay trip.
+func (r *Router) wrapRelay(tv *relay.TripView) *Record {
+	out := &Record{City: tv.Origin, Relay: tv}
+	out.ID = -core.RequestID(tv.ID)
+	out.S, out.D = tv.OriginVertex, tv.DestVertex
+	out.Riders = tv.Riders
+	out.Status = relayStatus(tv.State)
+	out.Options = tv.CoreOptions
+	out.Chosen = tv.Chosen
+	if tv.Chosen >= 0 && tv.Chosen < len(tv.CoreOptions) {
+		out.Vehicle = tv.CoreOptions[tv.Chosen].Vehicle
+		out.Price = tv.CoreOptions[tv.Chosen].Price
+	}
+	return out
+}
+
+// relayStatus maps the relay trip lifecycle onto the single-city
+// request states every view already speaks: any committed-and-moving
+// stage reads as assigned, the terminal failures as declined.
+func relayStatus(s relay.State) core.RequestStatus {
+	switch s {
+	case relay.StateQuoted:
+		return core.StatusQuoted
+	case relay.StateCompleted:
+		return core.StatusCompleted
+	case relay.StateDeclined, relay.StateAborted, relay.StateFailed:
+		return core.StatusDeclined
+	}
+	return core.StatusAssigned
+}
+
 // Submit answers a ridesharing request given by planar coordinates: the
-// origin's city is located, both endpoints are snapped to that city's
-// road network, and the city's engine matches the request. A
-// destination in a different city is rejected with *CrossCityError; a
-// coordinate outside every region with ErrNoCity.
+// origin's city is located, both endpoints are snapped to their cities'
+// road networks, and the city's engine matches the request. A
+// destination in a different city is served as a two-leg relay trip
+// when relay is enabled (see RouterConfig.EnableRelay) and rejected
+// with *CrossCityError otherwise; a coordinate outside every region
+// fails with ErrNoCity.
 func (r *Router) Submit(o, d geo.Point, riders int) (*Record, error) {
 	return r.SubmitWithConstraints(o, d, riders, core.DefaultConstraints())
 }
@@ -277,7 +364,14 @@ func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constr
 		return nil, err
 	}
 	if oc != dc {
-		return nil, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name}
+		if r.relay == nil {
+			return nil, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name}
+		}
+		tv, err := r.relay.Quote(oc, dc, r.nearestVertex(oc, o), r.nearestVertex(dc, d), riders, c)
+		if err != nil {
+			return nil, fmt.Errorf("multicity: %w", err)
+		}
+		return r.wrapRelay(tv), nil
 	}
 	rec, err := r.cities[oc].eng.SubmitWithConstraints(
 		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c)
@@ -319,11 +413,15 @@ type BatchItem struct {
 // through that engine's coalesced SubmitBatch concurrently — the waves
 // of different cities proceed fully in parallel because the engines
 // share no state. Within one city the paper's greedy order over that
-// city's items is preserved exactly.
+// city's items is preserved exactly. Cross-city items are served
+// through the relay scheduler when enabled (quoted and, via the item's
+// Choose callback over the synthesised joint options, committed or
+// declined), concurrently with the per-city sub-batches; with relay
+// disabled they fail with *CrossCityError as before.
 //
 // One record is returned per item, in order; items that fail city
-// assignment (cross-city, outside every region) or fail inside the
-// engine get a nil entry, with the first error returned.
+// assignment or fail inside the engine get a nil entry, with the first
+// error returned.
 func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 	out := make([]*Record, len(items))
 	var firstErr error
@@ -336,6 +434,11 @@ func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 	// Partition by origin city, preserving each city's item order.
 	perCity := make([][]core.BatchItem, len(r.cities))
 	perCityIdx := make([][]int, len(r.cities))
+	type relayItem struct {
+		idx    int
+		oc, dc int
+	}
+	var relayItems []relayItem
 	for i, it := range items {
 		oc, err := r.locate(it.O)
 		if err != nil {
@@ -348,7 +451,11 @@ func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 			continue
 		}
 		if oc != dc {
-			fail(i, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name})
+			if r.relay == nil {
+				fail(i, &CrossCityError{Origin: r.cities[oc].name, Dest: r.cities[dc].name})
+				continue
+			}
+			relayItems = append(relayItems, relayItem{idx: i, oc: oc, dc: dc})
 			continue
 		}
 		perCity[oc] = append(perCity[oc], core.BatchItem{
@@ -358,9 +465,13 @@ func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 		perCityIdx[oc] = append(perCityIdx[oc], i)
 	}
 
-	// Fan the per-city sub-batches out; engines are independent.
+	// Fan the per-city sub-batches out; engines are independent. Relay
+	// items ride their own goroutine — each quote already fans its legs
+	// out to two engines, which interleaves with the city batches the
+	// way any concurrent traffic does.
 	recs := make([][]*core.RequestRecord, len(r.cities))
 	errs := make([]error, len(r.cities))
+	relayErrs := make([]error, len(relayItems))
 	var wg sync.WaitGroup
 	for ci := range r.cities {
 		if len(perCity[ci]) == 0 {
@@ -371,6 +482,15 @@ func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 			defer wg.Done()
 			recs[ci], errs[ci] = r.cities[ci].eng.SubmitBatch(perCity[ci])
 		}(ci)
+	}
+	if len(relayItems) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k, ri := range relayItems {
+				out[ri.idx], relayErrs[k] = r.submitRelayItem(&items[ri.idx], ri.oc, ri.dc)
+			}
+		}()
 	}
 	wg.Wait()
 
@@ -384,12 +504,56 @@ func (r *Router) SubmitBatch(items []BatchItem) ([]*Record, error) {
 			}
 		}
 	}
+	for k, ri := range relayItems {
+		if relayErrs[k] != nil {
+			fail(ri.idx, relayErrs[k])
+		}
+	}
 	return out, firstErr
 }
 
+// submitRelayItem serves one cross-city batch item end to end: quote,
+// let the item's chooser pick from the synthesised joint options,
+// commit or decline, and return the refreshed record.
+func (r *Router) submitRelayItem(it *BatchItem, oc, dc int) (*Record, error) {
+	tv, err := r.relay.Quote(oc, dc, r.nearestVertex(oc, it.O), r.nearestVertex(dc, it.D), it.Riders, it.Constraints)
+	if err != nil {
+		return nil, err
+	}
+	pick := -1
+	if it.Choose != nil {
+		pick = it.Choose(tv.CoreOptions)
+	}
+	if pick >= 0 && pick < len(tv.Options) {
+		if err := r.relay.Choose(tv.ID, pick); err != nil {
+			// Mirror the engine batch path: a failed choice ends the
+			// item's lifecycle here rather than abandoning the quote.
+			refreshed, _ := r.relay.Trip(tv.ID)
+			if refreshed != nil {
+				return r.wrapRelay(refreshed), fmt.Errorf("choose: %w", err)
+			}
+			return r.wrapRelay(tv), fmt.Errorf("choose: %w", err)
+		}
+	} else {
+		_ = r.relay.Decline(tv.ID)
+	}
+	refreshed, err := r.relay.Trip(tv.ID)
+	if err != nil {
+		return r.wrapRelay(tv), nil
+	}
+	return r.wrapRelay(refreshed), nil
+}
+
 // Choose commits the rider's selected option of a request previously
-// answered by the router.
+// answered by the router. For a relay trip (negative id) this is the
+// two-phase commit of both legs: both book, or neither stays booked.
 func (r *Router) Choose(id core.RequestID, optionIndex int) error {
+	if id < 0 {
+		if r.relay == nil {
+			return fmt.Errorf("multicity: unknown request %d", id)
+		}
+		return r.relay.Choose(relay.TripID(-id), optionIndex)
+	}
 	ci, local, err := r.splitID(id)
 	if err != nil {
 		return err
@@ -397,8 +561,15 @@ func (r *Router) Choose(id core.RequestID, optionIndex int) error {
 	return r.cities[ci].eng.Choose(local, optionIndex)
 }
 
-// Decline records that the rider took none of the options.
+// Decline records that the rider took none of the options. Declining a
+// relay trip releases every leg quote it held.
 func (r *Router) Decline(id core.RequestID) error {
+	if id < 0 {
+		if r.relay == nil {
+			return fmt.Errorf("multicity: unknown request %d", id)
+		}
+		return r.relay.Decline(relay.TripID(-id))
+	}
 	ci, local, err := r.splitID(id)
 	if err != nil {
 		return err
@@ -407,8 +578,16 @@ func (r *Router) Decline(id core.RequestID) error {
 }
 
 // Request returns a snapshot of the record of a router-answered
-// request.
+// request (including relay trips, whose two-leg detail rides in
+// Record.Relay).
 func (r *Router) Request(id core.RequestID) (*Record, error) {
+	if id < 0 {
+		tv, err := r.RelayTrip(id)
+		if err != nil {
+			return nil, err
+		}
+		return r.wrapRelay(tv), nil
+	}
 	ci, local, err := r.splitID(id)
 	if err != nil {
 		return nil, err
@@ -418,6 +597,18 @@ func (r *Router) Request(id core.RequestID) (*Record, error) {
 		return nil, err
 	}
 	return r.wrap(ci, rec), nil
+}
+
+// RelayTrip returns the two-leg view of a relay trip addressed by its
+// router record id (the negative global id).
+func (r *Router) RelayTrip(id core.RequestID) (*relay.TripView, error) {
+	if r.relay == nil {
+		return nil, fmt.Errorf("multicity: relay is not enabled")
+	}
+	if id >= 0 {
+		return nil, fmt.Errorf("multicity: request %d is not a relay trip", id)
+	}
+	return r.relay.Trip(relay.TripID(-id))
 }
 
 // CityEvents is one city's slice of a tick's movement events.
@@ -451,6 +642,11 @@ func (r *Router) Tick(dt float64) ([]CityEvents, error) {
 		}(ci)
 	}
 	wg.Wait()
+	if r.relay != nil {
+		// Advance the relay ledger after every city moved: trips observe
+		// their legs' post-movement lifecycle states.
+		r.relay.Advance()
+	}
 	for ci, err := range errs {
 		if err != nil {
 			return out, fmt.Errorf("multicity: %s: %w", r.cities[ci].name, err)
@@ -460,14 +656,19 @@ func (r *Router) Tick(dt float64) ([]CityEvents, error) {
 }
 
 // Stats is the aggregated statistics panel: per-city engine snapshots
-// plus a cross-city total. In the total, lifecycle counters and vehicle
-// counts are sums; per-match averages are request-weighted and quality
-// averages completed-weighted means of the city values; P95 response
-// time and the clock are the maxima (a true cross-city quantile is not
-// derivable from per-city summaries).
+// plus a cross-city total. In the total, lifecycle counters, vehicle
+// counts and commit-protocol counters are sums; per-match averages are
+// request-weighted and quality averages completed-weighted means of
+// the city values; P95 response time and the clock are the maxima (a
+// true cross-city quantile is not derivable from per-city summaries).
+// Relay carries the relay scheduler's own panel when relay is enabled
+// (its leg quotes are counted inside the owning cities' panels; Relay
+// counts whole cross-city trips).
 type Stats struct {
-	Total  core.EngineStats
-	Cities map[string]core.EngineStats
+	Total        core.EngineStats
+	Cities       map[string]core.EngineStats
+	RelayEnabled bool
+	Relay        relay.Stats
 }
 
 // Stats snapshots every city and aggregates the totals.
@@ -485,6 +686,9 @@ func (r *Router) Stats() Stats {
 		t.Completed += st.Completed
 		t.SharedCompleted += st.SharedCompleted
 		t.ActiveVehicles += st.ActiveVehicles
+		t.CommitStale += st.CommitStale
+		t.Reprobes += st.Reprobes
+		t.ReprobeCommits += st.ReprobeCommits
 		if st.Clock > t.Clock {
 			t.Clock = st.Clock
 		}
@@ -522,6 +726,10 @@ func (r *Router) Stats() Stats {
 	}
 	if t.Completed > 0 {
 		t.SharingRate = float64(t.SharedCompleted) / float64(t.Completed)
+	}
+	if r.relay != nil {
+		out.RelayEnabled = true
+		out.Relay = r.relay.Stats()
 	}
 	return out
 }

@@ -25,6 +25,12 @@ const specGapMeters = 5000
 // configuration (per-city tuning is available through the CitySpec
 // API). seed+i drives city i's generation and placement.
 func BuildFromSpec(spec string, base core.Config, seed int64) (*Router, error) {
+	return BuildFromSpecWithConfig(spec, base, seed, RouterConfig{})
+}
+
+// BuildFromSpecWithConfig is BuildFromSpec with router-level settings
+// (relay scheduling, most notably).
+func BuildFromSpecWithConfig(spec string, base core.Config, seed int64, rc RouterConfig) (*Router, error) {
 	parts := strings.Split(spec, ",")
 	specs := make([]CitySpec, 0, len(parts))
 	originX := 0.0
@@ -63,7 +69,7 @@ func BuildFromSpec(spec string, base core.Config, seed int64) (*Router, error) {
 		})
 		originX += float64(width)*gcfg.Spacing + specGapMeters
 	}
-	return New(specs)
+	return NewWithConfig(specs, rc)
 }
 
 // applySpacingDefault mirrors gen's internal default so the layout

@@ -1,0 +1,708 @@
+// Package relay serves cross-city trips as two coordinated legs — the
+// subsystem the multi-city router (PR 3) left as a typed rejection.
+//
+// A relay trip from a city A origin to a city B destination is planned
+// as origin → gateway in A, hand-off, gateway → destination in B. The
+// candidate hand-off gateways — nearest vertex pairs across the two
+// cities' shared region boundary — are precomputed per city pair at
+// construction (see gateway.go). Quoting fans both legs of every
+// gateway out to the two city engines concurrently and composes the
+// per-leg price-and-time skylines into one joint skyline: a relay
+// option's fare is the sum of its leg fares, and its ETA chains the
+// legs — the rider boards leg 2 no earlier than leg 1's worst-case
+// arrival at the gateway plus a configurable transfer buffer, and no
+// earlier than the leg-2 vehicle's own planned pickup.
+//
+// Committing is a two-phase probe/commit/compensate protocol: both leg
+// records are probed (still quoted, option index valid), leg 1 is
+// committed, then leg 2; a leg-2 failure releases leg 1's vehicle
+// reservation through core.Engine.CancelAssigned before the error
+// surfaces, so a half-booked relay can never leak a reservation. The
+// unused gateways' leg quotes are declined on commit.
+//
+// A ledger tracks each trip's state machine — quoted → leg1-committed
+// → in-transfer → leg2-active → completed — and Advance (called from
+// the router's Tick) moves trips forward by observing the two leg
+// records' lifecycle states. A leg orphaned by a vehicle failure moves
+// the trip to failed and compensates the surviving leg.
+//
+// Model honesty: the fleet serves a stop when its vehicle reaches it,
+// so the leg-2 vehicle may "pick up" at the gateway before the rider
+// physically arrives — the transfer buffer is a quoting margin
+// (pricing and ETA composition), not an enforced rendezvous. The
+// ledger still reports in-transfer faithfully from leg 1's completion.
+package relay
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ptrider/internal/core"
+	"ptrider/internal/geo"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/skyline"
+)
+
+// TripID identifies a relay trip within one Scheduler. IDs are dense
+// and start at 1; transport layers embed them into their own request
+// namespaces (the multi-city router negates them).
+type TripID int64
+
+// Config parameterises a Scheduler. The zero value means defaults.
+type Config struct {
+	// MaxGateways bounds the hand-off gateway pairs quoted per city
+	// pair (0 = 3). More gateways widen the joint skyline at the cost
+	// of 2 extra leg quotes each.
+	MaxGateways int
+	// BoundaryCandidates is how many boundary-nearest vertices per city
+	// feed gateway selection (0 = 24).
+	BoundaryCandidates int
+	// TransferBufferSeconds is the hand-off margin chained between the
+	// legs' ETAs and added to leg 2's waiting-time and pick-up windows
+	// (0 = 120; pass a negative value for a literal zero buffer).
+	TransferBufferSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGateways == 0 {
+		c.MaxGateways = 3
+	}
+	if c.BoundaryCandidates == 0 {
+		c.BoundaryCandidates = 24
+	}
+	if c.TransferBufferSeconds == 0 {
+		c.TransferBufferSeconds = 120
+	} else if c.TransferBufferSeconds < 0 {
+		c.TransferBufferSeconds = 0
+	}
+	return c
+}
+
+// CityRef is one city the scheduler relays between — the engine plus
+// the service region its gateway selection reasons about. The slice
+// order given to New is the city index space of Quote.
+type CityRef struct {
+	Name   string
+	Engine *core.Engine
+	Region geo.Rect
+}
+
+// Option is one entry of a relay trip's joint skyline.
+type Option struct {
+	// Gateway indexes TripView.Gateways: the hand-off this option uses.
+	Gateway int
+	// Leg1Index/Leg2Index are the option indices inside the two leg
+	// records' skylines; Leg1/Leg2 are those options' snapshots.
+	Leg1Index, Leg2Index int
+	Leg1, Leg2           core.Option
+	// Fare is Leg1.Price + Leg2.Price — relay fares compose by sum.
+	Fare float64
+	// PickupSeconds is leg 1's planned pick-up ETA at the door.
+	PickupSeconds float64
+	// ETASeconds is the door-to-destination worst-case ETA: leg-1
+	// pickup + leg-1 ride bound, then the transfer buffer, then leg 2
+	// (whose vehicle may also arrive at the gateway later), then the
+	// leg-2 ride bound.
+	ETASeconds float64
+}
+
+// State is a relay trip's lifecycle stage.
+type State int
+
+// Relay trip states. Quoted..Completed is the forward path; Declined,
+// Aborted and Failed are terminal exits (rider declined, two-phase
+// commit aborted, a committed leg orphaned by a vehicle failure).
+const (
+	StateQuoted State = iota
+	StateLeg1Committed
+	StateInTransfer
+	StateLeg2Active
+	StateCompleted
+	StateDeclined
+	StateAborted
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQuoted:
+		return "quoted"
+	case StateLeg1Committed:
+		return "leg1-committed"
+	case StateInTransfer:
+		return "in-transfer"
+	case StateLeg2Active:
+		return "leg2-active"
+	case StateCompleted:
+		return "completed"
+	case StateDeclined:
+		return "declined"
+	case StateAborted:
+		return "aborted"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// terminal reports whether the state ends the trip's lifecycle.
+func (s State) terminal() bool {
+	return s == StateCompleted || s == StateDeclined || s == StateAborted || s == StateFailed
+}
+
+// trip is the ledger's live record of one relay trip.
+type trip struct {
+	mu sync.Mutex
+
+	id       TripID
+	oc, dc   int // city indices
+	o, d     roadnet.VertexID
+	riders   int
+	state    State
+	gateways []Gateway
+	// leg1Recs[gi]/leg2Recs[gi] hold gateway gi's two leg record ids
+	// (city-local to oc and dc respectively).
+	leg1Recs, leg2Recs []core.RequestID
+	options            []Option
+	chosen             int // committed option index; -1 before
+}
+
+// TripView is a consistent snapshot of a relay trip.
+type TripView struct {
+	ID           TripID
+	Origin, Dest string
+	// OriginVertex/DestVertex are the snapped endpoints, local to the
+	// origin and destination city graphs.
+	OriginVertex, DestVertex roadnet.VertexID
+	Riders                   int
+	State                    State
+	Gateways                 []Gateway
+	Options                  []Option
+	// Chosen is the committed option index (-1 while quoted/declined).
+	Chosen int
+	// Leg1/Leg2 are the committed legs' request ids, city-local to the
+	// origin and destination engines (zero before commit).
+	Leg1, Leg2 core.RequestID
+	// CoreOptions renders the joint skyline in the single-city option
+	// shape for surfaces that speak it (rider choice models, batch
+	// choosers): index-aligned with Options, PickupDist carries the
+	// composed door-to-destination ETA as a distance equivalent at the
+	// origin city's speed, Price the composed fare, Vehicle the leg-1
+	// vehicle.
+	CoreOptions []core.Option
+	// TransferBufferSeconds echoes the scheduler's hand-off margin.
+	TransferBufferSeconds float64
+}
+
+// Stats is a snapshot of the scheduler's counters.
+type Stats struct {
+	// Quoted counts relay trips quoted; LegQuotes the per-city leg
+	// quotes issued on their behalf (each inflates the owning city's
+	// request count — relay quoting is real engine traffic).
+	Quoted    int64
+	LegQuotes int64
+	// Committed counts two-phase commits that booked both legs;
+	// Aborted those that released a half-booked trip; Declined rider
+	// declines; Completed trips whose leg 2 dropped the rider off;
+	// Failed trips a vehicle failure orphaned after commit.
+	Committed int64
+	Aborted   int64
+	Declined  int64
+	Completed int64
+	Failed    int64
+	// Active is the committed trips still moving.
+	Active int64
+}
+
+// CommitFunc is the leg-commit seam's signature (see
+// SetCommitOverride): leg is 1 or 2.
+type CommitFunc func(leg int, eng *core.Engine, id core.RequestID, optionIndex int) error
+
+// Scheduler coordinates relay trips over a fixed set of city engines.
+// All methods are safe for concurrent use.
+type Scheduler struct {
+	cities   []CityRef
+	cfg      Config
+	gateways map[[2]int][]Gateway // key: ordered city-index pair (i<j), oriented i→j
+
+	nextID atomic.Int64
+
+	mu     sync.Mutex
+	trips  map[TripID]*trip
+	active map[TripID]*trip // committed, non-terminal — Advance's worklist
+
+	quoted, legQuotes, committed         atomic.Int64
+	aborted, declined, completed, failed atomic.Int64
+
+	// commitOverride replaces the engine Choose of a leg commit when
+	// set (test seam, like core.Engine.SetStepOverride): relay
+	// atomicity tests inject leg-2 failures here because a real
+	// mid-commit failure is not reachable deterministically through the
+	// public API.
+	commitOverride atomic.Pointer[CommitFunc]
+}
+
+// New builds a Scheduler over the given cities (index space shared
+// with the caller) and precomputes the gateway table for every city
+// pair.
+func New(cities []CityRef, cfg Config) (*Scheduler, error) {
+	if len(cities) < 2 {
+		return nil, fmt.Errorf("relay: need at least two cities, got %d", len(cities))
+	}
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cities:   cities,
+		cfg:      cfg,
+		gateways: make(map[[2]int][]Gateway),
+		trips:    make(map[TripID]*trip),
+		active:   make(map[TripID]*trip),
+	}
+	for i := range cities {
+		if cities[i].Engine == nil {
+			return nil, fmt.Errorf("relay: city %q has no engine", cities[i].Name)
+		}
+		for j := i + 1; j < len(cities); j++ {
+			gws := buildGateways(cities[i], cities[j], cfg)
+			if len(gws) == 0 {
+				return nil, fmt.Errorf("relay: no gateways between %q and %q", cities[i].Name, cities[j].Name)
+			}
+			s.gateways[[2]int{i, j}] = gws
+		}
+	}
+	return s, nil
+}
+
+// SetCommitOverride installs (or, with nil, removes) the leg-commit
+// seam. Not part of the supported surface.
+func (s *Scheduler) SetCommitOverride(fn CommitFunc) {
+	if fn == nil {
+		s.commitOverride.Store(nil)
+		return
+	}
+	s.commitOverride.Store(&fn)
+}
+
+func (s *Scheduler) commitLeg(leg int, eng *core.Engine, id core.RequestID, optionIndex int) error {
+	if fn := s.commitOverride.Load(); fn != nil {
+		return (*fn)(leg, eng, id, optionIndex)
+	}
+	return eng.Choose(id, optionIndex)
+}
+
+// gatewaysFor returns the gateway list oriented origin→destination.
+func (s *Scheduler) gatewaysFor(oc, dc int) []Gateway {
+	if oc < dc {
+		return s.gateways[[2]int{oc, dc}]
+	}
+	flipped := s.gateways[[2]int{dc, oc}]
+	out := make([]Gateway, len(flipped))
+	for i, g := range flipped {
+		out[i] = Gateway{From: g.To, To: g.From, GapMeters: g.GapMeters}
+	}
+	return out
+}
+
+// Quote answers a cross-city request: per candidate gateway, both legs
+// are quoted through the two city engines concurrently, and the
+// surviving per-leg option sets are composed into the trip's joint
+// skyline. Gateways whose leg quoting fails (degenerate endpoints, no
+// route) are dropped — their sibling quotes declined — and the trip is
+// registered quoted even when the joint skyline comes back empty (the
+// rider then declines, exactly like an optionless single-city quote).
+func (s *Scheduler) Quote(oc, dc int, o, d roadnet.VertexID, riders int, cons core.Constraints) (*TripView, error) {
+	if oc == dc || oc < 0 || dc < 0 || oc >= len(s.cities) || dc >= len(s.cities) {
+		return nil, fmt.Errorf("relay: bad city pair (%d, %d)", oc, dc)
+	}
+	gws := s.gatewaysFor(oc, dc)
+	engO, engD := s.cities[oc].Engine, s.cities[dc].Engine
+
+	// Leg 2 is a hand-off pickup: its waiting-time budget and pick-up
+	// window widen by the transfer buffer, since the rendezvous is
+	// planned one transfer later than a door pickup. This is what the
+	// engine's constraint-scoped submits exist for.
+	buffer := s.cfg.TransferBufferSeconds
+	cfgD := engD.Config()
+	cons2 := cons
+	wait2 := cons.WaitSeconds
+	if wait2 <= 0 {
+		wait2 = cfgD.MaxWaitSeconds
+	}
+	cons2.WaitSeconds = wait2 + buffer
+	pickup2 := cons.MaxPickupSeconds
+	if pickup2 <= 0 {
+		pickup2 = cfgD.MaxPickupSeconds
+	}
+	cons2.MaxPickupSeconds = pickup2 + buffer
+
+	k := len(gws)
+	leg1 := make([]*core.RequestRecord, k)
+	leg2 := make([]*core.RequestRecord, k)
+	errs1 := make([]error, k)
+	errs2 := make([]error, k)
+	var wg sync.WaitGroup
+	for gi := range gws {
+		wg.Add(2)
+		go func(gi int) {
+			defer wg.Done()
+			leg1[gi], errs1[gi] = engO.SubmitWithConstraints(o, gws[gi].From, riders, cons)
+		}(gi)
+		go func(gi int) {
+			defer wg.Done()
+			leg2[gi], errs2[gi] = engD.SubmitWithConstraints(gws[gi].To, d, riders, cons2)
+		}(gi)
+	}
+	wg.Wait()
+
+	tr := &trip{
+		id: TripID(s.nextID.Add(1)),
+		oc: oc, dc: dc, o: o, d: d, riders: riders,
+		state:  StateQuoted,
+		chosen: -1,
+	}
+	var firstErr error
+	for gi := range gws {
+		if errs1[gi] != nil || errs2[gi] != nil {
+			// Drop the gateway; decline whichever sibling did quote so
+			// no record lingers half-owned.
+			if errs1[gi] == nil {
+				_ = engO.Decline(leg1[gi].ID)
+			}
+			if errs2[gi] == nil {
+				_ = engD.Decline(leg2[gi].ID)
+			}
+			if firstErr == nil {
+				firstErr = errs1[gi]
+				if firstErr == nil {
+					firstErr = errs2[gi]
+				}
+			}
+			continue
+		}
+		s.legQuotes.Add(2)
+		tr.gateways = append(tr.gateways, gws[gi])
+		tr.leg1Recs = append(tr.leg1Recs, leg1[gi].ID)
+		tr.leg2Recs = append(tr.leg2Recs, leg2[gi].ID)
+		s.composeGateway(tr, len(tr.gateways)-1, leg1[gi], leg2[gi])
+	}
+	if len(tr.gateways) == 0 {
+		return nil, fmt.Errorf("relay: no viable gateway %s → %s: %w",
+			s.cities[oc].Name, s.cities[dc].Name, firstErr)
+	}
+	tr.options = s.jointSkyline(tr.options)
+
+	s.mu.Lock()
+	s.trips[tr.id] = tr
+	s.mu.Unlock()
+	s.quoted.Add(1)
+	return s.viewLocked(tr), nil
+}
+
+// composeGateway appends every (leg-1 option × leg-2 option) pair of
+// one gateway to the trip's raw option list. Fares sum; ETAs chain —
+// the rider reaches the gateway after leg 1's pickup plus its
+// service-bounded ride, waits out the transfer buffer, and boards no
+// earlier than the leg-2 vehicle's own planned pickup.
+func (s *Scheduler) composeGateway(tr *trip, gi int, rec1, rec2 *core.RequestRecord) {
+	engO, engD := s.cities[tr.oc].Engine, s.cities[tr.dc].Engine
+	speed1, speed2 := engO.Speed(), engD.Speed()
+	ride1 := (1 + rec1.Sigma) * rec1.SD / speed1
+	ride2 := (1 + rec2.Sigma) * rec2.SD / speed2
+	for i1, o1 := range rec1.Options {
+		pickup1 := o1.PickupDist / speed1
+		riderAtGateway := pickup1 + ride1 + s.cfg.TransferBufferSeconds
+		for i2, o2 := range rec2.Options {
+			boarding := math.Max(riderAtGateway, o2.PickupDist/speed2)
+			tr.options = append(tr.options, Option{
+				Gateway:       gi,
+				Leg1Index:     i1,
+				Leg2Index:     i2,
+				Leg1:          o1,
+				Leg2:          o2,
+				Fare:          o1.Price + o2.Price,
+				PickupSeconds: pickup1,
+				ETASeconds:    boarding + ride2,
+			})
+		}
+	}
+}
+
+// jointSkyline reduces the raw composed options to the non-dominated
+// set over (ETA, fare), sorted by ETA ascending — the §2 skyline
+// semantics lifted to two-leg itineraries.
+func (s *Scheduler) jointSkyline(raw []Option) []Option {
+	var sky skyline.Skyline[Option]
+	for _, o := range raw {
+		if sky.IsDominated(o.ETASeconds, o.Fare) || sky.ContainsPoint(o.ETASeconds, o.Fare) {
+			continue
+		}
+		sky.Add(o.ETASeconds, o.Fare, o)
+	}
+	entries := sky.Sorted()
+	out := make([]Option, len(entries))
+	for i, e := range entries {
+		out[i] = e.Payload
+	}
+	return out
+}
+
+// trip looks a live trip up.
+func (s *Scheduler) trip(id TripID) (*trip, error) {
+	s.mu.Lock()
+	tr, ok := s.trips[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("relay: unknown trip %d", id)
+	}
+	return tr, nil
+}
+
+// Choose commits option optionIndex of a quoted relay trip with the
+// two-phase protocol: probe both leg records, commit leg 1, commit
+// leg 2, and on a leg-2 failure release leg 1's reservation before
+// surfacing the error — both legs book, or neither stays booked. The
+// unused gateways' leg quotes are declined either way.
+func (s *Scheduler) Choose(id TripID, optionIndex int) error {
+	tr, err := s.trip(id)
+	if err != nil {
+		return err
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.state != StateQuoted {
+		return fmt.Errorf("relay: trip %d is %v, not quoted", id, tr.state)
+	}
+	if optionIndex < 0 || optionIndex >= len(tr.options) {
+		return fmt.Errorf("relay: option index %d outside [0,%d)", optionIndex, len(tr.options))
+	}
+	opt := tr.options[optionIndex]
+	engO, engD := s.cities[tr.oc].Engine, s.cities[tr.dc].Engine
+	leg1ID, leg2ID := tr.leg1Recs[opt.Gateway], tr.leg2Recs[opt.Gateway]
+
+	// Probe: both records must still be live quotes. The engines
+	// re-validate under their vehicle locks at commit; this pre-check
+	// just fails fast without touching vehicle state.
+	for _, probe := range []struct {
+		eng *core.Engine
+		id  core.RequestID
+		idx int
+	}{{engO, leg1ID, opt.Leg1Index}, {engD, leg2ID, opt.Leg2Index}} {
+		rec, err := probe.eng.Request(probe.id)
+		if err != nil {
+			s.abortLocked(tr)
+			return fmt.Errorf("relay: trip %d probe: %w", id, err)
+		}
+		if rec.Status != core.StatusQuoted || probe.idx >= len(rec.Options) {
+			s.abortLocked(tr)
+			return fmt.Errorf("relay: trip %d probe: leg record %d is %v", id, probe.id, rec.Status)
+		}
+	}
+
+	// Phase 1: book leg 1.
+	if err := s.commitLeg(1, engO, leg1ID, opt.Leg1Index); err != nil {
+		s.abortLocked(tr)
+		return fmt.Errorf("relay: trip %d leg 1: %w", id, err)
+	}
+	// Phase 2: book leg 2 — compensate leg 1 on failure.
+	if err := s.commitLeg(2, engD, leg2ID, opt.Leg2Index); err != nil {
+		if cerr := engO.CancelAssigned(leg1ID); cerr != nil {
+			// The rider was already picked up by a racing tick: leg 1
+			// then completes as an ordinary trip and still leaks no
+			// reservation; anything else is an engine inconsistency
+			// worth surfacing with the abort.
+			err = fmt.Errorf("%w (leg-1 release: %v)", err, cerr)
+		}
+		s.abortLocked(tr)
+		return fmt.Errorf("relay: trip %d leg 2: %w", id, err)
+	}
+
+	tr.state = StateLeg1Committed
+	tr.chosen = optionIndex
+	// The unused gateways' quotes are dead weight now; decline them.
+	s.declineLegsLocked(tr, opt.Gateway)
+	s.committed.Add(1)
+	s.mu.Lock()
+	s.active[tr.id] = tr
+	s.mu.Unlock()
+	return nil
+}
+
+// committedLegsLocked returns the committed legs' record ids. Caller
+// holds tr.mu; tr.chosen must be ≥ 0.
+func (tr *trip) committedLegsLocked() (leg1, leg2 core.RequestID) {
+	gw := tr.options[tr.chosen].Gateway
+	return tr.leg1Recs[gw], tr.leg2Recs[gw]
+}
+
+// Decline records that the rider took none of the joint options; every
+// leg quote is declined.
+func (s *Scheduler) Decline(id TripID) error {
+	tr, err := s.trip(id)
+	if err != nil {
+		return err
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.state != StateQuoted {
+		return fmt.Errorf("relay: trip %d is %v, not quoted", id, tr.state)
+	}
+	s.declineLegsLocked(tr, -1)
+	tr.state = StateDeclined
+	s.declined.Add(1)
+	return nil
+}
+
+// declineLegsLocked declines every still-quoted leg record except the
+// keep gateway's (-1 keeps none). Caller holds tr.mu.
+func (s *Scheduler) declineLegsLocked(tr *trip, keep int) {
+	engO, engD := s.cities[tr.oc].Engine, s.cities[tr.dc].Engine
+	for gi := range tr.gateways {
+		if gi == keep {
+			continue
+		}
+		_ = engO.Decline(tr.leg1Recs[gi])
+		_ = engD.Decline(tr.leg2Recs[gi])
+	}
+}
+
+// abortLocked ends a trip whose two-phase commit failed: every
+// still-quoted leg record is declined and the trip marked aborted.
+// Caller holds tr.mu.
+func (s *Scheduler) abortLocked(tr *trip) {
+	s.declineLegsLocked(tr, -1)
+	tr.state = StateAborted
+	s.aborted.Add(1)
+}
+
+// Trip returns a snapshot of a relay trip.
+func (s *Scheduler) Trip(id TripID) (*TripView, error) {
+	tr, err := s.trip(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.viewLocked(tr), nil
+}
+
+// viewLocked snapshots a trip. It takes tr.mu itself.
+func (s *Scheduler) viewLocked(tr *trip) *TripView {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tv := &TripView{
+		ID:                    tr.id,
+		Origin:                s.cities[tr.oc].Name,
+		Dest:                  s.cities[tr.dc].Name,
+		OriginVertex:          tr.o,
+		DestVertex:            tr.d,
+		Riders:                tr.riders,
+		State:                 tr.state,
+		Gateways:              append([]Gateway(nil), tr.gateways...),
+		Options:               append([]Option(nil), tr.options...),
+		Chosen:                tr.chosen,
+		TransferBufferSeconds: s.cfg.TransferBufferSeconds,
+	}
+	if tr.chosen >= 0 {
+		tv.Leg1, tv.Leg2 = tr.committedLegsLocked()
+	}
+	speed1 := s.cities[tr.oc].Engine.Speed()
+	tv.CoreOptions = make([]core.Option, len(tr.options))
+	for i, o := range tr.options {
+		tv.CoreOptions[i] = core.Option{
+			Vehicle:    o.Leg1.Vehicle,
+			PickupDist: o.ETASeconds * speed1,
+			Price:      o.Fare,
+		}
+	}
+	return tv
+}
+
+// Advance moves every committed trip's state machine forward by
+// observing its leg records — called once per router tick, after the
+// per-city movement phases. Completed and failed trips leave the
+// active set; a trip one leg's vehicle failure orphaned compensates
+// the surviving leg's reservation so nothing stays half-booked.
+func (s *Scheduler) Advance() {
+	s.mu.Lock()
+	worklist := make([]*trip, 0, len(s.active))
+	for _, tr := range s.active {
+		worklist = append(worklist, tr)
+	}
+	s.mu.Unlock()
+
+	for _, tr := range worklist {
+		tr.mu.Lock()
+		s.advanceLocked(tr)
+		done := tr.state.terminal()
+		id := tr.id
+		tr.mu.Unlock()
+		if done {
+			s.mu.Lock()
+			delete(s.active, id)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// advanceLocked recomputes a committed trip's stage from its leg
+// records' lifecycle states. Caller holds tr.mu.
+func (s *Scheduler) advanceLocked(tr *trip) {
+	if tr.state.terminal() || tr.state == StateQuoted {
+		return
+	}
+	engO, engD := s.cities[tr.oc].Engine, s.cities[tr.dc].Engine
+	leg1ID, leg2ID := tr.committedLegsLocked()
+	rec1, err1 := engO.Request(leg1ID)
+	rec2, err2 := engD.Request(leg2ID)
+	if err1 != nil || err2 != nil {
+		return // engine restarted under us; leave the trip as is
+	}
+	if rec1.Status == core.StatusDeclined || rec2.Status == core.StatusDeclined {
+		// A committed leg was orphaned (vehicle failure). Compensate
+		// the surviving leg so the relay leaks nothing, then fail.
+		if rec1.Status == core.StatusAssigned {
+			_ = engO.CancelAssigned(rec1.ID)
+		}
+		if rec2.Status == core.StatusAssigned {
+			_ = engD.CancelAssigned(rec2.ID)
+		}
+		tr.state = StateFailed
+		s.failed.Add(1)
+		return
+	}
+	next := tr.state
+	switch {
+	case rec1.Status == core.StatusCompleted && rec2.Status == core.StatusCompleted:
+		next = StateCompleted
+	case rec2.Status == core.StatusOnboard || rec2.Status == core.StatusCompleted:
+		// A leg-2 vehicle that reached the gateway early can complete
+		// its record before leg 1 lands; the trip is not complete —
+		// and must stay on the compensation worklist — until the rider
+		// actually made it across leg 1 too.
+		next = StateLeg2Active
+	case rec1.Status == core.StatusCompleted:
+		next = StateInTransfer
+	}
+	if next > tr.state {
+		tr.state = next
+		if next == StateCompleted {
+			s.completed.Add(1)
+		}
+	}
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.active))
+	s.mu.Unlock()
+	return Stats{
+		Quoted:    s.quoted.Load(),
+		LegQuotes: s.legQuotes.Load(),
+		Committed: s.committed.Load(),
+		Aborted:   s.aborted.Load(),
+		Declined:  s.declined.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Active:    active,
+	}
+}

@@ -1,0 +1,351 @@
+package relay_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/relay"
+	"ptrider/internal/roadnet"
+)
+
+// twinCities builds two engines over disjoint synthetic cities for
+// direct scheduler tests: "west" at the origin, "east" 20 km out.
+func twinCities(t testing.TB, taxisW, taxisE int, commitSlack float64) []relay.CityRef {
+	t.Helper()
+	gw, err := gen.GenerateNetwork(gen.CityConfig{Width: 10, Height: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := gen.GenerateNetwork(gen.CityConfig{Width: 8, Height: 8, OriginX: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Capacity: 4, Algorithm: core.AlgoDualSide, CommitSlack: commitSlack}
+	cfgW, cfgE := cfg, cfg
+	cfgW.Seed, cfgE.Seed = 1, 2
+	engW, err := core.NewEngine(gw, cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engE, err := core.NewEngine(ge, cfgE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engW.AddVehiclesUniform(taxisW)
+	engE.AddVehiclesUniform(taxisE)
+	return []relay.CityRef{
+		{Name: "west", Engine: engW, Region: gw.Bounds()},
+		{Name: "east", Engine: engE, Region: ge.Bounds()},
+	}
+}
+
+func TestGatewaySelection(t *testing.T) {
+	cities := twinCities(t, 4, 4, 0)
+	s, err := relay.New(cities, relay.Config{MaxGateways: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+	if len(tv.Gateways) == 0 {
+		t.Fatal("no gateways quoted")
+	}
+	gw, ge := cities[0].Engine.Graph(), cities[1].Engine.Graph()
+	seenFrom := map[roadnet.VertexID]bool{}
+	seenTo := map[roadnet.VertexID]bool{}
+	for i, g := range tv.Gateways {
+		if seenFrom[g.From] || seenTo[g.To] {
+			t.Fatalf("gateway %d reuses an endpoint: %+v", i, g)
+		}
+		seenFrom[g.From] = true
+		seenTo[g.To] = true
+		// The hand-off crosses the inter-city gap, so every pair's gap
+		// is at least the sea width minus the cities' extents — in this
+		// layout several kilometres — and From/To face each other:
+		// From on west's east edge, To on east's west edge.
+		if g.GapMeters <= 1000 {
+			t.Fatalf("gateway %d gap %.0f m implausibly small", i, g.GapMeters)
+		}
+		if p := gw.Point(g.From); p.X < gw.Bounds().Max.X-1500 {
+			t.Fatalf("gateway %d From at x=%.0f is not on the boundary (max %.0f)", i, p.X, gw.Bounds().Max.X)
+		}
+		if p := ge.Point(g.To); p.X > ge.Bounds().Min.X+1500 {
+			t.Fatalf("gateway %d To at x=%.0f is not on the boundary (min %.0f)", i, p.X, ge.Bounds().Min.X)
+		}
+	}
+}
+
+// quoteSomething quotes one west→east relay trip with a non-empty
+// joint skyline.
+func quoteSomething(t testing.TB, s *relay.Scheduler, cities []relay.CityRef) *relay.TripView {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	gw, ge := cities[0].Engine.Graph(), cities[1].Engine.Graph()
+	for attempt := 0; attempt < 50; attempt++ {
+		o := roadnet.VertexID(rng.Intn(gw.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(ge.NumVertices()))
+		tv, err := s.Quote(0, 1, o, d, 1, core.DefaultConstraints())
+		if err != nil {
+			t.Fatalf("quote: %v", err)
+		}
+		if len(tv.Options) > 0 {
+			return tv
+		}
+		_ = s.Decline(tv.ID)
+	}
+	t.Fatal("no relay quote produced options in 50 attempts")
+	return nil
+}
+
+func TestQuoteComposesJointSkyline(t *testing.T) {
+	cities := twinCities(t, 10, 8, 0)
+	buffer := 90.0
+	s, err := relay.New(cities, relay.Config{TransferBufferSeconds: buffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+
+	if tv.State != relay.StateQuoted || tv.Chosen != -1 {
+		t.Fatalf("fresh quote state = %v, chosen %d", tv.State, tv.Chosen)
+	}
+	if len(tv.CoreOptions) != len(tv.Options) {
+		t.Fatalf("core options (%d) not aligned with joint options (%d)", len(tv.CoreOptions), len(tv.Options))
+	}
+	speedW := cities[0].Engine.Speed()
+	for i, o := range tv.Options {
+		if o.Fare != o.Leg1.Price+o.Leg2.Price {
+			t.Fatalf("option %d fare %v != leg sum %v", i, o.Fare, o.Leg1.Price+o.Leg2.Price)
+		}
+		// The ETA chains the legs through the buffer: it can never beat
+		// leg-1 pickup + transfer buffer + the leg-2 ride, nor the
+		// leg-2 vehicle's own pickup plus that ride.
+		if o.ETASeconds < o.PickupSeconds+buffer {
+			t.Fatalf("option %d ETA %.0f ignores the %.0f s transfer buffer (pickup %.0f)", i, o.ETASeconds, buffer, o.PickupSeconds)
+		}
+		if o.PickupSeconds != o.Leg1.PickupDist/speedW {
+			t.Fatalf("option %d pickup %.1f s != leg-1 pickup dist / speed", i, o.PickupSeconds)
+		}
+		if tv.CoreOptions[i].Price != o.Fare {
+			t.Fatalf("core option %d price %v != fare %v", i, tv.CoreOptions[i].Price, o.Fare)
+		}
+		// Joint skyline: sorted by ETA, strictly improving fares.
+		if i > 0 {
+			prev := tv.Options[i-1]
+			if o.ETASeconds < prev.ETASeconds {
+				t.Fatalf("options not sorted by ETA at %d", i)
+			}
+			if o.Fare >= prev.Fare {
+				t.Fatalf("option %d (ETA %.0f, fare %.2f) dominated by %d (ETA %.0f, fare %.2f)",
+					i, o.ETASeconds, o.Fare, i-1, prev.ETASeconds, prev.Fare)
+			}
+		}
+	}
+}
+
+func TestChooseCommitsBothLegsAtomically(t *testing.T) {
+	cities := twinCities(t, 10, 8, 0)
+	s, err := relay.New(cities, relay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+	if err := s.Choose(tv.ID, 0); err != nil {
+		t.Fatalf("choose: %v", err)
+	}
+	after, err := s.Trip(tv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != relay.StateLeg1Committed {
+		t.Fatalf("state after choose = %v", after.State)
+	}
+	rec1, err := cities[0].Engine.Request(after.Leg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := cities[1].Engine.Request(after.Leg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Status != core.StatusAssigned || rec2.Status != core.StatusAssigned {
+		t.Fatalf("leg statuses after choose: %v / %v", rec1.Status, rec2.Status)
+	}
+	// Every leg quote this trip issued is now either committed or
+	// declined — nothing lingers quoted in either engine.
+	for _, ref := range []relay.CityRef{cities[0], cities[1]} {
+		st := ref.Engine.Stats()
+		if st.Requests != st.Assigned+st.Declined {
+			t.Fatalf("%s: %d requests but %d assigned + %d declined", ref.Name, st.Requests, st.Assigned, st.Declined)
+		}
+	}
+	// Double choose is refused.
+	if err := s.Choose(tv.ID, 0); err == nil {
+		t.Fatal("second choose succeeded")
+	}
+	if err := cities[0].Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cities[1].Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Committed != 1 || st.Active != 1 {
+		t.Fatalf("stats after choose: %+v", st)
+	}
+}
+
+// TestChooseLeg2FailureReleasesLeg1 is the relay atomicity guarantee:
+// a leg-2 commit failure (injected through the commit seam, since a
+// real mid-commit failure is not deterministically reachable) must
+// release leg 1's vehicle reservation — no half-booked relay.
+func TestChooseLeg2FailureReleasesLeg1(t *testing.T) {
+	cities := twinCities(t, 10, 8, 0)
+	s, err := relay.New(cities, relay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+	opt := tv.Options[0]
+	leg1ID := legRecordID(t, s, cities, tv, 0)
+
+	s.SetCommitOverride(func(leg int, eng *core.Engine, id core.RequestID, idx int) error {
+		if leg == 2 {
+			return fmt.Errorf("injected leg-2 failure")
+		}
+		return eng.Choose(id, idx)
+	})
+	if err := s.Choose(tv.ID, 0); err == nil {
+		t.Fatal("choose succeeded despite leg-2 failure")
+	}
+	s.SetCommitOverride(nil)
+
+	// Leg 1's record ended declined, and the quoted vehicle carries no
+	// pending request for it — the reservation was released.
+	rec1, err := cities[0].Engine.Request(leg1ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Status != core.StatusDeclined {
+		t.Fatalf("leg-1 record after abort = %v, want declined", rec1.Status)
+	}
+	loc, _, err := cities[0].Engine.VehicleSchedules(opt.Leg1.Vehicle)
+	_ = loc
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cities[0].Engine.VehicleViews(0) {
+		if v.ID == opt.Leg1.Vehicle && v.Pending != 0 {
+			t.Fatalf("leg-1 vehicle %d still holds %d pending requests", v.ID, v.Pending)
+		}
+	}
+	after, err := s.Trip(tv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != relay.StateAborted {
+		t.Fatalf("trip state after abort = %v", after.State)
+	}
+	if err := cities[0].Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Aborted != 1 || st.Committed != 0 || st.Active != 0 {
+		t.Fatalf("stats after abort: %+v", st)
+	}
+}
+
+// legRecordID digs the chosen option's leg-1 record id out of a trip
+// view via the scheduler (the view exposes committed legs only after
+// commit, so tests read it pre-commit through the option's gateway).
+func legRecordID(t *testing.T, s *relay.Scheduler, cities []relay.CityRef, tv *relay.TripView, optIdx int) core.RequestID {
+	t.Helper()
+	// The leg-1 quote is the newest quoted record ending at the
+	// gateway: find it by scanning the engine's id space backwards is
+	// not exposed, so instead recover it after the abort via the trip
+	// view — Choose stores committed ids, but an aborted trip declines
+	// them. Simplest: quote ids are dense per engine, and the leg-1
+	// records were created by this trip's Quote; walk recent ids.
+	eng := cities[0].Engine
+	opt := tv.Options[optIdx]
+	for id := core.RequestID(1); ; id++ {
+		rec, err := eng.Request(id)
+		if err != nil {
+			break
+		}
+		if rec.D == tv.Gateways[opt.Gateway].From && rec.S == tv.OriginVertex && rec.Status == core.StatusQuoted {
+			return rec.ID
+		}
+	}
+	t.Fatal("leg-1 record not found")
+	return 0
+}
+
+func TestDeclineReleasesAllLegQuotes(t *testing.T) {
+	cities := twinCities(t, 10, 8, 0)
+	s, err := relay.New(cities, relay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+	if err := s.Decline(tv.ID); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Trip(tv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.State != relay.StateDeclined {
+		t.Fatalf("state after decline = %v", after.State)
+	}
+	if err := s.Choose(tv.ID, 0); err == nil {
+		t.Fatal("choose after decline succeeded")
+	}
+	// No quoted leg record of this trip remains.
+	for _, ref := range []relay.CityRef{cities[0], cities[1]} {
+		st := ref.Engine.Stats()
+		if st.Requests != st.Declined {
+			t.Fatalf("%s: %d requests but only %d declined after trip decline", ref.Name, st.Requests, st.Declined)
+		}
+	}
+}
+
+// TestRelayTripCompletesEndToEnd drives both engines' clocks until a
+// committed relay trip's ledger walks quoted → leg1-committed →
+// (in-transfer | leg2-active)* → completed.
+func TestRelayTripCompletesEndToEnd(t *testing.T) {
+	cities := twinCities(t, 12, 10, 0.5)
+	s, err := relay.New(cities, relay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := quoteSomething(t, s, cities)
+	if err := s.Choose(tv.ID, 0); err != nil {
+		t.Fatalf("choose: %v", err)
+	}
+	seen := map[relay.State]bool{}
+	for tick := 0; tick < 5000; tick++ {
+		if _, err := cities[0].Engine.Tick(2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cities[1].Engine.Tick(2); err != nil {
+			t.Fatal(err)
+		}
+		s.Advance()
+		cur, err := s.Trip(tv.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[cur.State] = true
+		if cur.State == relay.StateCompleted {
+			if st := s.Stats(); st.Completed != 1 || st.Active != 0 {
+				t.Fatalf("stats after completion: %+v", st)
+			}
+			return
+		}
+		if cur.State == relay.StateFailed || cur.State == relay.StateAborted {
+			t.Fatalf("trip ended %v", cur.State)
+		}
+	}
+	t.Fatalf("trip did not complete; states seen: %v", seen)
+}

@@ -12,13 +12,20 @@
 //
 // A request body either names the city and city-local vertices, or
 // gives planar coordinates (ox/oy → dx/dy) and lets the router assign
-// the city by origin; a cross-city pair is rejected with 422 and a
-// typed error message. Request ids are global across cities.
+// the city by origin. A cross-city pair is served as a two-leg relay
+// trip when the router enables relay scheduling — the response then
+// carries a "relay" section with the gateways, the joint skyline's
+// per-leg breakdown and the trip state — and rejected with 422 and a
+// typed error message otherwise. Request ids are global across cities
+// (relay trips negative).
+//
+//	GET  /api/relay?id=-3          one relay trip's two-leg status
 //
 // Website interface:
 //
 //	GET  /api/cities               city names, regions, fleet sizes
 //	GET  /api/stats                per-city panels plus aggregate totals
+//	                               (and the relay panel when enabled)
 //	GET  /api/vehicles?city=east   one city's fleet positions
 //	GET  /api/taxi?city=east&id=3  one taxi's schedules
 //	GET  /api/map?city=east        one city's ASCII map
@@ -36,6 +43,7 @@ import (
 	"ptrider/internal/fleet"
 	"ptrider/internal/geo"
 	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
 	"ptrider/internal/roadnet"
 )
 
@@ -50,6 +58,7 @@ func NewMulti(router *multicity.Router) *MultiServer {
 	s := &MultiServer{router: router, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/cities", s.handleCities)
 	s.mux.HandleFunc("/api/request", s.handleRequest)
+	s.mux.HandleFunc("/api/relay", s.handleRelay)
 	s.mux.HandleFunc("/api/choose", s.handleChoose)
 	s.mux.HandleFunc("/api/decline", s.handleDecline)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
@@ -72,10 +81,84 @@ func (s *MultiServer) cityOf(rec *multicity.Record) (*core.Engine, error) {
 	return s.router.Engine(rec.City)
 }
 
-// cityRequestView is requestView plus the owning city.
+// cityRequestView is requestView plus the owning city and, for a
+// cross-city trip served by relay, the two-leg breakdown. A relay
+// record's plain option rows carry the composed fare as price and the
+// composed door-to-destination ETA as pickup time — the relay section
+// holds the per-leg truth.
 type cityRequestView struct {
 	requestView
-	City string `json:"city"`
+	City  string         `json:"city"`
+	Relay *relayTripView `json:"relay,omitempty"`
+}
+
+// relayGatewayView is one hand-off pair of a relay trip.
+type relayGatewayView struct {
+	From      int32   `json:"from"`
+	To        int32   `json:"to"`
+	GapMeters float64 `json:"gap_meters"`
+}
+
+// relayOptionView is one row of the joint skyline with its per-leg
+// breakdown (Fig. 4b lifted to two legs).
+type relayOptionView struct {
+	Index         int     `json:"index"`
+	Gateway       int     `json:"gateway"`
+	Fare          float64 `json:"fare"`
+	Leg1Price     float64 `json:"leg1_price"`
+	Leg2Price     float64 `json:"leg2_price"`
+	Leg1Vehicle   int32   `json:"leg1_vehicle"`
+	Leg2Vehicle   int32   `json:"leg2_vehicle"`
+	PickupSeconds float64 `json:"pickup_seconds"`
+	ETASeconds    float64 `json:"eta_seconds"`
+}
+
+// relayTripView is a relay trip's status: the state machine stage, the
+// gateways, the joint skyline and — once committed — the two leg
+// record ids (city-local to origin and destination).
+type relayTripView struct {
+	RequestID             int64              `json:"request_id"`
+	Origin                string             `json:"origin"`
+	Dest                  string             `json:"dest"`
+	State                 string             `json:"state"`
+	TransferBufferSeconds float64            `json:"transfer_buffer_seconds"`
+	Gateways              []relayGatewayView `json:"gateways"`
+	Options               []relayOptionView  `json:"options"`
+	Chosen                int                `json:"chosen"`
+	Leg1                  int64              `json:"leg1,omitempty"`
+	Leg2                  int64              `json:"leg2,omitempty"`
+}
+
+func relayTripViewFor(id core.RequestID, tv *relay.TripView) *relayTripView {
+	out := &relayTripView{
+		RequestID:             int64(id),
+		Origin:                tv.Origin,
+		Dest:                  tv.Dest,
+		State:                 tv.State.String(),
+		TransferBufferSeconds: tv.TransferBufferSeconds,
+		Gateways:              make([]relayGatewayView, len(tv.Gateways)),
+		Options:               make([]relayOptionView, len(tv.Options)),
+		Chosen:                tv.Chosen,
+		Leg1:                  int64(tv.Leg1),
+		Leg2:                  int64(tv.Leg2),
+	}
+	for i, g := range tv.Gateways {
+		out.Gateways[i] = relayGatewayView{From: g.From, To: g.To, GapMeters: g.GapMeters}
+	}
+	for i, o := range tv.Options {
+		out.Options[i] = relayOptionView{
+			Index:         i,
+			Gateway:       o.Gateway,
+			Fare:          o.Fare,
+			Leg1Price:     o.Leg1.Price,
+			Leg2Price:     o.Leg2.Price,
+			Leg1Vehicle:   o.Leg1.Vehicle,
+			Leg2Vehicle:   o.Leg2.Vehicle,
+			PickupSeconds: o.PickupSeconds,
+			ETASeconds:    o.ETASeconds,
+		}
+	}
+	return out
 }
 
 func (s *MultiServer) recordView(rec *multicity.Record) (cityRequestView, error) {
@@ -84,7 +167,11 @@ func (s *MultiServer) recordView(rec *multicity.Record) (cityRequestView, error)
 		return cityRequestView{}, err
 	}
 	rv := requestViewFor(eng, &rec.RequestRecord)
-	return cityRequestView{requestView: rv, City: rec.City}, nil
+	out := cityRequestView{requestView: rv, City: rec.City}
+	if rec.Relay != nil {
+		out.Relay = relayTripViewFor(rec.ID, rec.Relay)
+	}
+	return out, nil
 }
 
 type cityView struct {
@@ -199,6 +286,31 @@ func (s *MultiServer) handleRequest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRelay answers GET /api/relay?id=-3 with one relay trip's
+// two-leg status. The id is the (negative) global request id the
+// request endpoint returned; a positive value is accepted as shorthand
+// for its negation.
+func (s *MultiServer) handleRelay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
+		return
+	}
+	if id > 0 {
+		id = -id
+	}
+	tv, err := s.router.RelayTrip(core.RequestID(id))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, relayTripViewFor(core.RequestID(id), tv))
+}
+
 func (s *MultiServer) handleChoose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
@@ -244,10 +356,14 @@ func (s *MultiServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.router.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"total":  st.Total,
 		"cities": st.Cities,
-	})
+	}
+	if st.RelayEnabled {
+		out["relay"] = st.Relay
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // cityQuery resolves the mandatory ?city= parameter.

@@ -246,3 +246,131 @@ func TestMultiCityScopedViews(t *testing.T) {
 		t.Fatalf("map content type %q", ct)
 	}
 }
+
+// newRelayMultiServer spins a relay-enabled two-city router behind the
+// multi-city HTTP layer.
+func newRelayMultiServer(t *testing.T) (*httptest.Server, *multicity.Router) {
+	t.Helper()
+	router, err := multicity.BuildFromSpecWithConfig("east:10x10:10,west:8x8:8",
+		core.Config{Capacity: 4, Algorithm: core.AlgoDualSide}, 5,
+		multicity.RouterConfig{EnableRelay: true})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	ts := httptest.NewServer(server.NewMulti(router).Handler())
+	t.Cleanup(ts.Close)
+	return ts, router
+}
+
+// relayRequestHTTP posts cross-city coordinate requests until one
+// quotes a non-empty joint skyline, returning its decoded body.
+func relayRequestHTTP(t *testing.T, ts *httptest.Server, router *multicity.Router) map[string]json.RawMessage {
+	t.Helper()
+	engE, _ := router.Engine("east")
+	engW, _ := router.Engine("west")
+	ge, gw := engE.Graph(), engW.Graph()
+	for attempt := 0; attempt < 50; attempt++ {
+		o := ge.Point(engE.RandomVertex())
+		d := gw.Point(engW.RandomVertex())
+		resp, out := postJSON(t, ts.URL+"/api/request", map[string]any{
+			"ox": o.X, "oy": o.Y, "dx": d.X, "dy": d.Y, "riders": 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("relay request status %d: %v", resp.StatusCode, out)
+		}
+		var options []map[string]any
+		json.Unmarshal(out["options"], &options)
+		if len(options) > 0 {
+			return out
+		}
+		var id int64
+		json.Unmarshal(out["id"], &id)
+		postJSON(t, ts.URL+"/api/decline", map[string]any{"id": id})
+	}
+	t.Fatal("no relay quote produced options in 50 attempts")
+	return nil
+}
+
+func TestMultiRelayRequestChooseAndStatus(t *testing.T) {
+	ts, router := newRelayMultiServer(t)
+	out := relayRequestHTTP(t, ts, router)
+
+	var id int64
+	json.Unmarshal(out["id"], &id)
+	if id >= 0 {
+		t.Fatalf("relay record id %d not negative", id)
+	}
+	var rv struct {
+		Origin  string `json:"origin"`
+		Dest    string `json:"dest"`
+		State   string `json:"state"`
+		Options []struct {
+			Fare      float64 `json:"fare"`
+			Leg1Price float64 `json:"leg1_price"`
+			Leg2Price float64 `json:"leg2_price"`
+		} `json:"options"`
+	}
+	if err := json.Unmarshal(out["relay"], &rv); err != nil {
+		t.Fatalf("no relay section: %v (%s)", err, out["relay"])
+	}
+	if rv.Origin != "east" || rv.Dest != "west" || rv.State != "quoted" {
+		t.Fatalf("relay section = %+v", rv)
+	}
+	for i, o := range rv.Options {
+		if o.Fare != o.Leg1Price+o.Leg2Price {
+			t.Fatalf("option %d fare %v != leg sum", i, o.Fare)
+		}
+	}
+
+	// Choose commits both legs through the ordinary choose endpoint.
+	resp, body := postJSON(t, ts.URL+"/api/choose", map[string]any{"id": id, "option": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("choose status %d: %v", resp.StatusCode, body)
+	}
+
+	// The relay status endpoint reports the committed trip.
+	var st struct {
+		State string `json:"state"`
+		Leg1  int64  `json:"leg1"`
+		Leg2  int64  `json:"leg2"`
+	}
+	resp = getJSON(t, fmt.Sprintf("%s/api/relay?id=%d", ts.URL, id), &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("relay status %d", resp.StatusCode)
+	}
+	if st.State != "leg1-committed" || st.Leg1 == 0 || st.Leg2 == 0 {
+		t.Fatalf("relay trip status = %+v", st)
+	}
+
+	// The stats panel carries the relay section.
+	var stats map[string]json.RawMessage
+	getJSON(t, ts.URL+"/api/stats", &stats)
+	var rstats struct {
+		Quoted    int64 `json:"Quoted"`
+		Committed int64 `json:"Committed"`
+	}
+	if err := json.Unmarshal(stats["relay"], &rstats); err != nil {
+		t.Fatalf("stats relay section: %v", err)
+	}
+	if rstats.Quoted == 0 || rstats.Committed != 1 {
+		t.Fatalf("relay stats = %+v", rstats)
+	}
+
+	// Ticking advances the trip's ledger alongside the fleets.
+	resp, body = postJSON(t, ts.URL+"/api/tick", map[string]any{"seconds": 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d: %v", resp.StatusCode, body)
+	}
+}
+
+func TestMultiRelayDisabled(t *testing.T) {
+	ts, _ := newMultiServer(t)
+	r, err := http.Get(ts.URL + "/api/relay?id=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("relay endpoint without relay = %d, want 404", r.StatusCode)
+	}
+}

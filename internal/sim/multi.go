@@ -3,9 +3,11 @@
 // city owning its origin, rider choice models pick options, and every
 // city's fleet moves concurrently on each tick. The generator skews
 // load across cities and injects a configurable fraction of cross-city
-// trips, which the router rejects with its typed error — the workload
-// that demonstrates both per-city isolation and the current cross-city
-// limitation.
+// trips; a relay-enabled router serves those as two-leg relay trips
+// (counted as relayed and then accepted/declined like any other),
+// while a plain router rejects them with its typed error — so the same
+// workload demonstrates per-city isolation, relay scheduling, or the
+// rejection behaviour, depending on the router's configuration.
 package sim
 
 import (
@@ -29,7 +31,8 @@ type MultiTrip struct {
 	// Riders is the group size.
 	Riders int
 	// Cross marks a trip whose destination was deliberately moved to
-	// another city (the router will reject it).
+	// another city (served by relay when the router enables it,
+	// rejected with the typed error otherwise).
 	Cross bool
 	// City is the origin city the generator drew the trip from (for
 	// assertions; the router re-derives it from O).
@@ -48,8 +51,9 @@ type MultiWorkloadConfig struct {
 	// city.
 	Weights map[string]float64
 	// CrossFrac moves this fraction of each city's trips' destinations
-	// into another city (0 = none; must be < 1). The router rejects
-	// them — they exercise the typed cross-city error path.
+	// into another city (0 = none; must be < 1). A relay-enabled
+	// router serves them as two-leg relay trips; a plain router
+	// rejects them through the typed cross-city error path.
 	CrossFrac float64
 	// Seed makes generation deterministic.
 	Seed int64
@@ -158,12 +162,17 @@ func GenerateMultiWorkload(r *multicity.Router, cfg MultiWorkloadConfig) ([]Mult
 	return out, nil
 }
 
-// CityResult is one city's slice of a multi-city replay.
+// CityResult is one city's slice of a multi-city replay. Relay trips
+// count toward their origin city (which also answers their leg-1
+// quotes).
 type CityResult struct {
 	Submitted int
 	Accepted  int
 	Declined  int
 	NoOption  int
+	// Relayed counts the city's submitted trips that were cross-city
+	// and served through relay scheduling.
+	Relayed int
 }
 
 // MultiResult aggregates a multi-city replay.
@@ -171,26 +180,35 @@ type MultiResult struct {
 	// Submitted counts trips offered to the router (including rejected
 	// cross-city trips).
 	Submitted int
-	// CrossRejected counts trips the router rejected as cross-city.
+	// CrossRejected counts trips the router rejected as cross-city —
+	// zero when the router serves them by relay instead.
 	CrossRejected int
 	// NoCity counts trips whose origin no city serves (0 with
 	// generated workloads).
 	NoCity int
 	// Accepted / Declined / NoOption mirror the single-city simulator.
+	// Relay trips classify like any other: a committed relay counts
+	// accepted, an empty joint skyline counts no-option.
 	Accepted int
 	Declined int
 	NoOption int
-	// PerCity breaks the served trips down by owning city.
+	// Relayed counts cross-city trips quoted through relay scheduling
+	// (each also lands in exactly one of Accepted/Declined/NoOption).
+	Relayed int
+	// PerCity breaks the served trips down by owning city (relay trips
+	// by origin city).
 	PerCity map[string]CityResult
-	// Stats is the router's final aggregated panel.
+	// Stats is the router's final aggregated panel, including the
+	// relay scheduler's own counters when relay is enabled.
 	Stats multicity.Stats
 }
 
 // RunMulti replays a multi-city workload against the router: trips are
-// submitted by coordinate at their due tick, a rider model chooses,
-// and the router's parallel Tick moves every city's fleet. Cross-city
-// trips must be pre-labelled by the generator; their rejection is
-// counted, not fatal.
+// submitted by coordinate at their due tick, a rider model chooses
+// (relay trips through their synthesised joint options), and the
+// router's parallel Tick moves every city's fleet and the relay
+// ledger. Cross-city trips are served when the router relays and
+// counted as typed rejections when it does not; neither is fatal.
 func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult, error) {
 	for i := 1; i < len(trips); i++ {
 		if trips[i].Time < trips[i-1].Time {
@@ -245,8 +263,15 @@ func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult,
 		}
 		clock += cfg.TickSeconds
 
-		if next >= len(trips) && r.Stats().Total.Completed >= int64(res.Accepted) {
-			break // drained
+		if next >= len(trips) {
+			// Drained when every accepted trip's engine-level completions
+			// landed: one per ordinary trip, two per committed relay trip
+			// (each leg completes in its own city). Failed relays produce
+			// fewer; the EndSeconds bound covers that tail.
+			st := r.Stats()
+			if st.Total.Completed >= int64(res.Accepted)+st.Relay.Committed {
+				break
+			}
 		}
 	}
 	res.Stats = r.Stats()
@@ -271,9 +296,19 @@ func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand
 	city := res.PerCity[rec.City]
 	city.Submitted++
 	defer func() { res.PerCity[rec.City] = city }()
+	if rec.Relay != nil {
+		res.Relayed++
+		city.Relayed++
+	}
 	if len(rec.Options) == 0 {
 		res.NoOption++
 		city.NoOption++
+		if rec.Relay != nil {
+			// Release the relay trip's leg quotes eagerly; a single-city
+			// quote holds no resources, but a relay quote owns one leg
+			// record per gateway in two cities.
+			return r.Decline(rec.ID)
+		}
 		return nil
 	}
 	pick := choice.Choose(rec.Options, rng)
@@ -287,6 +322,11 @@ func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand
 		// expected; the trip ends declined rather than failing the run.
 		res.Declined++
 		city.Declined++
+		if rec.Relay != nil {
+			// A failed two-phase commit already aborted the relay trip
+			// and released every leg; there is nothing left to decline.
+			return nil
+		}
 		return r.Decline(rec.ID)
 	}
 	res.Accepted++

@@ -159,3 +159,94 @@ func TestRunMultiServesTwoCitiesWithIsolatedStats(t *testing.T) {
 		t.Fatalf("post-run invariants: %v", err)
 	}
 }
+
+// TestRunMultiServesCrossViaRelay replays a cross-heavy workload
+// against a relay-enabled router: the cross fraction must be served
+// (classified relayed + accepted/declined/no-option), not counted as
+// rejection traffic, and the relay panel must reflect the outcomes.
+func TestRunMultiServesCrossViaRelay(t *testing.T) {
+	r, err := multicity.BuildFromSpecWithConfig("east:8x8:10,west:6x6:8",
+		core.Config{GridCols: 4, GridRows: 4, Capacity: 4, Algorithm: core.AlgoDualSide, CommitSlack: 0.3}, 17,
+		multicity.RouterConfig{EnableRelay: true})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	trips, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips:   150,
+		DaySeconds: 900,
+		CrossFrac:  0.25,
+		Seed:       18,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cross := 0
+	for _, tr := range trips {
+		if tr.Cross {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("workload has no cross trips")
+	}
+
+	res, err := sim.RunMulti(r, trips, sim.Config{TickSeconds: 2, Seed: 18, DrainSeconds: 600})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.CrossRejected != 0 {
+		t.Fatalf("relay-enabled run rejected %d cross trips", res.CrossRejected)
+	}
+	if res.Relayed != cross {
+		t.Fatalf("relayed %d != cross trips %d", res.Relayed, cross)
+	}
+	if res.Accepted+res.Declined+res.NoOption != res.Submitted {
+		t.Fatalf("classification leaks: %d + %d + %d != %d submitted",
+			res.Accepted, res.Declined, res.NoOption, res.Submitted)
+	}
+	perCityRelayed := 0
+	for _, pc := range res.PerCity {
+		perCityRelayed += pc.Relayed
+	}
+	if perCityRelayed != res.Relayed {
+		t.Fatalf("per-city relayed %d != total %d", perCityRelayed, res.Relayed)
+	}
+	rs := res.Stats.Relay
+	if !res.Stats.RelayEnabled || rs.Quoted != int64(cross) {
+		t.Fatalf("relay panel quoted %d, want %d", rs.Quoted, cross)
+	}
+	if rs.Committed == 0 {
+		t.Fatal("no relay trip committed; workload too sparse to exercise relay")
+	}
+	if rs.Completed == 0 {
+		t.Fatal("no relay trip completed within the drain window")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMultiStillRejectsWithoutRelay pins the opt-in: the same
+// workload against a plain router keeps the typed rejection counts.
+func TestRunMultiStillRejectsWithoutRelay(t *testing.T) {
+	r := twinRouter(t)
+	trips, err := sim.GenerateMultiWorkload(r, sim.MultiWorkloadConfig{
+		NumTrips: 60, DaySeconds: 300, CrossFrac: 0.3, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := 0
+	for _, tr := range trips {
+		if tr.Cross {
+			cross++
+		}
+	}
+	res, err := sim.RunMulti(r, trips, sim.Config{TickSeconds: 2, Seed: 19, DrainSeconds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossRejected != cross || res.Relayed != 0 {
+		t.Fatalf("plain router: rejected %d (want %d), relayed %d", res.CrossRejected, cross, res.Relayed)
+	}
+}

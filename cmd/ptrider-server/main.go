@@ -1,32 +1,35 @@
-// Command ptrider-server runs the PTRider demo service: the smartphone
-// interface (request → options → choice) and the website interface
-// (statistics, schedules, parameters) as a JSON API over HTTP, backed
-// by a synthetic city with roaming taxis.
+// Command ptrider-server runs the PTRider service: the versioned /v1
+// JSON API (requests, choices, vehicles, cities, relay itineraries,
+// ticks, stats, an SSE event stream) plus the demo-era /api aliases,
+// backed by a synthetic city with roaming taxis.
 //
 // With -cities, the server runs the multi-city router instead: one
 // independent engine per city, requests assigned to cities by origin
-// coordinate, and a city dimension in every view (see
-// internal/server's multi-city endpoint reference).
+// coordinate — and, with -relay, cross-city trips served as two-leg
+// relay itineraries. Single- and multi-city modes serve the identical
+// HTTP surface: both backends implement the same core Service
+// interface behind one handler set (see internal/server).
 //
 // With -realtime, simulated time advances with wall-clock time in the
-// background, like the live demo; otherwise advance it manually via
-// POST /api/tick.
+// background, like the live demo, feeding GET /v1/events; otherwise
+// advance it manually via POST /v1/ticks.
 //
 // Usage:
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
 //	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200" -relay
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server for the full reference):
 //
-//	POST /api/request {"s":12,"d":17,"riders":2}          (single city)
-//	POST /api/request {"city":"east","s":12,"d":17,...}   (multi-city)
-//	POST /api/request {"ox":..,"oy":..,"dx":..,"dy":..}   (multi-city, by coordinate)
-//	POST /api/choose  {"id":1,"option":0}
-//	GET  /api/stats · GET /api/cities
-//	GET  /api/taxi?id=3           (multi-city: &city=east)
-//	GET  /api/params · POST /api/params
-//	POST /api/tick    {"seconds":5}
+//	POST /v1/requests                {"s":12,"d":17,"riders":2} · {"city":"east",...}
+//	                                 · {"ox":..,"oy":..,"dx":..,"dy":..} · {"requests":[...]}
+//	GET  /v1/requests/{id} · POST /v1/requests/{id}/choice · POST /v1/requests/{id}/decline
+//	GET  /v1/vehicles[/{id}] · GET /v1/cities · GET /v1/relay/{id}
+//	POST /v1/ticks {"seconds":5} · GET /v1/stats · GET /v1/events (SSE)
+//	GET/POST /v1/params · GET /v1/map · GET /healthz
+//	(legacy aliases: /api/request, /api/choose, /api/decline, /api/stats,
+//	 /api/taxi, /api/params, /api/tick, /api/vehicles, /api/map,
+//	 /api/cities, /api/relay)
 package main
 
 import (
@@ -36,8 +39,8 @@ import (
 	"net/http"
 	"time"
 
-	"ptrider"
 	"ptrider/internal/core"
+	"ptrider/internal/gen"
 	"ptrider/internal/multicity"
 	"ptrider/internal/server"
 )
@@ -56,28 +59,19 @@ func main() {
 	)
 	flag.Parse()
 
-	if *cities != "" {
-		if err := runMulti(*addr, *cities, *algo, *seed, *realtime, *relayOn); err != nil {
-			log.Fatalf("ptrider-server: %v", err)
-		}
-		return
-	}
-
-	net, err := ptrider.GenerateCity(ptrider.CityConfig{Width: *width, Height: *height, Seed: *seed})
+	svc, banner, err := buildService(*cities, *width, *height, *taxis, *algo, *seed, *relayOn)
 	if err != nil {
 		log.Fatalf("ptrider-server: %v", err)
 	}
-	sys, err := ptrider.New(net, ptrider.Config{NumTaxis: *taxis, Algorithm: *algo, Seed: *seed})
-	if err != nil {
-		log.Fatalf("ptrider-server: %v", err)
-	}
+	srv := server.NewService(svc)
 
 	if *realtime {
 		go func() {
 			ticker := time.NewTicker(time.Second)
 			defer ticker.Stop()
 			for range ticker.C {
-				if _, err := sys.Tick(1); err != nil {
+				// Ticking through the server feeds /v1/events too.
+				if err := srv.Tick(1); err != nil {
 					log.Printf("ptrider-server: tick: %v", err)
 					return
 				}
@@ -85,46 +79,39 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("PTRider serving %d taxis on a %dx%d city at %s (realtime=%v)\n",
-		*taxis, *width, *height, *addr, *realtime)
-	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler()))
+	fmt.Printf("PTRider serving %s at %s (realtime=%v)\n", banner, *addr, *realtime)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 
-// runMulti serves a multi-city router built from the compact spec,
-// optionally with relay scheduling for cross-city trips.
-func runMulti(addr, spec, algoName string, seed int64, realtime, relayOn bool) error {
+// buildService constructs the backend: a single-city engine, or a
+// multi-city router from the compact spec. Both implement the same
+// core.Service, so the caller serves them identically.
+func buildService(cities string, width, height, taxis int, algoName string, seed int64, relayOn bool) (core.Service, string, error) {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	router, err := multicity.BuildFromSpecWithConfig(spec, core.Config{Algorithm: algo}, seed,
-		multicity.RouterConfig{EnableRelay: relayOn})
-	if err != nil {
-		return err
-	}
-
-	if realtime {
-		go func() {
-			ticker := time.NewTicker(time.Second)
-			defer ticker.Stop()
-			for range ticker.C {
-				if _, err := router.Tick(1); err != nil {
-					log.Printf("ptrider-server: tick: %v", err)
-					return
-				}
-			}
-		}()
-	}
-
-	total := 0
-	for _, name := range router.CityNames() {
-		eng, err := router.Engine(name)
+	if cities != "" {
+		router, err := multicity.BuildFromSpecWithConfig(cities, core.Config{Algorithm: algo}, seed,
+			multicity.RouterConfig{EnableRelay: relayOn})
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		total += eng.NumVehicles()
+		total := 0
+		for _, c := range router.Cities() {
+			total += c.Vehicles
+		}
+		return router, fmt.Sprintf("%d cities (%d taxis total, relay=%v)",
+			router.NumCities(), total, router.RelayEnabled()), nil
 	}
-	fmt.Printf("PTRider serving %d cities (%d taxis total) at %s (realtime=%v, relay=%v)\n",
-		router.NumCities(), total, addr, realtime, router.RelayEnabled())
-	return http.ListenAndServe(addr, server.NewMulti(router).Handler())
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: width, Height: height, Seed: seed})
+	if err != nil {
+		return nil, "", err
+	}
+	eng, err := core.NewEngine(g, core.Config{Algorithm: algo, Seed: seed})
+	if err != nil {
+		return nil, "", err
+	}
+	eng.AddVehiclesUniform(taxis)
+	return eng, fmt.Sprintf("%d taxis on a %dx%d city", taxis, width, height), nil
 }

@@ -121,7 +121,8 @@ func parseWeights(s string) (map[string]float64, error) {
 	return out, nil
 }
 
-// runMulti replays a skewed multi-city day against the router and
+// runMulti replays a skewed multi-city day against the router — driven
+// through the core Service interface, like every other transport — and
 // prints per-city panels plus the aggregate (and the relay panel when
 // relay scheduling is on).
 func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64) error {

@@ -2,15 +2,20 @@
 // "metro" and a smaller "harbour" city, each with its own road network,
 // fleet and engine, served concurrently by the multi-city router.
 //
+// Since PR 5 the whole scenario runs on the supported public surface:
+// ptrider.NewMulti builds the system, RequestAt/Choose/Tick are the
+// same verbs a single-city caller uses, Request.Relay carries the
+// two-leg itinerary of a cross-city trip, and CityStats/RelayStats
+// expose the per-city and relay panels — no internal package needed.
+//
 // The workload is deliberately skewed (metro takes 3x the traffic) and
 // includes a slice of cross-city trips. With relay scheduling enabled
-// (PR 4) those are no longer rejected: each is quoted as two
-// coordinated legs over hand-off gateways at the water's edge, its
-// joint price/time skyline composed from the per-city quotes, and both
-// legs committed atomically. The run demonstrates the relay acceptance
-// criteria: cross-city demand served end to end — quoted, committed,
-// handed off and completed — next to isolated per-city panels and
-// correctly aggregated totals.
+// each is quoted as two coordinated legs over hand-off gateways at the
+// water's edge, its joint price/time skyline composed from the per-city
+// quotes, and both legs committed atomically. The run demonstrates the
+// acceptance criteria: cross-city demand served end to end — quoted,
+// committed, handed off and completed — next to isolated per-city
+// panels and correctly aggregated totals.
 //
 //	go run ./examples/twincities
 package main
@@ -19,37 +24,30 @@ import (
 	"fmt"
 	"log"
 
-	"ptrider/internal/core"
-	"ptrider/internal/multicity"
-	"ptrider/internal/relay"
-	"ptrider/internal/sim"
+	"ptrider"
 )
 
 func main() {
-	router, err := multicity.BuildFromSpecWithConfig("metro:20x20:60,harbour:12x12:25", core.Config{
-		Capacity:    4,
-		Algorithm:   core.AlgoDualSide,
-		CommitSlack: 0.3,
-	}, 42, multicity.RouterConfig{
-		EnableRelay: true,
-		Relay:       relay.Config{TransferBufferSeconds: 120},
+	sys, err := ptrider.NewMulti("metro:20x20:60,harbour:12x12:25", ptrider.MultiConfig{
+		Config: ptrider.Config{
+			Capacity:    4,
+			Algorithm:   "dual-side",
+			CommitSlack: 0.3,
+			Seed:        42,
+		},
+		EnableRelay:           true,
+		TransferBufferSeconds: 120,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, name := range router.CityNames() {
-		eng, err := router.Engine(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		region, _ := router.Region(name)
-		fmt.Printf("%-8s %4d intersections, %2d taxis, region x ∈ [%.0f, %.0f] m\n",
-			name, eng.Graph().NumVertices(), eng.NumVehicles(), region.Min.X, region.Max.X)
+	for _, c := range sys.Cities() {
+		fmt.Printf("%-8s %4d intersections, %2d taxis\n", c.Name, c.Vertices, c.Vehicles)
 	}
 
 	// One compressed hour, 3:1 skew toward the metro, 10% of trips
-	// crossing the water — now served by relay instead of rejected.
-	trips, err := sim.GenerateMultiWorkload(router, sim.MultiWorkloadConfig{
+	// crossing the water — served by relay instead of rejected.
+	trips, err := sys.GenerateMultiWorkload(ptrider.MultiWorkloadConfig{
 		NumTrips:   1200,
 		DaySeconds: 3600,
 		Weights:    map[string]float64{"metro": 3, "harbour": 1},
@@ -60,10 +58,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nreplaying %d trips across %d cities (relay on) …\n", len(trips), router.NumCities())
-	res, err := sim.RunMulti(router, trips, sim.Config{
+	fmt.Printf("\nreplaying %d trips across %d cities (relay on) …\n", len(trips), len(sys.Cities()))
+	res, err := sys.RunMultiWorkload(trips, ptrider.SimOptions{
 		TickSeconds: 2,
-		Choice:      sim.UtilityChoice{},
+		Choice:      "utility",
 		Seed:        42,
 	})
 	if err != nil {
@@ -75,36 +73,36 @@ func main() {
 	fmt.Printf("cross-city relayed      %d (rejected: %d)\n", res.Relayed, res.CrossRejected)
 	fmt.Printf("accepted / declined     %d / %d\n", res.Accepted, res.Declined)
 	fmt.Printf("no option available     %d\n", res.NoOption)
-	fmt.Printf("trips completed         %d\n", res.Stats.Total.Completed)
-	fmt.Printf("avg response time       %.2f ms\n", res.Stats.Total.AvgResponseMs)
-	fmt.Printf("avg sharing rate        %.1f %%\n", 100*res.Stats.Total.SharingRate)
-	fmt.Printf("active taxis            %d\n", res.Stats.Total.ActiveVehicles)
+	fmt.Printf("trips completed         %d\n", res.Stats.Completed)
+	fmt.Printf("avg response time       %.2f ms\n", res.Stats.AvgResponseMs)
+	fmt.Printf("avg sharing rate        %.1f %%\n", 100*res.Stats.SharingRate)
+	fmt.Printf("active taxis            %d\n", res.Stats.ActiveVehicles)
 
-	rs := res.Stats.Relay
+	rs := res.Relay
 	fmt.Println("\n-- relay panel --")
 	fmt.Printf("trips quoted            %d (%d per-city leg quotes)\n", rs.Quoted, rs.LegQuotes)
 	fmt.Printf("committed / aborted     %d / %d\n", rs.Committed, rs.Aborted)
 	fmt.Printf("completed / failed      %d / %d (still active: %d)\n", rs.Completed, rs.Failed, rs.Active)
 
 	fmt.Println("\n-- per-city panels --")
-	for _, name := range router.CityNames() {
-		st := res.Stats.Cities[name]
-		pc := res.PerCity[name]
+	for _, c := range sys.Cities() {
+		st := res.CityStats[c.Name]
+		pc := res.PerCity[c.Name]
 		fmt.Printf("%-8s submitted %4d · relayed %3d · accepted %4d · completed %4d · avg resp %.2f ms · sharing %.1f %% · taxis %d\n",
-			name, pc.Submitted, pc.Relayed, pc.Accepted, st.Completed, st.AvgResponseMs, 100*st.SharingRate, st.ActiveVehicles)
+			c.Name, pc.Submitted, pc.Relayed, pc.Accepted, st.Completed, st.AvgResponseMs, 100*st.SharingRate, st.ActiveVehicles)
 	}
 
 	// The acceptance checks: both cities served traffic, the totals are
 	// the sums of the isolated per-city panels, cross-city demand was
 	// relayed rather than rejected, and at least one relayed trip made
 	// it all the way through the hand-off to completion.
-	metro, harbour := res.Stats.Cities["metro"], res.Stats.Cities["harbour"]
+	metro, harbour := res.CityStats["metro"], res.CityStats["harbour"]
 	switch {
 	case metro.Requests == 0 || harbour.Requests == 0:
 		log.Fatal("a city was left idle")
-	case res.Stats.Total.Requests != metro.Requests+harbour.Requests:
+	case res.Stats.Requests != metro.Requests+harbour.Requests:
 		log.Fatal("total requests are not the sum of the cities")
-	case res.Stats.Total.Completed != metro.Completed+harbour.Completed:
+	case res.Stats.Completed != metro.Completed+harbour.Completed:
 		log.Fatal("total completions are not the sum of the cities")
 	case res.CrossRejected != 0:
 		log.Fatal("cross-city trips were rejected despite relay")
@@ -117,5 +115,5 @@ func main() {
 	case metro.Requests <= harbour.Requests:
 		log.Fatal("skew did not reach the metro")
 	}
-	fmt.Println("\ntwin cities served concurrently; cross-city demand relayed across the water, end to end.")
+	fmt.Println("\ntwin cities served concurrently over the public surface; cross-city demand relayed across the water, end to end.")
 }

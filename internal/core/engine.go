@@ -530,9 +530,15 @@ func (e *Engine) Choose(id RequestID, optionIndex int) error {
 	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d", id)
+		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusQuoted {
+		if rec.Status == StatusAssigned || rec.Status == StatusOnboard || rec.Status == StatusCompleted {
+			// A committed request cannot be committed again — the
+			// double-submit a client retry produces. Typed so transports
+			// can answer 409 rather than a generic failure.
+			return fmt.Errorf("core: request %d is %v, not quoted: %w", id, rec.Status, ErrAlreadyChosen)
+		}
 		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
 	}
 	if optionIndex < 0 || optionIndex >= len(rec.Options) {
@@ -587,7 +593,7 @@ func (e *Engine) CancelAssigned(id RequestID) error {
 	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d", id)
+		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusAssigned {
 		return fmt.Errorf("core: request %d is %v, not assigned", id, rec.Status)
@@ -829,7 +835,7 @@ func (e *Engine) Decline(id RequestID) error {
 	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d", id)
+		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusQuoted {
 		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
@@ -839,13 +845,14 @@ func (e *Engine) Decline(id RequestID) error {
 	return nil
 }
 
-// Request returns a snapshot of the record of request id.
+// Request returns a snapshot of the record of request id. Unknown ids
+// fail with ErrNotFound.
 func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
 	e.ledgerMu.Lock()
 	defer e.ledgerMu.Unlock()
 	rec, ok := e.reqs[id]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown request %d", id)
+		return nil, fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	cp := *rec
 	return &cp, nil

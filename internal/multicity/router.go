@@ -32,9 +32,7 @@
 package multicity
 
 import (
-	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"ptrider/internal/core"
@@ -45,30 +43,24 @@ import (
 	"ptrider/internal/roadnet"
 )
 
-// ErrCrossCity matches (with errors.Is) the rejection of a trip whose
-// origin and destination fall in different cities.
-var ErrCrossCity = errors.New("multicity: cross-city trip not supported")
-
-// ErrNoCity matches the rejection of a coordinate outside every city's
-// service region.
-var ErrNoCity = errors.New("multicity: no city serves this location")
-
-// ErrUnknownCity matches lookups of a city name the router does not
-// own.
-var ErrUnknownCity = errors.New("multicity: unknown city")
+// The routing rejections are core-level Service errors (every backend
+// shares one taxonomy); the historical multicity names remain as
+// aliases so existing errors.Is/errors.As call sites keep working.
+var (
+	// ErrCrossCity matches (with errors.Is) the rejection of a trip
+	// whose origin and destination fall in different cities.
+	ErrCrossCity = core.ErrCrossCity
+	// ErrNoCity matches the rejection of a coordinate outside every
+	// city's service region.
+	ErrNoCity = core.ErrNoCity
+	// ErrUnknownCity matches lookups of a city name the router does not
+	// own.
+	ErrUnknownCity = core.ErrUnknownCity
+)
 
 // CrossCityError reports a rejected cross-city trip with the two cities
 // involved. errors.Is(err, ErrCrossCity) matches it.
-type CrossCityError struct {
-	Origin, Dest string
-}
-
-func (e *CrossCityError) Error() string {
-	return fmt.Sprintf("multicity: cross-city trip %s → %s not supported", e.Origin, e.Dest)
-}
-
-// Is makes errors.Is(err, ErrCrossCity) match.
-func (e *CrossCityError) Is(target error) bool { return target == ErrCrossCity }
+type CrossCityError = core.CrossCityError
 
 // CitySpec declares one city of a Router.
 type CitySpec struct {
@@ -255,25 +247,7 @@ func (r *Router) NearestVertex(name string, p geo.Point) (roadnet.VertexID, erro
 }
 
 func (r *Router) nearestVertex(ci int, p geo.Point) roadnet.VertexID {
-	eng := r.cities[ci].eng
-	grid := eng.Grid()
-	g := eng.Graph()
-	verts := grid.Cell(grid.CellAt(p)).Vertices
-	best, bestD := roadnet.VertexID(0), math.Inf(1)
-	for _, v := range verts {
-		if d := g.Point(v).DistSq(p); d < bestD {
-			best, bestD = v, d
-		}
-	}
-	if len(verts) > 0 {
-		return best
-	}
-	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.Point(roadnet.VertexID(v)).DistSq(p); d < bestD {
-			best, bestD = roadnet.VertexID(v), d
-		}
-	}
-	return best
+	return r.cities[ci].eng.NearestVertex(p)
 }
 
 // globalID strides a city-local request id into the router's id space.
@@ -285,7 +259,7 @@ func (r *Router) globalID(ci int, local core.RequestID) core.RequestID {
 func (r *Router) splitID(id core.RequestID) (int, core.RequestID, error) {
 	n := core.RequestID(len(r.cities))
 	if id < n {
-		return 0, 0, fmt.Errorf("multicity: unknown request %d", id)
+		return 0, 0, fmt.Errorf("multicity: unknown request %d: %w", id, core.ErrNotFound)
 	}
 	return int(id % n), id / n, nil
 }
@@ -603,10 +577,10 @@ func (r *Router) Request(id core.RequestID) (*Record, error) {
 // router record id (the negative global id).
 func (r *Router) RelayTrip(id core.RequestID) (*relay.TripView, error) {
 	if r.relay == nil {
-		return nil, fmt.Errorf("multicity: relay is not enabled")
+		return nil, fmt.Errorf("multicity: relay is not enabled: %w", core.ErrNotFound)
 	}
 	if id >= 0 {
-		return nil, fmt.Errorf("multicity: request %d is not a relay trip", id)
+		return nil, fmt.Errorf("multicity: request %d is not a relay trip: %w", id, core.ErrNotFound)
 	}
 	return r.relay.Trip(relay.TripID(-id))
 }

@@ -1,0 +1,251 @@
+// service.go implements the core.Service interface over the Router, so
+// every transport that speaks Service (the public ptrider package, the
+// HTTP server, the workload simulator) serves one city or many through
+// the same verbs. The Router's own richer API (Submit by geo.Point,
+// SubmitIn, Record with the relay TripView) remains for programmatic
+// callers; these methods adapt it to the backend-agnostic contract.
+package multicity
+
+import (
+	"fmt"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/relay"
+	"ptrider/internal/roadnet"
+)
+
+// Router implements core.Service as an N-city backend.
+var _ core.Service = (*Router)(nil)
+
+// serviceRecord lifts a router record into the Service view.
+func (r *Router) serviceRecord(rec *Record) *core.ServiceRecord {
+	out := &core.ServiceRecord{RequestRecord: rec.RequestRecord, City: rec.City}
+	if ci, ok := r.byName[rec.City]; ok {
+		out.Speed = r.cities[ci].eng.Speed()
+	}
+	if rec.Relay != nil {
+		out.Relay = rec.Relay.ServiceView(rec.ID)
+	}
+	return out
+}
+
+// SubmitRequest implements core.Service: coordinate-addressed specs run
+// the router's city assignment (and, when enabled, relay scheduling);
+// vertex-addressed specs name their city explicitly.
+func (r *Router) SubmitRequest(spec core.SubmitSpec) (*core.ServiceRecord, error) {
+	rec, err := r.submitSpec(&spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.serviceRecord(rec), nil
+}
+
+func (r *Router) submitSpec(spec *core.SubmitSpec) (*Record, error) {
+	if spec.ByCoords {
+		return r.SubmitWithConstraints(spec.Origin, spec.Dest, spec.Riders, spec.Constraints)
+	}
+	if spec.City == "" {
+		return nil, fmt.Errorf("multicity: vertex-addressed requests need a city: %w", core.ErrInvalidArgument)
+	}
+	return r.SubmitIn(spec.City, spec.S, spec.D, spec.Riders, spec.Constraints)
+}
+
+// SubmitRequestBatch implements core.Service over the router's
+// concurrent per-city batch fan-out. Vertex-addressed specs are mapped
+// to their vertices' coordinates, which the locator resolves back to
+// the same city — one batch pipeline serves both addressing modes.
+func (r *Router) SubmitRequestBatch(specs []core.SubmitSpec) ([]*core.ServiceRecord, error) {
+	out := make([]*core.ServiceRecord, len(specs))
+	var firstErr error
+	items := make([]BatchItem, 0, len(specs))
+	idxs := make([]int, 0, len(specs))
+	for i := range specs {
+		spec := &specs[i]
+		it := BatchItem{Riders: spec.Riders, Constraints: spec.Constraints, Choose: spec.Choose}
+		if spec.ByCoords {
+			it.O, it.D = spec.Origin, spec.Dest
+		} else {
+			ci, err := r.cityIndex(spec.City)
+			if err == nil {
+				g := r.cities[ci].eng.Graph()
+				n := roadnet.VertexID(g.NumVertices())
+				if spec.S < 0 || spec.S >= n || spec.D < 0 || spec.D >= n {
+					err = fmt.Errorf("multicity: %s: request endpoints out of range: %w",
+						spec.City, core.ErrInvalidArgument)
+				} else {
+					it.O, it.D = g.Point(spec.S), g.Point(spec.D)
+				}
+			} else if spec.City == "" {
+				err = fmt.Errorf("multicity: vertex-addressed requests need a city: %w", core.ErrInvalidArgument)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("multicity: batch item %d: %w", i, err)
+				}
+				continue
+			}
+		}
+		items = append(items, it)
+		idxs = append(idxs, i)
+	}
+	recs, err := r.SubmitBatch(items)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for k, rec := range recs {
+		if rec != nil {
+			out[idxs[k]] = r.serviceRecord(rec)
+		}
+	}
+	return out, firstErr
+}
+
+// GetRequest implements core.Service.
+func (r *Router) GetRequest(id core.RequestID) (*core.ServiceRecord, error) {
+	rec, err := r.Request(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.serviceRecord(rec), nil
+}
+
+// RelayItinerary implements core.Service.
+func (r *Router) RelayItinerary(id core.RequestID) (*core.RelayView, error) {
+	tv, err := r.RelayTrip(id)
+	if err != nil {
+		return nil, err
+	}
+	return tv.ServiceView(id), nil
+}
+
+// Advance implements core.Service: one concurrent tick of every city,
+// with the events' request ids lifted into the router's global
+// namespace so they match the ids the request surface hands out.
+func (r *Router) Advance(dt float64) ([]core.ServiceEvent, error) {
+	perCity, err := r.Tick(dt)
+	var out []core.ServiceEvent
+	for ci, ce := range perCity {
+		for _, ev := range ce.Events {
+			ev.Request = r.globalID(ci, ev.Request)
+			out = append(out, core.ServiceEvent{City: ce.City, Event: ev})
+		}
+	}
+	return out, err
+}
+
+// Clock implements core.Service: the maximum city clock (the clocks
+// advance in lockstep through Tick; the max covers per-city skew from
+// a partially-failed tick). Each read is one atomic load per city —
+// no panel aggregation.
+func (r *Router) Clock() float64 {
+	var clock float64
+	for i := range r.cities {
+		if c := r.cities[i].eng.Clock(); c > clock {
+			clock = c
+		}
+	}
+	return clock
+}
+
+// ServiceStats implements core.Service.
+func (r *Router) ServiceStats() core.ServiceStats {
+	st := r.Stats()
+	return core.ServiceStats{
+		Total:        st.Total,
+		Cities:       st.Cities,
+		Multi:        true,
+		RelayEnabled: st.RelayEnabled,
+		Relay:        st.Relay,
+	}
+}
+
+// Cities implements core.Service.
+func (r *Router) Cities() []core.CityInfo {
+	out := make([]core.CityInfo, len(r.cities))
+	for i := range r.cities {
+		out[i] = core.CityInfo{
+			Name:     r.cities[i].name,
+			Vertices: r.cities[i].eng.Graph().NumVertices(),
+			Vehicles: r.cities[i].eng.NumVehicles(),
+			Region:   r.cities[i].region,
+		}
+	}
+	return out
+}
+
+// cityIndexArg resolves a Service city argument: multi-city backends
+// have no "only city", so an empty name is a caller error rather than
+// an unknown city.
+func (r *Router) cityIndexArg(city string) (int, error) {
+	if city == "" {
+		return 0, fmt.Errorf("multicity: missing city parameter: %w", core.ErrInvalidArgument)
+	}
+	return r.cityIndex(city)
+}
+
+// Vehicles implements core.Service.
+func (r *Router) Vehicles(city string, limit int) ([]core.VehicleView, error) {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return nil, err
+	}
+	return r.cities[ci].eng.VehicleViews(limit), nil
+}
+
+// VehicleItinerary implements core.Service.
+func (r *Router) VehicleItinerary(city string, id fleet.VehicleID) (*core.VehicleItinerary, error) {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return nil, err
+	}
+	loc, branches, err := r.cities[ci].eng.VehicleSchedules(id)
+	if err != nil {
+		return nil, fmt.Errorf("multicity: %s: vehicle %d: %w", city, id, core.ErrNotFound)
+	}
+	return &core.VehicleItinerary{
+		City: r.cities[ci].name, Vehicle: id, Location: loc, Branches: branches,
+	}, nil
+}
+
+// Params implements core.Service.
+func (r *Router) Params(city string) (core.ServiceParams, error) {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return core.ServiceParams{}, err
+	}
+	eng := r.cities[ci].eng
+	cfg := eng.Config()
+	return core.ServiceParams{
+		City:           r.cities[ci].name,
+		Algorithm:      eng.Algorithm(),
+		Capacity:       cfg.Capacity,
+		NumTaxis:       eng.NumVehicles(),
+		MaxWaitSeconds: cfg.MaxWaitSeconds,
+		Sigma:          cfg.Sigma,
+		SpeedKmh:       cfg.SpeedKmh,
+		MatchWorkers:   cfg.MatchWorkers,
+	}, nil
+}
+
+// SetCityAlgorithm implements core.Service.
+func (r *Router) SetCityAlgorithm(city string, algo core.Algorithm) error {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return err
+	}
+	return r.cities[ci].eng.SetAlgorithm(algo)
+}
+
+// CityGraph implements core.Service.
+func (r *Router) CityGraph(city string) (*roadnet.Graph, error) {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return nil, err
+	}
+	return r.cities[ci].eng.Graph(), nil
+}
+
+// RelayTripView keeps relay's TripView reachable from the multicity
+// namespace without forcing transports to import the relay package.
+type RelayTripView = relay.TripView

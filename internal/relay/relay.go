@@ -196,25 +196,11 @@ type TripView struct {
 	TransferBufferSeconds float64
 }
 
-// Stats is a snapshot of the scheduler's counters.
-type Stats struct {
-	// Quoted counts relay trips quoted; LegQuotes the per-city leg
-	// quotes issued on their behalf (each inflates the owning city's
-	// request count — relay quoting is real engine traffic).
-	Quoted    int64
-	LegQuotes int64
-	// Committed counts two-phase commits that booked both legs;
-	// Aborted those that released a half-booked trip; Declined rider
-	// declines; Completed trips whose leg 2 dropped the rider off;
-	// Failed trips a vehicle failure orphaned after commit.
-	Committed int64
-	Aborted   int64
-	Declined  int64
-	Completed int64
-	Failed    int64
-	// Active is the committed trips still moving.
-	Active int64
-}
+// Stats is a snapshot of the scheduler's counters — the core-level
+// relay panel (core.RelayStats), aliased so the Service interface and
+// the scheduler speak the same type. Each leg quote also inflates the
+// owning city's request count: relay quoting is real engine traffic.
+type Stats = core.RelayStats
 
 // CommitFunc is the leg-commit seam's signature (see
 // SetCommitOverride): leg is 1 or 2.
@@ -453,7 +439,7 @@ func (s *Scheduler) trip(id TripID) (*trip, error) {
 	tr, ok := s.trips[id]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("relay: unknown trip %d", id)
+		return nil, fmt.Errorf("relay: unknown trip %d: %w", id, core.ErrNotFound)
 	}
 	return tr, nil
 }
@@ -471,6 +457,11 @@ func (s *Scheduler) Choose(id TripID, optionIndex int) error {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if tr.state != StateQuoted {
+		if tr.chosen >= 0 {
+			// Both legs are already booked — the relay flavour of the
+			// engine's double-commit, typed the same way.
+			return fmt.Errorf("relay: trip %d is %v, not quoted: %w", id, tr.state, core.ErrAlreadyChosen)
+		}
 		return fmt.Errorf("relay: trip %d is %v, not quoted", id, tr.state)
 	}
 	if optionIndex < 0 || optionIndex >= len(tr.options) {
@@ -688,6 +679,39 @@ func (s *Scheduler) advanceLocked(tr *trip) {
 			s.completed.Add(1)
 		}
 	}
+}
+
+// ServiceView renders the trip snapshot as the core-level relay
+// itinerary the Service interface exposes; reqID is the trip's id in
+// the transport's global namespace (the multi-city router's negated
+// trip id).
+func (tv *TripView) ServiceView(reqID core.RequestID) *core.RelayView {
+	out := &core.RelayView{
+		RequestID:             reqID,
+		Origin:                tv.Origin,
+		Dest:                  tv.Dest,
+		State:                 tv.State.String(),
+		TransferBufferSeconds: tv.TransferBufferSeconds,
+		Gateways:              make([]core.RelayGatewayView, len(tv.Gateways)),
+		Options:               make([]core.RelayOptionView, len(tv.Options)),
+		Chosen:                tv.Chosen,
+		Leg1:                  tv.Leg1,
+		Leg2:                  tv.Leg2,
+	}
+	for i, g := range tv.Gateways {
+		out.Gateways[i] = core.RelayGatewayView{From: g.From, To: g.To, GapMeters: g.GapMeters}
+	}
+	for i, o := range tv.Options {
+		out.Options[i] = core.RelayOptionView{
+			Gateway:       o.Gateway,
+			Leg1:          o.Leg1,
+			Leg2:          o.Leg2,
+			Fare:          o.Fare,
+			PickupSeconds: o.PickupSeconds,
+			ETASeconds:    o.ETASeconds,
+		}
+	}
+	return out
 }
 
 // Stats snapshots the scheduler's counters.

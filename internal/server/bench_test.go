@@ -1,0 +1,81 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/server"
+	"ptrider/internal/testnet"
+)
+
+// BenchmarkHTTPSubmit measures the full /v1 request→choose round trip —
+// JSON decode, Service submission, view rendering, JSON encode, then
+// the choice commit — against a single-city backend. It prices the
+// transport layer the API redesign added on top of the engine's
+// in-process Submit (BenchmarkSubmitParallel in the root package).
+func BenchmarkHTTPSubmit(b *testing.B) {
+	g := testnet.Lattice(rand.New(rand.NewSource(7)), 24, 24, 150)
+	eng, err := core.NewEngine(g, core.Config{
+		Capacity: 4, Algorithm: core.AlgoDualSide, Seed: 7,
+	})
+	if err != nil {
+		b.Fatalf("engine: %v", err)
+	}
+	eng.AddVehiclesUniform(200)
+	ts := httptest.NewServer(server.NewService(eng).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	rng := rand.New(rand.NewSource(42))
+	n := int32(g.NumVertices())
+	type pair struct{ s, d int32 }
+	pairs := make([]pair, 4096)
+	for i := range pairs {
+		s := rng.Int31n(n)
+		d := rng.Int31n(n)
+		for d == s {
+			d = rng.Int31n(n)
+		}
+		pairs[i] = pair{s, d}
+	}
+
+	post := func(url string, body any) (map[string]json.RawMessage, int) {
+		buf, _ := json.Marshal(body)
+		resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			b.Fatalf("POST %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out, resp.StatusCode
+	}
+
+	chosen := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		out, code := post(ts.URL+"/v1/requests", map[string]any{"s": p.s, "d": p.d, "riders": 1})
+		if code != http.StatusOK {
+			b.Fatalf("submit status %d: %v", code, out)
+		}
+		var id int64
+		json.Unmarshal(out["id"], &id)
+		var options []json.RawMessage
+		json.Unmarshal(out["options"], &options)
+		if len(options) == 0 {
+			continue
+		}
+		if _, code := post(fmt.Sprintf("%s/v1/requests/%d/choice", ts.URL, id), map[string]any{"option": 0}); code == http.StatusOK {
+			chosen++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(chosen)/float64(b.N), "chosen/op")
+}

@@ -106,17 +106,25 @@ func TestMultiRequestByCoordinatesAndCrossCity(t *testing.T) {
 	}
 
 	// Cross-city pair: typed rejection surfaces as 422 with the city
-	// names in the message.
+	// pair in the structured error envelope.
 	resp, out = postJSON(t, ts.URL+"/api/request", map[string]any{
 		"ox": eo.X, "oy": eo.Y, "dx": wo.X, "dy": wo.Y, "riders": 1,
 	})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("cross-city status = %d, want 422", resp.StatusCode)
 	}
-	var msg string
-	json.Unmarshal(out["error"], &msg)
-	if !strings.Contains(msg, "cross-city") || !strings.Contains(msg, "east") || !strings.Contains(msg, "west") {
-		t.Fatalf("cross-city error message %q lacks detail", msg)
+	var envelope struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Origin  string `json:"origin"`
+		Dest    string `json:"dest"`
+	}
+	json.Unmarshal(out["error"], &envelope)
+	if envelope.Code != "cross_city" || envelope.Origin != "east" || envelope.Dest != "west" {
+		t.Fatalf("cross-city envelope %+v lacks detail", envelope)
+	}
+	if !strings.Contains(envelope.Message, "cross-city") {
+		t.Fatalf("cross-city message %q lacks detail", envelope.Message)
 	}
 
 	// Underspecified body: neither addressing mode.

@@ -1,73 +1,144 @@
-// Package server exposes PTRider over HTTP with JSON bodies, mirroring
-// the demo's two interfaces (paper §4):
+// Package server exposes a PTRider backend over HTTP as one
+// resource-oriented, versioned JSON API. A single handler set serves
+// every backend that implements core.Service — a single-city
+// core.Engine or a multi-city (optionally relay-enabled)
+// multicity.Router — so single-city, multi-city and cross-city relay
+// traffic all speak the same surface.
 //
-// Smartphone interface (the rider's three-step protocol, §3.1):
+// Versioned API (v1):
 //
-//	POST /api/request  {"s":12,"d":17,"riders":2}
-//	POST /api/choose   {"id":1,"option":0}
-//	POST /api/decline  {"id":1}
-//	GET  /api/request?id=1
-//
-// Website interface (administrator):
-//
-//	GET  /api/stats          statistics panel (response time, sharing rate, …)
-//	GET  /api/taxi?id=3      a taxi's valid trip schedules (the red lines)
-//	GET  /api/vehicles       fleet positions and occupancy (the map data)
-//	GET  /api/map?taxi=3     the map view rendered as ASCII
-//	GET  /api/params         current global settings
-//	POST /api/params         {"algorithm":"dual-side"} switch matcher
-//	POST /api/tick           {"seconds":5} advance simulated time
+//	POST /v1/requests                submit one request — {"s":12,"d":17,"riders":2},
+//	                                 {"city":"east","s":12,"d":17,...} or
+//	                                 {"ox":..,"oy":..,"dx":..,"dy":..,...} — or a
+//	                                 batch: {"requests":[{...},{...}]}
+//	GET  /v1/requests/{id}           request record (options, status, relay section)
+//	POST /v1/requests/{id}/choice    {"option":0} commit an option
+//	POST /v1/requests/{id}/decline   take none of the options
+//	GET  /v1/vehicles                fleet summaries   (?city=east&limit=10)
+//	GET  /v1/vehicles/{id}           one vehicle's schedules (?city=east)
+//	GET  /v1/cities                  city names, regions, fleet sizes
+//	GET  /v1/relay/{id}              one relay trip's two-leg itinerary
+//	POST /v1/ticks                   {"seconds":5} advance simulated time
+//	GET  /v1/stats                   per-city panels + totals (+ relay panel)
+//	GET  /v1/params · POST /v1/params  settings (?city= / {"city":...,"algorithm":...})
+//	GET  /v1/map                     ASCII fleet map (?city=&width=&height=&taxi=)
+//	GET  /v1/events                  SSE stream of tick pickups/dropoffs
 //	GET  /healthz
 //
-// The GUI itself is presentation and intentionally out of scope; every
-// piece of information the paper's screenshots show is served here.
+// Mutating endpoints accept POST only and answer anything else with
+// 405 plus an Allow header. Every error is a structured envelope
+//
+//	{"error":{"code":"cross_city","message":"...","origin":"east","dest":"west"}}
+//
+// with typed codes mapped from the core error taxonomy:
+// invalid_argument → 400, not_found/unknown_city → 404,
+// method_not_allowed → 405, already_chosen → 409 (double-Choose),
+// cross_city/no_city/unprocessable → 422, internal → 500.
+//
+// The demo-era routes (/api/request, /api/choose, /api/decline,
+// /api/stats, /api/taxi, /api/params, /api/tick, /api/vehicles,
+// /api/map, /api/cities, /api/relay) remain as thin aliases over the
+// same handlers, preserving their historical response shapes (bare
+// vehicle arrays, flat single-city stats, 422 for choose/decline of
+// unknown ids) so existing clients keep working.
 //
 // Handlers run on net/http's per-connection goroutines and call the
-// engine directly: the engine is internally parallel (immutable
-// routing substrate, per-vehicle locks, a small coordination core), so
-// concurrent requests no longer serialise behind an engine-wide lock —
-// request throughput scales with cores.
+// backend directly: core.Service implementations are internally
+// parallel, so concurrent requests do not serialise behind a global
+// lock — request throughput scales with cores.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"ptrider/internal/core"
 	"ptrider/internal/fleet"
+	"ptrider/internal/multicity"
 	"ptrider/internal/render"
 	"ptrider/internal/roadnet"
 )
 
-// Server wires an Engine to an http.Handler.
+// Server wires a core.Service to an http.Handler.
 type Server struct {
-	eng *core.Engine
+	svc core.Service
 	mux *http.ServeMux
+	hub *eventHub
 }
 
-// New returns a Server for eng.
-func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/api/request", s.handleRequest)
-	s.mux.HandleFunc("/api/choose", s.handleChoose)
-	s.mux.HandleFunc("/api/decline", s.handleDecline)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/api/taxi", s.handleTaxi)
+// NewService returns a Server for any core.Service backend.
+func NewService(svc core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), hub: newEventHub()}
+
+	// The /v1 resource surface.
+	s.mux.HandleFunc("/v1/requests", s.handleRequests)
+	s.mux.HandleFunc("/v1/requests/{id}", s.handleRequestByID)
+	s.mux.HandleFunc("/v1/requests/{id}/choice", s.handleChoice)
+	s.mux.HandleFunc("/v1/requests/{id}/decline", s.handleDeclineByID)
+	s.mux.HandleFunc("/v1/vehicles", s.handleVehiclesV1)
+	s.mux.HandleFunc("/v1/vehicles/{id}", s.handleVehicleByID)
+	s.mux.HandleFunc("/v1/cities", s.handleCities)
+	s.mux.HandleFunc("/v1/relay", s.handleRelayQuery)
+	s.mux.HandleFunc("/v1/relay/{id}", s.handleRelayByID)
+	s.mux.HandleFunc("/v1/ticks", s.handleTicks)
+	s.mux.HandleFunc("/v1/stats", s.handleStatsV1)
+	s.mux.HandleFunc("/v1/params", s.handleParams)
+	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+
+	// Legacy demo aliases over the same handlers.
+	s.mux.HandleFunc("/api/request", s.handleLegacyRequest)
+	s.mux.HandleFunc("/api/choose", s.handleLegacyChoose)
+	s.mux.HandleFunc("/api/decline", s.handleLegacyDecline)
+	s.mux.HandleFunc("/api/stats", s.handleLegacyStats)
+	s.mux.HandleFunc("/api/taxi", s.handleLegacyTaxi)
 	s.mux.HandleFunc("/api/params", s.handleParams)
-	s.mux.HandleFunc("/api/tick", s.handleTick)
-	s.mux.HandleFunc("/api/vehicles", s.handleVehicles)
+	s.mux.HandleFunc("/api/tick", s.handleTicks)
+	s.mux.HandleFunc("/api/vehicles", s.handleLegacyVehicles)
 	s.mux.HandleFunc("/api/map", s.handleMap)
+	s.mux.HandleFunc("/api/cities", s.handleCities)
+	s.mux.HandleFunc("/api/relay", s.handleRelayQuery)
+
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
 }
 
+// New returns a Server over a single-city engine.
+func New(eng *core.Engine) *Server { return NewService(eng) }
+
+// NewMulti returns a Server over a multi-city router.
+func NewMulti(router *multicity.Router) *Server { return NewService(router) }
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tick advances the backend's simulated time and feeds the movement
+// events to the /v1/events stream — the entry point for realtime
+// drivers (cmd/ptrider-server -realtime), equivalent to POST /v1/ticks.
+func (s *Server) Tick(seconds float64) error {
+	_, _, err := s.tick(seconds)
+	return err
+}
+
+func (s *Server) tick(seconds float64) (clock float64, events []core.ServiceEvent, err error) {
+	events, err = s.svc.Advance(seconds)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.publishEvents(events)
+	return s.svc.Clock(), events, nil
+}
+
+// ---------------------------------------------------------------------------
+// Envelope and helpers
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -75,8 +146,80 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errorPayload is the structured error envelope's inner object.
+type errorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Origin and Dest carry the city pair of a cross_city rejection.
+	Origin string `json:"origin,omitempty"`
+	Dest   string `json:"dest,omitempty"`
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, p errorPayload) {
+	writeJSON(w, status, map[string]errorPayload{"error": p})
+}
+
+// writeCode emits an envelope with an explicit status and code.
+func writeCode(w http.ResponseWriter, status int, code, message string) {
+	writeEnvelope(w, status, errorPayload{Code: code, Message: message})
+}
+
+// classify maps a backend error onto (status, payload) via the core
+// error taxonomy. Unmatched errors land on the fallback status with
+// code "unprocessable" (422) or "internal" (500).
+func classify(err error, fallback int) (int, errorPayload) {
+	p := errorPayload{Message: err.Error()}
+	var cce *core.CrossCityError
+	switch {
+	case errors.As(err, &cce):
+		p.Code, p.Origin, p.Dest = "cross_city", cce.Origin, cce.Dest
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrCrossCity):
+		p.Code = "cross_city"
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrAlreadyChosen):
+		p.Code = "already_chosen"
+		return http.StatusConflict, p
+	case errors.Is(err, core.ErrUnknownCity):
+		p.Code = "unknown_city"
+		return http.StatusNotFound, p
+	case errors.Is(err, core.ErrNotFound):
+		p.Code = "not_found"
+		return http.StatusNotFound, p
+	case errors.Is(err, core.ErrNoCity):
+		p.Code = "no_city"
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrInvalidArgument):
+		p.Code = "invalid_argument"
+		return http.StatusBadRequest, p
+	}
+	if fallback == http.StatusInternalServerError {
+		p.Code = "internal"
+	} else {
+		p.Code = "unprocessable"
+	}
+	return fallback, p
+}
+
+// writeErr classifies err with a 422 fallback — the business-rule
+// default of the request surface.
+func writeErr(w http.ResponseWriter, err error) {
+	status, p := classify(err, http.StatusUnprocessableEntity)
+	writeEnvelope(w, status, p)
+}
+
+// allow enforces strict method checking: a mismatch answers 405 with
+// the Allow header naming the supported methods.
+func allow(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeCode(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		fmt.Sprintf("use %s", strings.Join(methods, " or ")))
+	return false
 }
 
 func decode(r *http.Request, v any) error {
@@ -84,6 +227,24 @@ func decode(r *http.Request, v any) error {
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
+
+func decodeBytes(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// pathID parses the {id} path segment of a request resource.
+func pathID(r *http.Request) (core.RequestID, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad id")
+	}
+	return core.RequestID(id), nil
+}
+
+// ---------------------------------------------------------------------------
+// Views
 
 // optionView is one row of the result display interface (Fig. 4b).
 type optionView struct {
@@ -94,16 +255,13 @@ type optionView struct {
 	Price         float64 `json:"price"`
 }
 
-// optionViewsFor builds option rows against the quoting engine (the
-// engine's speed converts pick-up distance to seconds). Shared by the
-// single-engine and multi-city servers.
-func optionViewsFor(eng *core.Engine, opts []core.Option) []optionView {
-	out := make([]optionView, len(opts))
-	for i, o := range opts {
+func optionViews(rec *core.ServiceRecord) []optionView {
+	out := make([]optionView, len(rec.Options))
+	for i, o := range rec.Options {
 		out[i] = optionView{
 			Index:         i,
 			Vehicle:       o.Vehicle,
-			PickupSeconds: eng.PickupSeconds(o),
+			PickupSeconds: rec.PickupSecondsOf(o),
 			PickupMeters:  o.PickupDist,
 			Price:         o.Price,
 		}
@@ -111,12 +269,13 @@ func optionViewsFor(eng *core.Engine, opts []core.Option) []optionView {
 	return out
 }
 
-func (s *Server) optionViews(opts []core.Option) []optionView {
-	return optionViewsFor(s.eng, opts)
-}
-
+// requestView is the transport view of a request record. A relay
+// record's plain option rows carry the composed fare as price and the
+// composed door-to-destination ETA as pickup time — the relay section
+// holds the per-leg truth.
 type requestView struct {
 	ID      core.RequestID `json:"id"`
+	City    string         `json:"city"`
 	Status  string         `json:"status"`
 	S       int32          `json:"s"`
 	D       int32          `json:"d"`
@@ -125,116 +284,93 @@ type requestView struct {
 	Vehicle int32          `json:"vehicle,omitempty"`
 	Price   float64        `json:"price,omitempty"`
 	Shared  bool           `json:"shared,omitempty"`
+	Relay   *relayTripView `json:"relay,omitempty"`
 }
 
-// requestViewFor builds the record view against the owning engine.
-// Shared by the single-engine and multi-city servers.
-func requestViewFor(eng *core.Engine, rec *core.RequestRecord) requestView {
+func recordView(rec *core.ServiceRecord) requestView {
 	rv := requestView{
-		ID: rec.ID, Status: rec.Status.String(),
+		ID: rec.ID, City: rec.City, Status: rec.Status.String(),
 		S: rec.S, D: rec.D, Riders: rec.Riders,
-		Options: optionViewsFor(eng, rec.Options),
+		Options: optionViews(rec),
 		Shared:  rec.Shared,
 	}
 	if rec.Status != core.StatusQuoted && rec.Status != core.StatusDeclined {
 		rv.Vehicle = rec.Vehicle
 		rv.Price = rec.Price
 	}
+	if rec.Relay != nil {
+		rv.Relay = relayTripViewOf(rec.Relay)
+	}
 	return rv
 }
 
-func (s *Server) requestView(rec *core.RequestRecord) requestView {
-	return requestViewFor(s.eng, rec)
+// relayGatewayView is one hand-off pair of a relay trip.
+type relayGatewayView struct {
+	From      int32   `json:"from"`
+	To        int32   `json:"to"`
+	GapMeters float64 `json:"gap_meters"`
 }
 
-func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var body struct {
-			S      int32 `json:"s"`
-			D      int32 `json:"d"`
-			Riders int   `json:"riders"`
-			// Optional per-rider overrides of the global constraints.
-			WaitSeconds float64  `json:"wait_seconds,omitempty"`
-			Sigma       *float64 `json:"sigma,omitempty"`
-		}
-		if err := decode(r, &body); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		cons := core.DefaultConstraints()
-		cons.WaitSeconds = body.WaitSeconds
-		if body.Sigma != nil {
-			cons.Sigma = *body.Sigma
-		}
-		rec, err := s.eng.SubmitWithConstraints(roadnet.VertexID(body.S), roadnet.VertexID(body.D), body.Riders, cons)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, s.requestView(rec))
-	case http.MethodGet:
-		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
-			return
-		}
-		rec, err := s.eng.Request(core.RequestID(id))
-		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, s.requestView(rec))
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
-	}
+// relayOptionView is one row of the joint skyline with its per-leg
+// breakdown (Fig. 4b lifted to two legs).
+type relayOptionView struct {
+	Index         int     `json:"index"`
+	Gateway       int     `json:"gateway"`
+	Fare          float64 `json:"fare"`
+	Leg1Price     float64 `json:"leg1_price"`
+	Leg2Price     float64 `json:"leg2_price"`
+	Leg1Vehicle   int32   `json:"leg1_vehicle"`
+	Leg2Vehicle   int32   `json:"leg2_vehicle"`
+	PickupSeconds float64 `json:"pickup_seconds"`
+	ETASeconds    float64 `json:"eta_seconds"`
 }
 
-func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
-	var body struct {
-		ID     int64 `json:"id"`
-		Option int   `json:"option"`
-	}
-	if err := decode(r, &body); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := s.eng.Choose(core.RequestID(body.ID), body.Option); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "assigned"})
+// relayTripView is a relay trip's status: the state machine stage, the
+// gateways, the joint skyline and — once committed — the two leg
+// record ids (city-local to origin and destination).
+type relayTripView struct {
+	RequestID             int64              `json:"request_id"`
+	Origin                string             `json:"origin"`
+	Dest                  string             `json:"dest"`
+	State                 string             `json:"state"`
+	TransferBufferSeconds float64            `json:"transfer_buffer_seconds"`
+	Gateways              []relayGatewayView `json:"gateways"`
+	Options               []relayOptionView  `json:"options"`
+	Chosen                int                `json:"chosen"`
+	Leg1                  int64              `json:"leg1,omitempty"`
+	Leg2                  int64              `json:"leg2,omitempty"`
 }
 
-func (s *Server) handleDecline(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
+func relayTripViewOf(rv *core.RelayView) *relayTripView {
+	out := &relayTripView{
+		RequestID:             int64(rv.RequestID),
+		Origin:                rv.Origin,
+		Dest:                  rv.Dest,
+		State:                 rv.State,
+		TransferBufferSeconds: rv.TransferBufferSeconds,
+		Gateways:              make([]relayGatewayView, len(rv.Gateways)),
+		Options:               make([]relayOptionView, len(rv.Options)),
+		Chosen:                rv.Chosen,
+		Leg1:                  int64(rv.Leg1),
+		Leg2:                  int64(rv.Leg2),
 	}
-	var body struct {
-		ID int64 `json:"id"`
+	for i, g := range rv.Gateways {
+		out.Gateways[i] = relayGatewayView{From: g.From, To: g.To, GapMeters: g.GapMeters}
 	}
-	if err := decode(r, &body); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+	for i, o := range rv.Options {
+		out.Options[i] = relayOptionView{
+			Index:         i,
+			Gateway:       o.Gateway,
+			Fare:          o.Fare,
+			Leg1Price:     o.Leg1.Price,
+			Leg2Price:     o.Leg2.Price,
+			Leg1Vehicle:   o.Leg1.Vehicle,
+			Leg2Vehicle:   o.Leg2.Vehicle,
+			PickupSeconds: o.PickupSeconds,
+			ETASeconds:    o.ETASeconds,
+		}
 	}
-	if err := s.eng.Decline(core.RequestID(body.ID)); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "declined"})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	return out
 }
 
 type stopView struct {
@@ -246,45 +382,26 @@ type stopView struct {
 // taxiView is the schedule view of one vehicle (the website's red
 // lines).
 type taxiView struct {
+	City     string       `json:"city"`
+	ID       int32        `json:"id"`
 	Location int32        `json:"location"`
 	Branches [][]stopView `json:"branches"`
 }
 
-func taxiViewFor(eng *core.Engine, id fleet.VehicleID) (taxiView, error) {
-	loc, branches, err := eng.VehicleSchedules(id)
-	if err != nil {
-		return taxiView{}, err
-	}
-	out := taxiView{Location: loc}
-	for _, b := range branches {
+func taxiViewOf(it *core.VehicleItinerary) taxiView {
+	out := taxiView{City: it.City, ID: it.Vehicle, Location: it.Location}
+	for _, b := range it.Branches {
 		row := make([]stopView, len(b))
 		for i, p := range b {
 			row[i] = stopView{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
 		}
 		out.Branches = append(out.Branches, row)
 	}
-	return out, nil
-}
-
-func (s *Server) handleTaxi(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
-	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 32)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad id"))
-		return
-	}
-	out, err := taxiViewFor(s.eng, fleet.VehicleID(id))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 type paramsView struct {
+	City           string  `json:"city"`
 	Algorithm      string  `json:"algorithm"`
 	Capacity       int     `json:"capacity"`
 	NumTaxis       int     `json:"num_taxis"`
@@ -294,75 +411,443 @@ type paramsView struct {
 	MatchWorkers   int     `json:"match_workers"`
 }
 
-func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		cfg := s.eng.Config()
-		writeJSON(w, http.StatusOK, paramsView{
-			Algorithm:      s.eng.Algorithm().String(),
-			Capacity:       cfg.Capacity,
-			NumTaxis:       s.eng.NumVehicles(),
-			MaxWaitSeconds: cfg.MaxWaitSeconds,
-			Sigma:          cfg.Sigma,
-			SpeedKmh:       cfg.SpeedKmh,
-			MatchWorkers:   cfg.MatchWorkers,
+func paramsViewOf(p core.ServiceParams) paramsView {
+	return paramsView{
+		City:           p.City,
+		Algorithm:      p.Algorithm.String(),
+		Capacity:       p.Capacity,
+		NumTaxis:       p.NumTaxis,
+		MaxWaitSeconds: p.MaxWaitSeconds,
+		Sigma:          p.Sigma,
+		SpeedKmh:       p.SpeedKmh,
+		MatchWorkers:   p.MatchWorkers,
+	}
+}
+
+type cityView struct {
+	Name     string  `json:"name"`
+	Vertices int     `json:"vertices"`
+	Vehicles int     `json:"vehicles"`
+	MinX     float64 `json:"min_x"`
+	MinY     float64 `json:"min_y"`
+	MaxX     float64 `json:"max_x"`
+	MaxY     float64 `json:"max_y"`
+}
+
+// eventView tags a movement event with its city.
+type eventView struct {
+	City    string  `json:"city"`
+	Kind    string  `json:"kind"`
+	Vehicle int32   `json:"vehicle"`
+	Request int64   `json:"request"`
+	Odo     float64 `json:"odo"`
+}
+
+func eventViewsOf(events []core.ServiceEvent) []eventView {
+	out := make([]eventView, 0, len(events)) // non-nil: an empty tick serialises as []
+	for _, e := range events {
+		out = append(out, eventView{
+			City: e.City, Kind: e.Kind.String(),
+			Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo,
 		})
-	case http.MethodPost:
-		var body struct {
-			Algorithm string `json:"algorithm"`
-		}
-		if err := decode(r, &body); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		algo, err := core.ParseAlgorithm(body.Algorithm)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		if err := s.eng.SetAlgorithm(algo); err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"algorithm": algo.String()})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Request submission
+
+// requestBody is the wire form of one request submission, shared by
+// /v1/requests and the legacy /api/request: either [city +] s/d
+// vertices or ox/oy → dx/dy coordinates, plus the optional per-rider
+// constraint overrides.
+type requestBody struct {
+	City string `json:"city,omitempty"`
+	S    *int32 `json:"s,omitempty"`
+	D    *int32 `json:"d,omitempty"`
+
+	OX *float64 `json:"ox,omitempty"`
+	OY *float64 `json:"oy,omitempty"`
+	DX *float64 `json:"dx,omitempty"`
+	DY *float64 `json:"dy,omitempty"`
+
+	Riders           int      `json:"riders"`
+	WaitSeconds      float64  `json:"wait_seconds,omitempty"`
+	Sigma            *float64 `json:"sigma,omitempty"`
+	MaxPickupSeconds float64  `json:"max_pickup_seconds,omitempty"`
+}
+
+// spec converts the wire form into the Service addressing.
+func (b *requestBody) spec() (core.SubmitSpec, error) {
+	cons := core.DefaultConstraints()
+	cons.WaitSeconds = b.WaitSeconds
+	if b.Sigma != nil {
+		cons.Sigma = *b.Sigma
+	}
+	cons.MaxPickupSeconds = b.MaxPickupSeconds
+	spec := core.SubmitSpec{City: b.City, Riders: b.Riders, Constraints: cons}
+	switch {
+	case b.OX != nil && b.OY != nil && b.DX != nil && b.DY != nil:
+		spec.ByCoords = true
+		spec.Origin.X, spec.Origin.Y = *b.OX, *b.OY
+		spec.Dest.X, spec.Dest.Y = *b.DX, *b.DY
+	case b.S != nil && b.D != nil:
+		spec.S, spec.D = roadnet.VertexID(*b.S), roadnet.VertexID(*b.D)
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return spec, fmt.Errorf("give either [city+]s+d or ox/oy/dx/dy")
 	}
+	return spec, nil
 }
 
-func (s *Server) handleVehicles(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+func (s *Server) submitOne(w http.ResponseWriter, body *requestBody) {
+	spec, err := body.spec()
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	limit := 0
-	if q := r.URL.Query().Get("limit"); q != "" {
-		var err error
-		limit, err = strconv.Atoi(q)
-		if err != nil || limit < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit"))
+	rec, err := s.svc.SubmitRequest(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recordView(rec))
+}
+
+// handleRequests serves POST /v1/requests: one request, or a batch
+// under a "requests" key. Batch answers carry one view per item in
+// order (null for failed items) plus the first error's envelope.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	var probe struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if json.Unmarshal(raw, &probe) == nil && probe.Requests != nil {
+		var batch struct {
+			Requests []requestBody `json:"requests"`
+		}
+		if err := decodeBytes(raw, &batch); err != nil {
+			writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 			return
 		}
-	}
-	writeJSON(w, http.StatusOK, s.eng.VehicleViews(limit))
-}
-
-// handleMap renders the fleet map as plain text (the website's map
-// view, ASCII edition). Optional query parameters: width and height in
-// characters (default 72×36) and taxi=<id> to overlay one vehicle's
-// schedule stops.
-func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.submitBatch(w, batch.Requests)
 		return
 	}
-	writeMapFor(w, r, s.eng)
+	var body requestBody
+	if err := decodeBytes(raw, &body); err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	s.submitOne(w, &body)
 }
 
-// writeMapFor renders one engine's fleet map as plain text, honouring
-// the width/height/taxi query parameters. Shared by the single-engine
-// and multi-city servers.
-func writeMapFor(w http.ResponseWriter, r *http.Request, eng *core.Engine) {
+func (s *Server) submitBatch(w http.ResponseWriter, bodies []requestBody) {
+	specs := make([]core.SubmitSpec, 0, len(bodies))
+	for i := range bodies {
+		spec, err := bodies[i].spec()
+		if err != nil {
+			writeCode(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("batch item %d: %v", i, err))
+			return
+		}
+		specs = append(specs, spec)
+	}
+	recs, err := s.svc.SubmitRequestBatch(specs)
+	views := make([]*requestView, len(recs))
+	for i, rec := range recs {
+		if rec != nil {
+			rv := recordView(rec)
+			views[i] = &rv
+		}
+	}
+	out := map[string]any{"requests": views}
+	if err != nil {
+		_, p := classify(err, http.StatusUnprocessableEntity)
+		out["error"] = p
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRequestByID serves GET /v1/requests/{id}.
+func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	rec, err := s.svc.GetRequest(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recordView(rec))
+}
+
+// handleChoice serves POST /v1/requests/{id}/choice.
+func (s *Server) handleChoice(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	var body struct {
+		Option int `json:"option"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if err := s.svc.Choose(id, body.Option); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "assigned"})
+}
+
+// handleDeclineByID serves POST /v1/requests/{id}/decline (no body).
+func (s *Server) handleDeclineByID(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if err := s.svc.Decline(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "declined"})
+}
+
+// ---------------------------------------------------------------------------
+// Fleet, cities, stats, params, ticks
+
+// limitQuery parses the optional ?limit= parameter.
+func limitQuery(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		return 0, nil
+	}
+	limit, err := strconv.Atoi(q)
+	if err != nil || limit < 0 {
+		return 0, fmt.Errorf("bad limit")
+	}
+	return limit, nil
+}
+
+// cityOfQuery normalises the ?city= parameter: empty means the
+// backend's only city, which is resolved to its name for the views.
+func (s *Server) cityOfQuery(r *http.Request) string {
+	city := r.URL.Query().Get("city")
+	if city == "" {
+		if cities := s.svc.Cities(); len(cities) == 1 {
+			return cities[0].Name
+		}
+	}
+	return city
+}
+
+// handleVehiclesV1 serves GET /v1/vehicles.
+func (s *Server) handleVehiclesV1(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	limit, err := limitQuery(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	city := s.cityOfQuery(r)
+	views, err := s.svc.Vehicles(city, limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"city": city, "vehicles": views})
+}
+
+// handleVehicleByID serves GET /v1/vehicles/{id}: the vehicle's
+// location and kinetic-tree schedule branches.
+func (s *Server) handleVehicleByID(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", "bad id")
+		return
+	}
+	it, err := s.svc.VehicleItinerary(s.cityOfQuery(r), fleet.VehicleID(id))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, taxiViewOf(it))
+}
+
+// handleCities serves GET /v1/cities and /api/cities.
+func (s *Server) handleCities(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	cities := s.svc.Cities()
+	out := make([]cityView, len(cities))
+	for i, c := range cities {
+		out[i] = cityView{
+			Name:     c.Name,
+			Vertices: c.Vertices,
+			Vehicles: c.Vehicles,
+			MinX:     c.Region.Min.X, MinY: c.Region.Min.Y,
+			MaxX: c.Region.Max.X, MaxY: c.Region.Max.Y,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// relayResponse answers a relay itinerary lookup; positive ids are
+// accepted as shorthand for their negation (the router's relay
+// namespace).
+func (s *Server) relayResponse(w http.ResponseWriter, id core.RequestID) {
+	if id > 0 {
+		id = -id
+	}
+	rv, err := s.svc.RelayItinerary(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, relayTripViewOf(rv))
+}
+
+// handleRelayByID serves GET /v1/relay/{id}.
+func (s *Server) handleRelayByID(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id, err := pathID(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	s.relayResponse(w, id)
+}
+
+// handleRelayQuery serves GET /v1/relay?id= and /api/relay?id=.
+func (s *Server) handleRelayQuery(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", "bad id")
+		return
+	}
+	s.relayResponse(w, core.RequestID(id))
+}
+
+// handleTicks serves POST /v1/ticks and /api/tick: simulated time
+// advances, movement events return (and feed the /v1/events stream).
+func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	var body struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	clock, events, err := s.tick(body.Seconds)
+	if err != nil {
+		// Invalid caller input (a negative duration, say) is the
+		// caller's fault; anything else is an internal movement failure.
+		status, p := classify(err, http.StatusInternalServerError)
+		writeEnvelope(w, status, p)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"clock": clock, "events": eventViewsOf(events)})
+}
+
+// handleStatsV1 serves GET /v1/stats: per-city panels plus aggregate
+// totals, and the relay panel when enabled.
+func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, statsPayload(s.svc.ServiceStats()))
+}
+
+func statsPayload(st core.ServiceStats) map[string]any {
+	out := map[string]any{"total": st.Total, "cities": st.Cities}
+	if st.RelayEnabled {
+		out["relay"] = st.Relay
+	}
+	return out
+}
+
+// handleParams serves GET/POST /v1/params and /api/params.
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
+		params, err := s.svc.Params(r.URL.Query().Get("city"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, paramsViewOf(params))
+		return
+	}
+	var body struct {
+		City      string `json:"city,omitempty"`
+		Algorithm string `json:"algorithm"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	algo, err := core.ParseAlgorithm(body.Algorithm)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.svc.SetCityAlgorithm(body.City, algo); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"city": body.City, "algorithm": algo.String()})
+}
+
+// handleMap renders one city's fleet map as plain text (the website's
+// map view, ASCII edition). Optional query parameters: city, width and
+// height in characters (default 72×36) and taxi=<id> to overlay one
+// vehicle's schedule stops.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	city := s.cityOfQuery(r)
+	g, err := s.svc.CityGraph(city)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	width, height := 72, 36
 	if q := r.URL.Query().Get("width"); q != "" {
 		if v, err := strconv.Atoi(q); err == nil {
@@ -374,27 +859,32 @@ func writeMapFor(w http.ResponseWriter, r *http.Request, eng *core.Engine) {
 			height = v
 		}
 	}
-	m, err := render.NewMap(eng.Graph(), width, height)
+	m, err := render.NewMap(g, width, height)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	for _, v := range eng.VehicleViews(0) {
+	views, err := s.svc.Vehicles(city, 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	for _, v := range views {
 		m.PlotVehicle(v.Location, v.Onboard > 0)
 	}
 	if q := r.URL.Query().Get("taxi"); q != "" {
 		id, err := strconv.ParseInt(q, 10, 32)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad taxi id"))
+			writeCode(w, http.StatusBadRequest, "invalid_argument", "bad taxi id")
 			return
 		}
-		loc, branches, err := eng.VehicleSchedules(fleet.VehicleID(id))
+		it, err := s.svc.VehicleItinerary(city, fleet.VehicleID(id))
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, err)
 			return
 		}
 		var pickups, dropoffs []roadnet.VertexID
-		for _, b := range branches {
+		for _, b := range it.Branches {
 			for _, p := range b {
 				if p.Kind.String() == "pickup" {
 					pickups = append(pickups, p.Loc)
@@ -403,50 +893,148 @@ func writeMapFor(w http.ResponseWriter, r *http.Request, eng *core.Engine) {
 				}
 			}
 		}
-		m.PlotSchedule(loc, pickups, dropoffs)
+		m.PlotSchedule(it.Location, pickups, dropoffs)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, m.String())
 	fmt.Fprintln(w, render.Legend())
 }
 
-type eventView struct {
-	Kind    string  `json:"kind"`
-	Vehicle int32   `json:"vehicle"`
-	Request int64   `json:"request"`
-	Odo     float64 `json:"odo"`
+// ---------------------------------------------------------------------------
+// Legacy aliases (historical shapes preserved)
+
+// handleLegacyRequest serves the demo's POST/GET /api/request.
+func (s *Server) handleLegacyRequest(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodPost {
+		var body requestBody
+		if err := decode(r, &body); err != nil {
+			writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+			return
+		}
+		s.submitOne(w, &body)
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", "bad id")
+		return
+	}
+	rec, err := s.svc.GetRequest(core.RequestID(id))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recordView(rec))
 }
 
-func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+// legacyLifecycleErr preserves the demo contract: /api/choose and
+// /api/decline answered 422 for unknown request ids (the id arrives in
+// the body, not the path, so "no such resource" was a business error
+// there). Typed conflicts still surface as 409.
+func legacyLifecycleErr(w http.ResponseWriter, err error) {
+	status, p := classify(err, http.StatusUnprocessableEntity)
+	if status == http.StatusNotFound {
+		status, p.Code = http.StatusUnprocessableEntity, "unprocessable"
+	}
+	writeEnvelope(w, status, p)
+}
+
+func (s *Server) handleLegacyChoose(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
 		return
 	}
 	var body struct {
-		Seconds float64 `json:"seconds"`
+		ID     int64 `json:"id"`
+		Option int   `json:"option"`
 	}
 	if err := decode(r, &body); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	events, err := s.eng.Tick(body.Seconds)
-	if err != nil {
-		writeErr(w, tickStatus(err), err)
+	if err := s.svc.Choose(core.RequestID(body.ID), body.Option); err != nil {
+		legacyLifecycleErr(w, err)
 		return
 	}
-	out := make([]eventView, len(events))
-	for i, e := range events {
-		out[i] = eventView{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"clock": s.eng.Clock(), "events": out})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "assigned"})
 }
 
-// tickStatus classifies a Tick error: invalid caller input (a negative
-// duration, say) is the caller's fault and maps to 400; anything else
-// is an internal movement failure and stays 500.
-func tickStatus(err error) int {
-	if errors.Is(err, core.ErrInvalidArgument) {
-		return http.StatusBadRequest
+func (s *Server) handleLegacyDecline(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
 	}
-	return http.StatusInternalServerError
+	var body struct {
+		ID int64 `json:"id"`
+	}
+	if err := decode(r, &body); err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if err := s.svc.Decline(core.RequestID(body.ID)); err != nil {
+		legacyLifecycleErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "declined"})
+}
+
+// handleLegacyStats serves GET /api/stats: the flat single-city panel
+// for one-city backends (the demo's original shape), the per-city
+// composite for multi-city ones.
+func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	st := s.svc.ServiceStats()
+	if !st.Multi {
+		writeJSON(w, http.StatusOK, st.Total)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsPayload(st))
+}
+
+// handleLegacyTaxi serves GET /api/taxi?id=3 (&city=east on multi-city
+// backends).
+func (s *Server) handleLegacyTaxi(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 32)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", "bad id")
+		return
+	}
+	it, err := s.svc.VehicleItinerary(r.URL.Query().Get("city"), fleet.VehicleID(id))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, taxiViewOf(it))
+}
+
+// handleLegacyVehicles serves GET /api/vehicles: a bare vehicle array
+// when no city is named (the single-city demo shape — multi-city
+// backends reject the missing parameter), the city-wrapped object
+// otherwise.
+func (s *Server) handleLegacyVehicles(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	limit, err := limitQuery(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	city := r.URL.Query().Get("city")
+	views, err := s.svc.Vehicles(city, limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if city == "" {
+		writeJSON(w, http.StatusOK, views)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"city": city, "vehicles": views})
 }

@@ -1,0 +1,119 @@
+// sse.go implements GET /v1/events: a Server-Sent Events stream of the
+// movement events (pickups and dropoffs) produced by simulated time
+// advancing — POST /v1/ticks, the legacy /api/tick alias, and realtime
+// drivers calling Server.Tick all feed it.
+//
+// Each movement event is one SSE message whose event name is the kind:
+//
+//	event: pickup
+//	data: {"city":"east","kind":"pickup","vehicle":3,"request":41,"odo":812.5}
+//
+// Subscribers are held behind buffered channels; a subscriber that
+// stops draining loses events rather than stalling ticks (the stream is
+// an observability surface, not a ledger — GET /v1/requests/{id} is the
+// source of truth).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ptrider/internal/core"
+)
+
+// sseMsg is one formatted stream message.
+type sseMsg struct {
+	event string
+	data  []byte
+}
+
+// subscriberBuffer bounds each subscriber's in-flight events.
+const subscriberBuffer = 256
+
+// eventHub fans movement events out to the active /v1/events streams.
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[chan sseMsg]struct{}
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[chan sseMsg]struct{})}
+}
+
+func (h *eventHub) subscribe() chan sseMsg {
+	ch := make(chan sseMsg, subscriberBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *eventHub) unsubscribe(ch chan sseMsg) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// publish delivers one message to every subscriber, dropping it for
+// subscribers whose buffer is full.
+func (h *eventHub) publish(m sseMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- m:
+		default: // slow consumer: drop rather than stall the tick
+		}
+	}
+}
+
+// publishEvents renders tick movement events onto the stream.
+func (s *Server) publishEvents(events []core.ServiceEvent) {
+	for _, e := range events {
+		view := eventView{
+			City: e.City, Kind: e.Kind.String(),
+			Vehicle: e.Vehicle, Request: int64(e.Request), Odo: e.Odo,
+		}
+		data, err := json.Marshal(view)
+		if err != nil {
+			continue
+		}
+		s.hub.publish(sseMsg{event: view.Kind, data: data})
+	}
+}
+
+// handleEvents serves GET /v1/events as an SSE stream until the client
+// disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeCode(w, http.StatusInternalServerError, "internal", "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment line lets clients confirm the subscription
+	// is live before the first tick fires.
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-ch:
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data)
+			fl.Flush()
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"ptrider/internal/core"
 	"ptrider/internal/gen"
 	"ptrider/internal/geo"
 	"ptrider/internal/multicity"
@@ -198,18 +199,19 @@ type MultiResult struct {
 	// PerCity breaks the served trips down by owning city (relay trips
 	// by origin city).
 	PerCity map[string]CityResult
-	// Stats is the router's final aggregated panel, including the
+	// Stats is the backend's final aggregated panel, including the
 	// relay scheduler's own counters when relay is enabled.
-	Stats multicity.Stats
+	Stats core.ServiceStats
 }
 
-// RunMulti replays a multi-city workload against the router: trips are
-// submitted by coordinate at their due tick, a rider model chooses
-// (relay trips through their synthesised joint options), and the
-// router's parallel Tick moves every city's fleet and the relay
-// ledger. Cross-city trips are served when the router relays and
-// counted as typed rejections when it does not; neither is fatal.
-func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult, error) {
+// RunMulti replays a multi-city workload against any core.Service
+// backend (typically a multicity.Router): trips are submitted by
+// coordinate at their due tick, a rider model chooses (relay trips
+// through their synthesised joint options), and the backend's Advance
+// moves every city's fleet — and the relay ledger — in parallel.
+// Cross-city trips are served when the backend relays and counted as
+// typed rejections when it does not; neither is fatal.
+func RunMulti(svc core.Service, trips []MultiTrip, cfg Config) (*MultiResult, error) {
 	for i := 1; i < len(trips); i++ {
 		if trips[i].Time < trips[i-1].Time {
 			return nil, fmt.Errorf("sim: trips not sorted by time at index %d", i)
@@ -245,20 +247,20 @@ func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult,
 		}
 	}
 
-	// The router ticks every city in lockstep, so the loop tracks the
-	// clock locally instead of paying a full cross-city Stats()
+	// The backend ticks every city in lockstep, so the loop tracks the
+	// clock locally instead of paying a full cross-city stats
 	// aggregation per tick; the aggregation runs only for the drain
 	// check once submissions are exhausted.
 	next := 0
-	clock := r.Stats().Total.Clock
+	clock := svc.ServiceStats().Total.Clock
 	for clock < end {
 		for next < len(trips) && trips[next].Time <= clock {
-			if err := submitMulti(r, trips[next], choice, rng, res); err != nil {
+			if err := submitMulti(svc, trips[next], choice, rng, res); err != nil {
 				return res, err
 			}
 			next++
 		}
-		if _, err := r.Tick(cfg.TickSeconds); err != nil {
+		if _, err := svc.Advance(cfg.TickSeconds); err != nil {
 			return res, err
 		}
 		clock += cfg.TickSeconds
@@ -268,25 +270,28 @@ func RunMulti(r *multicity.Router, trips []MultiTrip, cfg Config) (*MultiResult,
 			// landed: one per ordinary trip, two per committed relay trip
 			// (each leg completes in its own city). Failed relays produce
 			// fewer; the EndSeconds bound covers that tail.
-			st := r.Stats()
+			st := svc.ServiceStats()
 			if st.Total.Completed >= int64(res.Accepted)+st.Relay.Committed {
 				break
 			}
 		}
 	}
-	res.Stats = r.Stats()
+	res.Stats = svc.ServiceStats()
 	return res, nil
 }
 
-func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand.Rand, res *MultiResult) error {
+func submitMulti(svc core.Service, t MultiTrip, choice ChoiceModel, rng *rand.Rand, res *MultiResult) error {
 	res.Submitted++
-	rec, err := r.Submit(t.O, t.D, t.Riders)
+	rec, err := svc.SubmitRequest(core.SubmitSpec{
+		ByCoords: true, Origin: t.O, Dest: t.D, Riders: t.Riders,
+		Constraints: core.DefaultConstraints(),
+	})
 	if err != nil {
 		switch {
-		case errors.Is(err, multicity.ErrCrossCity):
+		case errors.Is(err, core.ErrCrossCity):
 			res.CrossRejected++
 			return nil
-		case errors.Is(err, multicity.ErrNoCity):
+		case errors.Is(err, core.ErrNoCity):
 			res.NoCity++
 			return nil
 		default:
@@ -307,7 +312,7 @@ func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand
 			// Release the relay trip's leg quotes eagerly; a single-city
 			// quote holds no resources, but a relay quote owns one leg
 			// record per gateway in two cities.
-			return r.Decline(rec.ID)
+			return svc.Decline(rec.ID)
 		}
 		return nil
 	}
@@ -315,9 +320,9 @@ func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand
 	if pick < 0 {
 		res.Declined++
 		city.Declined++
-		return r.Decline(rec.ID)
+		return svc.Decline(rec.ID)
 	}
-	if err := r.Choose(rec.ID, pick); err != nil {
+	if err := svc.Choose(rec.ID, pick); err != nil {
 		// Stale candidates under the concurrent per-city tickers are
 		// expected; the trip ends declined rather than failing the run.
 		res.Declined++
@@ -327,7 +332,7 @@ func submitMulti(r *multicity.Router, t MultiTrip, choice ChoiceModel, rng *rand
 			// and released every leg; there is nothing left to decline.
 			return nil
 		}
-		return r.Decline(rec.ID)
+		return svc.Decline(rec.ID)
 	}
 	res.Accepted++
 	city.Accepted++

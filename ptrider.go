@@ -21,6 +21,14 @@
 // bounded worker pool. Requests, choices, ticks and stats reads may
 // all be issued concurrently; matching holds no engine-wide lock.
 //
+// A System is backed by the core Service interface, so one set of
+// verbs — Request, Choose, Decline, Tick, Stats — serves every backend:
+// New builds a single-city system, NewMulti a multi-city one whose
+// requests are routed to per-city engines by coordinate and whose
+// cross-city trips are served as two-leg relay itineraries when relay
+// scheduling is enabled. HTTPHandler exposes any System over the same
+// versioned /v1 JSON API (see internal/server).
+//
 // # Quick start
 //
 //	net, _ := ptrider.GenerateCity(ptrider.CityConfig{Width: 40, Height: 40, Seed: 1})
@@ -31,6 +39,23 @@
 //	}
 //	sys.Choose(req.ID, 0)
 //	sys.Tick(60) // advance simulated time
+//
+// # Multi-city quick start
+//
+//	sys, _ := ptrider.NewMulti("east:40x40:500,west:28x28:200", ptrider.MultiConfig{
+//		Config:                ptrider.Config{Seed: 1},
+//		EnableRelay:           true, // serve cross-city trips as two-leg relays
+//		TransferBufferSeconds: 120,
+//	})
+//	east := sys.Cities()[0]
+//	req, _ := sys.RequestIn(east.Name, 12, 17, 1)    // city-local vertices
+//	cross, _ := sys.RequestAt(100, 900, 12000, 400, 1) // coordinates, may cross cities
+//	if cross.Relay != nil {
+//		fmt.Printf("relay %s → %s: %d joint options\n",
+//			cross.Relay.Origin, cross.Relay.Dest, len(cross.Options))
+//	}
+//	sys.Choose(cross.ID, 0) // two-phase commit of both legs
+//	sys.Tick(60)            // every city ticks concurrently
 //
 // The internal packages implement the substrates (road network,
 // shortest paths, grid index, kinetic trees, matchers, simulator); this
@@ -46,6 +71,8 @@ import (
 	"ptrider/internal/core"
 	"ptrider/internal/gen"
 	"ptrider/internal/geo"
+	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/server"
 	"ptrider/internal/sim"
@@ -183,7 +210,8 @@ func GenerateWorkload(n *Network, cfg WorkloadConfig) ([]Trip, error) {
 // time, service constraint, price function, and matching algorithm.
 type Config struct {
 	// NumTaxis places this many vehicles uniformly at random (0 = none;
-	// add more with AddVehicleAt/AddVehicles).
+	// add more with AddVehicleAt/AddVehicles). In a multi-city system
+	// the per-city fleet sizes come from the city spec instead.
 	NumTaxis int
 	// Capacity is the per-vehicle rider capacity (0 = 4).
 	Capacity int
@@ -221,19 +249,126 @@ type Config struct {
 	Seed int64
 }
 
+// coreConfig translates the public configuration into the engine's.
+func coreConfig(cfg Config) (core.Config, error) {
+	algo := core.AlgoDualSide
+	if cfg.Algorithm != "" {
+		var err error
+		algo, err = core.ParseAlgorithm(cfg.Algorithm)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+	return core.Config{
+		GridCols: cfg.GridCols, GridRows: cfg.GridRows,
+		Capacity:         cfg.Capacity,
+		SpeedKmh:         cfg.SpeedKmh,
+		MaxWaitSeconds:   cfg.MaxWaitSeconds,
+		Sigma:            cfg.Sigma,
+		MaxPickupSeconds: cfg.MaxPickupSeconds,
+		PriceRatio:       cfg.PriceRatio,
+		Algorithm:        algo,
+		NumLandmarks:     cfg.NumLandmarks,
+		MatchWorkers:     cfg.MatchWorkers,
+		CommitSlack:      cfg.CommitSlack,
+		Seed:             cfg.Seed,
+	}, nil
+}
+
+// MultiConfig parameterises NewMulti.
+type MultiConfig struct {
+	// Config is the base per-city engine configuration (NumTaxis is
+	// ignored; fleet sizes come from the city spec).
+	Config
+	// EnableRelay serves cross-city trips as two-leg relay itineraries
+	// over hand-off gateways instead of rejecting them.
+	EnableRelay bool
+	// TransferBufferSeconds is the hand-off margin chained between the
+	// relay legs' ETAs (0 = 120; negative = a literal zero buffer).
+	TransferBufferSeconds float64
+	// MaxGateways bounds the hand-off gateway pairs quoted per city
+	// pair (0 = 3).
+	MaxGateways int
+}
+
 // Option is one non-dominated result ⟨vehicle, pick-up time, price⟩.
 type Option struct {
 	// Index is the option's position in Request.Options, passed to
 	// Choose.
 	Index int
-	// Vehicle identifies the offering taxi.
+	// Vehicle identifies the offering taxi (a relay option's leg-1
+	// taxi).
 	Vehicle VertexID
-	// PickupSeconds is the planned pick-up time from now.
+	// PickupSeconds is the planned pick-up time from now. For a relay
+	// option it is the composed door-to-destination ETA — the joint
+	// skyline's time axis.
 	PickupSeconds float64
 	// PickupMeters is the same as a distance along the road network.
 	PickupMeters float64
-	// Price is the fare under the system's price model.
+	// Price is the fare under the system's price model (a relay
+	// option's summed leg fares).
 	Price float64
+}
+
+// RelayLeg is one leg of a relay option's per-leg breakdown.
+type RelayLeg struct {
+	Vehicle VertexID
+	Price   float64
+}
+
+// RelayOption is one row of a relay trip's joint skyline.
+type RelayOption struct {
+	// Index aligns with Request.Options.
+	Index int
+	// Gateway indexes the trip's hand-off gateways.
+	Gateway int
+	// Fare is Leg1.Price + Leg2.Price.
+	Fare float64
+	// PickupSeconds is leg 1's planned door pick-up ETA; ETASeconds the
+	// composed door-to-destination worst case.
+	PickupSeconds float64
+	ETASeconds    float64
+	Leg1, Leg2    RelayLeg
+}
+
+// RelayItinerary is the two-leg view of a cross-city relay trip.
+type RelayItinerary struct {
+	RequestID int64
+	// Origin and Dest are the two city names.
+	Origin, Dest string
+	// State is the trip lifecycle stage: "quoted", "leg1-committed",
+	// "in-transfer", "leg2-active", "completed", "declined", "aborted"
+	// or "failed".
+	State string
+	// TransferBufferSeconds is the scheduler's hand-off margin.
+	TransferBufferSeconds float64
+	Options               []RelayOption
+	// Chosen is the committed option index (-1 while quoted/declined).
+	Chosen int
+}
+
+func relayItinerary(rv *core.RelayView) *RelayItinerary {
+	out := &RelayItinerary{
+		RequestID:             int64(rv.RequestID),
+		Origin:                rv.Origin,
+		Dest:                  rv.Dest,
+		State:                 rv.State,
+		TransferBufferSeconds: rv.TransferBufferSeconds,
+		Options:               make([]RelayOption, len(rv.Options)),
+		Chosen:                rv.Chosen,
+	}
+	for i, o := range rv.Options {
+		out.Options[i] = RelayOption{
+			Index:         i,
+			Gateway:       o.Gateway,
+			Fare:          o.Fare,
+			PickupSeconds: o.PickupSeconds,
+			ETASeconds:    o.ETASeconds,
+			Leg1:          RelayLeg{Vehicle: o.Leg1.Vehicle, Price: o.Leg1.Price},
+			Leg2:          RelayLeg{Vehicle: o.Leg2.Vehicle, Price: o.Leg2.Price},
+		}
+	}
+	return out
 }
 
 // Request is the answer to a submitted ridesharing request: the full
@@ -242,6 +377,11 @@ type Option struct {
 type Request struct {
 	ID      int64
 	Options []Option
+	// City is the serving city (a relay trip's origin city).
+	City string
+	// Relay carries the two-leg itinerary when the request crossed
+	// cities and was served by relay scheduling; nil otherwise.
+	Relay *RelayItinerary
 }
 
 // Stats is the statistics panel of the demo's website interface.
@@ -259,11 +399,37 @@ type Stats struct {
 	ActiveVehicles  int
 }
 
+// RelayStats is the relay scheduler's counter panel.
+type RelayStats struct {
+	Quoted    int64
+	LegQuotes int64
+	Committed int64
+	Aborted   int64
+	Declined  int64
+	Completed int64
+	Failed    int64
+	Active    int64
+}
+
+// CityInfo describes one city of a system. The Min/Max coordinates
+// bound its service region — the addresses RequestAt assigns to it.
+type CityInfo struct {
+	Name     string
+	Vertices int
+	Vehicles int
+	MinX     float64
+	MinY     float64
+	MaxX     float64
+	MaxY     float64
+}
+
 // Event reports a pickup or dropoff produced by Tick.
 type Event struct {
 	Kind    string // "pickup" or "dropoff"
 	Vehicle VertexID
 	Request int64
+	// City is the city the event happened in.
+	City string
 }
 
 // Stop is one entry of a vehicle trip schedule.
@@ -273,67 +439,146 @@ type Stop struct {
 	Request int64
 }
 
-// System is a running PTRider instance.
+// System is a running PTRider instance over one city or many — every
+// backend is served through the same core Service interface, so the
+// verbs below behave identically whichever constructor built it.
 type System struct {
-	eng *core.Engine
-	net *Network
+	svc    core.Service
+	eng    *core.Engine      // non-nil for single-city systems
+	router *multicity.Router // non-nil for multi-city systems
+	net    *Network          // the single city's network (nil for multi)
 }
 
-// New builds a System over a network.
+// New builds a single-city System over a network.
 func New(n *Network, cfg Config) (*System, error) {
-	algo := core.AlgoDualSide
-	if cfg.Algorithm != "" {
-		var err error
-		algo, err = core.ParseAlgorithm(cfg.Algorithm)
-		if err != nil {
-			return nil, err
-		}
+	ccfg, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
-	eng, err := core.NewEngine(n.g, core.Config{
-		GridCols: cfg.GridCols, GridRows: cfg.GridRows,
-		Capacity:         cfg.Capacity,
-		SpeedKmh:         cfg.SpeedKmh,
-		MaxWaitSeconds:   cfg.MaxWaitSeconds,
-		Sigma:            cfg.Sigma,
-		MaxPickupSeconds: cfg.MaxPickupSeconds,
-		PriceRatio:       cfg.PriceRatio,
-		Algorithm:        algo,
-		NumLandmarks:     cfg.NumLandmarks,
-		MatchWorkers:     cfg.MatchWorkers,
-		CommitSlack:      cfg.CommitSlack,
-		Seed:             cfg.Seed,
-	})
+	eng, err := core.NewEngine(n.g, ccfg)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.NumTaxis > 0 {
 		eng.AddVehiclesUniform(cfg.NumTaxis)
 	}
-	return &System{eng: eng, net: n}, nil
+	return &System{svc: eng, eng: eng, net: n}, nil
 }
 
-// Network returns the system's road network.
+// NewMulti builds a multi-city System from a compact city spec
+//
+//	name:WIDTHxHEIGHT:TAXIS[,name:WIDTHxHEIGHT:TAXIS...]
+//
+// e.g. "east:40x40:500,west:28x28:200": one independently tuned engine
+// per synthetic city, laid out disjointly, with requests routed to
+// cities by coordinate (RequestAt) or addressed explicitly
+// (RequestIn). With cfg.EnableRelay, a trip whose origin and
+// destination fall in different cities is quoted as a two-leg relay
+// itinerary over hand-off gateways and committed atomically; without
+// it, cross-city trips are rejected with a typed error.
+func NewMulti(cities string, cfg MultiConfig) (*System, error) {
+	base, err := coreConfig(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	router, err := multicity.BuildFromSpecWithConfig(cities, base, cfg.Seed,
+		multicity.RouterConfig{
+			EnableRelay: cfg.EnableRelay,
+			Relay: relay.Config{
+				TransferBufferSeconds: cfg.TransferBufferSeconds,
+				MaxGateways:           cfg.MaxGateways,
+			},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &System{svc: router, router: router}, nil
+}
+
+// Network returns the system's road network (nil for a multi-city
+// system, whose per-city networks live behind the city names).
 func (s *System) Network() *Network { return s.net }
 
-// AddVehicles places n vehicles uniformly at random.
+// AddVehicles places n vehicles uniformly at random (single-city
+// systems; a multi-city system sizes its fleets in the city spec).
 func (s *System) AddVehicles(n int) {
-	s.eng.AddVehiclesUniform(n)
+	if s.eng != nil {
+		s.eng.AddVehiclesUniform(n)
+	}
 }
 
-// AddVehicleAt places one vehicle at a vertex and returns its id.
+// AddVehicleAt places one vehicle at a vertex and returns its id
+// (single-city systems).
 func (s *System) AddVehicleAt(v VertexID) VertexID {
+	if s.eng == nil {
+		return -1
+	}
 	return s.eng.AddVehicleAt(v)
 }
 
-// NumVehicles returns the in-service vehicle count.
-func (s *System) NumVehicles() int { return s.eng.NumVehicles() }
+// NumVehicles returns the in-service vehicle count across all cities.
+func (s *System) NumVehicles() int {
+	total := 0
+	for _, c := range s.svc.Cities() {
+		total += c.Vehicles
+	}
+	return total
+}
 
-// RandomVertex returns a uniformly random vertex id.
-func (s *System) RandomVertex() VertexID { return s.eng.RandomVertex() }
+// RandomVertex returns a uniformly random vertex id (single-city
+// systems).
+func (s *System) RandomVertex() VertexID {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.RandomVertex()
+}
+
+// Cities lists the system's cities — a single-city system reports one.
+func (s *System) Cities() []CityInfo {
+	cities := s.svc.Cities()
+	out := make([]CityInfo, len(cities))
+	for i, c := range cities {
+		out[i] = CityInfo{
+			Name: c.Name, Vertices: c.Vertices, Vehicles: c.Vehicles,
+			MinX: c.Region.Min.X, MinY: c.Region.Min.Y,
+			MaxX: c.Region.Max.X, MaxY: c.Region.Max.Y,
+		}
+	}
+	return out
+}
+
+// buildRequest renders a service record as the public answer.
+func buildRequest(rec *core.ServiceRecord) Request {
+	out := Request{ID: int64(rec.ID), City: rec.City, Options: make([]Option, len(rec.Options))}
+	for i, o := range rec.Options {
+		out.Options[i] = Option{
+			Index:         i,
+			Vehicle:       o.Vehicle,
+			PickupSeconds: rec.PickupSecondsOf(o),
+			PickupMeters:  o.PickupDist,
+			Price:         o.Price,
+		}
+	}
+	if rec.Relay != nil {
+		out.Relay = relayItinerary(rec.Relay)
+	}
+	return out
+}
+
+func (s *System) submit(spec core.SubmitSpec) (Request, error) {
+	rec, err := s.svc.SubmitRequest(spec)
+	if err != nil {
+		return Request{}, err
+	}
+	return buildRequest(rec), nil
+}
 
 // Request submits a ridesharing request for riders travelling from
 // vertex from to vertex to under the system-global waiting time and
-// service constraint, returning all non-dominated options.
+// service constraint, returning all non-dominated options. On a
+// multi-city system vertex ids are ambiguous — use RequestIn or
+// RequestAt there.
 func (s *System) Request(from, to VertexID, riders int) (Request, error) {
 	return s.RequestWithConstraints(from, to, riders, 0, -1)
 }
@@ -343,42 +588,56 @@ func (s *System) Request(from, to VertexID, riders int) (Request, error) {
 // (negative keeps the global; 0 forbids any detour) — the per-rider
 // settings the demo paper notes but simplifies away.
 func (s *System) RequestWithConstraints(from, to VertexID, riders int, waitSeconds, sigma float64) (Request, error) {
-	rec, err := s.eng.SubmitWithConstraints(from, to, riders, core.Constraints{
-		WaitSeconds: waitSeconds, Sigma: sigma,
+	return s.submit(core.SubmitSpec{
+		S: from, D: to, Riders: riders,
+		Constraints: core.Constraints{WaitSeconds: waitSeconds, Sigma: sigma},
 	})
-	if err != nil {
-		return Request{}, err
-	}
-	out := Request{ID: int64(rec.ID), Options: make([]Option, len(rec.Options))}
-	for i, o := range rec.Options {
-		out.Options[i] = Option{
-			Index:         i,
-			Vehicle:       o.Vehicle,
-			PickupSeconds: s.eng.PickupSeconds(o),
-			PickupMeters:  o.PickupDist,
-			Price:         o.Price,
-		}
-	}
-	return out, nil
 }
 
-// Choose commits the rider's selected option.
+// RequestIn submits a request addressed by city name and city-local
+// vertex ids.
+func (s *System) RequestIn(city string, from, to VertexID, riders int) (Request, error) {
+	return s.submit(core.SubmitSpec{
+		City: city, S: from, D: to, Riders: riders,
+		Constraints: core.DefaultConstraints(),
+	})
+}
+
+// RequestAt submits a request addressed by planar coordinates: the
+// origin's city answers it, and — when the destination falls in a
+// different city of a relay-enabled multi-city system — the answer is
+// a two-leg relay itinerary (Request.Relay) whose joint options price
+// and time the whole journey.
+func (s *System) RequestAt(ox, oy, dx, dy float64, riders int) (Request, error) {
+	return s.submit(core.SubmitSpec{
+		ByCoords:    true,
+		Origin:      geo.Point{X: ox, Y: oy},
+		Dest:        geo.Point{X: dx, Y: dy},
+		Riders:      riders,
+		Constraints: core.DefaultConstraints(),
+	})
+}
+
+// Choose commits the rider's selected option. For a relay itinerary
+// this is the two-phase commit of both legs: both book, or neither
+// stays booked.
 func (s *System) Choose(requestID int64, optionIndex int) error {
-	return s.eng.Choose(core.RequestID(requestID), optionIndex)
+	return s.svc.Choose(core.RequestID(requestID), optionIndex)
 }
 
 // Decline records that the rider took none of the options.
 func (s *System) Decline(requestID int64) error {
-	return s.eng.Decline(core.RequestID(requestID))
+	return s.svc.Decline(core.RequestID(requestID))
 }
 
 // Tick advances simulated time by the given seconds: vehicles move,
-// pickups and dropoffs fire.
+// pickups and dropoffs fire. Every city of a multi-city system ticks
+// concurrently.
 func (s *System) Tick(seconds float64) ([]Event, error) {
-	events, err := s.eng.Tick(seconds)
+	events, err := s.svc.Advance(seconds)
 	out := make([]Event, len(events))
 	for i, e := range events {
-		out[i] = Event{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request)}
+		out[i] = Event{Kind: e.Kind.String(), Vehicle: e.Vehicle, Request: int64(e.Request), City: e.City}
 	}
 	return out, err
 }
@@ -386,43 +645,64 @@ func (s *System) Tick(seconds float64) ([]Event, error) {
 // RequestStatus returns the lifecycle state of a request: "quoted",
 // "assigned", "onboard", "completed" or "declined".
 func (s *System) RequestStatus(requestID int64) (string, error) {
-	rec, err := s.eng.Request(core.RequestID(requestID))
+	rec, err := s.svc.GetRequest(core.RequestID(requestID))
 	if err != nil {
 		return "", err
 	}
 	return rec.Status.String(), nil
 }
 
+// RelayItinerary returns the two-leg view of a relay trip previously
+// answered by RequestAt on a relay-enabled multi-city system.
+func (s *System) RelayItinerary(requestID int64) (*RelayItinerary, error) {
+	rv, err := s.svc.RelayItinerary(core.RequestID(requestID))
+	if err != nil {
+		return nil, err
+	}
+	return relayItinerary(rv), nil
+}
+
 // VehicleSchedules returns a vehicle's current location and every valid
-// trip schedule of its kinetic tree.
+// trip schedule of its kinetic tree (single-city systems; see
+// VehicleSchedulesIn for multi-city).
 func (s *System) VehicleSchedules(vehicle VertexID) (location VertexID, schedules [][]Stop, err error) {
-	loc, branches, err := s.eng.VehicleSchedules(vehicle)
+	return s.VehicleSchedulesIn("", vehicle)
+}
+
+// VehicleSchedulesIn is VehicleSchedules addressed by city.
+func (s *System) VehicleSchedulesIn(city string, vehicle VertexID) (location VertexID, schedules [][]Stop, err error) {
+	it, err := s.svc.VehicleItinerary(city, vehicle)
 	if err != nil {
 		return 0, nil, err
 	}
-	out := make([][]Stop, len(branches))
-	for i, b := range branches {
+	out := make([][]Stop, len(it.Branches))
+	for i, b := range it.Branches {
 		row := make([]Stop, len(b))
 		for j, p := range b {
 			row[j] = Stop{Vertex: p.Loc, Kind: p.Kind.String(), Request: int64(p.Req)}
 		}
 		out[i] = row
 	}
-	return loc, out, nil
+	return it.Location, out, nil
 }
 
-// SetAlgorithm switches the matching algorithm at run time.
+// SetAlgorithm switches the matching algorithm at run time, in every
+// city.
 func (s *System) SetAlgorithm(name string) error {
 	algo, err := core.ParseAlgorithm(name)
 	if err != nil {
 		return err
 	}
-	return s.eng.SetAlgorithm(algo)
+	for _, c := range s.svc.Cities() {
+		if err := s.svc.SetCityAlgorithm(c.Name, algo); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Stats snapshots the statistics panel.
-func (s *System) Stats() Stats {
-	st := s.eng.Stats()
+// statsOf maps an engine panel into the public shape.
+func statsOf(st core.EngineStats) Stats {
 	return Stats{
 		ClockSeconds:    st.Clock,
 		Requests:        st.Requests,
@@ -438,10 +718,38 @@ func (s *System) Stats() Stats {
 	}
 }
 
-// HTTPHandler exposes the system as the demo's JSON API (see
-// internal/server for the endpoint reference).
+// Stats snapshots the statistics panel (the cross-city aggregate on a
+// multi-city system).
+func (s *System) Stats() Stats {
+	return statsOf(s.svc.ServiceStats().Total)
+}
+
+// CityStats snapshots every city's own panel.
+func (s *System) CityStats() map[string]Stats {
+	st := s.svc.ServiceStats()
+	out := make(map[string]Stats, len(st.Cities))
+	for name, cs := range st.Cities {
+		out[name] = statsOf(cs)
+	}
+	return out
+}
+
+// RelayStats snapshots the relay scheduler's panel; ok is false when
+// the system does not relay cross-city trips.
+func (s *System) RelayStats() (rs RelayStats, ok bool) {
+	st := s.svc.ServiceStats()
+	if !st.RelayEnabled {
+		return RelayStats{}, false
+	}
+	return RelayStats(st.Relay), true
+}
+
+// HTTPHandler exposes the system over the versioned /v1 JSON API (plus
+// the legacy /api aliases); see internal/server for the endpoint
+// reference. Single- and multi-city systems serve the identical
+// surface.
 func (s *System) HTTPHandler() http.Handler {
-	return server.New(s.eng).Handler()
+	return server.NewService(s.svc).Handler()
 }
 
 // SimOptions parameterises RunWorkload.
@@ -452,7 +760,7 @@ type SimOptions struct {
 	// or "utility" ("" = "utility").
 	Choice string
 	// FailuresPerHour removes random vehicles at this rate (failure
-	// injection).
+	// injection; single-city replays only).
 	FailuresPerHour float64
 	// Seed drives choices and failures.
 	Seed int64
@@ -492,8 +800,12 @@ func choiceModel(name string) (sim.ChoiceModel, error) {
 }
 
 // RunWorkload replays a trip workload (from GenerateWorkload or a
-// trace file) against the system and returns aggregate results.
+// trace file) against a single-city system and returns aggregate
+// results. Multi-city systems replay with RunMultiWorkload.
 func (s *System) RunWorkload(trips []Trip, opts SimOptions) (SimResult, error) {
+	if s.eng == nil {
+		return SimResult{}, fmt.Errorf("ptrider: RunWorkload needs a single-city system; use RunMultiWorkload")
+	}
 	choice, err := choiceModel(opts.Choice)
 	if err != nil {
 		return SimResult{}, err
@@ -528,5 +840,112 @@ func (s *System) RunWorkload(trips []Trip, opts SimOptions) (SimResult, error) {
 		})
 	}
 	sort.Slice(out.Hourly, func(i, j int) bool { return out.Hourly[i].Hour < out.Hourly[j].Hour })
+	return out, nil
+}
+
+// MultiTrip is one entry of a multi-city workload: endpoints are
+// planar coordinates — city assignment is the system's job, not the
+// trace's.
+type MultiTrip = sim.MultiTrip
+
+// CityTally is one city's slice of a multi-city replay.
+type CityTally = sim.CityResult
+
+// MultiWorkloadConfig parameterises GenerateMultiWorkload.
+type MultiWorkloadConfig struct {
+	// NumTrips is the total trip count across all cities.
+	NumTrips int
+	// DaySeconds is the horizon (0 = 86400).
+	DaySeconds float64
+	// Weights skews the per-city load share by city name (nil =
+	// uniform).
+	Weights map[string]float64
+	// CrossFrac moves this fraction of trips' destinations into another
+	// city (relay serves them when enabled; typed rejections otherwise).
+	CrossFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateMultiWorkload synthesises a skewed multi-city day over a
+// multi-city system's cities.
+func (s *System) GenerateMultiWorkload(cfg MultiWorkloadConfig) ([]MultiTrip, error) {
+	if s.router == nil {
+		return nil, fmt.Errorf("ptrider: GenerateMultiWorkload needs a multi-city system")
+	}
+	return sim.GenerateMultiWorkload(s.router, sim.MultiWorkloadConfig{
+		NumTrips:   cfg.NumTrips,
+		DaySeconds: cfg.DaySeconds,
+		Weights:    cfg.Weights,
+		CrossFrac:  cfg.CrossFrac,
+		Seed:       cfg.Seed,
+	})
+}
+
+// MultiSimResult aggregates a multi-city replay.
+type MultiSimResult struct {
+	// Stats is the cross-city aggregate panel; CityStats the per-city
+	// panels; Relay the relay scheduler's counters (zero without
+	// relay).
+	Stats     Stats
+	CityStats map[string]Stats
+	Relay     RelayStats
+	// Submitted counts trips offered to the system; CrossRejected the
+	// cross-city trips rejected (zero with relay); NoCity trips whose
+	// origin no city serves.
+	Submitted     int
+	CrossRejected int
+	NoCity        int
+	// Accepted / Declined / NoOption mirror the single-city replay;
+	// Relayed counts cross-city trips served through relay scheduling.
+	Accepted int
+	Declined int
+	NoOption int
+	Relayed  int
+	// PerCity breaks the served trips down by owning city.
+	PerCity map[string]CityTally
+}
+
+// RunMultiWorkload replays a multi-city workload against the system:
+// trips are submitted by coordinate at their due tick, the rider model
+// chooses (relay trips through their synthesised joint options), and
+// every city's fleet moves concurrently on each tick.
+func (s *System) RunMultiWorkload(trips []MultiTrip, opts SimOptions) (MultiSimResult, error) {
+	if s.router == nil {
+		return MultiSimResult{}, fmt.Errorf("ptrider: RunMultiWorkload needs a multi-city system")
+	}
+	choice, err := choiceModel(opts.Choice)
+	if err != nil {
+		return MultiSimResult{}, err
+	}
+	if opts.FailuresPerHour != 0 {
+		return MultiSimResult{}, fmt.Errorf("ptrider: failure injection is not supported by the multi-city replay")
+	}
+	res, err := sim.RunMulti(s.svc, trips, sim.Config{
+		TickSeconds: opts.TickSeconds,
+		Choice:      choice,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return MultiSimResult{}, err
+	}
+	out := MultiSimResult{
+		Stats:         statsOf(res.Stats.Total),
+		CityStats:     make(map[string]Stats, len(res.Stats.Cities)),
+		Submitted:     res.Submitted,
+		CrossRejected: res.CrossRejected,
+		NoCity:        res.NoCity,
+		Accepted:      res.Accepted,
+		Declined:      res.Declined,
+		NoOption:      res.NoOption,
+		Relayed:       res.Relayed,
+		PerCity:       res.PerCity,
+	}
+	for name, cs := range res.Stats.Cities {
+		out.CityStats[name] = statsOf(cs)
+	}
+	if res.Stats.RelayEnabled {
+		out.Relay = RelayStats(res.Stats.Relay)
+	}
 	return out, nil
 }

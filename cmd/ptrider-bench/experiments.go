@@ -24,11 +24,16 @@ func buildCity(side int, seed int64) (*roadnet.Graph, error) {
 	return gen.GenerateNetwork(gen.CityConfig{Width: side, Height: side, RemoveFrac: 0.15, Seed: seed})
 }
 
+// tickWorkersFl is the -tick-workers flag: the Tick shard width every
+// experiment engine is built with (0 = one per CPU, 1 = serial).
+var tickWorkersFl int
+
 func buildEngine(g *roadnet.Graph, taxis int, seed int64, mut func(*core.Config)) (*core.Engine, error) {
 	cfg := core.Config{
 		GridCols: 16, GridRows: 16,
 		Capacity: 4, MaxWaitSeconds: 300, Sigma: 0.4,
 		Algorithm: core.AlgoDualSide, Seed: seed,
+		TickWorkers: tickWorkersFl,
 	}
 	if mut != nil {
 		mut(&cfg)

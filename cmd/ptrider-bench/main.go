@@ -47,6 +47,7 @@ func main() {
 		scaleFl = flag.String("scale", "small", "scale: small|medium|large")
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
+	flag.IntVar(&tickWorkersFl, "tick-workers", 0, "parallel tick shard width for every experiment engine (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	sc, ok := scales[*scaleFl]

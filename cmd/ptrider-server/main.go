@@ -56,10 +56,11 @@ func main() {
 		realtime = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
 		cities   = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
 		relayOn  = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
+		tickW    = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
-	svc, banner, err := buildService(*cities, *width, *height, *taxis, *algo, *seed, *relayOn)
+	svc, banner, err := buildService(*cities, *width, *height, *taxis, *algo, *seed, *relayOn, *tickW)
 	if err != nil {
 		log.Fatalf("ptrider-server: %v", err)
 	}
@@ -86,13 +87,13 @@ func main() {
 // buildService constructs the backend: a single-city engine, or a
 // multi-city router from the compact spec. Both implement the same
 // core.Service, so the caller serves them identically.
-func buildService(cities string, width, height, taxis int, algoName string, seed int64, relayOn bool) (core.Service, string, error) {
+func buildService(cities string, width, height, taxis int, algoName string, seed int64, relayOn bool, tickWorkers int) (core.Service, string, error) {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return nil, "", err
 	}
 	if cities != "" {
-		router, err := multicity.BuildFromSpecWithConfig(cities, core.Config{Algorithm: algo}, seed,
+		router, err := multicity.BuildFromSpecWithConfig(cities, core.Config{Algorithm: algo, TickWorkers: tickWorkers}, seed,
 			multicity.RouterConfig{EnableRelay: relayOn})
 		if err != nil {
 			return nil, "", err
@@ -108,7 +109,7 @@ func buildService(cities string, width, height, taxis int, algoName string, seed
 	if err != nil {
 		return nil, "", err
 	}
-	eng, err := core.NewEngine(g, core.Config{Algorithm: algo, Seed: seed})
+	eng, err := core.NewEngine(g, core.Config{Algorithm: algo, Seed: seed, TickWorkers: tickWorkers})
 	if err != nil {
 		return nil, "", err
 	}

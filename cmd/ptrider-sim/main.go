@@ -62,6 +62,7 @@ func main() {
 		cross     = flag.Float64("cross", 0, "fraction of trips relocated across city borders")
 		relayOn   = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips instead of rejecting them")
 		transfer  = flag.Float64("transfer-buffer", 120, "relay hand-off margin in seconds (0 = none)")
+		tickW     = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -79,14 +80,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ptrider-sim: -save-network/-load-network are not supported with -cities (networks come from the city spec)")
 			os.Exit(2)
 		}
-		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *relayOn, *transfer); err != nil {
+		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *relayOn, *transfer, *tickW); err != nil {
 			fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips); err != nil {
+	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips, *tickW); err != nil {
 		fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 		os.Exit(1)
 	}
@@ -125,7 +126,7 @@ func parseWeights(s string) (map[string]float64, error) {
 // through the core Service interface, like every other transport — and
 // prints per-city panels plus the aggregate (and the relay panel when
 // relay scheduling is on).
-func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64) error {
+func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64, tickWorkers int) error {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -145,6 +146,7 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 		MaxWaitSeconds: wait,
 		Sigma:          sigma,
 		Algorithm:      algo,
+		TickWorkers:    tickWorkers,
 	}, seed, multicity.RouterConfig{
 		EnableRelay: relayOn,
 		Relay:       relay.Config{TransferBufferSeconds: literalSeconds(transferBuffer)},
@@ -193,6 +195,10 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 	fmt.Fprintf(w, "commit stale / re-probed / salvaged\t%d / %d / %d\n",
 		res.Stats.Total.CommitStale, res.Stats.Total.Reprobes, res.Stats.Total.ReprobeCommits)
 	fmt.Fprintf(w, "active taxis\t%d\n", res.Stats.Total.ActiveVehicles)
+	ts := res.Stats.Total.Tick
+	fmt.Fprintf(w, "tick workers (all cities)\t%d\n", ts.Workers)
+	fmt.Fprintf(w, "tick wall avg / last\t%.3f / %.3f ms\n", ts.AvgWallMs, ts.LastWallMs)
+	fmt.Fprintf(w, "events per tick / max shard skew\t%.2f / %.3f ms\n", ts.AvgEvents, ts.MaxShardSkewMs)
 	if err := w.Flush(); err != nil {
 		return err
 	}
@@ -219,7 +225,7 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 	return cw.Flush()
 }
 
-func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string) error {
+func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string, tickWorkers int) error {
 	var net *ptrider.Network
 	var err error
 	if loadNet != "" {
@@ -302,6 +308,7 @@ func run(width, height, taxis, trips int, day float64, algo, choice string, tick
 		Sigma:          sigma,
 		Algorithm:      algo,
 		Seed:           seed,
+		TickWorkers:    tickWorkers,
 	})
 	if err != nil {
 		return err
@@ -333,6 +340,9 @@ func run(width, height, taxis, trips int, day float64, algo, choice string, tick
 	fmt.Fprintf(w, "average extra wait\t%.1f s\n", res.Stats.AvgWaitSeconds)
 	fmt.Fprintf(w, "average detour factor\t%.3f\n", res.Stats.AvgDetourFactor)
 	fmt.Fprintf(w, "active taxis at end\t%d\n", res.Stats.ActiveVehicles)
+	fmt.Fprintf(w, "tick workers\t%d\n", res.Stats.Tick.Workers)
+	fmt.Fprintf(w, "tick wall avg / last\t%.3f / %.3f ms\n", res.Stats.Tick.AvgWallMs, res.Stats.Tick.LastWallMs)
+	fmt.Fprintf(w, "events per tick / max shard skew\t%.2f / %.3f ms\n", res.Stats.Tick.AvgEvents, res.Stats.Tick.MaxShardSkewMs)
 	if err := w.Flush(); err != nil {
 		return err
 	}

@@ -409,3 +409,101 @@ func TestConcurrentSubmitDeterministicLedger(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentShardedTickStress is the race-stress suite for the
+// sharded time advancement: with parallel tick workers enabled,
+// concurrent Tick + SubmitBatch + Choose + RemoveVehicle goroutines
+// must neither race (run under -race) nor break the cross-layer
+// invariants. Removal mid-tick is the interesting interleaving: a
+// shard's stepVehicle can hit a vehicle that another goroutine just
+// removed.
+func TestConcurrentShardedTickStress(t *testing.T) {
+	e := latticeEngine(t, 51, 8, 8, core.Config{Capacity: 4, TickWorkers: 4})
+	e.AddVehiclesUniform(40)
+	n := e.Graph().NumVertices()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	var stop atomic.Bool
+
+	// One dedicated ticker: ticks serialise anyway, and a steady tick
+	// stream maximises overlap with the mutators below.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200 && !stop.Load(); i++ {
+			if _, err := e.Tick(1); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for worker := 0; worker < 6; worker++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60 && !stop.Load(); i++ {
+				switch rng.Intn(5) {
+				case 0, 1, 2:
+					items := make([]core.BatchItem, 1+rng.Intn(3))
+					for j := range items {
+						s := roadnet.VertexID(rng.Intn(n))
+						d := roadnet.VertexID(rng.Intn(n))
+						if s == d {
+							d = roadnet.VertexID((int(d) + 1) % n)
+						}
+						pick := rng.Intn(2) == 0
+						items[j] = core.BatchItem{
+							S: s, D: d, Riders: 1 + rng.Intn(2),
+							Choose: func(opts []core.Option) int {
+								if pick && len(opts) > 0 {
+									return 0
+								}
+								return -1
+							},
+						}
+					}
+					// Commit failures under concurrent ticks/removals are
+					// expected behaviour (reported via the error), not bugs.
+					_, _ = e.SubmitBatch(items)
+				case 3:
+					s := roadnet.VertexID(rng.Intn(n))
+					d := roadnet.VertexID(rng.Intn(n))
+					if s == d {
+						continue
+					}
+					rec, err := e.Submit(s, d, 1)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rec.Options) > 0 {
+						// May fail when the quote went stale — expected.
+						_ = e.Choose(rec.ID, rng.Intn(len(rec.Options)))
+					} else {
+						_ = e.Decline(rec.ID)
+					}
+				case 4:
+					// Removal races the shard walking this vehicle; errors
+					// (already removed) are expected, races are not.
+					_, _ = e.RemoveVehicle(int32(rng.Intn(40)))
+				}
+			}
+		}(int64(worker) + 100)
+	}
+
+	wg.Wait()
+	stop.Store(true)
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent sharded tick: %v", err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after sharded stress: %v", err)
+	}
+	if st := e.Stats(); st.Tick.Workers != 4 {
+		t.Fatalf("Tick.Workers = %d, want 4", st.Tick.Workers)
+	}
+}

@@ -104,6 +104,13 @@ type Config struct {
 	// this setting, whole Submit calls always run concurrently.
 	MatchWorkers int
 
+	// TickWorkers bounds Tick's per-vehicle shard fan-out: the fleet is
+	// partitioned into this many stable shards (vehicle id modulo
+	// width) whose movement steps run concurrently. 0 means GOMAXPROCS;
+	// 1 forces the fully serial reference step. Serial and parallel
+	// ticks produce identical events at every width (see fleet.Step).
+	TickWorkers int
+
 	// CommitSlack loosens Choose's validate-then-commit: when the
 	// quoted candidate has gone stale (the vehicle moved or accepted
 	// other riders between quote and choice), the request is re-probed
@@ -144,6 +151,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MatchWorkers == 0 {
 		out.MatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if out.TickWorkers == 0 {
+		out.TickWorkers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -282,6 +292,15 @@ type Engine struct {
 	parWidth   stats.Online // widest probe fan-out per match
 	waitDist   stats.Online // actual − planned pickup distance
 	detourFrac stats.Online // in-vehicle distance / direct distance
+
+	// Tick observability (also behind statsMu): wall time and merged
+	// event volume per Tick, plus the worst per-tick shard skew seen —
+	// the gap between the slowest and fastest shard of one step, the
+	// quantity that bounds parallel efficiency.
+	tickWallMs     stats.Online
+	tickEvents     stats.Online
+	lastTickWallMs float64
+	maxShardSkewMs float64
 }
 
 // NewEngine builds the full system over an embedded road network.
@@ -297,6 +316,7 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		Capacity:          cfg.Capacity,
 		MaxSchedulePoints: cfg.MaxSchedulePoints,
 		Seed:              cfg.Seed,
+		Workers:           cfg.TickWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -873,7 +893,25 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 	if e.stepOverride != nil {
 		step = e.stepOverride
 	}
+	t0 := time.Now()
 	events, err := step(dt * e.sub.speed)
+	wallMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	if e.stepOverride == nil {
+		// Record tick observability only for real fleet steps: an
+		// override bypasses the fleet entirely, so its shard stats would
+		// be stale. statsMu taken alone is fine (ledgerMu → statsMu is an
+		// order, not a requirement to hold both).
+		ss := e.fleet.StepStats()
+		skewMs := float64(ss.MaxShardNanos-ss.MinShardNanos) / float64(time.Millisecond)
+		e.statsMu.Lock()
+		e.tickWallMs.Observe(wallMs)
+		e.tickEvents.Observe(float64(len(events)))
+		e.lastTickWallMs = wallMs
+		if skewMs > e.maxShardSkewMs {
+			e.maxShardSkewMs = skewMs
+		}
+		e.statsMu.Unlock()
+	}
 	if err == nil {
 		// The clock advances only after the fleet completed the whole
 		// movement step: a failed step must not leave the engine clock
@@ -903,6 +941,16 @@ func (e *Engine) SetStepOverride(fn func(budget float64) ([]fleet.Event, error))
 	e.tickMu.Lock()
 	e.stepOverride = fn
 	e.tickMu.Unlock()
+}
+
+// SetVehicleStepFault injects a per-vehicle movement failure into the
+// real fleet step (unlike SetStepOverride, which replaces it wholesale).
+// Tests that pin the error-join semantics — one bad vehicle must not
+// freeze the rest of the fleet for the tick — fault specific ids here.
+// Passing nil clears the fault. Call before concurrent use; not part of
+// the supported surface.
+func (e *Engine) SetVehicleStepFault(fn func(fleet.VehicleID) error) {
+	e.fleet.SetStepFault(fn)
 }
 
 // applyEventLocked folds one movement event into the ledger. The caller
@@ -1055,6 +1103,31 @@ type EngineStats struct {
 	CommitStale    int64
 	Reprobes       int64
 	ReprobeCommits int64
+
+	// Tick is the sharded time-advancement panel.
+	Tick TickStats
+}
+
+// TickStats summarises Tick's sharded time advancement: how wide the
+// shard fan-out runs, how long ticks take, how many movement events they
+// merge, and the worst shard skew seen — the slowest-minus-fastest shard
+// gap that bounds parallel efficiency. Populated only for real fleet
+// steps (a test's SetStepOverride bypasses the fleet and records
+// nothing).
+type TickStats struct {
+	// Workers is the resolved shard width (Config.TickWorkers after
+	// defaulting; the fleet additionally clamps to the population size).
+	Workers int
+	// Ticks counts recorded ticks.
+	Ticks int64
+	// LastWallMs and AvgWallMs measure the fleet step's wall time.
+	LastWallMs float64
+	AvgWallMs  float64
+	// AvgEvents is the mean merged pickup/dropoff events per tick.
+	AvgEvents float64
+	// MaxShardSkewMs is the largest slowest−fastest shard wall-time gap
+	// observed in any single tick.
+	MaxShardSkewMs float64
 }
 
 // Stats returns a consistent snapshot of the running statistics without
@@ -1084,7 +1157,13 @@ func (e *Engine) Stats() EngineStats {
 	s.AvgMatchWidth = e.parWidth.Mean()
 	s.AvgWaitSeconds = e.waitDist.Mean() / e.sub.speed
 	s.AvgDetourFactor = e.detourFrac.Mean()
+	s.Tick.Ticks = e.tickWallMs.Count()
+	s.Tick.LastWallMs = e.lastTickWallMs
+	s.Tick.AvgWallMs = e.tickWallMs.Mean()
+	s.Tick.AvgEvents = e.tickEvents.Mean()
+	s.Tick.MaxShardSkewMs = e.maxShardSkewMs
 	e.statsMu.Unlock()
+	s.Tick.Workers = e.fleet.Workers()
 
 	// Requests is loaded after Assigned: submissions count themselves
 	// before their record exists, so the ordering guarantees the

@@ -228,6 +228,7 @@ type ServiceParams struct {
 	Sigma          float64
 	SpeedKmh       float64
 	MatchWorkers   int
+	TickWorkers    int
 }
 
 // VehicleItinerary is one vehicle's location and kinetic-tree schedule
@@ -467,6 +468,7 @@ func (e *Engine) Params(city string) (ServiceParams, error) {
 		Sigma:          cfg.Sigma,
 		SpeedKmh:       cfg.SpeedKmh,
 		MatchWorkers:   cfg.MatchWorkers,
+		TickWorkers:    cfg.TickWorkers,
 	}, nil
 }
 

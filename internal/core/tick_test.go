@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"ptrider/internal/core"
@@ -71,5 +72,74 @@ func TestNegativeTickIsInvalidArgument(t *testing.T) {
 	}
 	if e.Clock() != before {
 		t.Fatalf("negative tick moved the clock: %v -> %v", before, e.Clock())
+	}
+}
+
+// TestTickSurvivesPartialVehicleFailures is the regression test for the
+// partial-step abort bug: Fleet.Step used to return on the first
+// per-vehicle error, silently freezing every later vehicle for that
+// tick while the clock semantics pretended the whole fleet moved or
+// none did. With two bad vehicles the tick must now (a) report BOTH
+// failures through errors.Join, (b) keep moving every healthy vehicle,
+// and (c) hold the clock (a failed step is still a failed step).
+func TestTickSurvivesPartialVehicleFailures(t *testing.T) {
+	e := latticeEngine(t, 42, 6, 6, core.Config{Capacity: 2})
+	e.AddVehiclesUniform(6)
+
+	boom0 := errors.New("vehicle 0 engine fire")
+	boom3 := errors.New("vehicle 3 flat tire")
+	e.SetVehicleStepFault(func(id fleet.VehicleID) error {
+		switch id {
+		case 0:
+			return boom0
+		case 3:
+			return boom3
+		}
+		return nil
+	})
+
+	before := e.VehicleViews(0)
+	clock0 := e.Clock()
+	_, err := e.Tick(30)
+	if err == nil {
+		t.Fatal("Tick with two faulted vehicles returned nil error")
+	}
+	// Both causes must be reachable — the first failure no longer
+	// shadows the second.
+	if !errors.Is(err, boom0) || !errors.Is(err, boom3) {
+		t.Fatalf("joined error %v does not contain both vehicle failures", err)
+	}
+	for _, want := range []string{"vehicle 0", "vehicle 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+	if got := e.Clock(); got != clock0 {
+		t.Fatalf("clock advanced across failed step: %v -> %v", clock0, got)
+	}
+
+	after := e.VehicleViews(0)
+	if len(after) != len(before) {
+		t.Fatalf("vehicle count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		moved := after[i].X != before[i].X || after[i].Y != before[i].Y
+		faulted := after[i].ID == 0 || after[i].ID == 3
+		if faulted && moved {
+			t.Fatalf("faulted vehicle %d moved: (%v,%v) -> (%v,%v)",
+				after[i].ID, before[i].X, before[i].Y, after[i].X, after[i].Y)
+		}
+		if !faulted && !moved {
+			t.Fatalf("healthy vehicle %d frozen by other vehicles' failures", after[i].ID)
+		}
+	}
+
+	// Clearing the fault restores normal ticking.
+	e.SetVehicleStepFault(nil)
+	if _, err := e.Tick(30); err != nil {
+		t.Fatalf("tick after clearing fault: %v", err)
+	}
+	if got := e.Clock(); got != clock0+30 {
+		t.Fatalf("clock after recovery = %v, want %v", got, clock0+30)
 	}
 }

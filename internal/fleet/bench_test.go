@@ -1,0 +1,109 @@
+package fleet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ptrider/internal/fleet"
+	"ptrider/internal/gridindex"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/testnet"
+)
+
+// lockedMetric guards a single Searcher behind a mutex so parallel
+// tick shards can share it: serving a stop re-enumerates the kinetic
+// tree, which reads distances, so with Workers > 1 the fleet calls the
+// metric concurrently. The engine uses its internally-sharded distance
+// memo for this; the fleet benches pay one mutex instead. Grid lower
+// bounds are immutable and need no lock.
+type lockedMetric struct {
+	mu   sync.Mutex
+	s    *roadnet.Searcher
+	grid *gridindex.Grid
+}
+
+func (m *lockedMetric) Dist(u, v roadnet.VertexID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.s.Dist(u, v)
+}
+
+func (m *lockedMetric) LB(u, v roadnet.VertexID) float64 { return m.grid.LB(u, v) }
+
+// benchFleet builds a fleet of nv vehicles on a 48x48 lattice with the
+// given shard width and commits one request onto every 5th vehicle so
+// the step mixes schedule-driven driving (with pickup/dropoff events)
+// into the roaming baseline.
+func benchFleet(b *testing.B, nv, workers int) *fleet.Fleet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := testnet.Lattice(rng, 48, 48, 100)
+	grid, err := gridindex.Build(g, gridindex.Config{Cols: 8, Rows: 8})
+	if err != nil {
+		b.Fatalf("grid: %v", err)
+	}
+	lists := gridindex.NewVehicleLists(grid.NumCells())
+	m := &lockedMetric{s: roadnet.NewSearcher(g), grid: grid}
+	fl, err := fleet.New(grid, lists, m, fleet.Config{Capacity: 4, Seed: 9, Workers: workers})
+	if err != nil {
+		b.Fatalf("fleet: %v", err)
+	}
+	n := g.NumVertices()
+	searcher := roadnet.NewSearcher(g)
+	for i := 0; i < nv; i++ {
+		v := fl.AddVehicle(roadnet.VertexID(rng.Intn(n)))
+		if i%5 != 0 {
+			continue
+		}
+		s := roadnet.VertexID(rng.Intn(n))
+		d := roadnet.VertexID(rng.Intn(n))
+		sd := searcher.Dist(s, d)
+		if s == d || sd == 0 {
+			continue
+		}
+		req := kinetic.Request{
+			ID: kinetic.RequestID(i), S: s, D: d, Riders: 1,
+			SD: sd, ServiceLimit: 2 * sd, WaitBudget: 1e9,
+		}
+		cands := v.Tree.Quote(req)
+		if len(cands) == 0 {
+			continue
+		}
+		if _, err := fl.Commit(v.ID, req, cands[0], 0); err != nil {
+			b.Fatalf("commit on vehicle %d: %v", v.ID, err)
+		}
+	}
+	return fl
+}
+
+// BenchmarkFleetTickParallel measures the sharded fleet step across
+// worker widths and fleet sizes. events_per_op reports the merged
+// pickup/dropoff volume per step and ns_per_vehicle the per-vehicle
+// cost — the number that must fall as workers rise on a multi-core
+// host (the 1-core CI container shows parity).
+func BenchmarkFleetTickParallel(b *testing.B) {
+	for _, nv := range []int{1000, 10000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("vehicles=%d/workers=%d", nv, workers), func(b *testing.B) {
+				fl := benchFleet(b, nv, workers)
+				b.ResetTimer()
+				start := time.Now()
+				var events int
+				for i := 0; i < b.N; i++ {
+					evs, err := fl.Step(100)
+					if err != nil {
+						b.Fatalf("step: %v", err)
+					}
+					events += len(evs)
+				}
+				elapsed := time.Since(start)
+				b.ReportMetric(float64(events)/float64(b.N), "events_per_op")
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N)/float64(nv), "ns_per_vehicle")
+			})
+		}
+	}
+}

@@ -40,21 +40,40 @@
 //     come from a pool (one per concurrent caller); the path-cell
 //     cache is internally striped (the distance-memo pattern), so
 //     concurrent commits no longer serialise on a single path lock.
-//   - The roaming RNG sits behind rngMu.
+//   - Each vehicle owns its roaming RNG (guarded by the vehicle's own
+//     mutex), deterministically seeded from the fleet seed and the
+//     vehicle id — so a vehicle's roaming draws depend only on its own
+//     step history, never on the order vehicles are stepped in. That
+//     independence is what makes the sharded Step (see below)
+//     bit-identical to the serial one at every shard width.
 //   - The grid vehicle lists are internally synchronised.
 //
-// Lock order: Vehicle.mu → (pathCellCache stripes | rngMu | lists). Fleet-level and
+// Lock order: Vehicle.mu → (pathCellCache stripes | lists). Fleet-level and
 // vehicle-level locks are never held together except the read lock
 // during snapshots. Exported Vehicle accessors acquire the vehicle
 // lock; fleet internals that already hold it use the unexported
 // *Locked variants.
+//
+// # Sharded time advancement
+//
+// Step partitions the vehicle population into per-worker shards with a
+// stable assignment (vehicle id modulo the configured Workers width)
+// and steps the shards concurrently; per-vehicle event slices are then
+// merged into the canonical deterministic order — vehicle id
+// ascending, odometer ascending within a vehicle — and per-vehicle
+// errors are aggregated with errors.Join instead of aborting the
+// remaining fleet. With Workers > 1 the metric must be safe for
+// concurrent use (serving a stop re-enumerates the kinetic tree, which
+// reads distances).
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
@@ -104,6 +123,13 @@ type Vehicle struct {
 	remainToRoot float64
 	// removed marks vehicles taken out of service.
 	removed bool
+
+	// rng drives this vehicle's empty roaming. It is seeded
+	// deterministically from the fleet seed and the vehicle id, so the
+	// walk is a function of the vehicle's own step history alone —
+	// independent of the order (or shard) other vehicles step in.
+	// Guarded by mu like the rest of the movement state.
+	rng *rand.Rand
 }
 
 // Loc returns the vertex the vehicle is at or driving toward — the
@@ -230,10 +256,21 @@ type Fleet struct {
 
 	capacity  int
 	maxPoints int
+	workers   int   // Step's shard width (resolved, ≥ 1)
+	seed      int64 // base seed the per-vehicle roaming RNGs derive from
 
-	mu       sync.RWMutex // guards vehicles and active
+	mu       sync.RWMutex // guards vehicles, active and stepFault
 	vehicles []*Vehicle
 	active   int
+
+	// stepFault, when non-nil, is consulted at the start of every
+	// vehicle's step (test seam; see SetStepFault).
+	stepFault func(VehicleID) error
+
+	// stepStatsMu guards lastStep, the most recent Step's execution
+	// profile (see StepStats).
+	stepStatsMu sync.Mutex
+	lastStep    StepStats
 
 	// searchers pools private shortest-path searchers for schedule
 	// registration and drive planning; pathCells is internally striped.
@@ -241,9 +278,6 @@ type Fleet struct {
 	// did), so commits on distinct vehicles proceed fully in parallel.
 	searchers sync.Pool // *roadnet.Searcher
 	pathCells *pathCellCache
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 
 	// Commit-protocol effectiveness counters (see CommitStats): how
 	// often the validate-then-commit found the quoted candidate stale,
@@ -262,8 +296,16 @@ type Config struct {
 	// MaxSchedulePoints caps pending stops per vehicle (≤ 2 requests per
 	// point pair). Zero means 8.
 	MaxSchedulePoints int
-	// Seed drives the empty-vehicle random walk.
+	// Seed drives the empty-vehicle random walk (each vehicle's roaming
+	// RNG is derived from Seed and the vehicle id).
 	Seed int64
+	// Workers is Step's shard width: vehicles are partitioned into this
+	// many stable shards (vehicle id modulo width) whose movement steps
+	// run concurrently. ≤ 1 (and 0, the default) is the fully serial
+	// reference step; the engine passes its resolved TickWorkers down.
+	// The merged events are identical at every width, but widths > 1
+	// require the metric to be safe for concurrent use.
+	Workers int
 }
 
 // New returns an empty fleet over the given grid index. The metric is
@@ -287,6 +329,10 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 		// narrow the configured capacity (kinetic.New would clamp).
 		return nil, fmt.Errorf("fleet: MaxSchedulePoints %d > 16 (kinetic enumeration limit)", mp)
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	f := &Fleet{
 		g:         grid.Graph(),
 		grid:      grid,
@@ -294,7 +340,8 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 		metric:    metric,
 		capacity:  cfg.Capacity,
 		maxPoints: mp,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		workers:   workers,
+		seed:      cfg.Seed,
 		pathCells: newPathCellCache(1 << 16),
 	}
 	f.searchers.New = func() any { return roadnet.NewSearcher(grid.Graph()) }
@@ -308,9 +355,14 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 func (f *Fleet) AddVehicle(loc roadnet.VertexID) *Vehicle {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	id := VehicleID(len(f.vehicles))
 	v := &Vehicle{
-		ID:   VehicleID(len(f.vehicles)),
+		ID:   id,
 		Tree: kinetic.New(f.metric, f.capacity, f.maxPoints, loc, 0),
+		// Golden-ratio mixing keeps neighbouring ids' streams apart;
+		// the derivation is a pure function of (fleet seed, id) so a
+		// rebuilt fleet roams identically.
+		rng: rand.New(rand.NewSource(int64(uint64(f.seed) ^ (uint64(id)+1)*0x9E3779B97F4A7C15))),
 	}
 	f.lists.PlaceEmpty(v.ID, f.grid.CellOf(loc))
 	f.vehicles = append(f.vehicles, v)
@@ -568,20 +620,153 @@ func (f *Fleet) cellsAlong(u, v roadnet.VertexID) []gridindex.CellID {
 	return f.pathCells.get(f, u, v)
 }
 
+// StepStats describes the most recent Step's sharded execution — the
+// raw inputs of the engine's TickStats panel.
+type StepStats struct {
+	// Workers is the shard width the step actually ran with (the
+	// configured width, clamped to the vehicle count).
+	Workers int
+	// Vehicles is the snapshot size stepped (removed vehicles cost one
+	// lock acquisition and nothing else).
+	Vehicles int
+	// Events counts the pickups and dropoffs the step produced.
+	Events int
+	// WallNanos is the whole step's wall time; MaxShardNanos and
+	// MinShardNanos bound the per-shard wall times, so their gap is the
+	// step's shard skew (load imbalance across shards).
+	WallNanos     int64
+	MaxShardNanos int64
+	MinShardNanos int64
+}
+
 // Step advances every in-service vehicle by the given distance budget
-// (metres = speed × Δt), serving pickups and dropoffs en route, and
-// returns the events in execution order. Concurrent Step calls are not
+// (metres = speed × Δt), serving pickups and dropoffs en route. The
+// vehicle population is partitioned into per-worker shards with a
+// stable assignment — vehicle id modulo the configured Workers width —
+// and the shards step concurrently; each vehicle is mutated under its
+// own lock, so the probe/commit protocol is unchanged. The per-vehicle
+// event slices are merged into the canonical deterministic order,
+// vehicle id ascending then odometer ascending, which makes the serial
+// (Workers 1) and parallel steps return identical events: roaming
+// draws come from per-vehicle RNG streams, so no vehicle's trajectory
+// depends on stepping order.
+//
+// A failing vehicle no longer aborts the remaining fleet mid-step:
+// every other vehicle still moves, and the per-vehicle errors are
+// aggregated with errors.Join in id order (deterministic message,
+// errors.Is still reaches each cause). Concurrent Step calls are not
 // serialised here; the engine's tick loop owns that.
 func (f *Fleet) Step(budget float64) ([]Event, error) {
-	var events []Event
-	for _, v := range f.Snapshot() {
-		ev, err := f.stepVehicle(v, budget)
-		if err != nil {
-			return events, err
-		}
-		events = append(events, ev...)
+	f.mu.RLock()
+	snap := append([]*Vehicle(nil), f.vehicles...)
+	fault := f.stepFault
+	f.mu.RUnlock()
+
+	workers := f.workers
+	if workers > len(snap) {
+		workers = len(snap)
 	}
-	return events, nil
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	perVehicle := make([][]Event, len(snap))
+	perErr := make([]error, len(snap))
+	shardNs := make([]int64, workers)
+	stepOne := func(i int) {
+		v := snap[i]
+		if fault != nil {
+			if err := fault(v.ID); err != nil {
+				perErr[i] = fmt.Errorf("fleet: vehicle %d: %w", v.ID, err)
+				return
+			}
+		}
+		perVehicle[i], perErr[i] = f.stepVehicle(v, budget)
+	}
+	if workers == 1 {
+		for i := range snap {
+			stepOne(i)
+		}
+		shardNs[0] = time.Since(start).Nanoseconds()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				t0 := time.Now()
+				for i := range snap {
+					if int(snap[i].ID)%workers == w {
+						stepOne(i)
+					}
+				}
+				shardNs[w] = time.Since(t0).Nanoseconds()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Canonical merge: the snapshot is id-ordered and each vehicle's
+	// slice is odometer-ordered by construction, so concatenation in
+	// snapshot order is the (vehicle id, odometer) order — the same
+	// bytes the serial loop produces.
+	total := 0
+	for _, evs := range perVehicle {
+		total += len(evs)
+	}
+	var events []Event
+	if total > 0 {
+		events = make([]Event, 0, total)
+		for _, evs := range perVehicle {
+			events = append(events, evs...)
+		}
+	}
+
+	minNs, maxNs := shardNs[0], shardNs[0]
+	for _, ns := range shardNs[1:] {
+		if ns < minNs {
+			minNs = ns
+		}
+		if ns > maxNs {
+			maxNs = ns
+		}
+	}
+	f.stepStatsMu.Lock()
+	f.lastStep = StepStats{
+		Workers:       workers,
+		Vehicles:      len(snap),
+		Events:        total,
+		WallNanos:     time.Since(start).Nanoseconds(),
+		MaxShardNanos: maxNs,
+		MinShardNanos: minNs,
+	}
+	f.stepStatsMu.Unlock()
+	return events, errors.Join(perErr...)
+}
+
+// StepStats returns the most recent Step's execution profile. A fleet
+// that never stepped returns the zero value.
+func (f *Fleet) StepStats() StepStats {
+	f.stepStatsMu.Lock()
+	defer f.stepStatsMu.Unlock()
+	return f.lastStep
+}
+
+// Workers returns Step's resolved shard width.
+func (f *Fleet) Workers() int { return f.workers }
+
+// SetStepFault installs a per-vehicle fault injector consulted at the
+// start of every vehicle's step: a non-nil return is recorded as that
+// vehicle's step error and the vehicle does not move that step. A step
+// failure is not reachable through the public API on a consistent
+// fleet, so tests pinning Step's error-aggregation semantics inject
+// one here. Passing nil restores normal stepping. Not part of the
+// supported surface.
+func (f *Fleet) SetStepFault(fn func(VehicleID) error) {
+	f.mu.Lock()
+	f.stepFault = fn
+	f.mu.Unlock()
 }
 
 // StepVehicle advances a single vehicle (exposed for tests and for the
@@ -700,15 +885,15 @@ func (f *Fleet) driveTowardLocked(v *Vehicle, target roadnet.VertexID) error {
 
 // randomWalkStepLocked makes an empty vehicle enter a uniformly random
 // outgoing edge (the demo's roaming behaviour). It returns false at
-// dead-end vertices. The caller holds v.mu.
+// dead-end vertices. The draw comes from the vehicle's own RNG stream,
+// so the walk is identical whatever order (or shard) the fleet steps
+// vehicles in. The caller holds v.mu.
 func (f *Fleet) randomWalkStepLocked(v *Vehicle) bool {
 	out := f.g.Out(v.Tree.Root())
 	if len(out) == 0 {
 		return false
 	}
-	f.rngMu.Lock()
-	e := out[f.rng.Intn(len(out))]
-	f.rngMu.Unlock()
+	e := out[v.rng.Intn(len(out))]
 	f.enterEdgeLocked(v, e.To, e.Weight)
 	return true
 }

@@ -1,8 +1,10 @@
 package fleet_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"ptrider/internal/fleet"
@@ -344,5 +346,62 @@ func TestManyVehiclesManyRequestsInvariant(t *testing.T) {
 	}
 	if completed == 0 {
 		t.Fatal("no request completed in 400 ticks")
+	}
+}
+
+// TestStepAggregatesVehicleErrors pins the error-join semantics of the
+// sharded step: a failing vehicle must not abort the remaining fleet
+// mid-step (the old behavior returned on the first error, silently
+// freezing every later vehicle for the tick), and every failure must
+// surface through the joined error.
+func TestStepAggregatesVehicleErrors(t *testing.T) {
+	w := newWorld(t, 7, 2)
+	for i := 0; i < 4; i++ {
+		w.fl.AddVehicle(roadnet.VertexID(i))
+	}
+
+	bad1 := errors.New("fault one")
+	bad2 := errors.New("fault two")
+	w.fl.SetStepFault(func(id fleet.VehicleID) error {
+		switch id {
+		case 1:
+			return bad1
+		case 2:
+			return bad2
+		}
+		return nil
+	})
+
+	odoBefore := make(map[fleet.VehicleID]float64)
+	w.fl.Vehicles(func(v *fleet.Vehicle) { odoBefore[v.ID] = v.Odometer() })
+
+	_, err := w.fl.Step(300)
+	if err == nil {
+		t.Fatal("Step with two faulted vehicles returned nil error")
+	}
+	if !errors.Is(err, bad1) || !errors.Is(err, bad2) {
+		t.Fatalf("joined error %v does not contain both faults", err)
+	}
+	for _, want := range []string{"vehicle 1", "vehicle 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+
+	w.fl.Vehicles(func(v *fleet.Vehicle) {
+		moved := v.Odometer() > odoBefore[v.ID]
+		faulted := v.ID == 1 || v.ID == 2
+		if faulted && moved {
+			t.Fatalf("faulted vehicle %d advanced its odometer", v.ID)
+		}
+		if !faulted && !moved {
+			t.Fatalf("healthy vehicle %d frozen by other vehicles' faults", v.ID)
+		}
+	})
+
+	// With the fault cleared the whole fleet steps cleanly again.
+	w.fl.SetStepFault(nil)
+	if _, err := w.fl.Step(300); err != nil {
+		t.Fatalf("Step after clearing fault: %v", err)
 	}
 }

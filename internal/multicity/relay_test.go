@@ -309,3 +309,95 @@ func TestRouterRelayRaceStress(t *testing.T) {
 		t.Fatalf("drained fleet but %d relay trips still active", rs.Active)
 	}
 }
+
+// TestRouterRelayShardedTickStress is TestRouterRelayRaceStress with
+// parallel tick shards enabled (TickWorkers 4 per city): the relay
+// ledger's Advance runs after every sharded multi-city tick, so this
+// pins the trip-ledger advance against concurrent sharded movement,
+// cross-city two-phase commits and vehicle removals under -race.
+func TestRouterRelayShardedTickStress(t *testing.T) {
+	r := twinRelayRouter(t, core.Config{Capacity: 3, CommitSlack: 0.3, TickWorkers: 4}, 12, 12, relay.Config{})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			name, other := "alpha", "beta"
+			if seed%2 == 0 {
+				name, other = other, name
+			}
+			for i := 0; i < 30; i++ {
+				switch rng.Intn(8) {
+				case 0, 1, 2:
+					// Cross-city relay trip racing the sharded ticks;
+					// stale-leg commit aborts are expected behaviour.
+					o, _ := cityPoints(t, r, name, rng)
+					_, d := cityPoints(t, r, other, rng)
+					rec, err := r.Submit(o, d, 1)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rec.Options) > 0 && rng.Intn(3) > 0 {
+						_ = r.Choose(rec.ID, rng.Intn(len(rec.Options)))
+					} else {
+						_ = r.Decline(rec.ID)
+					}
+				case 3:
+					o, d := cityPoints(t, r, name, rng)
+					rec, err := r.Submit(o, d, 1)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rec.Options) > 0 {
+						_ = r.Choose(rec.ID, 0)
+					} else {
+						_ = r.Decline(rec.ID)
+					}
+				case 4, 5, 6:
+					// The hot path under test: every city ticks its shards
+					// in parallel, then the relay ledger advances.
+					if _, err := r.Tick(0.5 + rng.Float64()); err != nil {
+						errs <- err
+						return
+					}
+				case 7:
+					// Removal races the shard stepping this vehicle;
+					// already-removed errors are expected, races are not.
+					eng, err := r.Engine(name)
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, _ = eng.RemoveVehicle(int32(rng.Intn(12)))
+				}
+				if i%10 == 0 {
+					if err := r.CheckInvariants(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(900 + w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("sharded relay stress worker: %v", err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("post-storm invariants: %v", err)
+	}
+	st := r.Stats()
+	if st.Total.Tick.Workers != 8 {
+		t.Fatalf("aggregate Tick.Workers = %d, want 8 (4 per city)", st.Total.Tick.Workers)
+	}
+	if st.Total.Tick.Ticks == 0 {
+		t.Fatal("storm recorded no ticks")
+	}
+}

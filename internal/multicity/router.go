@@ -97,6 +97,12 @@ type RouterConfig struct {
 	// Relay tunes the relay scheduler (gateway count, transfer buffer;
 	// zero = defaults). Ignored unless EnableRelay.
 	Relay relay.Config
+	// TickWorkers is the total tick-shard worker budget across the
+	// fleet of cities: Tick already runs the cities concurrently, so
+	// per-city shard widths divide this budget (minimum one each)
+	// rather than multiplying it. 0 leaves each CitySpec's own
+	// Config.TickWorkers untouched.
+	TickWorkers int
 }
 
 // Router fans requests out to per-city engines. All methods are safe
@@ -144,7 +150,17 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 				return nil, fmt.Errorf("multicity: regions of %q and %q overlap", r.cities[j].name, spec.Name)
 			}
 		}
-		eng, err := core.NewEngine(spec.Graph, spec.Config)
+		cfg := spec.Config
+		if rc.TickWorkers > 0 {
+			// Divide the router-level tick-worker budget across the
+			// concurrently-ticking cities instead of letting each city
+			// default to a full GOMAXPROCS fan-out.
+			cfg.TickWorkers = rc.TickWorkers / len(specs)
+			if cfg.TickWorkers < 1 {
+				cfg.TickWorkers = 1
+			}
+		}
+		eng, err := core.NewEngine(spec.Graph, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multicity: city %q: %w", spec.Name, err)
 		}
@@ -635,6 +651,10 @@ func (r *Router) Tick(dt float64) ([]CityEvents, error) {
 // request-weighted and quality averages completed-weighted means of
 // the city values; P95 response time and the clock are the maxima (a
 // true cross-city quantile is not derivable from per-city summaries).
+// In the Tick panel, Workers and AvgEvents are sums (cities tick
+// concurrently, so the shard fan-out and event volume add up) while
+// Ticks, wall times and shard skew are maxima (lockstep cities make
+// the slowest city the tick's critical path).
 // Relay carries the relay scheduler's own panel when relay is enabled
 // (its leg quotes are counted inside the owning cities' panels; Relay
 // counts whole cross-city trips).
@@ -668,6 +688,21 @@ func (r *Router) Stats() Stats {
 		}
 		if st.P95ResponseMs > t.P95ResponseMs {
 			t.P95ResponseMs = st.P95ResponseMs
+		}
+
+		t.Tick.Workers += st.Tick.Workers
+		t.Tick.AvgEvents += st.Tick.AvgEvents
+		if st.Tick.Ticks > t.Tick.Ticks {
+			t.Tick.Ticks = st.Tick.Ticks
+		}
+		if st.Tick.LastWallMs > t.Tick.LastWallMs {
+			t.Tick.LastWallMs = st.Tick.LastWallMs
+		}
+		if st.Tick.AvgWallMs > t.Tick.AvgWallMs {
+			t.Tick.AvgWallMs = st.Tick.AvgWallMs
+		}
+		if st.Tick.MaxShardSkewMs > t.Tick.MaxShardSkewMs {
+			t.Tick.MaxShardSkewMs = st.Tick.MaxShardSkewMs
 		}
 
 		reqs := float64(st.Requests)

@@ -225,6 +225,7 @@ func (r *Router) Params(city string) (core.ServiceParams, error) {
 		Sigma:          cfg.Sigma,
 		SpeedKmh:       cfg.SpeedKmh,
 		MatchWorkers:   cfg.MatchWorkers,
+		TickWorkers:    cfg.TickWorkers,
 	}, nil
 }
 

@@ -325,11 +325,18 @@ func TestV1BatchSubmit(t *testing.T) {
 }
 
 // TestV1StatsShape pins the uniform composite stats payload (total +
-// per-city panels, relay only when enabled).
+// per-city panels with their sharded-tick TickStats sub-panels, relay
+// only when enabled).
 func TestV1StatsShape(t *testing.T) {
 	for _, b := range conformanceBackends(t) {
 		b := b
 		t.Run(b.name, func(t *testing.T) {
+			// Tick once so the TickStats panel has something to report.
+			if resp, out := do(t, http.MethodPost, b.ts.URL+"/v1/ticks",
+				map[string]any{"seconds": 1}); resp.StatusCode != http.StatusOK {
+				t.Fatalf("tick status %d: %v", resp.StatusCode, out)
+			}
+
 			_, out := do(t, http.MethodGet, b.ts.URL+"/v1/stats", nil)
 			var cities map[string]core.EngineStats
 			if err := json.Unmarshal(out["cities"], &cities); err != nil {
@@ -346,6 +353,30 @@ func TestV1StatsShape(t *testing.T) {
 			}
 			if _, hasRelay := out["relay"]; hasRelay != b.relay {
 				t.Fatalf("relay panel presence = %v, want %v", hasRelay, b.relay)
+			}
+
+			// The sharded-tick panel: every city reports a resolved
+			// shard width and the tick we just drove; the total carries
+			// the cross-city aggregate (worker widths sum).
+			var total core.EngineStats
+			if err := json.Unmarshal(out["total"], &total); err != nil {
+				t.Fatalf("total panel: %v", err)
+			}
+			workerSum := 0
+			for name, st := range cities {
+				if st.Tick.Workers < 1 {
+					t.Fatalf("city %q Tick.Workers = %d, want >= 1", name, st.Tick.Workers)
+				}
+				if st.Tick.Ticks < 1 {
+					t.Fatalf("city %q Tick.Ticks = %d after a tick", name, st.Tick.Ticks)
+				}
+				workerSum += st.Tick.Workers
+			}
+			if total.Tick.Workers != workerSum {
+				t.Fatalf("total Tick.Workers = %d, want city sum %d", total.Tick.Workers, workerSum)
+			}
+			if total.Tick.Ticks < 1 {
+				t.Fatalf("total Tick.Ticks = %d after a tick", total.Tick.Ticks)
 			}
 
 			var citiesList []map[string]any

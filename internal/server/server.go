@@ -409,6 +409,7 @@ type paramsView struct {
 	Sigma          float64 `json:"sigma"`
 	SpeedKmh       float64 `json:"speed_kmh"`
 	MatchWorkers   int     `json:"match_workers"`
+	TickWorkers    int     `json:"tick_workers"`
 }
 
 func paramsViewOf(p core.ServiceParams) paramsView {
@@ -421,6 +422,7 @@ func paramsViewOf(p core.ServiceParams) paramsView {
 		Sigma:          p.Sigma,
 		SpeedKmh:       p.SpeedKmh,
 		MatchWorkers:   p.MatchWorkers,
+		TickWorkers:    p.TickWorkers,
 	}
 }
 

@@ -239,6 +239,12 @@ type Config struct {
 	// evaluation (0 = one worker per CPU; 1 = fully serial matching,
 	// the paper's reference algorithm bit for bit).
 	MatchWorkers int
+	// TickWorkers bounds Tick's parallel per-vehicle shard fan-out
+	// (0 = one worker per CPU; 1 = the fully serial reference step).
+	// Serial and parallel ticks produce identical events. On a
+	// multi-city system the value is a total budget divided across the
+	// concurrently-ticking cities.
+	TickWorkers int
 	// CommitSlack loosens Choose when the quoted schedule went stale
 	// between quote and choice (vehicle moved, other riders accepted):
 	// a fresh schedule within CommitSlack·dist(s,d) metres of the
@@ -270,6 +276,7 @@ func coreConfig(cfg Config) (core.Config, error) {
 		Algorithm:        algo,
 		NumLandmarks:     cfg.NumLandmarks,
 		MatchWorkers:     cfg.MatchWorkers,
+		TickWorkers:      cfg.TickWorkers,
 		CommitSlack:      cfg.CommitSlack,
 		Seed:             cfg.Seed,
 	}, nil
@@ -397,6 +404,21 @@ type Stats struct {
 	AvgWaitSeconds  float64
 	AvgDetourFactor float64
 	ActiveVehicles  int
+	// Tick is the sharded time-advancement panel.
+	Tick TickStats
+}
+
+// TickStats summarises Tick's sharded time advancement: shard width,
+// wall time per tick, merged events per tick and the worst
+// slowest−fastest shard gap seen. On a multi-city system Workers and
+// AvgEvents sum across cities; the timing fields are the maxima.
+type TickStats struct {
+	Workers        int
+	Ticks          int64
+	LastWallMs     float64
+	AvgWallMs      float64
+	AvgEvents      float64
+	MaxShardSkewMs float64
 }
 
 // RelayStats is the relay scheduler's counter panel.
@@ -715,6 +737,14 @@ func statsOf(st core.EngineStats) Stats {
 		AvgWaitSeconds:  st.AvgWaitSeconds,
 		AvgDetourFactor: st.AvgDetourFactor,
 		ActiveVehicles:  st.ActiveVehicles,
+		Tick: TickStats{
+			Workers:        st.Tick.Workers,
+			Ticks:          st.Tick.Ticks,
+			LastWallMs:     st.Tick.LastWallMs,
+			AvgWallMs:      st.Tick.AvgWallMs,
+			AvgEvents:      st.Tick.AvgEvents,
+			MaxShardSkewMs: st.Tick.MaxShardSkewMs,
+		},
 	}
 }
 

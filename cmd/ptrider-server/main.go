@@ -14,10 +14,22 @@
 // background, like the live demo, feeding GET /v1/events; otherwise
 // advance it manually via POST /v1/ticks.
 //
+// With -wal-dir, every state-mutating operation is journaled to a
+// write-ahead log under that directory before it is acknowledged, and
+// a restart with the same flags recovers the ledger — requests,
+// assignments, vehicle schedules, simulated clock — instead of
+// re-seeding a fresh fleet. -wal-mode picks sync (fsync before ack)
+// or async (group-committed in the background, a crash may lose the
+// tail); -snapshot-every bounds recovery time by compacting the
+// journal every N records. On SIGINT/SIGTERM the server drains
+// in-flight HTTP requests, flushes the journal and writes a final
+// snapshot before exiting, so the next start recovers instantly.
+//
 // Usage:
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
 //	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200" -relay
+//	ptrider-server -addr :8080 -wal-dir /var/lib/ptrider/wal -wal-mode sync
 //
 // Endpoints (see internal/server for the full reference):
 //
@@ -33,68 +45,149 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ptrider/internal/core"
 	"ptrider/internal/gen"
 	"ptrider/internal/multicity"
 	"ptrider/internal/server"
+	"ptrider/internal/wal"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		width    = flag.Int("width", 40, "city width (intersections)")
-		height   = flag.Int("height", 40, "city height (intersections)")
-		taxis    = flag.Int("taxis", 500, "number of taxis")
-		algo     = flag.String("algo", "dual-side", "matching algorithm")
-		seed     = flag.Int64("seed", 1, "random seed")
-		realtime = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
-		cities   = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
-		relayOn  = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
-		tickW    = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		width     = flag.Int("width", 40, "city width (intersections)")
+		height    = flag.Int("height", 40, "city height (intersections)")
+		taxis     = flag.Int("taxis", 500, "number of taxis")
+		algo      = flag.String("algo", "dual-side", "matching algorithm")
+		seed      = flag.Int64("seed", 1, "random seed")
+		realtime  = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
+		cities    = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
+		relayOn   = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
+		tickW     = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory (empty = durability off; multi-city shards get per-city subdirectories)")
+		walMode   = flag.String("wal-mode", "sync", `journal mode with -wal-dir: "sync" (fsync before ack) or "async" (background group commit)`)
+		snapEvery = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = engine default)")
 	)
 	flag.Parse()
 
-	svc, banner, err := buildService(*cities, *width, *height, *taxis, *algo, *seed, *relayOn, *tickW)
+	mode := wal.ModeOff
+	if *walDir != "" {
+		m, err := wal.ParseMode(*walMode)
+		if err != nil || m == wal.ModeOff {
+			log.Fatalf("ptrider-server: -wal-mode must be sync or async with -wal-dir")
+		}
+		mode = m
+	}
+
+	svc, banner, err := buildService(buildConfig{
+		cities: *cities, width: *width, height: *height, taxis: *taxis,
+		algoName: *algo, seed: *seed, relayOn: *relayOn, tickWorkers: *tickW,
+		durability: mode, walDir: *walDir, snapshotEvery: *snapEvery,
+	})
 	if err != nil {
 		log.Fatalf("ptrider-server: %v", err)
 	}
 	srv := server.NewService(svc)
 
+	// The realtime driver stops when the serve context is cancelled so
+	// a tick never races the final snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *realtime {
 		go func() {
 			ticker := time.NewTicker(time.Second)
 			defer ticker.Stop()
-			for range ticker.C {
-				// Ticking through the server feeds /v1/events too.
-				if err := srv.Tick(1); err != nil {
-					log.Printf("ptrider-server: tick: %v", err)
+			for {
+				select {
+				case <-ctx.Done():
 					return
+				case <-ticker.C:
+					// Ticking through the server feeds /v1/events too.
+					if err := srv.Tick(1); err != nil {
+						log.Printf("ptrider-server: tick: %v", err)
+						return
+					}
 				}
 			}
 		}()
 	}
 
-	fmt.Printf("PTRider serving %s at %s (realtime=%v)\n", banner, *addr, *realtime)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("PTRider serving %s at %s (realtime=%v, durability=%s)\n", banner, *addr, *realtime, mode)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ptrider-server: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	// Drain in-flight requests, then flush the journal and write the
+	// final snapshot so the next start recovers without replay.
+	log.Printf("ptrider-server: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ptrider-server: http shutdown: %v", err)
+	}
+	if closer, ok := svc.(interface{ Close() error }); ok {
+		if err := closer.Close(); err != nil && !errors.Is(err, wal.ErrCrashed) {
+			log.Printf("ptrider-server: close: %v", err)
+		}
+	}
+	log.Printf("ptrider-server: bye")
+}
+
+// buildConfig carries the service-construction flags.
+type buildConfig struct {
+	cities        string
+	width, height int
+	taxis         int
+	algoName      string
+	seed          int64
+	relayOn       bool
+	tickWorkers   int
+	durability    wal.Mode
+	walDir        string
+	snapshotEvery int
 }
 
 // buildService constructs the backend: a single-city engine, or a
 // multi-city router from the compact spec. Both implement the same
-// core.Service, so the caller serves them identically.
-func buildService(cities string, width, height, taxis int, algoName string, seed int64, relayOn bool, tickWorkers int) (core.Service, string, error) {
-	algo, err := core.ParseAlgorithm(algoName)
+// core.Service, so the caller serves them identically. When a WAL
+// directory holds a previous run's journal, the recovered fleet is
+// kept and the initial seeding is skipped.
+func buildService(bc buildConfig) (core.Service, string, error) {
+	algo, err := core.ParseAlgorithm(bc.algoName)
 	if err != nil {
 		return nil, "", err
 	}
-	if cities != "" {
-		router, err := multicity.BuildFromSpecWithConfig(cities, core.Config{Algorithm: algo, TickWorkers: tickWorkers}, seed,
-			multicity.RouterConfig{EnableRelay: relayOn})
+	if bc.cities != "" {
+		router, err := multicity.BuildFromSpecWithConfig(bc.cities,
+			core.Config{Algorithm: algo, TickWorkers: bc.tickWorkers}, bc.seed,
+			multicity.RouterConfig{
+				EnableRelay: bc.relayOn,
+				Durability:  bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
+			})
 		if err != nil {
 			return nil, "", err
 		}
@@ -105,14 +198,21 @@ func buildService(cities string, width, height, taxis int, algoName string, seed
 		return router, fmt.Sprintf("%d cities (%d taxis total, relay=%v)",
 			router.NumCities(), total, router.RelayEnabled()), nil
 	}
-	g, err := gen.GenerateNetwork(gen.CityConfig{Width: width, Height: height, Seed: seed})
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: bc.width, Height: bc.height, Seed: bc.seed})
 	if err != nil {
 		return nil, "", err
 	}
-	eng, err := core.NewEngine(g, core.Config{Algorithm: algo, Seed: seed, TickWorkers: tickWorkers})
+	eng, err := core.NewEngine(g, core.Config{
+		Algorithm: algo, Seed: bc.seed, TickWorkers: bc.tickWorkers,
+		Durability: bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
+	})
 	if err != nil {
 		return nil, "", err
 	}
-	eng.AddVehiclesUniform(taxis)
-	return eng, fmt.Sprintf("%d taxis on a %dx%d city", taxis, width, height), nil
+	if eng.Recovered() {
+		return eng, fmt.Sprintf("%d taxis on a %dx%d city (recovered from %s)",
+			eng.NumVehicles(), bc.width, bc.height, bc.walDir), nil
+	}
+	eng.AddVehiclesUniform(bc.taxis)
+	return eng, fmt.Sprintf("%d taxis on a %dx%d city", bc.taxis, bc.width, bc.height), nil
 }

@@ -17,6 +17,7 @@ import (
 	"ptrider/internal/pricing"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/stats"
+	"ptrider/internal/wal"
 )
 
 // Algorithm selects the matching method (configurable in the demo's
@@ -124,6 +125,25 @@ type Config struct {
 	// optimisations for the E8 ablation benchmarks.
 	DisableEmptyLemma bool
 	DisableLB         bool
+
+	// Durability selects the write-ahead journaling mode (off, async,
+	// sync; see package wal). When not off, WALDir must name the
+	// journal directory; NewEngine recovers any state found there
+	// before serving.
+	Durability wal.Mode
+	// WALDir is the journal + snapshot directory (created on demand).
+	WALDir string
+	// SnapshotEvery snapshots the engine after this many journaled
+	// records, checked at tick boundaries (0 = 4096; negative disables
+	// automatic snapshots — explicit Snapshot/Close still work).
+	SnapshotEvery int
+	// WALNoFsync skips the journal's fsync calls (crash-unsafe; exists
+	// so benchmarks can separate group-commit machinery overhead from
+	// device sync latency).
+	WALNoFsync bool
+	// FaultInjector arms simulated crash points and torn writes in the
+	// durability path (tests only; nil in production).
+	FaultInjector *wal.Injector
 }
 
 func (c *Config) withDefaults() Config {
@@ -154,6 +174,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.TickWorkers == 0 {
 		out.TickWorkers = runtime.GOMAXPROCS(0)
+	}
+	if out.SnapshotEvery == 0 {
+		out.SnapshotEvery = defaultSnapshotEvery
 	}
 	return out
 }
@@ -267,8 +290,9 @@ type Engine struct {
 	// see SetStepOverride). Written before concurrency starts.
 	stepOverride func(budget float64) ([]fleet.Event, error)
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	rngMu  sync.Mutex
+	rng    *rand.Rand
+	rngSrc *fleet.CountedSource // rng's source, counted for snapshots
 
 	// ledgerMu guards the request ledger and the lifecycle counters.
 	ledgerMu  sync.Mutex
@@ -278,6 +302,29 @@ type Engine struct {
 	shared    int64
 	declined  int64
 	assigned  int64
+
+	// Durability (see durability.go). journal is nil when off; the
+	// idempotency LRU and the records-since-snapshot cadence counter
+	// ride under ledgerMu like the ledger they protect.
+	journal      *wal.Journal
+	inj          *wal.Injector
+	walDir       string
+	walDead      atomic.Bool
+	recovered    bool
+	snapEvery    int
+	recSinceSnap int    // guarded by ledgerMu
+	walScratch   []byte // record-encoding scratch, guarded by ledgerMu
+	// Reused record envelopes for the hot append paths (submit and
+	// choose run once per request); appendLocked only encodes them, so
+	// reuse under ledgerMu is safe and keeps the paths allocation-free.
+	walRecScratch walRecord
+	walSubScratch submitRec
+	walChoScratch chooseRec
+	idem          *idemLRU
+	lastSnapSeg   atomic.Uint64
+	snapCount     atomic.Int64
+	divergence    atomic.Int64
+	recInfo       recoveryInfo
 
 	// statsMu guards the online accumulators for the website panel
 	// (Fig. 4c). Taken after ledgerMu when both are needed.
@@ -321,15 +368,19 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	rngSrc := fleet.NewCountedSource(cfg.Seed)
 	e := &Engine{
-		sub:     sub,
-		metric:  metric,
-		lists:   lists,
-		fleet:   fl,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		reqs:    make(map[RequestID]*RequestRecord),
-		byVeh:   make(map[fleet.VehicleID]map[RequestID]bool),
-		respP95: stats.NewP2Quantile(0.95),
+		sub:       sub,
+		metric:    metric,
+		lists:     lists,
+		fleet:     fl,
+		rng:       rand.New(rngSrc),
+		rngSrc:    rngSrc,
+		reqs:      make(map[RequestID]*RequestRecord),
+		byVeh:     make(map[fleet.VehicleID]map[RequestID]bool),
+		respP95:   stats.NewP2Quantile(0.95),
+		snapEvery: cfg.SnapshotEvery,
+		idem:      newIdemLRU(idemCapacity),
 	}
 	e.algo.Store(int32(cfg.Algorithm))
 	e.mctx = newMatchContext(sub, fl, lists, metric, cfg.MatchWorkers, cfg.DisableEmptyLemma)
@@ -337,6 +388,11 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		AlgoNaive:      newNaiveMatcher(e.mctx),
 		AlgoSingleSide: newSingleSideMatcher(e.mctx),
 		AlgoDualSide:   newDualSideMatcher(e.mctx),
+	}
+	if cfg.Durability != wal.ModeOff {
+		if err := e.openDurability(cfg); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -375,20 +431,70 @@ func (e *Engine) Algorithm() Algorithm {
 
 // AddVehicleAt places a vehicle at the given vertex.
 func (e *Engine) AddVehicleAt(loc roadnet.VertexID) fleet.VehicleID {
-	return e.fleet.AddVehicle(loc).ID
+	ids := e.addVehicles([]roadnet.VertexID{loc}, 0)
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[0]
 }
 
 // AddVehiclesUniform places n vehicles uniformly at random vertices
 // (the demo's initialisation) and returns their ids.
 func (e *Engine) AddVehiclesUniform(n int) []fleet.VehicleID {
-	ids := make([]fleet.VehicleID, n)
-	for i := range ids {
-		e.rngMu.Lock()
-		loc := roadnet.VertexID(e.rng.Intn(e.sub.g.NumVertices()))
-		e.rngMu.Unlock()
-		ids[i] = e.fleet.AddVehicle(loc).ID
+	if err := e.alive(); err != nil {
+		return nil
+	}
+	// Draw and add under ledgerMu: the journaled record carries both
+	// the drawn locations and the placement stream's raw step count, so
+	// the snapshot's stream position and the tail's burns always add up
+	// (ledgerMu → rngMu is a fresh lock edge with no reverse path).
+	e.ledgerMu.Lock()
+	e.rngMu.Lock()
+	before := e.rngSrc.Draws()
+	locs := make([]roadnet.VertexID, n)
+	for i := range locs {
+		locs[i] = roadnet.VertexID(e.rng.Intn(e.sub.g.NumVertices()))
+	}
+	draws := e.rngSrc.Draws() - before
+	e.rngMu.Unlock()
+	ids, commit := e.addVehiclesLocked(locs, draws)
+	e.ledgerMu.Unlock()
+	if e.noteWALErr(commit.Wait()) != nil {
+		return nil
 	}
 	return ids
+}
+
+// addVehicles journals and applies a placement of explicit locations
+// (draws = placement-RNG steps consumed drawing them, if any).
+func (e *Engine) addVehicles(locs []roadnet.VertexID, draws uint64) []fleet.VehicleID {
+	if err := e.alive(); err != nil {
+		return nil
+	}
+	e.ledgerMu.Lock()
+	ids, commit := e.addVehiclesLocked(locs, draws)
+	e.ledgerMu.Unlock()
+	if e.noteWALErr(commit.Wait()) != nil {
+		return nil
+	}
+	return ids
+}
+
+func (e *Engine) addVehiclesLocked(locs []roadnet.VertexID, draws uint64) ([]fleet.VehicleID, wal.Commit) {
+	var commit wal.Commit
+	if e.journal != nil {
+		rec := &walRecord{Op: opAddV, AddV: &addvRec{Locs: locs, Draws: draws}}
+		var err error
+		commit, err = e.appendLocked(rec)
+		if err != nil {
+			return nil, wal.Commit{}
+		}
+	}
+	ids := make([]fleet.VehicleID, len(locs))
+	for i, loc := range locs {
+		ids[i] = e.fleet.AddVehicle(loc).ID
+	}
+	return ids, commit
 }
 
 // NumVehicles returns the number of in-service vehicles.
@@ -434,6 +540,31 @@ func (e *Engine) Submit(s, d roadnet.VertexID, riders int) (*RequestRecord, erro
 // SubmitWithConstraints is Submit with per-rider waiting-time and
 // service-constraint overrides.
 func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Constraints) (*RequestRecord, error) {
+	return e.SubmitIdem(s, d, riders, c, "")
+}
+
+// SubmitIdem is SubmitWithConstraints with an idempotency key: a
+// non-empty key that matches an earlier submission returns that
+// submission's current record instead of quoting again, which is what
+// makes a client (or recovery-driven) retry of a submit safe — the
+// original may have been journaled before the crash, and re-quoting it
+// would fork the id sequence.
+func (e *Engine) SubmitIdem(s, d roadnet.VertexID, riders int, c Constraints, idemKey string) (*RequestRecord, error) {
+	if err := e.alive(); err != nil {
+		return nil, err
+	}
+	if idemKey != "" {
+		e.ledgerMu.Lock()
+		id, hit := e.idem.get(idemKey)
+		var cp RequestRecord
+		if hit {
+			cp = *e.reqs[id]
+		}
+		e.ledgerMu.Unlock()
+		if hit {
+			return &cp, nil
+		}
+	}
 	spec, wait, sigma, err := e.prepareRequest(s, d, riders, c)
 	if err != nil {
 		return nil, err
@@ -444,7 +575,10 @@ func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Cons
 	options := e.matchers[e.Algorithm()].Match(&spec, &ms)
 	e.observeMatch(&ms, len(options), float64(time.Since(start).Nanoseconds()))
 
-	cp := e.registerRecord(&spec, wait, sigma, options)
+	cp, err := e.registerRecord(&spec, wait, sigma, options, idemKey)
+	if err != nil {
+		return nil, err
+	}
 	return &cp, nil
 }
 
@@ -515,8 +649,12 @@ func (e *Engine) observeMatch(ms *MatchStats, numOptions int, elapsedNs float64)
 }
 
 // registerRecord creates the quoted ledger record for an answered
-// request and returns a snapshot copy.
-func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Option) RequestRecord {
+// request, journals it, and returns a snapshot copy. A non-empty
+// idemKey is re-checked authoritatively under ledgerMu — two
+// concurrent submits with the same key race to here, and the loser
+// returns the winner's record (undoing its own request count so the
+// lifecycle counters match a single submission).
+func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Option, idemKey string) (RequestRecord, error) {
 	rec := &RequestRecord{
 		ID: spec.Kin.ID, S: spec.Kin.S, D: spec.Kin.D, Riders: spec.Kin.Riders,
 		WaitSeconds: wait, Sigma: sigma,
@@ -524,10 +662,39 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 		SD: spec.Kin.SD, SubmitClock: e.Clock(),
 	}
 	e.ledgerMu.Lock()
+	if idemKey != "" {
+		if prior, hit := e.idem.get(idemKey); hit {
+			cp := *e.reqs[prior]
+			e.ledgerMu.Unlock()
+			e.requests.Add(-1)
+			return cp, nil
+		}
+	}
+	var commit wal.Commit
+	if e.journal != nil {
+		e.walSubScratch = submitRec{
+			ID: rec.ID, S: rec.S, D: rec.D, Riders: rec.Riders,
+			Wait: wait, Sigma: sigma, SD: rec.SD, Clock: rec.SubmitClock,
+			IdemKey: idemKey, Options: options,
+		}
+		e.walRecScratch = walRecord{Op: opSubmit, Submit: &e.walSubScratch}
+		var err error
+		commit, err = e.appendLocked(&e.walRecScratch)
+		if err != nil {
+			e.ledgerMu.Unlock()
+			return RequestRecord{}, err
+		}
+	}
 	e.reqs[rec.ID] = rec
+	if idemKey != "" {
+		e.idem.put(idemKey, rec.ID)
+	}
 	cp := *rec
 	e.ledgerMu.Unlock()
-	return cp
+	if err := e.noteWALErr(commit.Wait()); err != nil {
+		return RequestRecord{}, err
+	}
+	return cp, nil
 }
 
 // Choose commits the rider's selected option: a validate-then-commit
@@ -546,23 +713,35 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 // releases every vehicle before its ledger phase), and matching —
 // the hot path — never touches ledgerMu at all.
 func (e *Engine) Choose(id RequestID, optionIndex int) error {
+	if err := e.alive(); err != nil {
+		return err
+	}
 	e.ledgerMu.Lock()
-	defer e.ledgerMu.Unlock()
+	commit, err := e.chooseLocked(id, optionIndex)
+	e.ledgerMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.noteWALErr(commit.Wait())
+}
+
+func (e *Engine) chooseLocked(id RequestID, optionIndex int) (wal.Commit, error) {
+	var none wal.Commit
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
+		return none, fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusQuoted {
 		if rec.Status == StatusAssigned || rec.Status == StatusOnboard || rec.Status == StatusCompleted {
 			// A committed request cannot be committed again — the
 			// double-submit a client retry produces. Typed so transports
 			// can answer 409 rather than a generic failure.
-			return fmt.Errorf("core: request %d is %v, not quoted: %w", id, rec.Status, ErrAlreadyChosen)
+			return none, fmt.Errorf("core: request %d is %v, not quoted: %w", id, rec.Status, ErrAlreadyChosen)
 		}
-		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
+		return none, fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
 	}
 	if optionIndex < 0 || optionIndex >= len(rec.Options) {
-		return fmt.Errorf("core: option index %d outside [0,%d)", optionIndex, len(rec.Options))
+		return none, fmt.Errorf("core: option index %d outside [0,%d)", optionIndex, len(rec.Options))
 	}
 	opt := rec.Options[optionIndex]
 	spec := kinetic.Request{
@@ -575,24 +754,43 @@ func (e *Engine) Choose(id RequestID, optionIndex int) error {
 
 	res, err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate, e.sub.cfg.CommitSlack)
 	if err != nil {
-		return err
+		return none, err
+	}
+	price := opt.Price
+	if res.Reprobed {
+		// The committed schedule differs from the quoted one; reprice
+		// from the committed detour so the record stays truthful.
+		price = ratio * (res.Candidate.Delta + rec.SD)
+	}
+	// Journal the commit outcome after the vehicle accepted it. A crash
+	// between the fleet commit and a durable append leaves the dying
+	// process's fleet ahead of the journal — harmless, because the
+	// in-memory state is discarded and recovery rebuilds the fleet from
+	// what was journaled.
+	var commit wal.Commit
+	if e.journal != nil {
+		e.walChoScratch = chooseRec{
+			ID: id, OptionIndex: optionIndex, Vehicle: opt.Vehicle,
+			Price: price, PlannedPickupOdo: res.PlannedPickupOdo,
+			Reprobed: res.Reprobed,
+		}
+		e.walRecScratch = walRecord{Op: opChoose, Choose: &e.walChoScratch}
+		commit, err = e.appendLocked(&e.walRecScratch)
+		if err != nil {
+			return none, err
+		}
 	}
 	rec.Status = StatusAssigned
 	rec.Chosen = optionIndex
 	rec.Vehicle = opt.Vehicle
-	rec.Price = opt.Price
-	if res.Reprobed {
-		// The committed schedule differs from the quoted one; reprice
-		// from the committed detour so the record stays truthful.
-		rec.Price = ratio * (res.Candidate.Delta + rec.SD)
-	}
+	rec.Price = price
 	rec.PlannedPickupOdo = res.PlannedPickupOdo
 	if e.byVeh[opt.Vehicle] == nil {
 		e.byVeh[opt.Vehicle] = make(map[RequestID]bool)
 	}
 	e.byVeh[opt.Vehicle][id] = true
 	e.assigned++
-	return nil
+	return commit, nil
 }
 
 // CancelAssigned releases an assigned request whose rider has not been
@@ -609,23 +807,43 @@ func (e *Engine) Choose(id RequestID, optionIndex int) error {
 // lands normally), and one that has not cannot land afterwards because
 // the request has left the vehicle's tree.
 func (e *Engine) CancelAssigned(id RequestID) error {
+	if err := e.alive(); err != nil {
+		return err
+	}
 	e.ledgerMu.Lock()
-	defer e.ledgerMu.Unlock()
+	commit, err := e.cancelAssignedLocked(id)
+	e.ledgerMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.noteWALErr(commit.Wait())
+}
+
+func (e *Engine) cancelAssignedLocked(id RequestID) (wal.Commit, error) {
+	var none wal.Commit
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
+		return none, fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusAssigned {
-		return fmt.Errorf("core: request %d is %v, not assigned", id, rec.Status)
+		return none, fmt.Errorf("core: request %d is %v, not assigned", id, rec.Status)
 	}
 	if err := e.fleet.Cancel(rec.Vehicle, id); err != nil {
-		return err
+		return none, err
+	}
+	var commit wal.Commit
+	if e.journal != nil {
+		var err error
+		commit, err = e.appendLocked(&walRecord{Op: opCancel, ReqID: id})
+		if err != nil {
+			return none, err
+		}
 	}
 	rec.Status = StatusDeclined
 	delete(e.byVeh[rec.Vehicle], id)
 	e.assigned--
 	e.declined++
-	return nil
+	return commit, nil
 }
 
 // BatchItem is one request of a simultaneous batch.
@@ -667,6 +885,9 @@ type batchPrep struct {
 // Unrelated traffic may interleave with a batch — the greedy order is a
 // property of the batch, not a global freeze.
 func (e *Engine) SubmitBatch(items []BatchItem) ([]*RequestRecord, error) {
+	if err := e.alive(); err != nil {
+		return nil, err
+	}
 	out := make([]*RequestRecord, len(items))
 	var firstErr error
 	fail := func(i int, err error) {
@@ -721,7 +942,12 @@ func (e *Engine) runWave(wave []batchPrep, items []BatchItem, out []*RequestReco
 		p := &wave[wi]
 		id := p.spec.Kin.ID
 		e.observeMatch(&statsList[wi], len(optsList[wi]), perNs)
-		snap := e.registerRecord(&p.spec, p.wait, p.sigma, optsList[wi])
+		snap, err := e.registerRecord(&p.spec, p.wait, p.sigma, optsList[wi], "")
+		if err != nil {
+			fail(p.idx, err)
+			consumed = wi + 1
+			break
+		}
 
 		committed := false
 		pick := -1
@@ -851,18 +1077,38 @@ func (e *Engine) matchWave(wave []batchPrep) ([][]Option, []MatchStats) {
 
 // Decline records that the rider took none of the options.
 func (e *Engine) Decline(id RequestID) error {
+	if err := e.alive(); err != nil {
+		return err
+	}
 	e.ledgerMu.Lock()
-	defer e.ledgerMu.Unlock()
+	commit, err := e.declineLocked(id)
+	e.ledgerMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.noteWALErr(commit.Wait())
+}
+
+func (e *Engine) declineLocked(id RequestID) (wal.Commit, error) {
+	var none wal.Commit
 	rec, ok := e.reqs[id]
 	if !ok {
-		return fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
+		return none, fmt.Errorf("core: unknown request %d: %w", id, ErrNotFound)
 	}
 	if rec.Status != StatusQuoted {
-		return fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
+		return none, fmt.Errorf("core: request %d is %v, not quoted", id, rec.Status)
+	}
+	var commit wal.Commit
+	if e.journal != nil {
+		var err error
+		commit, err = e.appendLocked(&walRecord{Op: opDecline, ReqID: id})
+		if err != nil {
+			return none, err
+		}
 	}
 	rec.Status = StatusDeclined
 	e.declined++
-	return nil
+	return commit, nil
 }
 
 // Request returns a snapshot of the record of request id. Unknown ids
@@ -886,6 +1132,9 @@ func (e *Engine) Request(id RequestID) (*RequestRecord, error) {
 func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 	if dt < 0 {
 		return nil, fmt.Errorf("core: negative tick %v: %w", dt, ErrInvalidArgument)
+	}
+	if err := e.alive(); err != nil {
+		return nil, err
 	}
 	e.tickMu.Lock()
 	defer e.tickMu.Unlock()
@@ -924,10 +1173,34 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 		e.clockBits.Store(math.Float64bits(e.Clock() + dt))
 	}
 	e.ledgerMu.Lock()
+	var commit wal.Commit
+	if e.journal != nil && err == nil {
+		// Journal the tick as (dt, event digest): replay re-runs the
+		// deterministic fleet step and cross-checks the digest. A failed
+		// step is not journaled — it is unreachable through the public
+		// API, and replaying it would re-advance a clock the live engine
+		// did not.
+		w := &walRecord{Op: opTick, Tick: &tickRec{Dt: dt, N: len(events), Digest: eventsDigest(events)}}
+		var jerr error
+		commit, jerr = e.appendLocked(w)
+		if jerr != nil {
+			e.ledgerMu.Unlock()
+			return nil, jerr
+		}
+	}
 	for _, ev := range events {
 		e.applyEventLocked(ev)
 	}
+	needSnap := err == nil && e.snapshotDueLocked()
 	e.ledgerMu.Unlock()
+	if werr := e.noteWALErr(commit.Wait()); werr != nil {
+		return nil, werr
+	}
+	if needSnap {
+		if serr := e.snapshotHoldingTick(); serr != nil {
+			return events, serr
+		}
+	}
 	return events, err
 }
 
@@ -1058,13 +1331,40 @@ func (e *Engine) VehicleSchedules(id fleet.VehicleID) (loc roadnet.VertexID, bra
 // RemoveVehicle injects a vehicle failure. The vehicle's pending
 // requests are orphaned: their records are marked declined and their
 // ids returned so the caller can resubmit them.
+//
+// Unlike its first generation this runs under ledgerMu end to end so
+// the removal record's journal position matches the ledger mutation
+// (ledgerMu → Vehicle.mu inside fleet.RemoveVehicle is the documented
+// order; the reverse edge does not exist).
 func (e *Engine) RemoveVehicle(id fleet.VehicleID) ([]RequestID, error) {
-	orphans, err := e.fleet.RemoveVehicle(id)
-	if err != nil {
+	if err := e.alive(); err != nil {
 		return nil, err
 	}
 	e.ledgerMu.Lock()
-	defer e.ledgerMu.Unlock()
+	out, commit, err := e.removeVehicleLocked(id)
+	e.ledgerMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if werr := e.noteWALErr(commit.Wait()); werr != nil {
+		return nil, werr
+	}
+	return out, nil
+}
+
+func (e *Engine) removeVehicleLocked(id fleet.VehicleID) ([]RequestID, wal.Commit, error) {
+	var none wal.Commit
+	orphans, err := e.fleet.RemoveVehicle(id)
+	if err != nil {
+		return nil, none, err
+	}
+	var commit wal.Commit
+	if e.journal != nil {
+		commit, err = e.appendLocked(&walRecord{Op: opRemV, Vehicle: id})
+		if err != nil {
+			return nil, none, err
+		}
+	}
 	out := make([]RequestID, 0, len(orphans))
 	for _, r := range orphans {
 		out = append(out, r.ID)
@@ -1073,7 +1373,7 @@ func (e *Engine) RemoveVehicle(id fleet.VehicleID) ([]RequestID, error) {
 			delete(e.byVeh[id], r.ID)
 		}
 	}
-	return out, nil
+	return out, commit, nil
 }
 
 // EngineStats is the statistics panel snapshot (Fig. 4c).
@@ -1106,6 +1406,10 @@ type EngineStats struct {
 
 	// Tick is the sharded time-advancement panel.
 	Tick TickStats
+
+	// Durability is the write-ahead journaling panel (Mode "off" when
+	// journaling is disabled).
+	Durability DurabilityStats
 }
 
 // TickStats summarises Tick's sharded time advancement: how wide the
@@ -1175,6 +1479,7 @@ func (e *Engine) Stats() EngineStats {
 	if s.Completed > 0 {
 		s.SharingRate = float64(s.SharedCompleted) / float64(s.Completed)
 	}
+	s.Durability = e.DurabilityStats()
 	return s
 }
 

@@ -96,6 +96,12 @@ type SubmitSpec struct {
 	// skyline (or -1 to decline) right at submission — honoured by
 	// SubmitRequestBatch (workload drivers); SubmitRequest ignores it.
 	Choose func(options []Option) int
+	// IdemKey, when non-empty, makes the submission idempotent: a
+	// retry carrying the same key returns the original submission's
+	// record instead of quoting anew. Honoured by single-request
+	// submission (SubmitRequest); batch and relay submissions ignore
+	// it.
+	IdemKey string
 }
 
 // ServiceRecord is the Service-level view of a request: the engine
@@ -346,7 +352,7 @@ func (e *Engine) SubmitRequest(spec SubmitSpec) (*ServiceRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := e.SubmitWithConstraints(s, d, spec.Riders, spec.Constraints)
+	rec, err := e.SubmitIdem(s, d, spec.Riders, spec.Constraints, spec.IdemKey)
 	if err != nil {
 		return nil, err
 	}

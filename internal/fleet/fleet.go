@@ -128,8 +128,11 @@ type Vehicle struct {
 	// deterministically from the fleet seed and the vehicle id, so the
 	// walk is a function of the vehicle's own step history alone —
 	// independent of the order (or shard) other vehicles step in.
-	// Guarded by mu like the rest of the movement state.
+	// Guarded by mu like the rest of the movement state. src is the
+	// underlying counted source: snapshots record its stream position
+	// so a restored vehicle resumes the identical walk (see restore.go).
 	rng *rand.Rand
+	src *CountedSource
 }
 
 // Loc returns the vertex the vehicle is at or driving toward — the
@@ -356,13 +359,12 @@ func (f *Fleet) AddVehicle(loc roadnet.VertexID) *Vehicle {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	id := VehicleID(len(f.vehicles))
+	src := NewCountedSource(vehicleSeed(f.seed, id))
 	v := &Vehicle{
 		ID:   id,
 		Tree: kinetic.New(f.metric, f.capacity, f.maxPoints, loc, 0),
-		// Golden-ratio mixing keeps neighbouring ids' streams apart;
-		// the derivation is a pure function of (fleet seed, id) so a
-		// rebuilt fleet roams identically.
-		rng: rand.New(rand.NewSource(int64(uint64(f.seed) ^ (uint64(id)+1)*0x9E3779B97F4A7C15))),
+		rng:  rand.New(src),
+		src:  src,
 	}
 	f.lists.PlaceEmpty(v.ID, f.grid.CellOf(loc))
 	f.vehicles = append(f.vehicles, v)

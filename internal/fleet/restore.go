@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+)
+
+// This file is the durability surface of the fleet: exporting vehicle
+// state for snapshots and rebuilding an identical fleet on recovery.
+//
+// The subtle part is the roaming RNG. Go's rand.Rand derives bounded
+// draws (Intn) by rejection sampling, so the number of *calls* a walk
+// makes is not the number of *state steps* the underlying source takes
+// — replaying calls would desynchronise the stream. CountedSource
+// therefore counts at the rand.Source64 level, where every Int63 or
+// Uint64 is exactly one generator state step, and restore re-seeds the
+// source and burns that many raw steps. The wrapper is a pure
+// pass-through, so a wrapped source draws the identical sequence an
+// unwrapped one would — existing trajectories and goldens are
+// unaffected.
+
+// CountedSource is a rand.Source64 that counts generator state steps,
+// so a snapshot can record the stream position and a restore can
+// fast-forward a freshly seeded source to it.
+type CountedSource struct {
+	src  rand.Source64
+	seed int64
+	n    uint64
+}
+
+// NewCountedSource returns a counted source over the standard
+// generator seeded with seed.
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source: one generator state step.
+func (s *CountedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64: one generator state step.
+func (s *CountedSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the step count.
+func (s *CountedSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.n = 0
+}
+
+// Draws returns the number of state steps taken since seeding.
+func (s *CountedSource) Draws() uint64 { return s.n }
+
+// Burn advances the source by n raw state steps — the restore-side
+// inverse of Draws.
+func (s *CountedSource) Burn(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n += n
+}
+
+// vehicleSeed derives vehicle id's roaming seed from the fleet seed.
+// Golden-ratio mixing keeps neighbouring ids' streams apart; the
+// derivation is a pure function of (fleet seed, id) so a rebuilt fleet
+// roams identically.
+func vehicleSeed(fleetSeed int64, id VehicleID) int64 {
+	return int64(uint64(fleetSeed) ^ (uint64(id)+1)*0x9E3779B97F4A7C15)
+}
+
+// VehicleState is the serialisable state of one vehicle: movement,
+// roaming-stream position, and the kinetic tree's commitments.
+type VehicleState struct {
+	ID           VehicleID             `json:"id"`
+	Loc          roadnet.VertexID      `json:"loc"`
+	Odo          float64               `json:"odo"`
+	RemainToRoot float64               `json:"remain_to_root"`
+	Removed      bool                  `json:"removed,omitempty"`
+	RandDraws    uint64                `json:"rand_draws"`
+	Reqs         []kinetic.ReqSnapshot `json:"reqs,omitempty"`
+}
+
+// SnapshotState exports every vehicle's state in id order, each read
+// under its own lock. Vehicles keep moving between two vehicles'
+// reads; the engine serialises snapshots against ticks, which is the
+// consistency the WAL contract needs.
+func (f *Fleet) SnapshotState() []VehicleState {
+	snap := f.Snapshot()
+	out := make([]VehicleState, len(snap))
+	for i, v := range snap {
+		v.mu.Lock()
+		out[i] = VehicleState{
+			ID:           v.ID,
+			Loc:          v.Tree.Root(),
+			Odo:          v.Tree.Odometer(),
+			RemainToRoot: v.remainToRoot,
+			Removed:      v.removed,
+			RandDraws:    v.src.Draws(),
+			Reqs:         v.Tree.SnapshotReqs(),
+		}
+		v.mu.Unlock()
+	}
+	return out
+}
+
+// RestoreState rebuilds the vehicle population from a snapshot. The
+// fleet must be freshly constructed (no vehicles). States must be in
+// dense id order — the order SnapshotState produces — because vehicle
+// ids are slice indices. Roaming streams are re-seeded from the fleet
+// seed and fast-forwarded to their snapshot positions, so the restored
+// walk continues exactly where the crashed one left off.
+func (f *Fleet) RestoreState(states []VehicleState) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.vehicles) != 0 {
+		return fmt.Errorf("fleet: restore into non-empty fleet (%d vehicles)", len(f.vehicles))
+	}
+	for i, st := range states {
+		if st.ID != VehicleID(i) {
+			return fmt.Errorf("fleet: restore state %d has id %d (states must be dense and ordered)", i, st.ID)
+		}
+		src := NewCountedSource(vehicleSeed(f.seed, st.ID))
+		src.Burn(st.RandDraws)
+		v := &Vehicle{
+			ID:           st.ID,
+			Tree:         kinetic.Restore(f.metric, f.capacity, f.maxPoints, st.Loc, st.Odo, st.Reqs),
+			remainToRoot: st.RemainToRoot,
+			removed:      st.Removed,
+			src:          src,
+			rng:          rand.New(src),
+		}
+		if !st.Removed {
+			f.active++
+			f.registerLocked(v)
+		}
+		f.vehicles = append(f.vehicles, v)
+	}
+	return nil
+}
+
+// RestoreCommit re-applies a journaled commit during replay: the
+// candidate and waiting-time anchor come from the journal, bypassing
+// the stale-candidate validation (the journal only holds commits that
+// succeeded live). The grid registration is refreshed like Commit's.
+func (f *Fleet) RestoreCommit(id VehicleID, req kinetic.Request, plannedPickupOdo float64) error {
+	v, err := f.Vehicle(id)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.removed {
+		return fmt.Errorf("fleet: vehicle %d is out of service", id)
+	}
+	if err := v.Tree.RestoreCommit(req, plannedPickupOdo); err != nil {
+		return err
+	}
+	f.registerLocked(v)
+	return nil
+}

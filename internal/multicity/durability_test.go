@@ -1,0 +1,268 @@
+package multicity_test
+
+// Durability tests at the router level: whole-process restart of the
+// sharded backend (per-city journals plus the relay trip ledger), and
+// the relay two-phase-commit crash window — a simulated process death
+// between the leg-1 and leg-2 commits must be compensated on recovery
+// so no vehicle stays reserved for a trip that will never run.
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/wal"
+)
+
+// durableTwinRouter builds (or recovers) the two-city relay router
+// over a shared WAL directory. Construction errors are returned, not
+// fatal — the mid-compensate test expects one.
+func durableTwinRouter(t testing.TB, dir string, inj *wal.Injector) (*multicity.Router, error) {
+	t.Helper()
+	ga, err := gen.GenerateNetwork(gen.CityConfig{Width: 10, Height: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("gen alpha: %v", err)
+	}
+	gb, err := gen.GenerateNetwork(gen.CityConfig{Width: 8, Height: 8, OriginX: 20000, Seed: 2})
+	if err != nil {
+		t.Fatalf("gen beta: %v", err)
+	}
+	return multicity.NewWithConfig([]multicity.CitySpec{
+		{Name: "alpha", Graph: ga, Config: core.Config{Capacity: 4, Seed: 1}, Vehicles: 10},
+		{Name: "beta", Graph: gb, Config: core.Config{Capacity: 4, Seed: 2}, Vehicles: 10},
+	}, multicity.RouterConfig{
+		EnableRelay: true,
+		Relay:       relay.Config{TransferBufferSeconds: 120},
+		Durability:  wal.ModeSync, WALDir: dir, FaultInjector: inj,
+	})
+}
+
+// fleetLoad sums assigned work across a city's vehicles.
+func fleetLoad(t *testing.T, r *multicity.Router, city string) (pending, onboard int) {
+	t.Helper()
+	views, err := r.VehicleViews(city, 0)
+	if err != nil {
+		t.Fatalf("vehicles %s: %v", city, err)
+	}
+	for _, v := range views {
+		pending += v.Pending
+		onboard += v.Onboard
+	}
+	return pending, onboard
+}
+
+// crashRelayCommitWindow drives a relay trip into the two-phase-commit
+// window and kills the process there: leg 1 commits for real (and is
+// journaled by the origin engine), then the leg-2 commit brings every
+// shard down. Returns the quoted record.
+func crashRelayCommitWindow(t *testing.T, r *multicity.Router) *multicity.Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	rec := quoteRelay(t, r, "alpha", "beta", rng)
+	r.RelayScheduler().SetCommitOverride(func(leg int, eng *core.Engine, id core.RequestID, opt int) error {
+		if leg == 1 {
+			return eng.Choose(id, opt)
+		}
+		r.Kill() // simulated process death between the leg commits
+		return core.ErrCrashed
+	})
+	if err := r.Choose(rec.ID, 0); err == nil {
+		t.Fatal("choose succeeded through a killed process")
+	}
+	return rec
+}
+
+// alphaConfig is the alpha city's effective engine config, for peeking
+// at its shard journal directly.
+func alphaConfig(dir string) core.Config {
+	return core.Config{
+		Capacity: 4, Seed: 1,
+		Durability: wal.ModeSync, WALDir: filepath.Join(dir, "city-alpha"),
+	}
+}
+
+// TestRelayCrashWindowCompensatedOnRestart is the satellite-4 harness:
+// kill the process between a relay trip's leg-1 and leg-2 commits,
+// restart, and verify recovery released the leg-1 reservation — the
+// origin fleet ends with zero assigned work and the trip aborted.
+func TestRelayCrashWindowCompensatedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	r, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	rec := crashRelayCommitWindow(t, r)
+
+	// Peek at the crash state through a raw engine recovery of the
+	// alpha shard: the journal must hold the committed leg-1 — the
+	// leaked reservation the router-level recovery has to repair.
+	ga, err := gen.GenerateNetwork(gen.CityConfig{Width: 10, Height: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peek, err := core.NewEngine(ga, alphaConfig(dir))
+	if err != nil {
+		t.Fatalf("peek recovery: %v", err)
+	}
+	if got := peek.Stats().Assigned; got != 1 {
+		t.Fatalf("crash state holds %d assigned legs, want the leaked 1", got)
+	}
+	if err := peek.Close(); err != nil {
+		t.Fatalf("peek close: %v", err)
+	}
+
+	// Full restart: relay recovery finds the open intent and
+	// compensates it.
+	r2, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	engA, _ := r2.Engine("alpha")
+	if got := engA.Stats().Assigned; got != 0 {
+		t.Fatalf("leg-1 reservation survived compensation: %d assigned", got)
+	}
+	if p, o := fleetLoad(t, r2, "alpha"); p != 0 || o != 0 {
+		t.Fatalf("alpha fleet leaked work: pending %d, onboard %d", p, o)
+	}
+	got, err := r2.Request(rec.ID)
+	if err != nil {
+		t.Fatalf("trip lookup after restart: %v", err)
+	}
+	if got.Relay == nil || got.Relay.State != relay.StateAborted {
+		t.Fatalf("trip not aborted after compensation: %+v", got.Relay)
+	}
+	if st := r2.Stats(); st.Relay.Aborted == 0 {
+		t.Fatalf("relay panel shows no aborts: %+v", st.Relay)
+	}
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after compensation: %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRelayMidCompensateCrashThenRecover crashes the recovery itself:
+// a fault armed at the mid-compensate point kills the first restart,
+// and a second restart must finish the compensation without
+// double-cancelling anything.
+func TestRelayMidCompensateCrashThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	r, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	crashRelayCommitWindow(t, r)
+
+	inj := &wal.Injector{}
+	inj.Arm(wal.CrashMidCompensate, 0)
+	if _, err := durableTwinRouter(t, dir, inj); !errors.Is(err, wal.ErrCrashed) {
+		t.Fatalf("restart with armed mid-compensate fault: err %v, want ErrCrashed", err)
+	}
+
+	r3, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	engA, _ := r3.Engine("alpha")
+	if got := engA.Stats().Assigned; got != 0 {
+		t.Fatalf("leg-1 reservation survived double recovery: %d assigned", got)
+	}
+	if p, o := fleetLoad(t, r3, "alpha"); p != 0 || o != 0 {
+		t.Fatalf("alpha fleet leaked work: pending %d, onboard %d", p, o)
+	}
+	if err := r3.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after double recovery: %v", err)
+	}
+	if err := r3.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRouterDurableRestart round-trips the whole sharded backend
+// through a graceful shutdown: lifecycle counters, the clock, request
+// outcomes and fleet sizes must survive, and the restart must not
+// re-seed recovered fleets.
+func TestRouterDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	r, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+
+	// Same-city workload in alpha: submit until quoted, choose, move.
+	rng := rand.New(rand.NewSource(7))
+	engA, _ := r.Engine("alpha")
+	nv := engA.Graph().NumVertices()
+	var chosen core.RequestID
+	for attempt := 0; attempt < 50 && chosen == 0; attempt++ {
+		s := roadnet.VertexID(rng.Intn(nv))
+		d := roadnet.VertexID(rng.Intn(nv))
+		if s == d {
+			continue
+		}
+		rec, err := r.SubmitIn("alpha", s, d, 1, core.DefaultConstraints())
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if len(rec.Options) > 0 {
+			if err := r.Choose(rec.ID, 0); err != nil {
+				t.Fatalf("choose: %v", err)
+			}
+			chosen = rec.ID
+		}
+	}
+	if chosen == 0 {
+		t.Fatal("no quoted submission in 50 attempts")
+	}
+	if _, err := r.Tick(5); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	before := r.Stats()
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r2, err := durableTwinRouter(t, dir, nil)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		eng, _ := r2.Engine(name)
+		if !eng.Recovered() {
+			t.Fatalf("%s engine did not recover", name)
+		}
+		if n := eng.NumVehicles(); n != 10 {
+			t.Fatalf("%s fleet re-seeded: %d vehicles", name, n)
+		}
+	}
+	after := r2.Stats()
+	if after.Total.Requests != before.Total.Requests ||
+		after.Total.Assigned != before.Total.Assigned ||
+		after.Total.Declined != before.Total.Declined ||
+		after.Total.Completed != before.Total.Completed {
+		t.Fatalf("counters diverged across restart:\n got %+v\nwant %+v", after.Total, before.Total)
+	}
+	if after.Total.Clock != before.Total.Clock {
+		t.Fatalf("clock %v != %v across restart", after.Total.Clock, before.Total.Clock)
+	}
+	rec, err := r2.Request(chosen)
+	if err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+	if rec.Status != core.StatusAssigned && rec.Status != core.StatusOnboard && rec.Status != core.StatusCompleted {
+		t.Fatalf("chosen request recovered as %v", rec.Status)
+	}
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after restart: %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

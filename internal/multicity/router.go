@@ -33,6 +33,7 @@ package multicity
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"ptrider/internal/core"
@@ -41,6 +42,7 @@ import (
 	"ptrider/internal/kinetic"
 	"ptrider/internal/relay"
 	"ptrider/internal/roadnet"
+	"ptrider/internal/wal"
 )
 
 // The routing rejections are core-level Service errors (every backend
@@ -103,6 +105,24 @@ type RouterConfig struct {
 	// rather than multiplying it. 0 leaves each CitySpec's own
 	// Config.TickWorkers untouched.
 	TickWorkers int
+
+	// Durability turns on write-ahead journaling for every city shard
+	// (one journal per city engine under WALDir/city-<name>, plus
+	// WALDir/relay for the relay trip ledger when relay is enabled).
+	// Cities found with journaled state are recovered and their
+	// CitySpec.Vehicles seeding is skipped — the fleet is already in
+	// the journal.
+	Durability wal.Mode
+	// WALDir is the root journal directory.
+	WALDir string
+	// SnapshotEvery is each city engine's snapshot cadence (see
+	// core.Config.SnapshotEvery).
+	SnapshotEvery int
+	// FaultInjector arms simulated crash points (tests only). A fault
+	// firing anywhere kills every city's and the relay's journal — one
+	// process hosts all shards, so a simulated crash takes them down
+	// together.
+	FaultInjector *wal.Injector
 }
 
 // Router fans requests out to per-city engines. All methods are safe
@@ -160,11 +180,22 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 				cfg.TickWorkers = 1
 			}
 		}
+		if rc.Durability != wal.ModeOff {
+			if rc.WALDir == "" {
+				return nil, fmt.Errorf("multicity: durability %v requires WALDir", rc.Durability)
+			}
+			cfg.Durability = rc.Durability
+			cfg.WALDir = filepath.Join(rc.WALDir, "city-"+spec.Name)
+			cfg.SnapshotEvery = rc.SnapshotEvery
+			cfg.FaultInjector = rc.FaultInjector
+		}
 		eng, err := core.NewEngine(spec.Graph, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multicity: city %q: %w", spec.Name, err)
 		}
-		if spec.Vehicles > 0 {
+		if spec.Vehicles > 0 && !eng.Recovered() {
+			// A recovered city already holds its fleet in the journal;
+			// re-seeding would double the population.
 			eng.AddVehiclesUniform(spec.Vehicles)
 		}
 		r.byName[spec.Name] = len(r.cities)
@@ -179,18 +210,64 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 				Region: r.cities[i].region,
 			}
 		}
-		sched, err := relay.New(refs, rc.Relay)
+		relayCfg := rc.Relay
+		if rc.Durability != wal.ModeOff {
+			relayCfg.Durability = rc.Durability
+			relayCfg.WALDir = filepath.Join(rc.WALDir, "relay")
+			relayCfg.FaultInjector = rc.FaultInjector
+		}
+		sched, err := relay.New(refs, relayCfg)
 		if err != nil {
 			return nil, fmt.Errorf("multicity: %w", err)
 		}
 		r.relay = sched
 	}
+	if rc.FaultInjector != nil {
+		// A simulated crash anywhere crashes the whole process: every
+		// shard's journal dies together, which is what the recovery
+		// tests must model.
+		rc.FaultInjector.OnFire(r.Kill)
+	}
 	return r, nil
+}
+
+// Kill simulates a process crash across every shard: all city journals
+// and the relay journal stop accepting appends and fail their pending
+// group commits. In-memory state is considered lost; recover by
+// rebuilding the router over the same WALDir.
+func (r *Router) Kill() {
+	for i := range r.cities {
+		r.cities[i].eng.Kill()
+	}
+	if r.relay != nil {
+		r.relay.Kill()
+	}
+}
+
+// Close gracefully shuts every shard down: the relay trip ledger and
+// each city engine flush their journals and write final snapshots.
+func (r *Router) Close() error {
+	var first error
+	if r.relay != nil {
+		first = r.relay.Close()
+	}
+	for i := range r.cities {
+		if err := r.cities[i].eng.Close(); err != nil && first == nil {
+			first = fmt.Errorf("multicity: %s: %w", r.cities[i].name, err)
+		}
+	}
+	return first
 }
 
 // RelayEnabled reports whether cross-city trips are served by relay
 // scheduling rather than rejected.
 func (r *Router) RelayEnabled() bool { return r.relay != nil }
+
+// RelayScheduler exposes the relay scheduler (nil when relay is off) —
+// a seam for the atomicity/durability test harnesses, which inject
+// leg-commit failures through relay.Scheduler.SetCommitOverride. Not
+// part of the supported surface.
+func (r *Router) RelayScheduler() *relay.Scheduler { return r.relay }
 
 // NumCities returns the number of cities behind the router.
 func (r *Router) NumCities() int { return len(r.cities) }
@@ -345,6 +422,14 @@ func (r *Router) Submit(o, d geo.Point, riders int) (*Record, error) {
 
 // SubmitWithConstraints is Submit with per-rider constraint overrides.
 func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constraints) (*Record, error) {
+	return r.submitCoords(o, d, riders, c, "")
+}
+
+// submitCoords serves one coordinate-addressed request; a non-empty
+// idemKey makes a same-city submission idempotent (the key is scoped to
+// the owning city's engine — regions are disjoint, so a retry always
+// lands on the same city). Relay quotes are not deduplicated.
+func (r *Router) submitCoords(o, d geo.Point, riders int, c core.Constraints, idemKey string) (*Record, error) {
 	oc, err := r.locate(o)
 	if err != nil {
 		return nil, err
@@ -363,8 +448,8 @@ func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constr
 		}
 		return r.wrapRelay(tv), nil
 	}
-	rec, err := r.cities[oc].eng.SubmitWithConstraints(
-		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c)
+	rec, err := r.cities[oc].eng.SubmitIdem(
+		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c, idemKey)
 	if err != nil {
 		return nil, fmt.Errorf("multicity: %s: %w", r.cities[oc].name, err)
 	}
@@ -375,11 +460,15 @@ func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constr
 // vertex ids — the zero-translation path used when the caller already
 // resolved the city (load replay, benchmarks).
 func (r *Router) SubmitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints) (*Record, error) {
+	return r.submitIn(name, s, d, riders, c, "")
+}
+
+func (r *Router) submitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints, idemKey string) (*Record, error) {
 	ci, err := r.cityIndex(name)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := r.cities[ci].eng.SubmitWithConstraints(s, d, riders, c)
+	rec, err := r.cities[ci].eng.SubmitIdem(s, d, riders, c, idemKey)
 	if err != nil {
 		return nil, fmt.Errorf("multicity: %s: %w", name, err)
 	}

@@ -43,12 +43,12 @@ func (r *Router) SubmitRequest(spec core.SubmitSpec) (*core.ServiceRecord, error
 
 func (r *Router) submitSpec(spec *core.SubmitSpec) (*Record, error) {
 	if spec.ByCoords {
-		return r.SubmitWithConstraints(spec.Origin, spec.Dest, spec.Riders, spec.Constraints)
+		return r.submitCoords(spec.Origin, spec.Dest, spec.Riders, spec.Constraints, spec.IdemKey)
 	}
 	if spec.City == "" {
 		return nil, fmt.Errorf("multicity: vertex-addressed requests need a city: %w", core.ErrInvalidArgument)
 	}
-	return r.SubmitIn(spec.City, spec.S, spec.D, spec.Riders, spec.Constraints)
+	return r.submitIn(spec.City, spec.S, spec.D, spec.Riders, spec.Constraints, spec.IdemKey)
 }
 
 // SubmitRequestBatch implements core.Service over the router's

@@ -43,6 +43,7 @@ import (
 	"ptrider/internal/geo"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/skyline"
+	"ptrider/internal/wal"
 )
 
 // TripID identifies a relay trip within one Scheduler. IDs are dense
@@ -63,6 +64,13 @@ type Config struct {
 	// legs' ETAs and added to leg 2's waiting-time and pick-up windows
 	// (0 = 120; pass a negative value for a literal zero buffer).
 	TransferBufferSeconds float64
+
+	// Durability selects write-ahead journaling of the trip ledger
+	// (see durability.go); WALDir names the journal directory when on.
+	Durability wal.Mode
+	WALDir     string
+	// FaultInjector arms simulated crash points (tests only).
+	FaultInjector *wal.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +175,11 @@ type trip struct {
 	leg1Recs, leg2Recs []core.RequestID
 	options            []Option
 	chosen             int // committed option index; -1 before
+	// intent is the option index of an in-flight two-phase commit
+	// (journaled before the legs book, cleared by the done record);
+	// -1 outside the window. Recovery compensates trips whose intent
+	// survived a crash (see durability.go).
+	intent int
 }
 
 // TripView is a consistent snapshot of a relay trip.
@@ -228,6 +241,11 @@ type Scheduler struct {
 	// mid-commit failure is not reachable deterministically through the
 	// public API.
 	commitOverride atomic.Pointer[CommitFunc]
+
+	// Durability (see durability.go); journal is nil when off.
+	journal *wal.Journal
+	inj     *wal.Injector
+	walDir  string
 }
 
 // New builds a Scheduler over the given cities (index space shared
@@ -255,6 +273,14 @@ func New(cities []CityRef, cfg Config) (*Scheduler, error) {
 				return nil, fmt.Errorf("relay: no gateways between %q and %q", cities[i].Name, cities[j].Name)
 			}
 			s.gateways[[2]int{i, j}] = gws
+		}
+	}
+	if cfg.Durability != wal.ModeOff {
+		if cfg.WALDir == "" {
+			return nil, fmt.Errorf("relay: durability %v requires WALDir", cfg.Durability)
+		}
+		if err := s.openDurability(cfg); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
@@ -346,6 +372,7 @@ func (s *Scheduler) Quote(oc, dc int, o, d roadnet.VertexID, riders int, cons co
 		oc: oc, dc: dc, o: o, d: d, riders: riders,
 		state:  StateQuoted,
 		chosen: -1,
+		intent: -1,
 	}
 	var firstErr error
 	for gi := range gws {
@@ -377,6 +404,14 @@ func (s *Scheduler) Quote(oc, dc int, o, d roadnet.VertexID, riders int, cons co
 			s.cities[oc].Name, s.cities[dc].Name, firstErr)
 	}
 	tr.options = s.jointSkyline(tr.options)
+
+	// Journal the quote before it becomes visible; the replay rebuilds
+	// the trip from this record alone (the leg records themselves live
+	// in the city engines' own journals).
+	snap := tr.snapLocked()
+	if err := s.append(&relayRecord{Op: opQuote, Quote: &snap}); err != nil {
+		return nil, fmt.Errorf("relay: trip %d quote: %w", tr.id, err)
+	}
 
 	s.mu.Lock()
 	s.trips[tr.id] = tr
@@ -481,18 +516,28 @@ func (s *Scheduler) Choose(id TripID, optionIndex int) error {
 	}{{engO, leg1ID, opt.Leg1Index}, {engD, leg2ID, opt.Leg2Index}} {
 		rec, err := probe.eng.Request(probe.id)
 		if err != nil {
-			s.abortLocked(tr)
+			s.abortJournaled(tr)
 			return fmt.Errorf("relay: trip %d probe: %w", id, err)
 		}
 		if rec.Status != core.StatusQuoted || probe.idx >= len(rec.Options) {
-			s.abortLocked(tr)
+			s.abortJournaled(tr)
 			return fmt.Errorf("relay: trip %d probe: leg record %d is %v", id, probe.id, rec.Status)
 		}
 	}
 
+	// Open the two-phase window durably: recovery treats an intent
+	// without a matching done record as a crashed commit and releases
+	// whatever leg reservations reached the engines' journals.
+	tr.intent = optionIndex
+	if err := s.append(&relayRecord{Op: opIntent, ID: tr.id, Opt: optionIndex}); err != nil {
+		tr.intent = -1
+		s.abortLocked(tr)
+		return fmt.Errorf("relay: trip %d intent: %w", id, err)
+	}
+
 	// Phase 1: book leg 1.
 	if err := s.commitLeg(1, engO, leg1ID, opt.Leg1Index); err != nil {
-		s.abortLocked(tr)
+		s.abortJournaled(tr)
 		return fmt.Errorf("relay: trip %d leg 1: %w", id, err)
 	}
 	// Phase 2: book leg 2 — compensate leg 1 on failure.
@@ -500,23 +545,41 @@ func (s *Scheduler) Choose(id TripID, optionIndex int) error {
 		if cerr := engO.CancelAssigned(leg1ID); cerr != nil {
 			// The rider was already picked up by a racing tick: leg 1
 			// then completes as an ordinary trip and still leaks no
-			// reservation; anything else is an engine inconsistency
-			// worth surfacing with the abort.
+			// reservation. A crashed engine could not be compensated
+			// live — recovery's intent scan releases the journaled
+			// reservation instead. Anything else is an engine
+			// inconsistency worth surfacing with the abort.
 			err = fmt.Errorf("%w (leg-1 release: %v)", err, cerr)
 		}
-		s.abortLocked(tr)
+		s.abortJournaled(tr)
 		return fmt.Errorf("relay: trip %d leg 2: %w", id, err)
 	}
 
 	tr.state = StateLeg1Committed
 	tr.chosen = optionIndex
+	tr.intent = -1
 	// The unused gateways' quotes are dead weight now; decline them.
 	s.declineLegsLocked(tr, opt.Gateway)
 	s.committed.Add(1)
 	s.mu.Lock()
 	s.active[tr.id] = tr
 	s.mu.Unlock()
+	// Close the window. If this append fails the legs stay booked in
+	// this process but recovery will compensate them — the error must
+	// surface so the caller knows the commit is not durable.
+	if err := s.append(&relayRecord{Op: opDone, ID: tr.id}); err != nil {
+		return fmt.Errorf("relay: trip %d committed, journal failed: %w", id, err)
+	}
 	return nil
+}
+
+// abortJournaled aborts a trip and journals the abort (best effort —
+// a dead journal re-aborts the trip at recovery instead). Caller holds
+// tr.mu.
+func (s *Scheduler) abortJournaled(tr *trip) {
+	tr.intent = -1
+	s.abortLocked(tr)
+	_ = s.append(&relayRecord{Op: opAbort, ID: tr.id})
 }
 
 // committedLegsLocked returns the committed legs' record ids. Caller
@@ -537,6 +600,9 @@ func (s *Scheduler) Decline(id TripID) error {
 	defer tr.mu.Unlock()
 	if tr.state != StateQuoted {
 		return fmt.Errorf("relay: trip %d is %v, not quoted", id, tr.state)
+	}
+	if err := s.append(&relayRecord{Op: opDecline, ID: tr.id}); err != nil {
+		return fmt.Errorf("relay: trip %d decline: %w", id, err)
 	}
 	s.declineLegsLocked(tr, -1)
 	tr.state = StateDeclined

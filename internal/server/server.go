@@ -10,7 +10,10 @@
 //	POST /v1/requests                submit one request — {"s":12,"d":17,"riders":2},
 //	                                 {"city":"east","s":12,"d":17,...} or
 //	                                 {"ox":..,"oy":..,"dx":..,"dy":..,...} — or a
-//	                                 batch: {"requests":[{...},{...}]}
+//	                                 batch: {"requests":[{...},{...}]}.
+//	                                 An Idempotency-Key header makes single-request
+//	                                 submission retry-safe: a repeated key answers
+//	                                 with the original record (batches are exempt)
 //	GET  /v1/requests/{id}           request record (options, status, relay section)
 //	POST /v1/requests/{id}/choice    {"option":0} commit an option
 //	POST /v1/requests/{id}/decline   take none of the options
@@ -501,12 +504,17 @@ func (b *requestBody) spec() (core.SubmitSpec, error) {
 	return spec, nil
 }
 
-func (s *Server) submitOne(w http.ResponseWriter, body *requestBody) {
+// submitOne submits a single request. idemKey (the Idempotency-Key
+// request header, may be empty) makes retries of the same submission
+// safe: the backend answers a repeat of an already-registered key with
+// the original record instead of quoting a second request.
+func (s *Server) submitOne(w http.ResponseWriter, body *requestBody, idemKey string) {
 	spec, err := body.spec()
 	if err != nil {
 		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
+	spec.IdemKey = idemKey
 	rec, err := s.svc.SubmitRequest(spec)
 	if err != nil {
 		writeErr(w, err)
@@ -546,7 +554,7 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	s.submitOne(w, &body)
+	s.submitOne(w, &body, r.Header.Get("Idempotency-Key"))
 }
 
 func (s *Server) submitBatch(w http.ResponseWriter, bodies []requestBody) {
@@ -916,7 +924,7 @@ func (s *Server) handleLegacyRequest(w http.ResponseWriter, r *http.Request) {
 			writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 			return
 		}
-		s.submitOne(w, &body)
+		s.submitOne(w, &body, r.Header.Get("Idempotency-Key"))
 		return
 	}
 	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)

@@ -1,0 +1,561 @@
+// Package wal is PTRider's write-ahead event journal: a length-prefixed,
+// CRC32-checksummed append-only log of engine state mutations, plus
+// atomically-written snapshot files, so a city shard can crash and
+// restart without losing its ledger (ROADMAP: horizontal scale-out).
+//
+// # Layout
+//
+// A journal directory holds numbered segments and snapshots:
+//
+//	journal-00000001.wal   records appended since snapshot 1 (or genesis)
+//	snapshot-00000003.snap engine state before segment 3's first record
+//	journal-00000003.wal   the live tail
+//
+// Each segment starts with an 8-byte magic and then holds records of
+// the form ⟨uint32 length | uint32 CRC32C(payload) | payload⟩, both
+// little-endian (CRC32C — the Castagnoli polynomial — is hardware-
+// accelerated on the platforms this runs on). The payload is opaque to
+// this package — the engine journals operation outcomes in its own
+// binary record codec. A snapshot named K captures
+// the state with every record of segments < K applied; recovery loads
+// the newest valid snapshot and replays the segments ≥ K in order.
+//
+// # Group commit
+//
+// Append never performs I/O itself: it encodes the record into the
+// current in-memory batch under a short lock and signals the single
+// flusher goroutine, which writes and fsyncs whole batches. In Sync
+// mode the returned Commit waits for the batch's fsync (many concurrent
+// appenders share one fsync — the group commit); in Async mode the
+// caller proceeds immediately and the tail since the last flush is the
+// crash-loss window. Async batches are still written promptly, but
+// their fsyncs are paced to one per asyncSyncInterval — the loss
+// window is time-bounded anyway, so per-batch device syncs would buy
+// nothing and cost a core.
+//
+// Appends are not internally ordered against each other: the caller
+// must serialise Append calls that need a defined journal order (the
+// engine appends under its ledger lock, which is also what makes the
+// journal order the ledger linearisation). Rotate and Snapshot assume
+// no concurrent appends for the same reason.
+//
+// # Crash simulation
+//
+// The package doubles as its own fault-injection harness: an Injector
+// arms named crash points (consulted by the engine around appends and
+// by this package inside snapshot writes) and torn-write faults
+// (consulted by the flusher). A fired fault kills the journal — every
+// later operation fails with ErrCrashed, simulating process death with
+// whatever bytes made it to disk — and tests then recover the directory
+// into a fresh engine and verify equivalence.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// crcTable is the record checksum polynomial (CRC32C / Castagnoli,
+// hardware-accelerated where the CPU supports it).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Mode selects the append durability contract.
+type Mode int
+
+// Durability modes. Off exists so callers can thread one knob through;
+// a journal is only ever created in Async or Sync mode.
+const (
+	// ModeOff disables journaling entirely (no Journal is created).
+	ModeOff Mode = iota
+	// ModeAsync acknowledges appends before they are on disk; the tail
+	// since the last flushed batch is the crash-loss window.
+	ModeAsync
+	// ModeSync makes Commit.Wait block until the record's batch is
+	// fsynced — group commit amortises the fsync across concurrent
+	// appenders.
+	ModeSync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAsync:
+		return "async"
+	case ModeSync:
+		return "sync"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode maps a flag value to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return ModeOff, nil
+	case "async":
+		return ModeAsync, nil
+	case "sync":
+		return ModeSync, nil
+	}
+	return 0, fmt.Errorf("wal: unknown durability mode %q", s)
+}
+
+// Errors of the journal lifecycle.
+var (
+	// ErrCrashed reports that the journal was killed by an injected
+	// fault (or Kill): the simulated process is dead and the caller
+	// should recover from disk into a fresh instance.
+	ErrCrashed = errors.New("wal: journal crashed (simulated process death)")
+	// ErrClosed reports an operation on a cleanly closed journal.
+	ErrClosed = errors.New("wal: journal closed")
+)
+
+const (
+	segMagic  = "PTWALSG1"
+	snapMagic = "PTWALSN1"
+	// maxRecord bounds a single record payload; a longer length prefix
+	// is treated as corruption.
+	maxRecord = 1 << 28
+)
+
+// segName/snapName build the numbered file names.
+func segName(seg uint64) string  { return fmt.Sprintf("journal-%08d.wal", seg) }
+func snapName(seg uint64) string { return fmt.Sprintf("snapshot-%08d.snap", seg) }
+
+// Options parameterises Open.
+type Options struct {
+	// Mode must be ModeAsync or ModeSync.
+	Mode Mode
+	// Injector, when non-nil, arms simulated crashes (tests).
+	Injector *Injector
+	// NoFsync skips fsync calls (benchmark baseline; crash-unsafe).
+	NoFsync bool
+}
+
+// batch is one group-commit unit: records accumulated since the last
+// flush, plus the completion signal its Sync-mode appenders wait on.
+type batch struct {
+	buf  []byte
+	n    int
+	done chan struct{}
+	err  error
+}
+
+func newBatch() *batch { return &batch{done: make(chan struct{})} }
+
+// spareCap bounds the recycled batch buffer: a rare huge batch should
+// not pin its allocation for the journal's lifetime.
+const spareCap = 1 << 20
+
+// asyncSyncInterval paces fsyncs in Async mode: batches are written as
+// they fill, but the device sync happens at most this often. Async's
+// contract is already "the unflushed tail may be lost", so the pacing
+// only time-bounds that window; Sync() and Close still force a real
+// fsync at durability boundaries (rotation, snapshots, shutdown).
+const asyncSyncInterval = 50 * time.Millisecond
+
+// newBatchLocked builds the next accumulating batch, reusing the last
+// flushed batch's buffer when one is parked. Caller holds j.mu.
+func (j *Journal) newBatchLocked() *batch {
+	b := newBatch()
+	if j.spare != nil {
+		b.buf, j.spare = j.spare, nil
+	}
+	return b
+}
+
+// Journal is an append-only segmented record log with group commit.
+// Append may be called concurrently; Rotate, Sync and Close require
+// that no appends are in flight (the engine guarantees this by
+// appending only under its ledger lock).
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	cur      *batch // accumulating batch
+	flushing *batch // batch being written, nil between flushes
+	spare    []byte // recycled batch buffer (appends run at disk rate)
+	f        *os.File
+	seg      uint64
+	dead     bool
+	closed   bool
+
+	kick chan struct{}
+	stop chan struct{}
+	exit chan struct{}
+
+	// lastSync is the flusher's async fsync pacing clock (flusher-only;
+	// read by nothing else, so it needs no lock).
+	lastSync time.Time
+
+	records atomic.Int64
+	bytes   atomic.Int64
+	batches atomic.Int64
+	fsyncs  atomic.Int64
+	fsyncNs atomic.Int64
+	maxN    atomic.Int64
+}
+
+// Open opens (or creates) the journal directory for appending into
+// segment seg — pass Recovered.NextSeg after Recover, or 1 for a fresh
+// directory (0 is treated as 1).
+func Open(dir string, seg uint64, opts Options) (*Journal, error) {
+	if opts.Mode != ModeAsync && opts.Mode != ModeSync {
+		return nil, fmt.Errorf("wal: open with mode %v", opts.Mode)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if seg == 0 {
+		seg = 1
+	}
+	f, err := openSegment(dir, seg)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		cur:      newBatch(),
+		f:        f,
+		seg:      seg,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		exit:     make(chan struct{}),
+		lastSync: time.Now(),
+	}
+	go j.flusher()
+	return j, nil
+}
+
+// openSegment opens segment seg for appending, stamping the magic into
+// a fresh file.
+func openSegment(dir string, seg uint64) (*os.File, error) {
+	path := filepath.Join(dir, segName(seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(segMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		syncDir(dir)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creations are durable.
+// Best-effort: some platforms refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Commit is an Append's durability handle: Wait blocks until the
+// record's batch is on disk (Sync mode) or returns immediately (Async
+// mode, or the zero Commit).
+type Commit struct{ b *batch }
+
+// Wait blocks until the record's group-commit batch completed and
+// returns its flush error. Safe to call on the zero value.
+func (c Commit) Wait() error {
+	if c.b == nil {
+		return nil
+	}
+	<-c.b.done
+	return c.b.err
+}
+
+// Append encodes one record into the current group-commit batch and
+// signals the flusher. It never blocks on I/O; in Sync mode the caller
+// waits on the returned Commit after releasing its own locks.
+func (j *Journal) Append(payload []byte) (Commit, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	j.mu.Lock()
+	if j.dead {
+		j.mu.Unlock()
+		return Commit{}, ErrCrashed
+	}
+	if j.closed {
+		j.mu.Unlock()
+		return Commit{}, ErrClosed
+	}
+	b := j.cur
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, payload...)
+	b.n++
+	j.mu.Unlock()
+
+	j.records.Add(1)
+	j.bytes.Add(int64(len(payload) + 8))
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	if j.opts.Mode == ModeSync {
+		return Commit{b: b}, nil
+	}
+	return Commit{}, nil
+}
+
+// flusher is the single group-commit goroutine: it swaps the
+// accumulating batch out under the lock, writes and fsyncs it, and
+// completes its waiters.
+func (j *Journal) flusher() {
+	defer close(j.exit)
+	for {
+		select {
+		case <-j.kick:
+			j.flushOnce()
+		case <-j.stop:
+			j.flushOnce()
+			return
+		}
+	}
+}
+
+// flushOnce writes the accumulated batch, if any.
+func (j *Journal) flushOnce() {
+	j.mu.Lock()
+	b := j.cur
+	if len(b.buf) == 0 || j.dead {
+		j.mu.Unlock()
+		return
+	}
+	j.cur = j.newBatchLocked()
+	j.flushing = b
+	f := j.f
+	j.mu.Unlock()
+
+	if keep, torn := j.opts.Injector.tornWrite(len(b.buf)); torn {
+		// Simulated crash mid-write: a prefix of the batch lands, no
+		// fsync, and the journal dies with the partial record on disk.
+		_, _ = f.Write(b.buf[:keep])
+		j.mu.Lock()
+		j.dead = true
+		j.flushing = nil
+		dying := j.cur
+		j.cur = newBatch()
+		j.mu.Unlock()
+		b.err = ErrCrashed
+		close(b.done)
+		if dying.n > 0 {
+			dying.err = ErrCrashed
+			close(dying.done)
+		}
+		return
+	}
+
+	_, err := f.Write(b.buf)
+	if err == nil && !j.opts.NoFsync &&
+		(j.opts.Mode == ModeSync || time.Since(j.lastSync) >= asyncSyncInterval) {
+		t0 := time.Now()
+		err = f.Sync()
+		j.lastSync = time.Now()
+		j.fsyncNs.Add(time.Since(t0).Nanoseconds())
+		j.fsyncs.Add(1)
+	}
+	j.batches.Add(1)
+	if n := int64(b.n); n > j.maxN.Load() {
+		j.maxN.Store(n) // single flusher: load/store does not race
+	}
+	j.mu.Lock()
+	j.flushing = nil
+	if cap(b.buf) <= spareCap {
+		j.spare = b.buf[:0] // written out; recycle for the next batch
+	}
+	j.mu.Unlock()
+	b.err = err
+	close(b.done)
+}
+
+// Sync flushes every appended record and waits for its fsync.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	if j.dead {
+		j.mu.Unlock()
+		return ErrCrashed
+	}
+	var b *batch
+	if len(j.cur.buf) > 0 {
+		b = j.cur
+	} else {
+		b = j.flushing
+	}
+	j.mu.Unlock()
+	if b != nil {
+		select {
+		case j.kick <- struct{}{}:
+		default:
+		}
+		<-b.done
+		if b.err != nil {
+			return b.err
+		}
+	}
+	// Async pacing may have skipped the last batches' device sync, but
+	// Sync promises a real fsync in every mode (rotation and snapshot
+	// boundaries depend on it).
+	if j.opts.Mode == ModeAsync && !j.opts.NoFsync {
+		j.mu.Lock()
+		if j.dead {
+			j.mu.Unlock()
+			return ErrCrashed
+		}
+		f := j.f
+		j.mu.Unlock()
+		if f != nil {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Segment returns the segment currently being appended to.
+func (j *Journal) Segment() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seg
+}
+
+// Rotate flushes the current segment and starts the next one, returning
+// its number. The caller must guarantee no concurrent appends (the
+// engine holds its ledger lock); a snapshot named with the returned
+// number captures the state with everything before it applied.
+func (j *Journal) Rotate() (uint64, error) {
+	if err := j.Sync(); err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return 0, ErrCrashed
+	}
+	if j.closed {
+		return 0, ErrClosed
+	}
+	seg := j.seg + 1
+	f, err := openSegment(j.dir, seg)
+	if err != nil {
+		return 0, err
+	}
+	_ = j.f.Sync()
+	_ = j.f.Close()
+	j.f = f
+	j.seg = seg
+	return seg, nil
+}
+
+// Kill marks the journal dead without flushing — the simulated process
+// death used by the crash harness. Waiters of the accumulating batch
+// fail with ErrCrashed; a batch already being flushed completes
+// normally (a real crash can land just after an fsync too).
+func (j *Journal) Kill() {
+	j.mu.Lock()
+	if j.dead || j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.dead = true
+	b := j.cur
+	j.cur = newBatch()
+	j.mu.Unlock()
+	if b.n > 0 {
+		b.err = ErrCrashed
+		close(b.done)
+	}
+}
+
+// Dead reports whether the journal was killed.
+func (j *Journal) Dead() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dead
+}
+
+// Close flushes, fsyncs and closes the journal. A killed journal
+// closes its file without flushing.
+func (j *Journal) Close() error {
+	serr := j.Sync()
+	if serr == ErrCrashed {
+		serr = nil // dead journals close silently; the crash already surfaced
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	f := j.f
+	j.mu.Unlock()
+	close(j.stop)
+	<-j.exit
+	if f != nil {
+		if !j.opts.NoFsync {
+			_ = f.Sync()
+		}
+		if err := f.Close(); err != nil && serr == nil {
+			serr = err
+		}
+	}
+	return serr
+}
+
+// Stats is the journal's observability panel.
+type Stats struct {
+	// Records and Bytes count everything appended (headers included in
+	// Bytes).
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Batches and Fsyncs count group-commit flushes; MaxBatch is the
+	// largest record count one flush carried (the group-commit win).
+	Batches  int64 `json:"batches"`
+	Fsyncs   int64 `json:"fsyncs"`
+	MaxBatch int64 `json:"max_batch"`
+	// AvgFsyncMicros is the mean fsync latency.
+	AvgFsyncMicros float64 `json:"avg_fsync_micros"`
+	// Segment is the live tail segment number.
+	Segment uint64 `json:"segment"`
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() Stats {
+	s := Stats{
+		Records:  j.records.Load(),
+		Bytes:    j.bytes.Load(),
+		Batches:  j.batches.Load(),
+		Fsyncs:   j.fsyncs.Load(),
+		MaxBatch: j.maxN.Load(),
+		Segment:  j.Segment(),
+	}
+	if s.Fsyncs > 0 {
+		s.AvgFsyncMicros = float64(j.fsyncNs.Load()) / float64(s.Fsyncs) / 1e3
+	}
+	return s
+}

@@ -1,0 +1,431 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, seg uint64, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, seg, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		c, err := j.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatalf("Wait(%q): %v", p, err)
+		}
+	}
+}
+
+func recovered(t *testing.T, dir string) *Recovered {
+	t.Helper()
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return rec
+}
+
+func recordStrings(rec *Recovered) []string {
+	out := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	appendAll(t, j, "alpha", "beta", "gamma")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec := recovered(t, dir)
+	want := []string{"alpha", "beta", "gamma"}
+	got := recordStrings(rec)
+	if len(got) != len(want) {
+		t.Fatalf("records = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("records = %v, want %v", got, want)
+		}
+	}
+	if rec.NextSeg != 2 {
+		t.Fatalf("NextSeg = %d, want 2", rec.NextSeg)
+	}
+	if rec.TruncatedBytes != 0 || rec.CorruptSnapshots != 0 || rec.DroppedSegments != 0 {
+		t.Fatalf("clean recovery reported damage: %+v", rec)
+	}
+
+	// Reopen at NextSeg and keep appending.
+	j2 := mustOpen(t, dir, rec.NextSeg, Options{Mode: ModeSync})
+	appendAll(t, j2, "delta")
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec2 := recovered(t, dir)
+	if got := recordStrings(rec2); len(got) != 4 || got[3] != "delta" {
+		t.Fatalf("records after reopen = %v", got)
+	}
+}
+
+func TestGroupCommitConcurrentAppenders(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := j.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+			if err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			if err := c.Wait(); err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st.Records != n {
+		t.Fatalf("Records = %d, want %d", st.Records, n)
+	}
+	// Group commit must have amortised: strictly fewer fsyncs than
+	// records would be flaky on a fast disk, but the batching machinery
+	// at least must report its flushes.
+	if st.Batches == 0 || st.Batches > st.Records {
+		t.Fatalf("Batches = %d (records %d)", st.Batches, st.Records)
+	}
+	rec := recovered(t, dir)
+	if len(rec.Records) != n {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range rec.Records {
+		seen[string(r)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered %d distinct records, want %d", len(seen), n)
+	}
+}
+
+func TestRotateSnapshotPrune(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	appendAll(t, j, "old-1", "old-2")
+	seg, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if seg != 2 {
+		t.Fatalf("Rotate → %d, want 2", seg)
+	}
+	if err := WriteSnapshot(dir, seg, []byte("STATE-AFTER-OLD"), nil); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendAll(t, j, "new-1")
+	PruneBefore(dir, seg)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not pruned: %v", err)
+	}
+	rec := recovered(t, dir)
+	if rec.SnapshotSeg != 2 || string(rec.Snapshot) != "STATE-AFTER-OLD" {
+		t.Fatalf("snapshot = seg %d %q", rec.SnapshotSeg, rec.Snapshot)
+	}
+	if got := recordStrings(rec); len(got) != 1 || got[0] != "new-1" {
+		t.Fatalf("tail records = %v, want [new-1]", got)
+	}
+	if rec.NextSeg != 3 {
+		t.Fatalf("NextSeg = %d, want 3", rec.NextSeg)
+	}
+}
+
+func TestTornWriteInjection(t *testing.T) {
+	dir := t.TempDir()
+	inj := &Injector{}
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync, Injector: inj})
+	appendAll(t, j, "solid-1", "solid-2")
+
+	// Tear the next batch: keep the full first record plus 3 bytes of
+	// the second record's header.
+	inj.ArmTornWrite(8 + len("torn-a") + 3)
+	c1, err := j.Append([]byte("torn-a"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	c2, err := j.Append([]byte("torn-b"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := c1.Wait(); err != ErrCrashed {
+		t.Fatalf("torn batch Wait = %v, want ErrCrashed", err)
+	}
+	if err := c2.Wait(); err != ErrCrashed {
+		t.Fatalf("torn batch Wait = %v, want ErrCrashed", err)
+	}
+	if !j.Dead() {
+		t.Fatal("journal should be dead after torn write")
+	}
+	if _, err := j.Append([]byte("after-death")); err != ErrCrashed {
+		t.Fatalf("Append after death = %v, want ErrCrashed", err)
+	}
+	_ = j.Close()
+
+	rec := recovered(t, dir)
+	got := recordStrings(rec)
+	want := []string{"solid-1", "solid-2", "torn-a"}
+	if len(got) != len(want) {
+		t.Fatalf("records = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("records = %v, want %v", got, want)
+		}
+	}
+	if rec.TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes = %d, want 3", rec.TruncatedBytes)
+	}
+	// Recovery truncated the tear: a second recovery is clean.
+	rec2 := recovered(t, dir)
+	if rec2.TruncatedBytes != 0 || len(rec2.Records) != 3 {
+		t.Fatalf("second recovery: %+v", rec2)
+	}
+}
+
+func TestTruncatedTailAndFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	appendAll(t, j, "keep-1", "keep-2", "victim")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if err := TruncateTail(dir, 2); err != nil {
+		t.Fatalf("TruncateTail: %v", err)
+	}
+	rec := recovered(t, dir)
+	if got := recordStrings(rec); len(got) != 2 || got[1] != "keep-2" {
+		t.Fatalf("after truncate: records = %v", got)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("truncation not reported")
+	}
+
+	// Now flip a byte inside keep-2's payload: it and everything after
+	// must vanish, keep-1 survives.
+	if err := FlipByte(dir, -1); err != nil {
+		t.Fatalf("FlipByte: %v", err)
+	}
+	rec2 := recovered(t, dir)
+	if got := recordStrings(rec2); len(got) != 1 || got[0] != "keep-1" {
+		t.Fatalf("after flip: records = %v", got)
+	}
+}
+
+func TestCorruptSnapshotFallsBackOlder(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	appendAll(t, j, "epoch-1")
+	seg2, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := WriteSnapshot(dir, seg2, []byte("SNAP-2"), nil); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendAll(t, j, "epoch-2")
+	seg3, err := j.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := WriteSnapshot(dir, seg3, []byte("SNAP-3"), nil); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendAll(t, j, "epoch-3")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Corrupt the newest snapshot's payload byte.
+	path := filepath.Join(dir, snapName(seg3))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := recovered(t, dir)
+	if rec.SnapshotSeg != seg2 || string(rec.Snapshot) != "SNAP-2" {
+		t.Fatalf("fallback snapshot = seg %d %q, want seg %d SNAP-2", rec.SnapshotSeg, rec.Snapshot, seg2)
+	}
+	if rec.CorruptSnapshots != 1 {
+		t.Fatalf("CorruptSnapshots = %d, want 1", rec.CorruptSnapshots)
+	}
+	// Tail must replay from seg2: epoch-2 then epoch-3.
+	if got := recordStrings(rec); len(got) != 2 || got[0] != "epoch-2" || got[1] != "epoch-3" {
+		t.Fatalf("records = %v, want [epoch-2 epoch-3]", got)
+	}
+}
+
+func TestMidSnapshotCrashLeavesOldSnapshotAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, 2, []byte("SNAP-OLD"), nil); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	inj := &Injector{}
+	inj.Arm(CrashMidSnapshot, 0)
+	err := WriteSnapshot(dir, 3, []byte("SNAP-NEW-NEVER-LANDS"), inj)
+	if err != ErrCrashed {
+		t.Fatalf("WriteSnapshot with armed crash = %v, want ErrCrashed", err)
+	}
+	if !inj.Fired() {
+		t.Fatal("injector did not fire")
+	}
+	rec := recovered(t, dir)
+	if rec.SnapshotSeg != 2 || string(rec.Snapshot) != "SNAP-OLD" {
+		t.Fatalf("snapshot = seg %d %q, want seg 2 SNAP-OLD", rec.SnapshotSeg, rec.Snapshot)
+	}
+	// Recovery must have swept the temp file.
+	if _, err := os.Stat(filepath.Join(dir, snapName(3)+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp snapshot not cleaned: %v", err)
+	}
+}
+
+func TestInjectorArmAfterN(t *testing.T) {
+	inj := &Injector{}
+	inj.Arm(CrashPreAppend, 2)
+	if inj.Fire(CrashPreAppend) || inj.Fire(CrashPreAppend) {
+		t.Fatal("fired too early")
+	}
+	if inj.Fire(CrashPostAppend) {
+		t.Fatal("fired at wrong point")
+	}
+	if !inj.Fire(CrashPreAppend) {
+		t.Fatal("did not fire on third consultation")
+	}
+	if inj.Fire(CrashPreAppend) {
+		t.Fatal("fired twice")
+	}
+	var nilInj *Injector
+	if nilInj.Fire(CrashPreAppend) || nilInj.Fired() {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestKillFailsPendingAndFutureAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeSync})
+	appendAll(t, j, "before")
+	j.Kill()
+	if _, err := j.Append([]byte("after")); err != ErrCrashed {
+		t.Fatalf("Append after Kill = %v, want ErrCrashed", err)
+	}
+	if err := j.Sync(); err != ErrCrashed {
+		t.Fatalf("Sync after Kill = %v, want ErrCrashed", err)
+	}
+	if _, err := j.Rotate(); err != ErrCrashed {
+		t.Fatalf("Rotate after Kill = %v, want ErrCrashed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close after Kill: %v", err)
+	}
+	rec := recovered(t, dir)
+	if got := recordStrings(rec); len(got) != 1 || got[0] != "before" {
+		t.Fatalf("records = %v, want [before]", got)
+	}
+}
+
+func TestAsyncModeLosesOnlyUnflushedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, 0, Options{Mode: ModeAsync})
+	for i := 0; i < 10; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("a-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// These may or may not reach disk before the kill.
+	for i := 0; i < 5; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("b-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Kill()
+	_ = j.Close()
+	rec := recovered(t, dir)
+	got := recordStrings(rec)
+	if len(got) < 10 || len(got) > 15 {
+		t.Fatalf("recovered %d records, want 10..15", len(got))
+	}
+	// Whatever survived must be a strict prefix of the append order.
+	for i, r := range got {
+		var want string
+		if i < 10 {
+			want = fmt.Sprintf("a-%d", i)
+		} else {
+			want = fmt.Sprintf("b-%d", i-10)
+		}
+		if r != want {
+			t.Fatalf("record %d = %q, want %q (prefix violated)", i, r, want)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"off", ModeOff, false}, {"", ModeOff, false},
+		{"async", ModeAsync, false}, {"sync", ModeSync, false},
+		{"bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if ModeSync.String() != "sync" || ModeOff.String() != "off" || ModeAsync.String() != "async" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestRecoverEmptyDir(t *testing.T) {
+	rec := recovered(t, filepath.Join(t.TempDir(), "missing"))
+	if rec.SnapshotSeg != 0 || rec.Snapshot != nil || len(rec.Records) != 0 || rec.NextSeg != 1 {
+		t.Fatalf("zero recovery: %+v", rec)
+	}
+}

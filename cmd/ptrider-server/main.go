@@ -64,19 +64,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		width     = flag.Int("width", 40, "city width (intersections)")
-		height    = flag.Int("height", 40, "city height (intersections)")
-		taxis     = flag.Int("taxis", 500, "number of taxis")
-		algo      = flag.String("algo", "dual-side", "matching algorithm")
-		seed      = flag.Int64("seed", 1, "random seed")
-		realtime  = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
-		cities    = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
-		relayOn   = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
-		tickW     = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
-		walDir    = flag.String("wal-dir", "", "write-ahead log directory (empty = durability off; multi-city shards get per-city subdirectories)")
-		walMode   = flag.String("wal-mode", "sync", `journal mode with -wal-dir: "sync" (fsync before ack) or "async" (background group commit)`)
-		snapEvery = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = engine default)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		width      = flag.Int("width", 40, "city width (intersections)")
+		height     = flag.Int("height", 40, "city height (intersections)")
+		taxis      = flag.Int("taxis", 500, "number of taxis")
+		algo       = flag.String("algo", "dual-side", "matching algorithm")
+		seed       = flag.Int64("seed", 1, "random seed")
+		realtime   = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
+		cities     = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
+		relayOn    = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
+		tickW      = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory (empty = durability off; multi-city shards get per-city subdirectories)")
+		walMode    = flag.String("wal-mode", "sync", `journal mode with -wal-dir: "sync" (fsync before ack) or "async" (background group commit)`)
+		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = engine default)")
+		surgeOn    = flag.Bool("surge", false, "enable per-cell surge pricing (see /v1/surge)")
+		surgeEpoch = flag.Float64("surge-epoch", 0, "surge multiplier re-evaluation period in simulated seconds (0 = 60)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,7 @@ func main() {
 		cities: *cities, width: *width, height: *height, taxis: *taxis,
 		algoName: *algo, seed: *seed, relayOn: *relayOn, tickWorkers: *tickW,
 		durability: mode, walDir: *walDir, snapshotEvery: *snapEvery,
+		surge: *surgeOn, surgeEpoch: *surgeEpoch,
 	})
 	if err != nil {
 		log.Fatalf("ptrider-server: %v", err)
@@ -169,6 +172,8 @@ type buildConfig struct {
 	durability    wal.Mode
 	walDir        string
 	snapshotEvery int
+	surge         bool
+	surgeEpoch    float64
 }
 
 // buildService constructs the backend: a single-city engine, or a
@@ -183,7 +188,10 @@ func buildService(bc buildConfig) (core.Service, string, error) {
 	}
 	if bc.cities != "" {
 		router, err := multicity.BuildFromSpecWithConfig(bc.cities,
-			core.Config{Algorithm: algo, TickWorkers: bc.tickWorkers}, bc.seed,
+			core.Config{
+				Algorithm: algo, TickWorkers: bc.tickWorkers,
+				SurgeEnabled: bc.surge, SurgeEpochSeconds: bc.surgeEpoch,
+			}, bc.seed,
 			multicity.RouterConfig{
 				EnableRelay: bc.relayOn,
 				Durability:  bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
@@ -205,6 +213,7 @@ func buildService(bc buildConfig) (core.Service, string, error) {
 	eng, err := core.NewEngine(g, core.Config{
 		Algorithm: algo, Seed: bc.seed, TickWorkers: bc.tickWorkers,
 		Durability: bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
+		SurgeEnabled: bc.surge, SurgeEpochSeconds: bc.surgeEpoch,
 	})
 	if err != nil {
 		return nil, "", err

@@ -40,29 +40,32 @@ import (
 
 func main() {
 	var (
-		width     = flag.Int("width", 40, "city width (intersections)")
-		height    = flag.Int("height", 40, "city height (intersections)")
-		taxis     = flag.Int("taxis", 500, "number of taxis")
-		trips     = flag.Int("trips", 20000, "number of trips in the day")
-		day       = flag.Float64("day", 86400, "day length in seconds")
-		algo      = flag.String("algo", "dual-side", "matching algorithm: naive|single-side|dual-side")
-		choice    = flag.String("choice", "utility", "rider choice model: earliest|cheapest|uniform|utility")
-		tick      = flag.Float64("tick", 1, "simulation tick in seconds")
-		seed      = flag.Int64("seed", 1, "random seed")
-		cap       = flag.Int("capacity", 4, "taxi capacity")
-		wait      = flag.Float64("wait", 300, "maximal waiting time w in seconds")
-		sigma     = flag.Float64("sigma", 0.4, "service constraint sigma")
-		fail      = flag.Float64("failures", 0, "vehicle failures injected per hour")
-		saveCSV   = flag.String("save-trips", "", "write the generated workload to this CSV file")
-		saveNet   = flag.String("save-network", "", "write the generated network to this file")
-		loadNet   = flag.String("load-network", "", "load the road network from this file instead of generating")
-		loadTrips = flag.String("load-trips", "", "load the workload from this CSV file instead of generating")
-		cities    = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (switches to the multi-city replay)`)
-		skew      = flag.String("skew", "", `per-city load weights "name=w,..." (default uniform)`)
-		cross     = flag.Float64("cross", 0, "fraction of trips relocated across city borders")
-		relayOn   = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips instead of rejecting them")
-		transfer  = flag.Float64("transfer-buffer", 120, "relay hand-off margin in seconds (0 = none)")
-		tickW     = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
+		width      = flag.Int("width", 40, "city width (intersections)")
+		height     = flag.Int("height", 40, "city height (intersections)")
+		taxis      = flag.Int("taxis", 500, "number of taxis")
+		trips      = flag.Int("trips", 20000, "number of trips in the day")
+		day        = flag.Float64("day", 86400, "day length in seconds")
+		algo       = flag.String("algo", "dual-side", "matching algorithm: naive|single-side|dual-side")
+		choice     = flag.String("choice", "utility", "rider choice model: earliest|cheapest|uniform|utility")
+		tick       = flag.Float64("tick", 1, "simulation tick in seconds")
+		seed       = flag.Int64("seed", 1, "random seed")
+		cap        = flag.Int("capacity", 4, "taxi capacity")
+		wait       = flag.Float64("wait", 300, "maximal waiting time w in seconds")
+		sigma      = flag.Float64("sigma", 0.4, "service constraint sigma")
+		fail       = flag.Float64("failures", 0, "vehicle failures injected per hour")
+		saveCSV    = flag.String("save-trips", "", "write the generated workload to this CSV file")
+		saveNet    = flag.String("save-network", "", "write the generated network to this file")
+		loadNet    = flag.String("load-network", "", "load the road network from this file instead of generating")
+		loadTrips  = flag.String("load-trips", "", "load the workload from this CSV file instead of generating")
+		cities     = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (switches to the multi-city replay)`)
+		skew       = flag.String("skew", "", `per-city load weights "name=w,..." (default uniform)`)
+		cross      = flag.Float64("cross", 0, "fraction of trips relocated across city borders")
+		relayOn    = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips instead of rejecting them")
+		transfer   = flag.Float64("transfer-buffer", 120, "relay hand-off margin in seconds (0 = none)")
+		tickW      = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
+		surgeOn    = flag.Bool("surge", false, "enable per-cell surge pricing")
+		surgeEpoch = flag.Float64("surge-epoch", 0, "surge re-evaluation period in simulated seconds (0 = 60)")
+		peak       = flag.Bool("peak", false, "concentrate the generated workload into rush-hour peaks (single-city)")
 	)
 	flag.Parse()
 
@@ -80,14 +83,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ptrider-sim: -save-network/-load-network are not supported with -cities (networks come from the city spec)")
 			os.Exit(2)
 		}
-		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *relayOn, *transfer, *tickW); err != nil {
+		if *peak {
+			fmt.Fprintln(os.Stderr, "ptrider-sim: -peak is not supported with -cities (multi-city workloads use their own generator)")
+			os.Exit(2)
+		}
+		if err := runMulti(*cities, *skew, *cross, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *relayOn, *transfer, *tickW, *surgeOn, *surgeEpoch); err != nil {
 			fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips, *tickW); err != nil {
+	if err := run(*width, *height, *taxis, *trips, *day, *algo, *choice, *tick, *seed, *cap, *wait, *sigma, *fail, *saveCSV, *saveNet, *loadNet, *loadTrips, *tickW, *surgeOn, *surgeEpoch, *peak); err != nil {
 		fmt.Fprintln(os.Stderr, "ptrider-sim:", err)
 		os.Exit(1)
 	}
@@ -126,7 +133,7 @@ func parseWeights(s string) (map[string]float64, error) {
 // through the core Service interface, like every other transport — and
 // prints per-city panels plus the aggregate (and the relay panel when
 // relay scheduling is on).
-func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64, tickWorkers int) error {
+func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float64, algoName, choiceName string, tick float64, seed int64, capacity int, wait, sigma float64, relayOn bool, transferBuffer float64, tickWorkers int, surgeOn bool, surgeEpoch float64) error {
 	algo, err := core.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -142,11 +149,13 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 
 	fmt.Printf("building cities %q (relay=%v) …\n", citySpec, relayOn)
 	router, err := multicity.BuildFromSpecWithConfig(citySpec, core.Config{
-		Capacity:       capacity,
-		MaxWaitSeconds: wait,
-		Sigma:          sigma,
-		Algorithm:      algo,
-		TickWorkers:    tickWorkers,
+		Capacity:          capacity,
+		MaxWaitSeconds:    wait,
+		Sigma:             sigma,
+		Algorithm:         algo,
+		TickWorkers:       tickWorkers,
+		SurgeEnabled:      surgeOn,
+		SurgeEpochSeconds: surgeEpoch,
 	}, seed, multicity.RouterConfig{
 		EnableRelay: relayOn,
 		Relay:       relay.Config{TransferBufferSeconds: literalSeconds(transferBuffer)},
@@ -225,7 +234,7 @@ func runMulti(citySpec, skewSpec string, crossFrac float64, trips int, day float
 	return cw.Flush()
 }
 
-func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string, tickWorkers int) error {
+func run(width, height, taxis, trips int, day float64, algo, choice string, tick float64, seed int64, capacity int, wait, sigma, fail float64, saveCSV, saveNet, loadNet, loadTrips string, tickWorkers int, surgeOn bool, surgeEpoch float64, peak bool) error {
 	var net *ptrider.Network
 	var err error
 	if loadNet != "" {
@@ -280,7 +289,7 @@ func run(width, height, taxis, trips int, day float64, algo, choice string, tick
 	} else {
 		fmt.Printf("generating %d trips over %.0fs …\n", trips, day)
 		workload, err = ptrider.GenerateWorkload(net, ptrider.WorkloadConfig{
-			NumTrips: trips, DaySeconds: day, Seed: seed,
+			NumTrips: trips, DaySeconds: day, PeakHours: peak, Seed: seed,
 		})
 		if err != nil {
 			return err
@@ -302,13 +311,15 @@ func run(width, height, taxis, trips int, day float64, algo, choice string, tick
 	}
 
 	sys, err := ptrider.New(net, ptrider.Config{
-		NumTaxis:       taxis,
-		Capacity:       capacity,
-		MaxWaitSeconds: wait,
-		Sigma:          sigma,
-		Algorithm:      algo,
-		Seed:           seed,
-		TickWorkers:    tickWorkers,
+		NumTaxis:          taxis,
+		Capacity:          capacity,
+		MaxWaitSeconds:    wait,
+		Sigma:             sigma,
+		Algorithm:         algo,
+		Seed:              seed,
+		TickWorkers:       tickWorkers,
+		SurgeEnabled:      surgeOn,
+		SurgeEpochSeconds: surgeEpoch,
 	})
 	if err != nil {
 		return err
@@ -343,6 +354,12 @@ func run(width, height, taxis, trips int, day float64, algo, choice string, tick
 	fmt.Fprintf(w, "tick workers\t%d\n", res.Stats.Tick.Workers)
 	fmt.Fprintf(w, "tick wall avg / last\t%.3f / %.3f ms\n", res.Stats.Tick.AvgWallMs, res.Stats.Tick.LastWallMs)
 	fmt.Fprintf(w, "events per tick / max shard skew\t%.2f / %.3f ms\n", res.Stats.Tick.AvgEvents, res.Stats.Tick.MaxShardSkewMs)
+	if res.Stats.Surge.Enabled {
+		sg := res.Stats.Surge
+		fmt.Fprintf(w, "surge epoch / surged cells\t%d / %d of %d\n", sg.Epoch, sg.ActiveCells, sg.Cells)
+		fmt.Fprintf(w, "surge max / avg multiplier\t%.2f / %.3f\n", sg.MaxMultiplier, sg.AvgMultiplier)
+		fmt.Fprintf(w, "surged quotes\t%d\n", sg.SurgedQuotes)
+	}
 	if err := w.Flush(); err != nil {
 		return err
 	}

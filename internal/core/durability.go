@@ -46,6 +46,7 @@ import (
 
 	"ptrider/internal/fleet"
 	"ptrider/internal/kinetic"
+	"ptrider/internal/pricing/surge"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/wal"
 )
@@ -71,6 +72,7 @@ const (
 	opTick    = "tik"
 	opAddV    = "adv"
 	opRemV    = "rmv"
+	opSurge   = "srg"
 )
 
 // walRecord is the envelope of one journaled operation.
@@ -82,21 +84,29 @@ type walRecord struct {
 	Tick    *tickRec        `json:"tick,omitempty"`
 	AddV    *addvRec        `json:"addv,omitempty"`
 	Vehicle fleet.VehicleID `json:"veh,omitempty"` // remove-vehicle
+	Surge   *surgeRec       `json:"srg,omitempty"`
 }
 
 // submitRec is a registered quote: everything registerRecord writes
 // into the ledger, including the skyline (a recovered quoted request
 // must still be choosable).
 type submitRec struct {
-	ID      RequestID
-	S, D    roadnet.VertexID
-	Riders  int
-	Wait    float64
-	Sigma   float64
-	SD      float64
-	Clock   float64
-	IdemKey string `json:",omitempty"`
-	Options []Option
+	ID     RequestID
+	S, D   roadnet.VertexID
+	Riders int
+	Wait   float64
+	Sigma  float64
+	SD     float64
+	Clock  float64
+	// Quote-time fare context (see RequestRecord): the journaled
+	// effective ratio is authoritative on replay — recovery must not
+	// re-resolve a price the rider already saw.
+	FareRatio  float64
+	SurgeMult  float64
+	SurgeCell  int32
+	SurgeEpoch uint64
+	IdemKey    string `json:",omitempty"`
+	Options    []Option
 }
 
 // chooseRec is a committed choice: the outcome of the fleet commit, so
@@ -118,6 +128,17 @@ type tickRec struct {
 	Dt     float64
 	N      int
 	Digest uint64
+}
+
+// surgeRec is one surge epoch advance: the post-advance EMA vector
+// (multipliers re-derive from it), the new epoch number, and the
+// clock the next epoch is due at. Replay installs it verbatim instead
+// of re-deriving supply — the record is the linearisation point of
+// the epoch against concurrent submits.
+type surgeRec struct {
+	Epoch uint64
+	Next  float64
+	EMA   []float64
 }
 
 // addvRec is a vehicle placement: the drawn locations plus the number
@@ -143,6 +164,18 @@ type engSnap struct {
 	Reqs      []RequestRecord
 	Vehicles  []fleet.VehicleState
 	Idem      []idemEntry
+	Surge     *surgeSnap `json:",omitempty"`
+}
+
+// surgeSnap is the surge tracker's snapshot state: the full epoch
+// state plus the demand accumulated since the last epoch (snapshots
+// land between epochs, so mid-epoch demand must survive too) and the
+// clock the next epoch advance is due at.
+type surgeSnap struct {
+	Next   float64
+	Epoch  uint64
+	EMA    []float64 `json:",omitempty"`
+	Demand []float64 `json:",omitempty"`
 }
 
 // DurabilityStats is the /v1/stats durability panel.
@@ -405,6 +438,10 @@ func (e *Engine) captureLocked() *engSnap {
 		s.Reqs = append(s.Reqs, *rec)
 	}
 	sort.Slice(s.Reqs, func(a, b int) bool { return s.Reqs[a].ID < s.Reqs[b].ID })
+	if e.tracker != nil {
+		st := e.tracker.State()
+		s.Surge = &surgeSnap{Next: e.surgeNext, Epoch: st.Epoch, EMA: st.EMA, Demand: st.Demand}
+	}
 	return s
 }
 
@@ -435,9 +472,18 @@ func (e *Engine) applySnapshot(payload []byte) error {
 			}
 			e.byVeh[rec.Vehicle][rec.ID] = true
 		}
+		// Rebuild the surged-quote counter from the restored ledger
+		// (zero SurgeMult = pre-pipeline record, not a surge).
+		if rec.SurgeMult != 1 && rec.SurgeMult != 0 {
+			e.surgedQuotes.Add(1)
+		}
 	}
 	for _, en := range s.Idem {
 		e.idem.put(en.Key, en.ID)
+	}
+	if s.Surge != nil && e.tracker != nil {
+		e.tracker.Restore(surge.State{Epoch: s.Surge.Epoch, EMA: s.Surge.EMA, Demand: s.Surge.Demand})
+		e.surgeNext = s.Surge.Next
 	}
 	return nil
 }
@@ -458,8 +504,18 @@ func (e *Engine) replayRecord(payload []byte) error {
 			WaitSeconds: s.Wait, Sigma: s.Sigma,
 			Status: StatusQuoted, Options: s.Options, Chosen: -1,
 			SD: s.SD, SubmitClock: s.Clock,
+			FareRatio: s.FareRatio, SurgeMult: s.SurgeMult,
+			SurgeCell: s.SurgeCell, SurgeEpoch: s.SurgeEpoch,
 		}
 		e.reqs[rec.ID] = rec
+		if e.tracker != nil {
+			// Mirror registerRecord: the replayed tracker re-accumulates
+			// the same mid-epoch demand the live one held.
+			e.tracker.RecordDemand(rec.SurgeCell)
+			if rec.SurgeMult != 1 {
+				e.surgedQuotes.Add(1)
+			}
+		}
 		if s.IdemKey != "" {
 			e.idem.put(s.IdemKey, rec.ID)
 		}
@@ -538,6 +594,17 @@ func (e *Engine) replayRecord(payload []byte) error {
 		e.rngMu.Unlock()
 		for _, loc := range a.Locs {
 			e.fleet.AddVehicle(loc)
+		}
+
+	case opSurge:
+		// An epoch advance journaled by a surge-enabled engine. A
+		// recovery under a surge-disabled config skips it — the fares
+		// already quoted are in the submit records; there is no tracker
+		// to restore.
+		if e.tracker != nil {
+			g := r.Surge
+			e.tracker.RestoreEpoch(g.Epoch, g.EMA)
+			e.surgeNext = g.Next
 		}
 
 	case opRemV:

@@ -15,6 +15,7 @@ import (
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
 	"ptrider/internal/pricing"
+	"ptrider/internal/pricing/surge"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/stats"
 	"ptrider/internal/wal"
@@ -85,6 +86,22 @@ type Config struct {
 
 	// PriceRatio overrides the paper's f_n (nil = default).
 	PriceRatio pricing.RatioFunc
+
+	// SurgeEnabled turns on the quote-time surge stage of the pricing
+	// pipeline: a per-cell demand/supply tracker scales each quote's
+	// ratio by its origin cell's multiplier. Off, the pipeline runs the
+	// static paper model alone, bit-identically.
+	SurgeEnabled bool
+	// SurgeEpochSeconds is the surge epoch length in simulated seconds:
+	// multipliers recompute when the engine clock crosses an epoch
+	// boundary at tick time (0 = 60).
+	SurgeEpochSeconds float64
+	// SurgeAlpha is the EMA weight of the newest epoch's demand/supply
+	// ratio (0 = the tracker default, 0.5).
+	SurgeAlpha float64
+	// SurgeTiers overrides the ratio→multiplier tier table
+	// (nil = surge.DefaultTiers: >1.5 → 1.2×, >2.0 → 1.5×).
+	SurgeTiers []surge.Tier
 
 	// Algorithm selects the matcher; the default is dual-side.
 	Algorithm Algorithm
@@ -178,6 +195,9 @@ func (c *Config) withDefaults() Config {
 	if out.SnapshotEvery == 0 {
 		out.SnapshotEvery = defaultSnapshotEvery
 	}
+	if out.SurgeEpochSeconds == 0 {
+		out.SurgeEpochSeconds = 60
+	}
 	return out
 }
 
@@ -245,6 +265,18 @@ type RequestRecord struct {
 	SD               float64 // direct distance dist(s,d)
 	Shared           bool    // overlapped onboard with another request
 	SubmitClock      float64 // engine clock at submission (seconds)
+
+	// Quote-time fare context (see pricing.FareContext): the effective
+	// ratio every price of this request used, plus its surge
+	// provenance. FareRatio is authoritative for repricing — a
+	// CommitSlack re-probe at choice time must price under the quoted
+	// multiplier, not whatever the tracker says now. Zero FareRatio
+	// (a record recovered from a pre-pipeline snapshot) falls back to
+	// the static model.
+	FareRatio  float64 // effective ratio f_n × multiplier
+	SurgeMult  float64 // surge multiplier at quote time (1 = unsurged)
+	SurgeCell  int32   // origin cell the multiplier was read from (-1 = none)
+	SurgeEpoch uint64  // surge epoch the multiplier was read at
 }
 
 // Engine is the PTRider system core: it owns the index structures, the
@@ -280,6 +312,18 @@ type Engine struct {
 	matchers map[Algorithm]Matcher
 	mctx     *matchContext
 	algo     atomic.Int32
+
+	// Pricing pipeline (see pricing.Pipeline): every quote resolves its
+	// FareContext here. fares is immutable after construction; tracker
+	// is nil when surge is disabled. surgeNext (the clock at which the
+	// next epoch advances) and surgeSupply (the Advance scratch) ride
+	// under ledgerMu with the epoch machinery that uses them;
+	// surgedQuotes counts quotes priced under a non-unit multiplier.
+	fares        *pricing.Pipeline
+	tracker      *surge.Tracker
+	surgeNext    float64 // guarded by ledgerMu
+	surgeSupply  []int   // guarded by ledgerMu
+	surgedQuotes atomic.Int64
 
 	clockBits atomic.Uint64 // simulated seconds, as math.Float64bits
 	nextID    atomic.Int64
@@ -383,6 +427,14 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		idem:      newIdemLRU(idemCapacity),
 	}
 	e.algo.Store(int32(cfg.Algorithm))
+	if cfg.SurgeEnabled {
+		e.tracker = surge.New(sub.grid.NumCells(), surge.Config{Tiers: cfg.SurgeTiers, Alpha: cfg.SurgeAlpha})
+		e.surgeSupply = make([]int, sub.grid.NumCells())
+		e.surgeNext = cfg.SurgeEpochSeconds
+		e.fares = pricing.NewPipeline(pricing.Base(sub.model), pricing.Surge(e.tracker))
+	} else {
+		e.fares = pricing.NewPipeline(pricing.Base(sub.model))
+	}
 	e.mctx = newMatchContext(sub, fl, lists, metric, cfg.MatchWorkers, cfg.DisableEmptyLemma)
 	e.matchers = map[Algorithm]Matcher{
 		AlgoNaive:      newNaiveMatcher(e.mctx),
@@ -616,6 +668,15 @@ func (e *Engine) prepareRequest(s, d roadnet.VertexID, riders int, c Constraints
 	if maxPickup <= 0 {
 		maxPickup = e.sub.cfg.MaxPickupSeconds
 	}
+	// Resolve the fare through the pricing pipeline, pinned to the
+	// origin cell's surge multiplier as of this instant — the context
+	// is immutable for the quote's lifetime, so an epoch rolling over
+	// mid-match cannot bend a price already being searched under.
+	cell := int32(-1)
+	if e.tracker != nil {
+		cell = int32(e.sub.grid.CellOf(s))
+	}
+	fare := e.fares.Resolve(riders, sd, cell)
 	spec = ReqSpec{
 		Kin: kinetic.Request{
 			ID: RequestID(e.nextID.Add(1)), S: s, D: d, Riders: riders,
@@ -623,8 +684,9 @@ func (e *Engine) prepareRequest(s, d roadnet.VertexID, riders int, c Constraints
 			ServiceLimit: (1 + sigma) * sd,
 			WaitBudget:   wait * e.sub.speed,
 		},
-		Ratio:         e.sub.model.Ratio(riders),
-		MinPrice:      e.sub.model.MinPrice(riders, sd),
+		Fare:          fare,
+		Ratio:         fare.Ratio,
+		MinPrice:      fare.MinPrice(sd),
 		MaxPickupDist: maxPickup * e.sub.speed,
 	}
 	return spec, wait, sigma, nil
@@ -660,6 +722,8 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 		WaitSeconds: wait, Sigma: sigma,
 		Status: StatusQuoted, Options: options, Chosen: -1,
 		SD: spec.Kin.SD, SubmitClock: e.Clock(),
+		FareRatio: spec.Fare.Ratio, SurgeMult: spec.Fare.Multiplier,
+		SurgeCell: spec.Fare.Cell, SurgeEpoch: spec.Fare.Epoch,
 	}
 	e.ledgerMu.Lock()
 	if idemKey != "" {
@@ -675,6 +739,8 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 		e.walSubScratch = submitRec{
 			ID: rec.ID, S: rec.S, D: rec.D, Riders: rec.Riders,
 			Wait: wait, Sigma: sigma, SD: rec.SD, Clock: rec.SubmitClock,
+			FareRatio: rec.FareRatio, SurgeMult: rec.SurgeMult,
+			SurgeCell: rec.SurgeCell, SurgeEpoch: rec.SurgeEpoch,
 			IdemKey: idemKey, Options: options,
 		}
 		e.walRecScratch = walRecord{Op: opSubmit, Submit: &e.walSubScratch}
@@ -686,6 +752,16 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 		}
 	}
 	e.reqs[rec.ID] = rec
+	if e.tracker != nil {
+		// Demand lands here, under ledgerMu after the journal append, so
+		// the replayed tracker re-accumulates exactly the demand the
+		// live one counted: one per installed record, idempotent
+		// duplicates excluded.
+		e.tracker.RecordDemand(rec.SurgeCell)
+		if rec.SurgeMult != 1 {
+			e.surgedQuotes.Add(1)
+		}
+	}
 	if idemKey != "" {
 		e.idem.put(idemKey, rec.ID)
 	}
@@ -750,7 +826,15 @@ func (e *Engine) chooseLocked(id RequestID, optionIndex int) (wal.Commit, error)
 		ServiceLimit: (1 + rec.Sigma) * rec.SD,
 		WaitBudget:   rec.WaitSeconds * e.sub.speed,
 	}
-	ratio := e.sub.model.Ratio(rec.Riders)
+	// Reprice under the quote-time fare context, never the current
+	// tracker state: the rider chose from prices fixed at submit, and a
+	// surge epoch rolling over between quote and choice must not move
+	// them. Zero FareRatio means a record recovered from a pre-pipeline
+	// snapshot; the static model is exact for those.
+	ratio := rec.FareRatio
+	if ratio == 0 {
+		ratio = e.sub.model.Ratio(rec.Riders)
+	}
 
 	res, err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate, e.sub.cfg.CommitSlack)
 	if err != nil {
@@ -1173,7 +1257,7 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 		e.clockBits.Store(math.Float64bits(e.Clock() + dt))
 	}
 	e.ledgerMu.Lock()
-	var commit wal.Commit
+	var commit, surgeCommit wal.Commit
 	if e.journal != nil && err == nil {
 		// Journal the tick as (dt, event digest): replay re-runs the
 		// deterministic fleet step and cross-checks the digest. A failed
@@ -1188,6 +1272,20 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 			return nil, jerr
 		}
 	}
+	if err == nil && e.tracker != nil {
+		// Surge epochs advance here, in the same critical section as the
+		// tick's journal record: the journal order (tick, then epoch)
+		// is the linearisation replay restores, so every submit lands on
+		// the same side of the epoch boundary on both runs.
+		if clk := e.Clock(); clk >= e.surgeNext {
+			var jerr error
+			surgeCommit, jerr = e.advanceSurgeLocked(clk)
+			if jerr != nil {
+				e.ledgerMu.Unlock()
+				return nil, jerr
+			}
+		}
+	}
 	for _, ev := range events {
 		e.applyEventLocked(ev)
 	}
@@ -1196,12 +1294,35 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 	if werr := e.noteWALErr(commit.Wait()); werr != nil {
 		return nil, werr
 	}
+	if werr := e.noteWALErr(surgeCommit.Wait()); werr != nil {
+		return nil, werr
+	}
 	if needSnap {
 		if serr := e.snapshotHoldingTick(); serr != nil {
 			return events, serr
 		}
 	}
 	return events, err
+}
+
+// advanceSurgeLocked closes one surge epoch at tick time: the grid
+// index's per-cell vehicle counts are read in one lock, folded with
+// the demand accumulated since the last epoch, and the new multiplier
+// vector journaled (tag "srg") so a recovered engine restores the
+// identical epoch state instead of re-deriving it. Caller holds
+// ledgerMu; the returned commit is waited after unlock like every
+// other append.
+func (e *Engine) advanceSurgeLocked(clock float64) (wal.Commit, error) {
+	e.lists.FillSupply(e.surgeSupply)
+	e.tracker.Advance(e.surgeSupply)
+	e.surgeNext = clock + e.sub.cfg.SurgeEpochSeconds
+	if e.journal == nil {
+		return wal.Commit{}, nil
+	}
+	st := e.tracker.State()
+	return e.appendLocked(&walRecord{Op: opSurge, Surge: &surgeRec{
+		Epoch: st.Epoch, Next: e.surgeNext, EMA: st.EMA,
+	}})
 }
 
 // SetStepOverride replaces the fleet movement step used by Tick.
@@ -1407,9 +1528,35 @@ type EngineStats struct {
 	// Tick is the sharded time-advancement panel.
 	Tick TickStats
 
+	// Surge is the dynamic-pricing panel (Enabled false when the surge
+	// stage is off).
+	Surge SurgePanel
+
 	// Durability is the write-ahead journaling panel (Mode "off" when
 	// journaling is disabled).
 	Durability DurabilityStats
+}
+
+// SurgePanel summarises the surge pricing stage: the current epoch,
+// how much of the grid is surged, and how many quotes priced under a
+// non-unit multiplier.
+type SurgePanel struct {
+	// Enabled reports whether the surge stage is in the pipeline.
+	Enabled bool
+	// Epoch is the tracker's current epoch (0 before the first
+	// advance); EpochSeconds its configured length.
+	Epoch        uint64
+	EpochSeconds float64
+	// Cells is the tracked cell count; ActiveCells how many currently
+	// carry a multiplier above 1.
+	Cells       int
+	ActiveCells int
+	// MaxMultiplier and AvgMultiplier describe the current multiplier
+	// vector (both 1 when the grid is idle).
+	MaxMultiplier float64
+	AvgMultiplier float64
+	// SurgedQuotes counts quotes resolved under a multiplier above 1.
+	SurgedQuotes int64
 }
 
 // TickStats summarises Tick's sharded time advancement: how wide the
@@ -1479,8 +1626,27 @@ func (e *Engine) Stats() EngineStats {
 	if s.Completed > 0 {
 		s.SharingRate = float64(s.SharedCompleted) / float64(s.Completed)
 	}
+	s.Surge = e.SurgeStats()
 	s.Durability = e.DurabilityStats()
 	return s
+}
+
+// SurgeStats snapshots the surge panel.
+func (e *Engine) SurgeStats() SurgePanel {
+	if e.tracker == nil {
+		return SurgePanel{}
+	}
+	p := e.tracker.Panel()
+	return SurgePanel{
+		Enabled:       true,
+		Epoch:         p.Epoch,
+		EpochSeconds:  e.sub.cfg.SurgeEpochSeconds,
+		Cells:         p.Cells,
+		ActiveCells:   p.ActiveCells,
+		MaxMultiplier: p.MaxMultiplier,
+		AvgMultiplier: p.AvgMultiplier,
+		SurgedQuotes:  e.surgedQuotes.Load(),
+	}
 }
 
 // CheckInvariants verifies cross-layer consistency after (possibly
@@ -1518,6 +1684,11 @@ func (e *Engine) MatchOnce(algo Algorithm, s, d roadnet.VertexID, riders int) ([
 	if math.IsInf(sd, 1) {
 		return nil, MatchStats{}, fmt.Errorf("core: no route from %d to %d", s, d)
 	}
+	cell := int32(-1)
+	if e.tracker != nil {
+		cell = int32(e.sub.grid.CellOf(s))
+	}
+	fare := e.fares.Resolve(riders, sd, cell)
 	spec := &ReqSpec{
 		Kin: kinetic.Request{
 			ID: -1, S: s, D: d, Riders: riders,
@@ -1525,8 +1696,9 @@ func (e *Engine) MatchOnce(algo Algorithm, s, d roadnet.VertexID, riders int) ([
 			ServiceLimit: (1 + e.sub.cfg.Sigma) * sd,
 			WaitBudget:   e.sub.cfg.MaxWaitSeconds * e.sub.speed,
 		},
-		Ratio:         e.sub.model.Ratio(riders),
-		MinPrice:      e.sub.model.MinPrice(riders, sd),
+		Fare:          fare,
+		Ratio:         fare.Ratio,
+		MinPrice:      fare.MinPrice(sd),
 		MaxPickupDist: e.sub.cfg.MaxPickupSeconds * e.sub.speed,
 	}
 	var ms MatchStats

@@ -6,6 +6,7 @@ import (
 	"ptrider/internal/fleet"
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
+	"ptrider/internal/pricing"
 	"ptrider/internal/skyline"
 )
 
@@ -28,9 +29,16 @@ type Option struct {
 // quantities precomputed.
 type ReqSpec struct {
 	Kin kinetic.Request
-	// Ratio is f_n for this request's rider count.
+	// Fare is the quote-time pricing context the request was resolved
+	// under (see pricing.Pipeline.Resolve). Ratio and MinPrice below
+	// are its scalars, denormalised so the matcher hot paths read plain
+	// fields; registerRecord snapshots the full context into the
+	// ledger record.
+	Fare pricing.FareContext
+	// Ratio is the effective price ratio (f_n × surge multiplier; just
+	// f_n when surge is off or the cell is unsurged).
 	Ratio float64
-	// MinPrice is the zero-detour price floor f_n·dist(s,d).
+	// MinPrice is the zero-detour price floor Ratio·dist(s,d).
 	MinPrice float64
 	// MaxPickupDist caps the planned pick-up distance of returned
 	// options (the engine's search cutoff).

@@ -235,6 +235,35 @@ type ServiceParams struct {
 	SpeedKmh       float64
 	MatchWorkers   int
 	TickWorkers    int
+
+	// Surge pricing state: whether the stage is in the pipeline, the
+	// epoch cadence, and the tracker's live epoch/multiplier summary.
+	SurgeEnabled       bool
+	SurgeEpochSeconds  float64
+	SurgeEpoch         uint64
+	SurgeActiveCells   int
+	SurgeMaxMultiplier float64
+}
+
+// SurgeCellView is one surged grid cell of a city's tracker.
+type SurgeCellView struct {
+	// Cell is the grid cell id (row-major over Cols×Rows).
+	Cell int
+	// Multiplier is the cell's current fare multiplier.
+	Multiplier float64
+	// Ratio is the EMA-smoothed demand/supply ratio behind it.
+	Ratio float64
+}
+
+// SurgeView is one city's per-cell surge state — the payload of the
+// /v1/surge endpoint. Only surged cells (multiplier > 1) are listed.
+type SurgeView struct {
+	City         string
+	Enabled      bool
+	Epoch        uint64
+	EpochSeconds float64
+	Cols, Rows   int
+	Cells        []SurgeCellView
 }
 
 // VehicleItinerary is one vehicle's location and kinetic-tree schedule
@@ -289,6 +318,9 @@ type Service interface {
 	VehicleItinerary(city string, id fleet.VehicleID) (*VehicleItinerary, error)
 	// Params returns one city's live settings.
 	Params(city string) (ServiceParams, error)
+	// Surge returns one city's per-cell surge state (Enabled false,
+	// empty cell list when the surge stage is off).
+	Surge(city string) (*SurgeView, error)
 	// SetCityAlgorithm switches one city's matching algorithm.
 	SetCityAlgorithm(city string, algo Algorithm) error
 	// CityGraph exposes one city's road network (map rendering).
@@ -465,7 +497,7 @@ func (e *Engine) Params(city string) (ServiceParams, error) {
 		return ServiceParams{}, err
 	}
 	cfg := e.sub.cfg
-	return ServiceParams{
+	p := ServiceParams{
 		City:           DefaultCityName,
 		Algorithm:      e.Algorithm(),
 		Capacity:       cfg.Capacity,
@@ -475,7 +507,37 @@ func (e *Engine) Params(city string) (ServiceParams, error) {
 		SpeedKmh:       cfg.SpeedKmh,
 		MatchWorkers:   cfg.MatchWorkers,
 		TickWorkers:    cfg.TickWorkers,
-	}, nil
+	}
+	if sp := e.SurgeStats(); sp.Enabled {
+		p.SurgeEnabled = true
+		p.SurgeEpochSeconds = sp.EpochSeconds
+		p.SurgeEpoch = sp.Epoch
+		p.SurgeActiveCells = sp.ActiveCells
+		p.SurgeMaxMultiplier = sp.MaxMultiplier
+	}
+	return p, nil
+}
+
+// Surge implements Service.
+func (e *Engine) Surge(city string) (*SurgeView, error) {
+	if err := e.checkCity(city); err != nil {
+		return nil, err
+	}
+	cols, rows := e.sub.grid.Dims()
+	v := &SurgeView{City: DefaultCityName, Cols: cols, Rows: rows}
+	if e.tracker == nil {
+		return v, nil
+	}
+	v.Enabled = true
+	v.EpochSeconds = e.sub.cfg.SurgeEpochSeconds
+	epoch, ema, mult := e.tracker.Cells()
+	v.Epoch = epoch
+	for c, m := range mult {
+		if m > 1 {
+			v.Cells = append(v.Cells, SurgeCellView{Cell: c, Multiplier: m, Ratio: ema[c]})
+		}
+	}
+	return v, nil
 }
 
 // SetCityAlgorithm implements Service.

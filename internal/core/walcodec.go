@@ -34,6 +34,7 @@ const (
 	tagTick
 	tagAddV
 	tagRemV
+	tagSurge
 )
 
 func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
@@ -61,6 +62,10 @@ func encodeWALRecord(buf []byte, rec *walRecord) ([]byte, error) {
 		buf = appendF64(buf, s.Sigma)
 		buf = appendF64(buf, s.SD)
 		buf = appendF64(buf, s.Clock)
+		buf = appendF64(buf, s.FareRatio)
+		buf = appendF64(buf, s.SurgeMult)
+		buf = appendU32(buf, uint32(s.SurgeCell))
+		buf = appendU64(buf, s.SurgeEpoch)
 		buf = appendStr(buf, s.IdemKey)
 		buf = appendU32(buf, uint32(len(s.Options)))
 		for i := range s.Options {
@@ -123,6 +128,17 @@ func encodeWALRecord(buf []byte, rec *walRecord) ([]byte, error) {
 	case opRemV:
 		buf = append(buf, tagRemV)
 		return appendU32(buf, uint32(rec.Vehicle)), nil
+
+	case opSurge:
+		g := rec.Surge
+		buf = append(buf, tagSurge)
+		buf = appendU64(buf, g.Epoch)
+		buf = appendF64(buf, g.Next)
+		buf = appendU32(buf, uint32(len(g.EMA)))
+		for _, v := range g.EMA {
+			buf = appendF64(buf, v)
+		}
+		return buf, nil
 	}
 	return nil, fmt.Errorf("core: encode of unknown op %q", rec.Op)
 }
@@ -207,6 +223,10 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		s.Sigma = r.f64()
 		s.SD = r.f64()
 		s.Clock = r.f64()
+		s.FareRatio = r.f64()
+		s.SurgeMult = r.f64()
+		s.SurgeCell = int32(r.u32())
+		s.SurgeEpoch = r.u64()
 		s.IdemKey = r.str()
 		if n := r.count(4 + 6*8 + 4); n > 0 {
 			s.Options = make([]Option, n)
@@ -266,6 +286,18 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 
 	case tagRemV:
 		rec.Op, rec.Vehicle = opRemV, fleet.VehicleID(r.u32())
+
+	case tagSurge:
+		g := &surgeRec{}
+		rec.Op, rec.Surge = opSurge, g
+		g.Epoch = r.u64()
+		g.Next = r.f64()
+		if n := r.count(8); n > 0 {
+			g.EMA = make([]float64, n)
+			for i := range g.EMA {
+				g.EMA[i] = r.f64()
+			}
+		}
 
 	default:
 		return walRecord{}, fmt.Errorf("core: journal record with unknown tag %d", tag)

@@ -196,6 +196,20 @@ var DefaultHourlyWeights = []float64{
 	1.40, 1.15, 0.90, 0.70, 0.50, 0.35, // 18-23
 }
 
+// PeakHourlyWeights is an arrival profile that concentrates almost all
+// demand into the two rush windows (07–09 and 17–19), with a near-dead
+// rest of the day. Against a fixed fleet the peaks overload hot cells,
+// which is the workload the surge tracker is meant to answer — use it
+// with surge-enabled engines to exercise demand-shedding.
+func PeakHourlyWeights() []float64 {
+	return []float64{
+		0.02, 0.02, 0.02, 0.02, 0.02, 0.05, // 00-05
+		0.40, 2.60, 2.80, 0.60, 0.10, 0.10, // 06-11
+		0.10, 0.10, 0.10, 0.20, 0.60, 2.60, // 12-17
+		2.80, 0.80, 0.20, 0.10, 0.05, 0.02, // 18-23
+	}
+}
+
 func defaultHotspots(bounds geo.Rect) []Hotspot {
 	c := bounds.Center()
 	w, h := bounds.Width(), bounds.Height()

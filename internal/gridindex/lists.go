@@ -158,6 +158,24 @@ func (vl *VehicleLists) AppendNonEmpty(c CellID, buf []VehicleID) []VehicleID {
 	return append(buf, vl.nonEmpty[c].items...)
 }
 
+// FillSupply writes each cell's vehicle supply into counts under one
+// read lock: the empty vehicles located in the cell plus the non-empty
+// vehicles whose schedules pass through it (a busy vehicle therefore
+// counts in every cell it serves — it is genuinely available for
+// pooling in each of them). len(counts) must be the grid's cell count;
+// extra entries are zeroed. This is the surge tracker's supply feed.
+func (vl *VehicleLists) FillSupply(counts []int) {
+	vl.mu.RLock()
+	defer vl.mu.RUnlock()
+	for c := range counts {
+		if c < len(vl.empty) {
+			counts[c] = len(vl.empty[c].items) + len(vl.nonEmpty[c].items)
+		} else {
+			counts[c] = 0
+		}
+	}
+}
+
 // Cells returns a snapshot copy of the cells vehicle id is currently
 // registered in. It returns nil for unknown ids.
 func (vl *VehicleLists) Cells(id VehicleID) []CellID {

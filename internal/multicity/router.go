@@ -779,6 +779,26 @@ func (r *Router) Stats() Stats {
 			t.P95ResponseMs = st.P95ResponseMs
 		}
 
+		// Surge panel: cell counts and surged-quote counters sum across
+		// the share-nothing trackers; the epoch and worst multiplier are
+		// maxima; the mean multiplier is re-weighted by cell count below.
+		if st.Surge.Enabled {
+			t.Surge.Enabled = true
+			t.Surge.Cells += st.Surge.Cells
+			t.Surge.ActiveCells += st.Surge.ActiveCells
+			t.Surge.SurgedQuotes += st.Surge.SurgedQuotes
+			t.Surge.AvgMultiplier += float64(st.Surge.Cells) * st.Surge.AvgMultiplier
+			if st.Surge.Epoch > t.Surge.Epoch {
+				t.Surge.Epoch = st.Surge.Epoch
+			}
+			if st.Surge.EpochSeconds > t.Surge.EpochSeconds {
+				t.Surge.EpochSeconds = st.Surge.EpochSeconds
+			}
+			if st.Surge.MaxMultiplier > t.Surge.MaxMultiplier {
+				t.Surge.MaxMultiplier = st.Surge.MaxMultiplier
+			}
+		}
+
 		t.Tick.Workers += st.Tick.Workers
 		t.Tick.AvgEvents += st.Tick.AvgEvents
 		if st.Tick.Ticks > t.Tick.Ticks {
@@ -824,6 +844,9 @@ func (r *Router) Stats() Stats {
 	}
 	if t.Completed > 0 {
 		t.SharingRate = float64(t.SharedCompleted) / float64(t.Completed)
+	}
+	if t.Surge.Cells > 0 {
+		t.Surge.AvgMultiplier /= float64(t.Surge.Cells)
 	}
 	if r.relay != nil {
 		out.RelayEnabled = true

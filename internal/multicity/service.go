@@ -215,18 +215,26 @@ func (r *Router) Params(city string) (core.ServiceParams, error) {
 		return core.ServiceParams{}, err
 	}
 	eng := r.cities[ci].eng
-	cfg := eng.Config()
-	return core.ServiceParams{
-		City:           r.cities[ci].name,
-		Algorithm:      eng.Algorithm(),
-		Capacity:       cfg.Capacity,
-		NumTaxis:       eng.NumVehicles(),
-		MaxWaitSeconds: cfg.MaxWaitSeconds,
-		Sigma:          cfg.Sigma,
-		SpeedKmh:       cfg.SpeedKmh,
-		MatchWorkers:   cfg.MatchWorkers,
-		TickWorkers:    cfg.TickWorkers,
-	}, nil
+	p, err := eng.Params("")
+	if err != nil {
+		return core.ServiceParams{}, err
+	}
+	p.City = r.cities[ci].name
+	return p, nil
+}
+
+// Surge implements core.Service.
+func (r *Router) Surge(city string) (*core.SurgeView, error) {
+	ci, err := r.cityIndexArg(city)
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.cities[ci].eng.Surge("")
+	if err != nil {
+		return nil, err
+	}
+	v.City = r.cities[ci].name
+	return v, nil
 }
 
 // SetCityAlgorithm implements core.Service.

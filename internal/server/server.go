@@ -92,6 +92,7 @@ func NewService(svc core.Service) *Server {
 	s.mux.HandleFunc("/v1/ticks", s.handleTicks)
 	s.mux.HandleFunc("/v1/stats", s.handleStatsV1)
 	s.mux.HandleFunc("/v1/params", s.handleParams)
+	s.mux.HandleFunc("/v1/surge", s.handleSurgeV1)
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 
@@ -413,6 +414,12 @@ type paramsView struct {
 	SpeedKmh       float64 `json:"speed_kmh"`
 	MatchWorkers   int     `json:"match_workers"`
 	TickWorkers    int     `json:"tick_workers"`
+
+	SurgeEnabled       bool    `json:"surge_enabled"`
+	SurgeEpochSeconds  float64 `json:"surge_epoch_seconds,omitempty"`
+	SurgeEpoch         uint64  `json:"surge_epoch,omitempty"`
+	SurgeActiveCells   int     `json:"surge_active_cells,omitempty"`
+	SurgeMaxMultiplier float64 `json:"surge_max_multiplier,omitempty"`
 }
 
 func paramsViewOf(p core.ServiceParams) paramsView {
@@ -426,7 +433,41 @@ func paramsViewOf(p core.ServiceParams) paramsView {
 		SpeedKmh:       p.SpeedKmh,
 		MatchWorkers:   p.MatchWorkers,
 		TickWorkers:    p.TickWorkers,
+
+		SurgeEnabled:       p.SurgeEnabled,
+		SurgeEpochSeconds:  p.SurgeEpochSeconds,
+		SurgeEpoch:         p.SurgeEpoch,
+		SurgeActiveCells:   p.SurgeActiveCells,
+		SurgeMaxMultiplier: p.SurgeMaxMultiplier,
 	}
+}
+
+type surgeCellView struct {
+	Cell       int     `json:"cell"`
+	Multiplier float64 `json:"multiplier"`
+	Ratio      float64 `json:"ratio"`
+}
+
+type surgeView struct {
+	City         string          `json:"city"`
+	Enabled      bool            `json:"enabled"`
+	Epoch        uint64          `json:"epoch"`
+	EpochSeconds float64         `json:"epoch_seconds,omitempty"`
+	Cols         int             `json:"cols"`
+	Rows         int             `json:"rows"`
+	Cells        []surgeCellView `json:"cells"`
+}
+
+func surgeViewOf(v *core.SurgeView) surgeView {
+	out := surgeView{
+		City: v.City, Enabled: v.Enabled, Epoch: v.Epoch,
+		EpochSeconds: v.EpochSeconds, Cols: v.Cols, Rows: v.Rows,
+		Cells: make([]surgeCellView, 0, len(v.Cells)),
+	}
+	for _, c := range v.Cells {
+		out.Cells = append(out.Cells, surgeCellView{Cell: c.Cell, Multiplier: c.Multiplier, Ratio: c.Ratio})
+	}
+	return out
 }
 
 type cityView struct {
@@ -659,6 +700,19 @@ func limitQuery(r *http.Request) (int, error) {
 	return limit, nil
 }
 
+// offsetQuery parses the optional ?offset= parameter.
+func offsetQuery(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("offset")
+	if q == "" {
+		return 0, nil
+	}
+	off, err := strconv.Atoi(q)
+	if err != nil || off < 0 {
+		return 0, fmt.Errorf("bad offset")
+	}
+	return off, nil
+}
+
 // cityOfQuery normalises the ?city= parameter: empty means the
 // backend's only city, which is resolved to its name for the views.
 func (s *Server) cityOfQuery(r *http.Request) string {
@@ -671,7 +725,10 @@ func (s *Server) cityOfQuery(r *http.Request) string {
 	return city
 }
 
-// handleVehiclesV1 serves GET /v1/vehicles.
+// handleVehiclesV1 serves GET /v1/vehicles with ?city=, ?limit= and
+// ?offset= pagination. The backend's Vehicles verb only takes a head
+// limit, so the page is cut handler-side: fetch offset+limit views and
+// slice off the skipped prefix.
 func (s *Server) handleVehiclesV1(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
@@ -681,13 +738,28 @@ func (s *Server) handleVehiclesV1(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
+	offset, err := offsetQuery(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	fetch := 0
+	if limit > 0 {
+		fetch = offset + limit
+	}
 	city := s.cityOfQuery(r)
-	views, err := s.svc.Vehicles(city, limit)
+	views, err := s.svc.Vehicles(city, fetch)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"city": city, "vehicles": views})
+	if offset > len(views) {
+		offset = len(views)
+	}
+	views = views[offset:]
+	writeJSON(w, http.StatusOK, map[string]any{
+		"city": city, "offset": offset, "count": len(views), "vehicles": views,
+	})
 }
 
 // handleVehicleByID serves GET /v1/vehicles/{id}: the vehicle's
@@ -842,6 +914,21 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"city": body.City, "algorithm": algo.String()})
+}
+
+// handleSurgeV1 serves GET /v1/surge: the city's surge epoch plus the
+// per-cell multipliers currently above 1× (quiet cells are elided —
+// the grid can be large and almost everywhere is at base fare).
+func (s *Server) handleSurgeV1(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	v, err := s.svc.Surge(s.cityOfQuery(r))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, surgeViewOf(v))
 }
 
 // handleMap renders one city's fleet map as plain text (the website's

@@ -23,9 +23,12 @@ import (
 	"ptrider/internal/core"
 )
 
-// sseMsg is one formatted stream message.
+// sseMsg is one formatted stream message. city carries the producing
+// city so per-subscriber ?city= filters can match without re-parsing
+// the JSON payload.
 type sseMsg struct {
 	event string
+	city  string
 	data  []byte
 }
 
@@ -80,16 +83,19 @@ func (s *Server) publishEvents(events []core.ServiceEvent) {
 		if err != nil {
 			continue
 		}
-		s.hub.publish(sseMsg{event: view.Kind, data: data})
+		s.hub.publish(sseMsg{event: view.Kind, city: e.City, data: data})
 	}
 }
 
 // handleEvents serves GET /v1/events as an SSE stream until the client
-// disconnects.
+// disconnects. An optional ?city= parameter narrows the stream to one
+// city's events; the filter runs subscriber-side so one hub serves
+// every combination of filters.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
 	}
+	cityFilter := r.URL.Query().Get("city")
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeCode(w, http.StatusInternalServerError, "internal", "streaming unsupported")
@@ -112,6 +118,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 			return
 		case m := <-ch:
+			if cityFilter != "" && m.city != cityFilter {
+				continue
+			}
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data)
 			fl.Flush()
 		}

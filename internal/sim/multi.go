@@ -316,7 +316,7 @@ func submitMulti(svc core.Service, t MultiTrip, choice ChoiceModel, rng *rand.Ra
 		}
 		return nil
 	}
-	pick := choice.Choose(rec.Options, rng)
+	pick := choose(choice, &rec.RequestRecord, rng)
 	if pick < 0 {
 		res.Declined++
 		city.Declined++

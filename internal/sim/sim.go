@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"ptrider/internal/core"
+	"ptrider/internal/pricing"
 	"ptrider/internal/stats"
 	"ptrider/internal/trace"
 )
@@ -104,8 +105,77 @@ func (u UtilityChoice) Choose(opts []core.Option, rng *rand.Rand) int {
 	return best
 }
 
+// ContextChoice is an optional ChoiceModel extension for riders whose
+// decision depends on the request itself, not just the skyline: the
+// trip distance and rider count let a model judge prices against the
+// unsurged fare floor. Models implementing it get ChooseCtx called
+// instead of Choose.
+type ContextChoice interface {
+	ChoiceModel
+	ChooseCtx(opts []core.Option, sd float64, riders int, rng *rand.Rand) int
+}
+
+// PriceAware declines surged quotes with probability rising in the
+// premium over the base fare: the cheapest option's price is compared
+// against the unsurged floor f_n·dist(s,d), and acceptance follows a
+// logistic curve in that ratio — premium 1 (no surge) is almost always
+// accepted, premium ≥ Pivot is a coin flip, far beyond it a near-sure
+// decline. Accepted riders then pick the cheapest option. This is the
+// demand-elasticity half of the surge loop: hot cells price some
+// riders out, which sheds demand until the multiplier relaxes.
+type PriceAware struct {
+	// Pivot is the premium with 50% acceptance (0 = 2.0).
+	Pivot float64
+	// Steepness scales the logistic slope (0 = 4).
+	Steepness float64
+}
+
+// Name implements ChoiceModel.
+func (PriceAware) Name() string { return "priceaware" }
+
+// Choose implements ChoiceModel: with no request context there is no
+// floor to compare against, so fall back to cheapest-option behaviour.
+func (p PriceAware) Choose(opts []core.Option, rng *rand.Rand) int {
+	return Cheapest{}.Choose(opts, rng)
+}
+
+// ChooseCtx implements ContextChoice.
+func (p PriceAware) ChooseCtx(opts []core.Option, sd float64, riders int, rng *rand.Rand) int {
+	best := Cheapest{}.Choose(opts, rng)
+	if best < 0 {
+		return -1
+	}
+	floor := pricing.DefaultRatio(riders) * sd
+	if floor <= 0 {
+		return best
+	}
+	pivot := p.Pivot
+	if pivot == 0 {
+		pivot = 2.0
+	}
+	steep := p.Steepness
+	if steep == 0 {
+		steep = 4
+	}
+	premium := opts[best].Price / floor
+	accept := 1 / (1 + math.Exp(steep*(premium-pivot)))
+	if rng.Float64() > accept {
+		return -1
+	}
+	return best
+}
+
+// choose dispatches to ChooseCtx when the model wants request context.
+func choose(m ChoiceModel, rec *core.RequestRecord, rng *rand.Rand) int {
+	if cc, ok := m.(ContextChoice); ok {
+		return cc.ChooseCtx(rec.Options, rec.SD, rec.Riders, rng)
+	}
+	return m.Choose(rec.Options, rng)
+}
+
 // ParseChoiceModel maps a rider-model name — "earliest", "cheapest",
-// "uniform" or "utility" (the default for "") — to its ChoiceModel.
+// "uniform", "priceaware" or "utility" (the default for "") — to its
+// ChoiceModel.
 func ParseChoiceModel(name string) (ChoiceModel, error) {
 	switch name {
 	case "", "utility":
@@ -116,6 +186,8 @@ func ParseChoiceModel(name string) (ChoiceModel, error) {
 		return Cheapest{}, nil
 	case "uniform":
 		return UniformChoice{}, nil
+	case "priceaware":
+		return PriceAware{}, nil
 	}
 	return nil, fmt.Errorf("sim: unknown choice model %q", name)
 }
@@ -296,7 +368,7 @@ func (s *Simulation) submit(t trace.Trip, res *Result) error {
 		bucket.NoOption++
 		return nil
 	}
-	pick := s.choice.Choose(rec.Options, s.rng)
+	pick := choose(s.choice, rec, s.rng)
 	if pick < 0 {
 		res.Declined++
 		return s.eng.Decline(rec.ID)
@@ -336,7 +408,7 @@ func (s *Simulation) injectFailure(res *Result) error {
 				continue
 			}
 			res.OptionsPerRequest.Observe(float64(len(nrec.Options)))
-			if pick := s.choice.Choose(nrec.Options, s.rng); pick >= 0 {
+			if pick := choose(s.choice, nrec, s.rng); pick >= 0 {
 				if err := s.eng.Choose(nrec.ID, pick); err == nil {
 					res.Accepted++
 				}

@@ -190,6 +190,10 @@ type WorkloadConfig struct {
 	DaySeconds float64
 	// MinTripMeters drops very short trips (0 = 500).
 	MinTripMeters float64
+	// PeakHours concentrates arrivals into the two rush windows
+	// instead of the default gentle double-peak profile — the workload
+	// that overloads hot cells and exercises surge pricing.
+	PeakHours bool
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -197,10 +201,15 @@ type WorkloadConfig struct {
 // GenerateWorkload synthesises a diurnal, hotspot-weighted trip
 // workload over the network, sorted by submission time.
 func GenerateWorkload(n *Network, cfg WorkloadConfig) ([]Trip, error) {
+	var hours []float64
+	if cfg.PeakHours {
+		hours = gen.PeakHourlyWeights()
+	}
 	return gen.GenerateTrips(n.g, gen.TripConfig{
 		NumTrips:      cfg.NumTrips,
 		DaySeconds:    cfg.DaySeconds,
 		MinTripMeters: cfg.MinTripMeters,
+		HourlyWeights: hours,
 		Seed:          cfg.Seed,
 	})
 }
@@ -251,6 +260,14 @@ type Config struct {
 	// quoted pick-up distance and detour is committed instead of
 	// failing. 0 = strict.
 	CommitSlack float64
+	// SurgeEnabled turns on per-cell dynamic pricing: a demand/supply
+	// tracker per grid cell scales the paper's price ratio with tiered
+	// multipliers, re-evaluated once per surge epoch. Off (the
+	// default), prices are exactly the paper's static fares.
+	SurgeEnabled bool
+	// SurgeEpochSeconds is the multiplier re-evaluation period
+	// (0 = 60).
+	SurgeEpochSeconds float64
 	// Seed drives vehicle placement and roaming.
 	Seed int64
 }
@@ -267,18 +284,20 @@ func coreConfig(cfg Config) (core.Config, error) {
 	}
 	return core.Config{
 		GridCols: cfg.GridCols, GridRows: cfg.GridRows,
-		Capacity:         cfg.Capacity,
-		SpeedKmh:         cfg.SpeedKmh,
-		MaxWaitSeconds:   cfg.MaxWaitSeconds,
-		Sigma:            cfg.Sigma,
-		MaxPickupSeconds: cfg.MaxPickupSeconds,
-		PriceRatio:       cfg.PriceRatio,
-		Algorithm:        algo,
-		NumLandmarks:     cfg.NumLandmarks,
-		MatchWorkers:     cfg.MatchWorkers,
-		TickWorkers:      cfg.TickWorkers,
-		CommitSlack:      cfg.CommitSlack,
-		Seed:             cfg.Seed,
+		Capacity:          cfg.Capacity,
+		SpeedKmh:          cfg.SpeedKmh,
+		MaxWaitSeconds:    cfg.MaxWaitSeconds,
+		Sigma:             cfg.Sigma,
+		MaxPickupSeconds:  cfg.MaxPickupSeconds,
+		PriceRatio:        cfg.PriceRatio,
+		Algorithm:         algo,
+		NumLandmarks:      cfg.NumLandmarks,
+		MatchWorkers:      cfg.MatchWorkers,
+		TickWorkers:       cfg.TickWorkers,
+		CommitSlack:       cfg.CommitSlack,
+		SurgeEnabled:      cfg.SurgeEnabled,
+		SurgeEpochSeconds: cfg.SurgeEpochSeconds,
+		Seed:              cfg.Seed,
 	}, nil
 }
 
@@ -406,6 +425,24 @@ type Stats struct {
 	ActiveVehicles  int
 	// Tick is the sharded time-advancement panel.
 	Tick TickStats
+	// Surge is the dynamic-pricing panel (zero when surge is off).
+	Surge SurgeStats
+}
+
+// SurgeStats summarises the per-cell surge tracker: how many cells are
+// currently surged, the hottest multiplier, and how many quotes went
+// out above base fare. On a multi-city system Cells, ActiveCells and
+// SurgedQuotes sum across cities; Epoch and MaxMultiplier are maxima
+// and AvgMultiplier is cell-weighted.
+type SurgeStats struct {
+	Enabled       bool
+	Epoch         uint64
+	EpochSeconds  float64
+	Cells         int
+	ActiveCells   int
+	MaxMultiplier float64
+	AvgMultiplier float64
+	SurgedQuotes  int64
 }
 
 // TickStats summarises Tick's sharded time advancement: shard width,
@@ -745,6 +782,16 @@ func statsOf(st core.EngineStats) Stats {
 			AvgEvents:      st.Tick.AvgEvents,
 			MaxShardSkewMs: st.Tick.MaxShardSkewMs,
 		},
+		Surge: SurgeStats{
+			Enabled:       st.Surge.Enabled,
+			Epoch:         st.Surge.Epoch,
+			EpochSeconds:  st.Surge.EpochSeconds,
+			Cells:         st.Surge.Cells,
+			ActiveCells:   st.Surge.ActiveCells,
+			MaxMultiplier: st.Surge.MaxMultiplier,
+			AvgMultiplier: st.Surge.AvgMultiplier,
+			SurgedQuotes:  st.Surge.SurgedQuotes,
+		},
 	}
 }
 
@@ -786,8 +833,9 @@ func (s *System) HTTPHandler() http.Handler {
 type SimOptions struct {
 	// TickSeconds is the movement step (0 = 1).
 	TickSeconds float64
-	// Choice selects the rider model: "earliest", "cheapest", "uniform"
-	// or "utility" ("" = "utility").
+	// Choice selects the rider model: "earliest", "cheapest", "uniform",
+	// "priceaware" (declines steep surge premiums) or "utility"
+	// ("" = "utility").
 	Choice string
 	// FailuresPerHour removes random vehicles at this rate (failure
 	// injection; single-city replays only).

@@ -21,6 +21,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 )
@@ -43,12 +45,21 @@ var scales = map[string]scale{
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|stats|algos|dualside|sweep|index|options|ablate")
-		scaleFl = flag.String("scale", "small", "scale: small|medium|large")
-		seed    = flag.Int64("seed", 1, "random seed")
+		exp       = flag.String("exp", "all", "experiment: all|stats|algos|dualside|sweep|index|options|ablate")
+		scaleFl   = flag.String("scale", "small", "scale: small|medium|large")
+		seed      = flag.Int64("seed", 1, "random seed")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address during the experiments (empty = off)")
 	)
 	flag.IntVar(&tickWorkersFl, "tick-workers", 0, "parallel tick shard width for every experiment engine (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ptrider-bench: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	sc, ok := scales[*scaleFl]
 	if !ok {

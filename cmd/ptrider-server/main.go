@@ -25,6 +25,14 @@
 // in-flight HTTP requests, flushes the journal and writes a final
 // snapshot before exiting, so the next start recovers instantly.
 //
+// Observability: GET /metrics serves the Prometheus text exposition —
+// HTTP route latencies, submit-stage timings (quote, register, WAL
+// wait, probe/commit), tick shard wall times, WAL append/fsync
+// latencies, surge gauges — on by default, off with -metrics=false.
+// -slow-request-ms N logs one structured line (correlation id +
+// per-stage breakdown) for requests slower than N ms, and -pprof-addr
+// serves net/http/pprof on a separate listener.
+//
 // Usage:
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
@@ -35,10 +43,12 @@
 //
 //	POST /v1/requests                {"s":12,"d":17,"riders":2} · {"city":"east",...}
 //	                                 · {"ox":..,"oy":..,"dx":..,"dy":..} · {"requests":[...]}
+//	GET  /v1/requests                ledger listing (?city=&status=&limit=&offset=)
 //	GET  /v1/requests/{id} · POST /v1/requests/{id}/choice · POST /v1/requests/{id}/decline
 //	GET  /v1/vehicles[/{id}] · GET /v1/cities · GET /v1/relay/{id}
 //	POST /v1/ticks {"seconds":5} · GET /v1/stats · GET /v1/events (SSE)
-//	GET/POST /v1/params · GET /v1/map · GET /healthz
+//	GET/POST /v1/params · GET /v1/map
+//	GET  /v1/healthz · GET /v1/readyz · GET /metrics
 //	(legacy aliases: /api/request, /api/choose, /api/decline, /api/stats,
 //	 /api/taxi, /api/params, /api/tick, /api/vehicles, /api/map,
 //	 /api/cities, /api/relay)
@@ -51,6 +61,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -59,6 +70,7 @@ import (
 	"ptrider/internal/gen"
 	"ptrider/internal/multicity"
 	"ptrider/internal/server"
+	"ptrider/internal/telemetry"
 	"ptrider/internal/wal"
 )
 
@@ -79,6 +91,9 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = engine default)")
 		surgeOn    = flag.Bool("surge", false, "enable per-cell surge pricing (see /v1/surge)")
 		surgeEpoch = flag.Float64("surge-epoch", 0, "surge multiplier re-evaluation period in simulated seconds (0 = 60)")
+		metricsOn  = flag.Bool("metrics", true, "expose GET /metrics and record engine/HTTP telemetry")
+		slowReqMS  = flag.Float64("slow-request-ms", 0, "log a structured line for HTTP requests slower than this many milliseconds (0 = off)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
@@ -91,16 +106,36 @@ func main() {
 		mode = m
 	}
 
+	// One registry covers the whole backend; per-city engines get child
+	// registries whose families merge city-labeled at scrape time.
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
+	}
 	svc, banner, err := buildService(buildConfig{
 		cities: *cities, width: *width, height: *height, taxis: *taxis,
 		algoName: *algo, seed: *seed, relayOn: *relayOn, tickWorkers: *tickW,
 		durability: mode, walDir: *walDir, snapshotEvery: *snapEvery,
-		surge: *surgeOn, surgeEpoch: *surgeEpoch,
+		surge: *surgeOn, surgeEpoch: *surgeEpoch, telemetry: reg,
 	})
 	if err != nil {
 		log.Fatalf("ptrider-server: %v", err)
 	}
-	srv := server.NewService(svc)
+	srv := server.NewServiceWithOptions(svc, server.Options{
+		DisableMetrics: !*metricsOn,
+		SlowRequest:    time.Duration(*slowReqMS * float64(time.Millisecond)),
+	})
+
+	if *pprofAddr != "" {
+		// pprof rides the default mux on its own listener, so profiling
+		// endpoints never share a port with the public API.
+		go func() {
+			log.Printf("ptrider-server: pprof at %s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("ptrider-server: pprof: %v", err)
+			}
+		}()
+	}
 
 	// The realtime driver stops when the serve context is cancelled so
 	// a tick never races the final snapshot.
@@ -174,6 +209,7 @@ type buildConfig struct {
 	snapshotEvery int
 	surge         bool
 	surgeEpoch    float64
+	telemetry     *telemetry.Registry
 }
 
 // buildService constructs the backend: a single-city engine, or a
@@ -195,6 +231,7 @@ func buildService(bc buildConfig) (core.Service, string, error) {
 			multicity.RouterConfig{
 				EnableRelay: bc.relayOn,
 				Durability:  bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
+				Telemetry: bc.telemetry,
 			})
 		if err != nil {
 			return nil, "", err
@@ -214,6 +251,7 @@ func buildService(bc buildConfig) (core.Service, string, error) {
 		Algorithm: algo, Seed: bc.seed, TickWorkers: bc.tickWorkers,
 		Durability: bc.durability, WALDir: bc.walDir, SnapshotEvery: bc.snapshotEvery,
 		SurgeEnabled: bc.surge, SurgeEpochSeconds: bc.surgeEpoch,
+		Telemetry: bc.telemetry,
 	})
 	if err != nil {
 		return nil, "", err

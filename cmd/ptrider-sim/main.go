@@ -25,6 +25,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -66,8 +68,17 @@ func main() {
 		surgeOn    = flag.Bool("surge", false, "enable per-cell surge pricing")
 		surgeEpoch = flag.Float64("surge-epoch", 0, "surge re-evaluation period in simulated seconds (0 = 60)")
 		peak       = flag.Bool("peak", false, "concentrate the generated workload into rush-hour peaks (single-city)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address during the replay (empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ptrider-sim: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	if *cities != "" {
 		// The multi-city replay generates its own workload and has no

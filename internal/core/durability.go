@@ -372,6 +372,11 @@ func (e *Engine) openDurability(cfg Config) error {
 	}
 	j, err := wal.Open(cfg.WALDir, rec.NextSeg, wal.Options{
 		Mode: cfg.Durability, Injector: cfg.FaultInjector, NoFsync: cfg.WALNoFsync,
+		// Nil registry hands out nil histograms — telemetry off.
+		AppendHist: cfg.Telemetry.LatencyHist("ptrider_wal_append_duration_seconds",
+			"WAL group-commit batch write wall time."),
+		FsyncHist: cfg.Telemetry.LatencyHist("ptrider_wal_fsync_duration_seconds",
+			"WAL fsync wall time."),
 	})
 	if err != nil {
 		return err

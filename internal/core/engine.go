@@ -18,6 +18,7 @@ import (
 	"ptrider/internal/pricing/surge"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/stats"
+	"ptrider/internal/telemetry"
 	"ptrider/internal/wal"
 )
 
@@ -161,6 +162,16 @@ type Config struct {
 	// FaultInjector arms simulated crash points and torn writes in the
 	// durability path (tests only; nil in production).
 	FaultInjector *wal.Injector
+
+	// Telemetry, when non-nil, receives the engine's hot-path metrics:
+	// submit-stage latency histograms (quote/register/wal_wait/
+	// probe_commit), tick and tick-shard wall times, WAL append/fsync
+	// latencies, lifecycle counters and surge/clock gauges (see
+	// internal/telemetry for the instrument semantics). Nil — the
+	// default — disables instrumentation at zero hot-path cost: every
+	// observation site is a nil histogram whose methods no-op
+	// (BenchmarkSubmitTelemetry pins the enabled overhead < 3%).
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -392,6 +403,17 @@ type Engine struct {
 	tickEvents     stats.Online
 	lastTickWallMs float64
 	maxShardSkewMs float64
+
+	// Telemetry instruments (see Config.Telemetry). reg and every
+	// histogram are nil when telemetry is off; the histograms' methods
+	// are nil-safe no-ops, so the hot paths observe unconditionally and
+	// only pay when enabled.
+	reg             *telemetry.Registry
+	quoteHist       *telemetry.LatencyHist
+	registerHist    *telemetry.LatencyHist
+	walWaitHist     *telemetry.LatencyHist
+	probeCommitHist *telemetry.LatencyHist
+	tickHist        *telemetry.LatencyHist
 }
 
 // NewEngine builds the full system over an embedded road network.
@@ -408,6 +430,10 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		MaxSchedulePoints: cfg.MaxSchedulePoints,
 		Seed:              cfg.Seed,
 		Workers:           cfg.TickWorkers,
+		// Nil registry hands out a nil histogram — telemetry off.
+		ShardHist: cfg.Telemetry.LatencyHist(
+			"ptrider_tick_shard_duration_seconds",
+			"Per-shard wall time of one fleet movement step."),
 	})
 	if err != nil {
 		return nil, err
@@ -441,6 +467,9 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 		AlgoSingleSide: newSingleSideMatcher(e.mctx),
 		AlgoDualSide:   newDualSideMatcher(e.mctx),
 	}
+	if cfg.Telemetry != nil {
+		e.initTelemetry(cfg.Telemetry)
+	}
 	if cfg.Durability != wal.ModeOff {
 		if err := e.openDurability(cfg); err != nil {
 			return nil, err
@@ -448,6 +477,59 @@ func NewEngine(g *roadnet.Graph, cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// initTelemetry registers the engine's instruments. Stage histograms
+// live as fields so the hot paths reach them without a registry
+// lookup; lifecycle counters and clock/surge gauges are func-backed —
+// the engine already tracks them, so the scrape reads the live values
+// instead of double-counting. The surge gauges are registered even
+// when surge is off (reading zero) so the family exists on every
+// telemetry-enabled backend.
+func (e *Engine) initTelemetry(reg *telemetry.Registry) {
+	e.reg = reg
+	stage := func(s string) telemetry.Label { return telemetry.Label{Name: "stage", Value: s} }
+	const subHelp = "Submit pipeline stage wall times."
+	e.quoteHist = reg.LatencyHist("ptrider_submit_stage_duration_seconds", subHelp, stage("quote"))
+	e.registerHist = reg.LatencyHist("ptrider_submit_stage_duration_seconds", subHelp, stage("register"))
+	e.walWaitHist = reg.LatencyHist("ptrider_submit_stage_duration_seconds", subHelp, stage("wal_wait"))
+	e.probeCommitHist = reg.LatencyHist("ptrider_submit_stage_duration_seconds", subHelp, stage("probe_commit"))
+	e.tickHist = reg.LatencyHist("ptrider_tick_duration_seconds",
+		"Whole-tick movement-phase wall time.")
+
+	reg.CounterFunc("ptrider_requests_total", "Quoted requests.",
+		func() float64 { return float64(e.requests.Load()) })
+	ledgerCount := func(f func() int64) func() float64 {
+		return func() float64 {
+			e.ledgerMu.Lock()
+			defer e.ledgerMu.Unlock()
+			return float64(f())
+		}
+	}
+	reg.CounterFunc("ptrider_assigned_total", "Requests committed to a vehicle.",
+		ledgerCount(func() int64 { return e.assigned }))
+	reg.CounterFunc("ptrider_declined_total", "Requests declined or cancelled.",
+		ledgerCount(func() int64 { return e.declined }))
+	reg.CounterFunc("ptrider_completed_total", "Requests dropped off.",
+		ledgerCount(func() int64 { return e.completed }))
+	reg.GaugeFunc("ptrider_clock_seconds", "Simulated engine clock.", e.Clock)
+	reg.GaugeFunc("ptrider_vehicles", "In-service vehicles.",
+		func() float64 { return float64(e.NumVehicles()) })
+	reg.GaugeFunc("ptrider_surge_epoch", "Current surge pricing epoch (0 when surge is off).",
+		func() float64 { return float64(e.SurgeStats().Epoch) })
+	reg.GaugeFunc("ptrider_surge_active_cells", "Cells with a non-unit surge multiplier.",
+		func() float64 { return float64(e.SurgeStats().ActiveCells) })
+}
+
+// MetricFamilies gathers the engine's telemetry registry (nil when
+// telemetry is off). The server's /metrics handler merges this with
+// its own HTTP-layer families.
+func (e *Engine) MetricFamilies() []telemetry.Family { return e.reg.Gather() }
+
+// Ready reports whether the engine can serve traffic: construction
+// succeeded (trivially true by the time a caller holds an *Engine) and
+// the journal, when configured, has not died. The /v1/readyz probe is
+// the caller.
+func (e *Engine) Ready() error { return e.alive() }
 
 // Grid exposes the road-network index (read-only).
 func (e *Engine) Grid() *gridindex.Grid { return e.sub.grid }
@@ -602,6 +684,23 @@ func (e *Engine) SubmitWithConstraints(s, d roadnet.VertexID, riders int, c Cons
 // original may have been journaled before the crash, and re-quoting it
 // would fork the id sequence.
 func (e *Engine) SubmitIdem(s, d roadnet.VertexID, riders int, c Constraints, idemKey string) (*RequestRecord, error) {
+	return e.submitIdemSpan(s, d, riders, c, idemKey, nil)
+}
+
+// SubmitSpanned is SubmitIdem with a request span (see
+// SubmitSpec.Span) — the multi-city router threads the HTTP
+// middleware's span down to the owning city's engine through it.
+func (e *Engine) SubmitSpanned(s, d roadnet.VertexID, riders int, c Constraints, idemKey string, sp *telemetry.Span) (*RequestRecord, error) {
+	return e.submitIdemSpan(s, d, riders, c, idemKey, sp)
+}
+
+// submitIdemSpan is SubmitIdem with an optional request span: the
+// server's middleware opens one per HTTP request and the stage timings
+// recorded here become the slow-request breakdown. A nil span costs
+// nothing (nil-safe no-ops), and the histograms are nil when telemetry
+// is off, so the instrumentation reuses the clock reads observeMatch
+// already pays for.
+func (e *Engine) submitIdemSpan(s, d roadnet.VertexID, riders int, c Constraints, idemKey string, sp *telemetry.Span) (*RequestRecord, error) {
 	if err := e.alive(); err != nil {
 		return nil, err
 	}
@@ -625,9 +724,15 @@ func (e *Engine) SubmitIdem(s, d roadnet.VertexID, riders int, c Constraints, id
 	var ms MatchStats
 	start := time.Now()
 	options := e.matchers[e.Algorithm()].Match(&spec, &ms)
-	e.observeMatch(&ms, len(options), float64(time.Since(start).Nanoseconds()))
+	elapsed := time.Since(start)
+	e.observeMatch(&ms, len(options), float64(elapsed.Nanoseconds()))
+	if e.quoteHist != nil || sp != nil {
+		secs := elapsed.Seconds()
+		e.quoteHist.Observe(secs)
+		sp.Observe("quote", secs)
+	}
 
-	cp, err := e.registerRecord(&spec, wait, sigma, options, idemKey)
+	cp, err := e.registerRecord(&spec, wait, sigma, options, idemKey, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -716,7 +821,16 @@ func (e *Engine) observeMatch(ms *MatchStats, numOptions int, elapsedNs float64)
 // concurrent submits with the same key race to here, and the loser
 // returns the winner's record (undoing its own request count so the
 // lifecycle counters match a single submission).
-func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Option, idemKey string) (RequestRecord, error) {
+func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Option, idemKey string, sp *telemetry.Span) (RequestRecord, error) {
+	// Stage timing brackets the ledger critical section ("register")
+	// and the group-commit wait ("wal_wait") separately — the two very
+	// different ways a submit can stall. Clock reads are gated so the
+	// telemetry-off path stays free of them.
+	timed := e.registerHist != nil || sp != nil
+	var regStart time.Time
+	if timed {
+		regStart = time.Now()
+	}
 	rec := &RequestRecord{
 		ID: spec.Kin.ID, S: spec.Kin.S, D: spec.Kin.D, Riders: spec.Kin.Riders,
 		WaitSeconds: wait, Sigma: sigma,
@@ -767,7 +881,20 @@ func (e *Engine) registerRecord(spec *ReqSpec, wait, sigma float64, options []Op
 	}
 	cp := *rec
 	e.ledgerMu.Unlock()
-	if err := e.noteWALErr(commit.Wait()); err != nil {
+	var walStart time.Time
+	if timed {
+		secs := time.Since(regStart).Seconds()
+		e.registerHist.Observe(secs)
+		sp.Observe("register", secs)
+		walStart = time.Now()
+	}
+	err := e.noteWALErr(commit.Wait())
+	if timed && e.journal != nil {
+		secs := time.Since(walStart).Seconds()
+		e.walWaitHist.Observe(secs)
+		sp.Observe("wal_wait", secs)
+	}
+	if err != nil {
 		return RequestRecord{}, err
 	}
 	return cp, nil
@@ -836,7 +963,16 @@ func (e *Engine) chooseLocked(id RequestID, optionIndex int) (wal.Commit, error)
 		ratio = e.sub.model.Ratio(rec.Riders)
 	}
 
+	var pc0 time.Time
+	if e.probeCommitHist != nil {
+		pc0 = time.Now()
+	}
 	res, err := e.fleet.Commit(opt.Vehicle, spec, opt.Candidate, e.sub.cfg.CommitSlack)
+	if e.probeCommitHist != nil {
+		// Failed commits are observed too: a stale-candidate rejection
+		// still spent the vehicle-lock time the histogram measures.
+		e.probeCommitHist.ObserveSince(pc0)
+	}
 	if err != nil {
 		return none, err
 	}
@@ -1026,7 +1162,7 @@ func (e *Engine) runWave(wave []batchPrep, items []BatchItem, out []*RequestReco
 		p := &wave[wi]
 		id := p.spec.Kin.ID
 		e.observeMatch(&statsList[wi], len(optsList[wi]), perNs)
-		snap, err := e.registerRecord(&p.spec, p.wait, p.sigma, optsList[wi], "")
+		snap, err := e.registerRecord(&p.spec, p.wait, p.sigma, optsList[wi], "", nil)
 		if err != nil {
 			fail(p.idx, err)
 			consumed = wi + 1
@@ -1229,6 +1365,7 @@ func (e *Engine) Tick(dt float64) ([]fleet.Event, error) {
 	t0 := time.Now()
 	events, err := step(dt * e.sub.speed)
 	wallMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	e.tickHist.Observe(wallMs / 1e3)
 	if e.stepOverride == nil {
 		// Record tick observability only for real fleet steps: an
 		// override bypasses the fleet entirely, so its shard stats would

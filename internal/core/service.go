@@ -27,11 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ptrider/internal/fleet"
 	"ptrider/internal/geo"
 	"ptrider/internal/kinetic"
 	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
 )
 
 // Typed service errors, matchable with errors.Is across every backend.
@@ -102,6 +104,12 @@ type SubmitSpec struct {
 	// submission (SubmitRequest); batch and relay submissions ignore
 	// it.
 	IdemKey string
+	// Span, when non-nil, receives the submit pipeline's per-stage
+	// timings (quote/register/wal_wait) for request correlation — the
+	// HTTP middleware opens one per request and logs its breakdown when
+	// the request is slow. Honoured by single-request submission; batch
+	// and relay submissions ignore it.
+	Span *telemetry.Span
 }
 
 // ServiceRecord is the Service-level view of a request: the engine
@@ -210,6 +218,27 @@ type ServiceStats struct {
 	Relay        RelayStats
 }
 
+// RequestFilter narrows a Requests listing. The zero value matches
+// every request.
+type RequestFilter struct {
+	// Status filters to one lifecycle state when HasStatus is set
+	// (StatusQuoted is a valid filter, so presence needs its own bit).
+	Status    RequestStatus
+	HasStatus bool
+}
+
+// ParseRequestStatus parses the lowercase lifecycle names the API uses
+// ("quoted", "assigned", "onboard", "completed", "declined").
+// Unknown names fail with ErrInvalidArgument.
+func ParseRequestStatus(s string) (RequestStatus, error) {
+	for st := StatusQuoted; st <= StatusDeclined; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown request status %q: %w", s, ErrInvalidArgument)
+}
+
 // ServiceEvent is one tick movement event tagged with its city.
 type ServiceEvent struct {
 	City string
@@ -296,6 +325,12 @@ type Service interface {
 	// GetRequest returns a snapshot of a request record; unknown ids
 	// fail with ErrNotFound.
 	GetRequest(id RequestID) (*ServiceRecord, error)
+	// Requests lists request records, id ascending, optionally scoped
+	// to one city and filtered by lifecycle state; up to limit records
+	// (limit ≤ 0 means all). Relay trips are not listed — they live in
+	// the scheduler's trip ledger, not a city's request ledger; use
+	// RelayItinerary.
+	Requests(city string, filter RequestFilter, limit int) ([]*ServiceRecord, error)
 	// RelayItinerary returns the two-leg view of a relay trip; ids that
 	// are not relay trips (or backends without relay) fail with
 	// ErrNotFound.
@@ -384,7 +419,7 @@ func (e *Engine) SubmitRequest(spec SubmitSpec) (*ServiceRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := e.SubmitIdem(s, d, spec.Riders, spec.Constraints, spec.IdemKey)
+	rec, err := e.submitIdemSpan(s, d, spec.Riders, spec.Constraints, spec.IdemKey, spec.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -431,6 +466,33 @@ func (e *Engine) GetRequest(id RequestID) (*ServiceRecord, error) {
 		return nil, err
 	}
 	return e.serviceRecord(rec), nil
+}
+
+// Requests implements Service: a snapshot listing of the single city's
+// ledger, id ascending.
+func (e *Engine) Requests(city string, filter RequestFilter, limit int) ([]*ServiceRecord, error) {
+	if err := e.checkCity(city); err != nil {
+		return nil, err
+	}
+	e.ledgerMu.Lock()
+	recs := make([]*RequestRecord, 0, len(e.reqs))
+	for _, rec := range e.reqs {
+		if filter.HasStatus && rec.Status != filter.Status {
+			continue
+		}
+		cp := *rec
+		recs = append(recs, &cp)
+	}
+	e.ledgerMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	out := make([]*ServiceRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = e.serviceRecord(rec)
+	}
+	return out, nil
 }
 
 // RelayItinerary implements Service: a single-city backend has no relay

@@ -78,6 +78,7 @@ import (
 	"ptrider/internal/gridindex"
 	"ptrider/internal/kinetic"
 	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
 )
 
 // VehicleID identifies a vehicle. IDs are dense indices assigned by
@@ -259,8 +260,9 @@ type Fleet struct {
 
 	capacity  int
 	maxPoints int
-	workers   int   // Step's shard width (resolved, ≥ 1)
-	seed      int64 // base seed the per-vehicle roaming RNGs derive from
+	workers   int                    // Step's shard width (resolved, ≥ 1)
+	shardHist *telemetry.LatencyHist // per-shard Step wall times (nil = off)
+	seed      int64                  // base seed the per-vehicle roaming RNGs derive from
 
 	mu       sync.RWMutex // guards vehicles, active and stepFault
 	vehicles []*Vehicle
@@ -309,6 +311,9 @@ type Config struct {
 	// The merged events are identical at every width, but widths > 1
 	// require the metric to be safe for concurrent use.
 	Workers int
+	// ShardHist, when non-nil, observes each shard's per-Step wall time
+	// in seconds (nil = telemetry off, no cost).
+	ShardHist *telemetry.LatencyHist
 }
 
 // New returns an empty fleet over the given grid index. The metric is
@@ -344,6 +349,7 @@ func New(grid *gridindex.Grid, lists *gridindex.VehicleLists, metric kinetic.Met
 		capacity:  cfg.Capacity,
 		maxPoints: mp,
 		workers:   workers,
+		shardHist: cfg.ShardHist,
 		seed:      cfg.Seed,
 		pathCells: newPathCellCache(1 << 16),
 	}
@@ -725,6 +731,11 @@ func (f *Fleet) Step(budget float64) ([]Event, error) {
 		}
 	}
 
+	if f.shardHist != nil {
+		for _, ns := range shardNs {
+			f.shardHist.Observe(float64(ns) / 1e9)
+		}
+	}
 	minNs, maxNs := shardNs[0], shardNs[0]
 	for _, ns := range shardNs[1:] {
 		if ns < minNs {

@@ -42,6 +42,7 @@ import (
 	"ptrider/internal/kinetic"
 	"ptrider/internal/relay"
 	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
 	"ptrider/internal/wal"
 )
 
@@ -87,6 +88,10 @@ type city struct {
 	name   string
 	region geo.Rect
 	eng    *core.Engine
+	// reg is the city engine's telemetry registry (nil when telemetry
+	// is off). Cities share nothing, registries included; the router
+	// labels each city's families with city=<name> at gather time.
+	reg *telemetry.Registry
 }
 
 // RouterConfig carries the router-level settings (per-city settings
@@ -123,6 +128,14 @@ type RouterConfig struct {
 	// process hosts all shards, so a simulated crash takes them down
 	// together.
 	FaultInjector *wal.Injector
+
+	// Telemetry, when non-nil, turns on per-city engine telemetry: each
+	// city gets its own child registry (cities share nothing), the
+	// router-level registry itself carries the relay leg-quote
+	// histogram, and MetricFamilies merges everything with a
+	// city=<name> label per city. Nil — the default — disables
+	// instrumentation everywhere at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Router fans requests out to per-city engines. All methods are safe
@@ -132,7 +145,8 @@ type RouterConfig struct {
 type Router struct {
 	cities []city
 	byName map[string]int
-	relay  *relay.Scheduler // nil unless RouterConfig.EnableRelay
+	relay  *relay.Scheduler    // nil unless RouterConfig.EnableRelay
+	reg    *telemetry.Registry // router-level registry; nil when telemetry off
 }
 
 // New builds a Router over the given cities with default router
@@ -150,6 +164,7 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 	r := &Router{
 		cities: make([]city, 0, len(specs)),
 		byName: make(map[string]int, len(specs)),
+		reg:    rc.Telemetry,
 	}
 	for i, spec := range specs {
 		if spec.Name == "" {
@@ -189,6 +204,13 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 			cfg.SnapshotEvery = rc.SnapshotEvery
 			cfg.FaultInjector = rc.FaultInjector
 		}
+		var cityReg *telemetry.Registry
+		if rc.Telemetry != nil {
+			// One child registry per city: engines stay share-nothing and
+			// the gather path labels each city's families below.
+			cityReg = telemetry.NewRegistry()
+			cfg.Telemetry = cityReg
+		}
 		eng, err := core.NewEngine(spec.Graph, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multicity: city %q: %w", spec.Name, err)
@@ -199,7 +221,7 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 			eng.AddVehiclesUniform(spec.Vehicles)
 		}
 		r.byName[spec.Name] = len(r.cities)
-		r.cities = append(r.cities, city{name: spec.Name, region: region, eng: eng})
+		r.cities = append(r.cities, city{name: spec.Name, region: region, eng: eng, reg: cityReg})
 	}
 	if rc.EnableRelay {
 		refs := make([]relay.CityRef, len(r.cities))
@@ -216,6 +238,10 @@ func NewWithConfig(specs []CitySpec, rc RouterConfig) (*Router, error) {
 			relayCfg.WALDir = filepath.Join(rc.WALDir, "relay")
 			relayCfg.FaultInjector = rc.FaultInjector
 		}
+		// Nil registry hands out a nil histogram — telemetry off.
+		relayCfg.LegQuoteHist = rc.Telemetry.LatencyHist(
+			"ptrider_relay_leg_quote_duration_seconds",
+			"Per-leg quote wall time of cross-city relay trips.")
 		sched, err := relay.New(refs, relayCfg)
 		if err != nil {
 			return nil, fmt.Errorf("multicity: %w", err)
@@ -257,6 +283,33 @@ func (r *Router) Close() error {
 		}
 	}
 	return first
+}
+
+// MetricFamilies gathers the router's telemetry: the router-level
+// registry (relay instruments) plus every city's registry with its
+// series labeled city=<name>, merged so each family appears once. Nil
+// when telemetry is off.
+func (r *Router) MetricFamilies() []telemetry.Family {
+	if r.reg == nil {
+		return nil
+	}
+	groups := make([][]telemetry.Family, 0, len(r.cities)+1)
+	groups = append(groups, r.reg.Gather())
+	for i := range r.cities {
+		groups = append(groups, telemetry.WithLabel(r.cities[i].reg.Gather(), "city", r.cities[i].name))
+	}
+	return telemetry.Merge(groups...)
+}
+
+// Ready reports whether every city shard can serve traffic (no city's
+// journal has died). The /v1/readyz probe is the caller.
+func (r *Router) Ready() error {
+	for i := range r.cities {
+		if err := r.cities[i].eng.Ready(); err != nil {
+			return fmt.Errorf("multicity: %s: %w", r.cities[i].name, err)
+		}
+	}
+	return nil
 }
 
 // RelayEnabled reports whether cross-city trips are served by relay
@@ -422,14 +475,16 @@ func (r *Router) Submit(o, d geo.Point, riders int) (*Record, error) {
 
 // SubmitWithConstraints is Submit with per-rider constraint overrides.
 func (r *Router) SubmitWithConstraints(o, d geo.Point, riders int, c core.Constraints) (*Record, error) {
-	return r.submitCoords(o, d, riders, c, "")
+	return r.submitCoords(o, d, riders, c, "", nil)
 }
 
 // submitCoords serves one coordinate-addressed request; a non-empty
 // idemKey makes a same-city submission idempotent (the key is scoped to
 // the owning city's engine — regions are disjoint, so a retry always
-// lands on the same city). Relay quotes are not deduplicated.
-func (r *Router) submitCoords(o, d geo.Point, riders int, c core.Constraints, idemKey string) (*Record, error) {
+// lands on the same city). Relay quotes are not deduplicated, and the
+// optional span (stage-timing correlation) applies to same-city
+// submissions only.
+func (r *Router) submitCoords(o, d geo.Point, riders int, c core.Constraints, idemKey string, sp *telemetry.Span) (*Record, error) {
 	oc, err := r.locate(o)
 	if err != nil {
 		return nil, err
@@ -448,8 +503,8 @@ func (r *Router) submitCoords(o, d geo.Point, riders int, c core.Constraints, id
 		}
 		return r.wrapRelay(tv), nil
 	}
-	rec, err := r.cities[oc].eng.SubmitIdem(
-		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c, idemKey)
+	rec, err := r.cities[oc].eng.SubmitSpanned(
+		r.nearestVertex(oc, o), r.nearestVertex(oc, d), riders, c, idemKey, sp)
 	if err != nil {
 		return nil, fmt.Errorf("multicity: %s: %w", r.cities[oc].name, err)
 	}
@@ -460,15 +515,15 @@ func (r *Router) submitCoords(o, d geo.Point, riders int, c core.Constraints, id
 // vertex ids — the zero-translation path used when the caller already
 // resolved the city (load replay, benchmarks).
 func (r *Router) SubmitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints) (*Record, error) {
-	return r.submitIn(name, s, d, riders, c, "")
+	return r.submitIn(name, s, d, riders, c, "", nil)
 }
 
-func (r *Router) submitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints, idemKey string) (*Record, error) {
+func (r *Router) submitIn(name string, s, d roadnet.VertexID, riders int, c core.Constraints, idemKey string, sp *telemetry.Span) (*Record, error) {
 	ci, err := r.cityIndex(name)
 	if err != nil {
 		return nil, err
 	}
-	rec, err := r.cities[ci].eng.SubmitIdem(s, d, riders, c, idemKey)
+	rec, err := r.cities[ci].eng.SubmitSpanned(s, d, riders, c, idemKey, sp)
 	if err != nil {
 		return nil, fmt.Errorf("multicity: %s: %w", name, err)
 	}

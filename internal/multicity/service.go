@@ -8,6 +8,7 @@ package multicity
 
 import (
 	"fmt"
+	"sort"
 
 	"ptrider/internal/core"
 	"ptrider/internal/fleet"
@@ -43,12 +44,12 @@ func (r *Router) SubmitRequest(spec core.SubmitSpec) (*core.ServiceRecord, error
 
 func (r *Router) submitSpec(spec *core.SubmitSpec) (*Record, error) {
 	if spec.ByCoords {
-		return r.submitCoords(spec.Origin, spec.Dest, spec.Riders, spec.Constraints, spec.IdemKey)
+		return r.submitCoords(spec.Origin, spec.Dest, spec.Riders, spec.Constraints, spec.IdemKey, spec.Span)
 	}
 	if spec.City == "" {
 		return nil, fmt.Errorf("multicity: vertex-addressed requests need a city: %w", core.ErrInvalidArgument)
 	}
-	return r.submitIn(spec.City, spec.S, spec.D, spec.Riders, spec.Constraints, spec.IdemKey)
+	return r.submitIn(spec.City, spec.S, spec.D, spec.Riders, spec.Constraints, spec.IdemKey, spec.Span)
 }
 
 // SubmitRequestBatch implements core.Service over the router's
@@ -108,6 +109,45 @@ func (r *Router) GetRequest(id core.RequestID) (*core.ServiceRecord, error) {
 		return nil, err
 	}
 	return r.serviceRecord(rec), nil
+}
+
+// Requests implements core.Service: one city's ledger listing with ids
+// lifted into the global namespace, or — with city "" — every city's
+// listing merged, global id ascending. Relay trips are not listed (they
+// live in the scheduler's trip ledger, per the Service contract).
+func (r *Router) Requests(city string, filter core.RequestFilter, limit int) ([]*core.ServiceRecord, error) {
+	cities := make([]int, 0, len(r.cities))
+	if city != "" {
+		ci, err := r.cityIndex(city)
+		if err != nil {
+			return nil, err
+		}
+		cities = append(cities, ci)
+	} else {
+		for ci := range r.cities {
+			cities = append(cities, ci)
+		}
+	}
+	var out []*core.ServiceRecord
+	for _, ci := range cities {
+		recs, err := r.cities[ci].eng.Requests("", filter, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			rec.ID = r.globalID(ci, rec.ID)
+			rec.City = r.cities[ci].name
+			rec.Speed = r.cities[ci].eng.Speed()
+			out = append(out, rec)
+		}
+	}
+	// Per-city slices are locally sorted; the merged listing re-sorts by
+	// global id so pagination pages are stable across cities.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
 }
 
 // RelayItinerary implements core.Service.

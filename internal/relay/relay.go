@@ -38,11 +38,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ptrider/internal/core"
 	"ptrider/internal/geo"
 	"ptrider/internal/roadnet"
 	"ptrider/internal/skyline"
+	"ptrider/internal/telemetry"
 	"ptrider/internal/wal"
 )
 
@@ -71,6 +73,10 @@ type Config struct {
 	WALDir     string
 	// FaultInjector arms simulated crash points (tests only).
 	FaultInjector *wal.Injector
+
+	// LegQuoteHist, when non-nil, observes each relay leg's quote wall
+	// time in seconds (nil = telemetry off, no cost).
+	LegQuoteHist *telemetry.LatencyHist
 }
 
 func (c Config) withDefaults() Config {
@@ -358,11 +364,15 @@ func (s *Scheduler) Quote(oc, dc int, o, d roadnet.VertexID, riders int, cons co
 		wg.Add(2)
 		go func(gi int) {
 			defer wg.Done()
+			t0 := time.Now()
 			leg1[gi], errs1[gi] = engO.SubmitWithConstraints(o, gws[gi].From, riders, cons)
+			s.cfg.LegQuoteHist.ObserveSince(t0)
 		}(gi)
 		go func(gi int) {
 			defer wg.Done()
+			t0 := time.Now()
 			leg2[gi], errs2[gi] = engD.SubmitWithConstraints(gws[gi].To, d, riders, cons2)
+			s.cfg.LegQuoteHist.ObserveSince(t0)
 		}(gi)
 	}
 	wg.Wait()

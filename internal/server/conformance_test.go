@@ -20,6 +20,7 @@ import (
 	"ptrider/internal/core"
 	"ptrider/internal/multicity"
 	"ptrider/internal/server"
+	"ptrider/internal/telemetry"
 	"ptrider/internal/testnet"
 )
 
@@ -38,6 +39,7 @@ func singleBackend(t *testing.T) v1Backend {
 	eng, err := core.NewEngine(g, core.Config{
 		GridCols: 3, GridRows: 3, Capacity: 4,
 		Algorithm: core.AlgoDualSide, Seed: 1,
+		Telemetry: telemetry.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatalf("engine: %v", err)
@@ -52,7 +54,7 @@ func multiBackend(t *testing.T) v1Backend {
 	t.Helper()
 	router, err := multicity.BuildFromSpecWithConfig("east:10x10:10,west:8x8:8",
 		core.Config{Capacity: 4, Algorithm: core.AlgoDualSide}, 5,
-		multicity.RouterConfig{EnableRelay: true})
+		multicity.RouterConfig{EnableRelay: true, Telemetry: telemetry.NewRegistry()})
 	if err != nil {
 		t.Fatalf("router: %v", err)
 	}
@@ -140,7 +142,7 @@ func TestV1Conformance(t *testing.T) {
 				wantAllow  string // non-empty: the Allow header must carry it
 			}{
 				// Strict method checking: 405 + Allow on every endpoint.
-				{"requests wrong method", http.MethodGet, "/v1/requests", nil, 405, "method_not_allowed", "POST"},
+				{"requests wrong method", http.MethodDelete, "/v1/requests", nil, 405, "method_not_allowed", "GET, POST"},
 				{"request-by-id wrong method", http.MethodPost, "/v1/requests/1", map[string]any{}, 405, "method_not_allowed", "GET"},
 				{"choice wrong method", http.MethodGet, "/v1/requests/1/choice", nil, 405, "method_not_allowed", "POST"},
 				{"decline wrong method", http.MethodGet, "/v1/requests/1/decline", nil, 405, "method_not_allowed", "POST"},
@@ -151,6 +153,9 @@ func TestV1Conformance(t *testing.T) {
 				{"relay wrong method", http.MethodPost, "/v1/relay/1", map[string]any{}, 405, "method_not_allowed", "GET"},
 				{"events wrong method", http.MethodPost, "/v1/events", map[string]any{}, 405, "method_not_allowed", "GET"},
 				{"params wrong method", http.MethodDelete, "/v1/params", nil, 405, "method_not_allowed", "GET, POST"},
+				{"healthz wrong method", http.MethodPost, "/v1/healthz", map[string]any{}, 405, "method_not_allowed", "GET"},
+				{"readyz wrong method", http.MethodPost, "/v1/readyz", map[string]any{}, 405, "method_not_allowed", "GET"},
+				{"metrics wrong method", http.MethodPost, "/metrics", map[string]any{}, 405, "method_not_allowed", "GET"},
 
 				// Malformed input: 400 invalid_argument.
 				{"request unknown field", http.MethodPost, "/v1/requests",
@@ -159,6 +164,9 @@ func TestV1Conformance(t *testing.T) {
 					map[string]any{"riders": 1}, 400, "invalid_argument", ""},
 				{"request bad path id", http.MethodGet, "/v1/requests/notanumber", nil, 400, "invalid_argument", ""},
 				{"vehicles bad limit", http.MethodGet, "/v1/vehicles?city=" + b.city + "&limit=-1", nil, 400, "invalid_argument", ""},
+				{"requests bad limit", http.MethodGet, "/v1/requests?limit=-1", nil, 400, "invalid_argument", ""},
+				{"requests bad offset", http.MethodGet, "/v1/requests?offset=-2", nil, 400, "invalid_argument", ""},
+				{"requests bad status filter", http.MethodGet, "/v1/requests?status=bogus", nil, 400, "invalid_argument", ""},
 				{"tick negative", http.MethodPost, "/v1/ticks",
 					map[string]any{"seconds": -1}, 400, "invalid_argument", ""},
 
@@ -167,6 +175,7 @@ func TestV1Conformance(t *testing.T) {
 				{"unknown vehicle", http.MethodGet, "/v1/vehicles/999?city=" + b.city, nil, 404, "not_found", ""},
 				{"unknown city vehicles", http.MethodGet, "/v1/vehicles?city=atlantis", nil, 404, "unknown_city", ""},
 				{"unknown city params", http.MethodGet, "/v1/params?city=atlantis", nil, 404, "unknown_city", ""},
+				{"unknown city listing", http.MethodGet, "/v1/requests?city=atlantis", nil, 404, "unknown_city", ""},
 				{"unknown relay trip", http.MethodGet, "/v1/relay/999999", nil, 404, "not_found", ""},
 
 				// Business rules: 422.
@@ -182,6 +191,9 @@ func TestV1Conformance(t *testing.T) {
 				{"vehicle itinerary", http.MethodGet, "/v1/vehicles/0?city=" + b.city, nil, 200, "", ""},
 				{"params", http.MethodGet, "/v1/params?city=" + b.city, nil, 200, "", ""},
 				{"tick", http.MethodPost, "/v1/ticks", map[string]any{"seconds": 0.5}, 200, "", ""},
+				{"request listing", http.MethodGet, "/v1/requests", nil, 200, "", ""},
+				{"healthz", http.MethodGet, "/v1/healthz", nil, 200, "", ""},
+				{"readyz", http.MethodGet, "/v1/readyz", nil, 200, "", ""},
 			}
 			for _, tc := range cases {
 				t.Run(tc.name, func(t *testing.T) {

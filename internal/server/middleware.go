@@ -1,0 +1,157 @@
+// middleware.go is the server's observability wrapper: every request
+// passes through one handler that assigns (or echoes) an X-Request-ID,
+// opens a telemetry span for the backend's stage timings, records
+// per-route latency histograms and status-code counters on the
+// server-owned registry, and emits one structured log line for
+// requests slower than the configured threshold — correlation id and
+// per-stage breakdown included, so a slow submit can be attributed to
+// quote, WAL wait or probe/commit without reproducing it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ptrider/internal/telemetry"
+)
+
+// Options configures the server's observability surface. The zero
+// value matches NewService: metrics on, slow-request logging off.
+type Options struct {
+	// DisableMetrics turns off the server-owned HTTP/SSE instrumentation
+	// and the GET /metrics endpoint (backend families included — the
+	// endpoint is the only exposition surface).
+	DisableMetrics bool
+	// SlowRequest, when positive, logs one structured line for every
+	// request whose wall time meets or exceeds it, carrying the request
+	// id, route, status and the span's per-stage breakdown.
+	SlowRequest time.Duration
+	// Logger receives the slow-request lines (nil → log.Default()).
+	Logger *log.Logger
+}
+
+// ctxKey keys the server's context values.
+type ctxKey int
+
+const spanKey ctxKey = iota
+
+// spanFrom returns the request's telemetry span, nil outside the
+// instrumented handler chain (a nil span is a no-op everywhere).
+func spanFrom(ctx context.Context) *telemetry.Span {
+	sp, _ := ctx.Value(spanKey).(*telemetry.Span)
+	return sp
+}
+
+// nextRequestID mints a process-unique correlation id for requests
+// that arrive without an X-Request-ID header.
+func (s *Server) nextRequestID() string {
+	return s.idBase + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+// statusRecorder captures the response status for the route metrics
+// and slow-request log. It forwards Flush so the SSE stream keeps
+// working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sr *statusRecorder) statusCode() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
+// instrument wraps the mux with the correlation/metrics/slow-log
+// middleware. With metrics disabled and no slow threshold the request
+// id is still assigned — correlation is unconditional.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sp := telemetry.NewSpan(reqID)
+		r = r.WithContext(context.WithValue(r.Context(), spanKey, sp))
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		elapsed := time.Since(start)
+
+		// The mux resolves the route pattern without serving, so the
+		// label is the registered pattern ("/v1/requests/{id}"), never a
+		// high-cardinality concrete path.
+		_, route := s.mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		if s.reg != nil {
+			s.reg.LatencyHist("ptrider_http_request_duration_seconds",
+				"HTTP request wall time by route.",
+				telemetry.Label{Name: "route", Value: route}).Observe(elapsed.Seconds())
+			s.reg.Counter("ptrider_http_requests_total",
+				"HTTP requests by route, method and status code.",
+				telemetry.Label{Name: "route", Value: route},
+				telemetry.Label{Name: "method", Value: r.Method},
+				telemetry.Label{Name: "code", Value: strconv.Itoa(sr.statusCode())}).Inc()
+		}
+		if s.opts.SlowRequest > 0 && elapsed >= s.opts.SlowRequest {
+			s.logSlow(r, reqID, route, sr.statusCode(), elapsed, sp)
+		}
+	})
+}
+
+// slowLogEntry is the slow-request log line's JSON shape.
+type slowLogEntry struct {
+	Msg        string  `json:"msg"`
+	RequestID  string  `json:"request_id"`
+	Method     string  `json:"method"`
+	Route      string  `json:"route"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Stages     string  `json:"stages,omitempty"`
+}
+
+func (s *Server) logSlow(r *http.Request, reqID, route string, status int, elapsed time.Duration, sp *telemetry.Span) {
+	entry := slowLogEntry{
+		Msg: "slow_request", RequestID: reqID,
+		Method: r.Method, Route: route, Status: status,
+		DurationMS: float64(elapsed.Microseconds()) / 1e3,
+		Stages:     sp.Breakdown(),
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	logger := s.opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	logger.Println(string(b))
+}

@@ -14,6 +14,8 @@
 //	                                 An Idempotency-Key header makes single-request
 //	                                 submission retry-safe: a repeated key answers
 //	                                 with the original record (batches are exempt)
+//	GET  /v1/requests                request-ledger listing
+//	                                 (?city=east&status=assigned&limit=10&offset=20)
 //	GET  /v1/requests/{id}           request record (options, status, relay section)
 //	POST /v1/requests/{id}/choice    {"option":0} commit an option
 //	POST /v1/requests/{id}/decline   take none of the options
@@ -26,7 +28,14 @@
 //	GET  /v1/params · POST /v1/params  settings (?city= / {"city":...,"algorithm":...})
 //	GET  /v1/map                     ASCII fleet map (?city=&width=&height=&taxi=)
 //	GET  /v1/events                  SSE stream of tick pickups/dropoffs
-//	GET  /healthz
+//	GET  /v1/healthz                 liveness (also the legacy /healthz)
+//	GET  /v1/readyz                  readiness (503 when the backend cannot take traffic)
+//	GET  /metrics                    Prometheus text exposition (disable via Options)
+//
+// Every response carries an X-Request-ID header — echoed from the
+// request when the client sent one, minted otherwise — and requests
+// slower than Options.SlowRequest log one structured line with the id
+// and the backend's per-stage timing breakdown (see middleware.go).
 //
 // Mutating endpoints accept POST only and answer anything else with
 // 405 plus an Allow header. Every error is a structured envelope
@@ -60,24 +69,56 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ptrider/internal/core"
 	"ptrider/internal/fleet"
 	"ptrider/internal/multicity"
 	"ptrider/internal/render"
 	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
 )
 
 // Server wires a core.Service to an http.Handler.
 type Server struct {
-	svc core.Service
-	mux *http.ServeMux
-	hub *eventHub
+	svc  core.Service
+	mux  *http.ServeMux
+	hub  *eventHub
+	opts Options
+
+	// reg is the server-owned telemetry registry (HTTP route metrics,
+	// SSE stream health); nil when Options.DisableMetrics is set.
+	reg *telemetry.Registry
+	// idBase + reqSeq mint X-Request-ID values for requests arriving
+	// without one.
+	idBase string
+	reqSeq atomic.Uint64
 }
 
-// NewService returns a Server for any core.Service backend.
+// NewService returns a Server for any core.Service backend with the
+// default observability options (metrics on, slow-request logging
+// off).
 func NewService(svc core.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), hub: newEventHub()}
+	return NewServiceWithOptions(svc, Options{})
+}
+
+// NewServiceWithOptions returns a Server with an explicit
+// observability configuration.
+func NewServiceWithOptions(svc core.Service, opts Options) *Server {
+	s := &Server{
+		svc: svc, mux: http.NewServeMux(), hub: newEventHub(), opts: opts,
+		idBase: fmt.Sprintf("req-%08x", uint32(time.Now().UnixNano())),
+	}
+	if !opts.DisableMetrics {
+		s.reg = telemetry.NewRegistry()
+		s.reg.CounterFunc("ptrider_sse_dropped_total",
+			"SSE events dropped because a subscriber's buffer was full.",
+			func() float64 { return float64(s.hub.droppedCount()) })
+		s.reg.GaugeFunc("ptrider_sse_subscribers",
+			"Active /v1/events subscribers.",
+			func() float64 { return float64(s.hub.subscriberCount()) })
+	}
 
 	// The /v1 resource surface.
 	s.mux.HandleFunc("/v1/requests", s.handleRequests)
@@ -109,9 +150,12 @@ func NewService(svc core.Service) *Server {
 	s.mux.HandleFunc("/api/cities", s.handleCities)
 	s.mux.HandleFunc("/api/relay", s.handleRelayQuery)
 
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.reg != nil {
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	return s
 }
 
@@ -121,8 +165,41 @@ func New(eng *core.Engine) *Server { return NewService(eng) }
 // NewMulti returns a Server over a multi-city router.
 func NewMulti(router *multicity.Router) *Server { return NewService(router) }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the route mux behind the
+// observability middleware (request correlation, route metrics,
+// slow-request logging).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// handleHealthz serves GET /v1/healthz (and the legacy /healthz):
+// liveness — the process answers, nothing about the backend.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readier is implemented by backends that can report readiness
+// (core.Engine answers for its durability layer; multicity.Router
+// fans the check across cities).
+type readier interface {
+	Ready() error
+}
+
+// handleReadyz serves GET /v1/readyz: readiness — 503 with the cause
+// when the backend cannot take traffic (a wedged WAL, say).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	if rd, ok := s.svc.(readier); ok {
+		if err := rd.Ready(); err != nil {
+			writeCode(w, http.StatusServiceUnavailable, "unready", err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
 
 // Tick advances the backend's simulated time and feeds the movement
 // events to the /v1/events stream — the entry point for realtime
@@ -545,17 +622,20 @@ func (b *requestBody) spec() (core.SubmitSpec, error) {
 	return spec, nil
 }
 
-// submitOne submits a single request. idemKey (the Idempotency-Key
-// request header, may be empty) makes retries of the same submission
-// safe: the backend answers a repeat of an already-registered key with
-// the original record instead of quoting a second request.
-func (s *Server) submitOne(w http.ResponseWriter, body *requestBody, idemKey string) {
+// submitOne submits a single request. The Idempotency-Key request
+// header (may be empty) makes retries of the same submission safe:
+// the backend answers a repeat of an already-registered key with the
+// original record instead of quoting a second request. The request's
+// telemetry span rides along so the backend's stage timings land on
+// the slow-request log.
+func (s *Server) submitOne(w http.ResponseWriter, r *http.Request, body *requestBody) {
 	spec, err := body.spec()
 	if err != nil {
 		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	spec.IdemKey = idemKey
+	spec.IdemKey = r.Header.Get("Idempotency-Key")
+	spec.Span = spanFrom(r.Context())
 	rec, err := s.svc.SubmitRequest(spec)
 	if err != nil {
 		writeErr(w, err)
@@ -564,11 +644,16 @@ func (s *Server) submitOne(w http.ResponseWriter, body *requestBody, idemKey str
 	writeJSON(w, http.StatusOK, recordView(rec))
 }
 
-// handleRequests serves POST /v1/requests: one request, or a batch
-// under a "requests" key. Batch answers carry one view per item in
-// order (null for failed items) plus the first error's envelope.
+// handleRequests serves /v1/requests. POST submits one request, or a
+// batch under a "requests" key — batch answers carry one view per item
+// in order (null for failed items) plus the first error's envelope.
+// GET lists the ledger with ?city=, ?status=, ?limit= and ?offset=.
 func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
-	if !allow(w, r, http.MethodPost) {
+	if !allow(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
+		s.handleRequestList(w, r)
 		return
 	}
 	raw, err := io.ReadAll(r.Body)
@@ -595,7 +680,56 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	s.submitOne(w, &body, r.Header.Get("Idempotency-Key"))
+	s.submitOne(w, r, &body)
+}
+
+// handleRequestList serves GET /v1/requests: the request ledger, id
+// ascending, with the vehicles-style pagination (the backend takes a
+// head limit, so the page is cut handler-side) plus ?status= lifecycle
+// and ?city= filters. On multi-city backends an empty city merges
+// every city's ledger; relay trips are not listed (GET /v1/relay/{id}
+// is their surface).
+func (s *Server) handleRequestList(w http.ResponseWriter, r *http.Request) {
+	limit, err := limitQuery(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	offset, err := offsetQuery(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	var filter core.RequestFilter
+	if q := r.URL.Query().Get("status"); q != "" {
+		st, err := core.ParseRequestStatus(q)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		filter = core.RequestFilter{Status: st, HasStatus: true}
+	}
+	fetch := 0
+	if limit > 0 {
+		fetch = offset + limit
+	}
+	city := r.URL.Query().Get("city")
+	recs, err := s.svc.Requests(city, filter, fetch)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if offset > len(recs) {
+		offset = len(recs)
+	}
+	recs = recs[offset:]
+	views := make([]requestView, len(recs)) // non-nil: empty pages serialise as []
+	for i, rec := range recs {
+		views[i] = recordView(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"city": city, "offset": offset, "count": len(views), "requests": views,
+	})
 }
 
 func (s *Server) submitBatch(w http.ResponseWriter, bodies []requestBody) {
@@ -866,12 +1000,18 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStatsV1 serves GET /v1/stats: per-city panels plus aggregate
-// totals, and the relay panel when enabled.
+// totals, the relay panel when enabled, and the server's own stream
+// health (SSE subscriber count and drop-on-slow-subscriber total).
 func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, statsPayload(s.svc.ServiceStats()))
+	out := statsPayload(s.svc.ServiceStats())
+	out["server"] = map[string]any{
+		"sse_subscribers": s.hub.subscriberCount(),
+		"sse_dropped":     s.hub.droppedCount(),
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func statsPayload(st core.ServiceStats) map[string]any {
@@ -1011,7 +1151,7 @@ func (s *Server) handleLegacyRequest(w http.ResponseWriter, r *http.Request) {
 			writeCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
 			return
 		}
-		s.submitOne(w, &body, r.Header.Get("Idempotency-Key"))
+		s.submitOne(w, r, &body)
 		return
 	}
 	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)

@@ -19,16 +19,19 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"ptrider/internal/core"
 )
 
 // sseMsg is one formatted stream message. city carries the producing
 // city so per-subscriber ?city= filters can match without re-parsing
-// the JSON payload.
+// the JSON payload; id is the request's correlation id, emitted as
+// the SSE "id:" field so clients can tie events back to requests.
 type sseMsg struct {
 	event string
 	city  string
+	id    int64
 	data  []byte
 }
 
@@ -36,10 +39,24 @@ type sseMsg struct {
 const subscriberBuffer = 256
 
 // eventHub fans movement events out to the active /v1/events streams.
+// dropped counts events discarded on full subscriber buffers — the
+// cost of the drop-don't-stall policy, surfaced through /v1/stats and
+// the ptrider_sse_dropped_total counter.
 type eventHub struct {
-	mu   sync.Mutex
-	subs map[chan sseMsg]struct{}
+	mu      sync.Mutex
+	subs    map[chan sseMsg]struct{}
+	dropped atomic.Int64
 }
+
+// subscriberCount returns the number of active subscribers.
+func (h *eventHub) subscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// droppedCount returns the total events dropped on slow subscribers.
+func (h *eventHub) droppedCount() int64 { return h.dropped.Load() }
 
 func newEventHub() *eventHub {
 	return &eventHub{subs: make(map[chan sseMsg]struct{})}
@@ -68,6 +85,7 @@ func (h *eventHub) publish(m sseMsg) {
 		select {
 		case ch <- m:
 		default: // slow consumer: drop rather than stall the tick
+			h.dropped.Add(1)
 		}
 	}
 }
@@ -83,7 +101,7 @@ func (s *Server) publishEvents(events []core.ServiceEvent) {
 		if err != nil {
 			continue
 		}
-		s.hub.publish(sseMsg{event: view.Kind, city: e.City, data: data})
+		s.hub.publish(sseMsg{event: view.Kind, city: e.City, id: view.Request, data: data})
 	}
 }
 
@@ -121,7 +139,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if cityFilter != "" && m.city != cityFilter {
 				continue
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", m.id, m.event, m.data)
 			fl.Flush()
 		}
 	}

@@ -1,0 +1,64 @@
+// sse_internal_test.go forces the hub's drop-on-slow-subscriber path
+// (unreachable from the HTTP surface without a stalled client) and
+// checks the drop count surfaces on /v1/stats and the telemetry
+// counter.
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ptrider/internal/core"
+	"ptrider/internal/testnet"
+)
+
+func TestSSEDropOnSlowSubscriber(t *testing.T) {
+	g := testnet.Lattice(rand.New(rand.NewSource(1)), 8, 8, 100)
+	eng, err := core.NewEngine(g, core.Config{
+		GridCols: 3, GridRows: 3, Capacity: 4,
+		Algorithm: core.AlgoDualSide, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	s := NewService(eng)
+
+	// A subscriber that never drains: the buffer fills, then every
+	// further publish drops.
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+	const extra = 10
+	for i := 0; i < subscriberBuffer+extra; i++ {
+		s.hub.publish(sseMsg{event: "pickup", city: "x", data: []byte("{}")})
+	}
+	if got := s.hub.droppedCount(); got != extra {
+		t.Fatalf("droppedCount = %d, want %d", got, extra)
+	}
+
+	// The drop total surfaces on /v1/stats...
+	rec := httptest.NewRecorder()
+	s.handleStatsV1(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var out struct {
+		Server struct {
+			SSESubscribers int   `json:"sse_subscribers"`
+			SSEDropped     int64 `json:"sse_dropped"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if out.Server.SSEDropped != extra || out.Server.SSESubscribers != 1 {
+		t.Fatalf("stats server panel = %+v", out.Server)
+	}
+
+	// ...and on the telemetry counter.
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "ptrider_sse_dropped_total 10") {
+		t.Fatalf("metrics miss the drop counter: %s", rec.Body.String())
+	}
+}

@@ -60,6 +60,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ptrider/internal/telemetry"
 )
 
 // crcTable is the record checksum polynomial (CRC32C / Castagnoli,
@@ -138,6 +140,11 @@ type Options struct {
 	Injector *Injector
 	// NoFsync skips fsync calls (benchmark baseline; crash-unsafe).
 	NoFsync bool
+	// AppendHist / FsyncHist, when non-nil, observe batch-write and
+	// fsync wall times (seconds). Nil histograms are no-ops, so the
+	// flusher records unconditionally.
+	AppendHist *telemetry.LatencyHist
+	FsyncHist  *telemetry.LatencyHist
 }
 
 // batch is one group-commit unit: records accumulated since the last
@@ -370,7 +377,9 @@ func (j *Journal) flushOnce() {
 		return
 	}
 
+	w0 := time.Now()
 	_, err := f.Write(b.buf)
+	j.opts.AppendHist.ObserveSince(w0)
 	if err == nil && !j.opts.NoFsync &&
 		(j.opts.Mode == ModeSync || time.Since(j.lastSync) >= asyncSyncInterval) {
 		t0 := time.Now()
@@ -378,6 +387,7 @@ func (j *Journal) flushOnce() {
 		j.lastSync = time.Now()
 		j.fsyncNs.Add(time.Since(t0).Nanoseconds())
 		j.fsyncs.Add(1)
+		j.opts.FsyncHist.ObserveSince(t0)
 	}
 	j.batches.Add(1)
 	if n := int64(b.n); n > j.maxN.Load() {

@@ -10,6 +10,14 @@
 // HTTP surface: both backends implement the same core Service
 // interface behind one handler set (see internal/server).
 //
+// With -shards, the server runs neither backend locally: it becomes a
+// cluster gateway over remote city shard processes (cmd/ptrider-shard),
+// one per address, routing requests to shards by city and serving
+// cross-city trips through the gateway-side relay scheduler — the same
+// /v1 surface a third time, over sockets (see internal/cluster).
+// Addresses are host:port, optionally name-prefixed ("east=host:port")
+// to pick the served city names.
+//
 // With -realtime, simulated time advances with wall-clock time in the
 // background, like the live demo, feeding GET /v1/events; otherwise
 // advance it manually via POST /v1/ticks.
@@ -37,6 +45,7 @@
 //
 //	ptrider-server -addr :8080 -width 40 -height 40 -taxis 500 -realtime
 //	ptrider-server -addr :8080 -cities "east:40x40:500,west:28x28:200" -relay
+//	ptrider-server -addr :8080 -shards "east=localhost:9101,west=localhost:9102"
 //	ptrider-server -addr :8080 -wal-dir /var/lib/ptrider/wal -wal-mode sync
 //
 // Endpoints (see internal/server for the full reference):
@@ -63,9 +72,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ptrider/internal/cluster"
 	"ptrider/internal/core"
 	"ptrider/internal/gen"
 	"ptrider/internal/multicity"
@@ -84,6 +95,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		realtime   = flag.Bool("realtime", false, "advance simulated time with wall-clock time")
 		cities     = flag.String("cities", "", `multi-city spec "name:WxH:taxis,..." (overrides -width/-height/-taxis)`)
+		shards     = flag.String("shards", "", `cluster gateway mode: comma-separated shard addresses "[name=]host:port,..." (overrides -cities)`)
 		relayOn    = flag.Bool("relay", false, "serve cross-city trips as two-leg relay trips (with -cities)")
 		tickW      = flag.Int("tick-workers", 0, "parallel tick shard width, divided across cities (0 = one per CPU, 1 = serial)")
 		walDir     = flag.String("wal-dir", "", "write-ahead log directory (empty = durability off; multi-city shards get per-city subdirectories)")
@@ -113,7 +125,7 @@ func main() {
 		reg = telemetry.NewRegistry()
 	}
 	svc, banner, err := buildService(buildConfig{
-		cities: *cities, width: *width, height: *height, taxis: *taxis,
+		cities: *cities, shards: *shards, width: *width, height: *height, taxis: *taxis,
 		algoName: *algo, seed: *seed, relayOn: *relayOn, tickWorkers: *tickW,
 		durability: mode, walDir: *walDir, snapshotEvery: *snapEvery,
 		surge: *surgeOn, surgeEpoch: *surgeEpoch, telemetry: reg,
@@ -198,6 +210,7 @@ func main() {
 // buildConfig carries the service-construction flags.
 type buildConfig struct {
 	cities        string
+	shards        string
 	width, height int
 	taxis         int
 	algoName      string
@@ -221,6 +234,19 @@ func buildService(bc buildConfig) (core.Service, string, error) {
 	algo, err := core.ParseAlgorithm(bc.algoName)
 	if err != nil {
 		return nil, "", err
+	}
+	if bc.shards != "" {
+		addrs := strings.Split(bc.shards, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		gw, err := cluster.NewGateway(addrs, cluster.GatewayConfig{
+			Registry: bc.telemetry,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return gw, fmt.Sprintf("%d remote city shards (gateway mode)", len(addrs)), nil
 	}
 	if bc.cities != "" {
 		router, err := multicity.BuildFromSpecWithConfig(bc.cities,

@@ -1,0 +1,578 @@
+// client.go is the gateway's half of the shard RPC surface: a pooled
+// HTTP client around one remote city shard. A ShardClient implements
+// relay.LegEngine, so the relay scheduler's probe/commit/compensate
+// protocol runs over real sockets unchanged.
+//
+// Failure discipline:
+//
+//   - Transport failures — dial errors, per-call deadline expiry, a
+//     connection dying mid-response, 5xx bodies that are not the error
+//     envelope — surface as core.ErrUnavailable.
+//   - Idempotent calls (reads, and submits carrying a generated
+//     idempotency key) retry with bounded exponential backoff before
+//     giving up.
+//   - Commit-like calls (choose, decline, cancel) are not blindly
+//     retried: a transport failure leaves them ambiguous — the shard
+//     may have journaled the mutation before dying. The client
+//     resolves the ambiguity by re-reading the record: if the
+//     mutation's outcome is visible the call succeeded; if the record
+//     is untouched one retry is safe; otherwise the ambiguity is
+//     surfaced as ErrUnavailable for the caller (the relay scheduler's
+//     deferred compensation) to resolve later.
+//   - Advance is never retried: double-ticking a shard would skew its
+//     clock against the fleet.
+//
+// Immutable per-city data — the road graph, the speed and quoting
+// limits — is fetched once at dial time; slowly-changing data (params,
+// the fleet-size meta) sits behind a small TTL cache.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/relay"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
+)
+
+// ClientConfig tunes a ShardClient. The zero value means defaults.
+type ClientConfig struct {
+	// Timeout is the per-call deadline (0 = 5s).
+	Timeout time.Duration
+	// DialTimeout bounds the startup readiness wait: Dial polls the
+	// shard's /v1/readyz until it answers 200 or this elapses (0 = 10s).
+	DialTimeout time.Duration
+	// Retries is how many times an idempotent call is retried after a
+	// transport failure (0 = 3; negative = none).
+	Retries int
+	// RetryBackoff is the first retry's backoff, doubling per attempt
+	// (0 = 50ms).
+	RetryBackoff time.Duration
+	// CacheTTL bounds the params/meta cache staleness (0 = 2s).
+	CacheTTL time.Duration
+	// Registry, when non-nil, receives the per-shard RPC telemetry:
+	// cluster_rpc_seconds (latency), cluster_rpc_errors_total,
+	// cluster_rpc_retries_total, labeled shard=<addr>.
+	Registry *telemetry.Registry
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 2 * time.Second
+	}
+	return c
+}
+
+// cached is one TTL cache slot.
+type cached[T any] struct {
+	val T
+	exp time.Time
+}
+
+// ShardClient speaks the shard RPC surface for one remote city. It
+// implements relay.LegEngine; all methods are safe for concurrent use.
+type ShardClient struct {
+	addr string // normalised base URL
+	hc   *http.Client
+	cfg  ClientConfig
+
+	// Dial-time immutable city description.
+	meta  metaWire
+	graph *roadnet.Graph
+
+	mu          sync.Mutex
+	metaCache   cached[metaWire]
+	paramsCache cached[core.ServiceParams]
+
+	rpcLat     *telemetry.LatencyHist
+	rpcErrs    *telemetry.Counter
+	rpcRetries *telemetry.Counter
+}
+
+// ShardClient drives relay legs over the wire.
+var _ relay.LegEngine = (*ShardClient)(nil)
+
+// Dial connects to a shard at addr ("host:port" or a full URL), waits
+// for its readiness probe, and caches the immutable city description
+// (meta, road graph).
+func Dial(addr string, cfg ClientConfig) (*ShardClient, error) {
+	cfg = cfg.withDefaults()
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	c := &ShardClient{
+		addr: base,
+		hc:   &http.Client{Transport: http.DefaultTransport.(*http.Transport).Clone()},
+		cfg:  cfg,
+		rpcLat: cfg.Registry.LatencyHist("cluster_rpc_seconds",
+			"shard RPC round-trip latency", telemetry.Label{Name: "shard", Value: addr}),
+		rpcErrs: cfg.Registry.Counter("cluster_rpc_errors_total",
+			"shard RPC calls that failed after retries", telemetry.Label{Name: "shard", Value: addr}),
+		rpcRetries: cfg.Registry.Counter("cluster_rpc_retries_total",
+			"shard RPC transport retries", telemetry.Label{Name: "shard", Value: addr}),
+	}
+
+	// Startup health check: the shard may still be replaying its WAL
+	// (or not listening yet); poll readiness until the dial deadline.
+	deadline := time.Now().Add(cfg.DialTimeout)
+	for {
+		err := c.Ready()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: shard %s not ready: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if err := c.call(http.MethodGet, "/rpc/meta", nil, &c.meta, true); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s meta: %w", addr, err)
+	}
+	body, err := c.fetch("/rpc/graph")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s graph: %w", addr, err)
+	}
+	g, err := roadnet.ReadGraph(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s graph decode: %w", addr, err)
+	}
+	c.graph = g
+	return c, nil
+}
+
+// Addr returns the shard's base URL.
+func (c *ShardClient) Addr() string { return c.addr }
+
+// Close releases the client's pooled connections.
+func (c *ShardClient) Close() { c.hc.CloseIdleConnections() }
+
+// unavailable wraps a transport-level failure as core.ErrUnavailable.
+func unavailable(format string, args ...any) error {
+	return fmt.Errorf("cluster: "+format+": %w", append(args, core.ErrUnavailable)...)
+}
+
+// once performs one HTTP round trip and decodes the reply. Failures
+// below the envelope are ErrUnavailable; enveloped errors decode to
+// their typed core error.
+func (c *ShardClient) once(method, path string, body []byte, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.addr+path, rd)
+	if err != nil {
+		return unavailable("%s %s: %v", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return unavailable("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return unavailable("%s %s: read: %v", method, path, err)
+	}
+	c.rpcLat.ObserveSince(start)
+	if resp.StatusCode != http.StatusOK {
+		var env wireEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return decodeWireError(env.Error)
+		}
+		return unavailable("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return unavailable("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return nil
+}
+
+// call marshals in, performs the round trip, and — when idempotent —
+// retries transport failures with exponential backoff.
+func (c *ShardClient) call(method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("cluster: %s %s: encode: %w", method, path, err)
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.cfg.Retries
+	}
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.rpcRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err := c.once(method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrUnavailable) {
+			return err
+		}
+		lastErr = err
+	}
+	c.rpcErrs.Inc()
+	return lastErr
+}
+
+// fetch GETs a raw (non-JSON) body with idempotent retries.
+func (c *ShardClient) fetch(path string) ([]byte, error) {
+	var out []byte
+	attempts := 1 + c.cfg.Retries
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.rpcRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addr+path, nil)
+		if err != nil {
+			cancel()
+			return nil, unavailable("GET %s: %v", path, err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = unavailable("GET %s: %v", path, err)
+			continue
+		}
+		out, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			lastErr = unavailable("GET %s: read: %v", path, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = unavailable("GET %s: status %d", path, resp.StatusCode)
+			continue
+		}
+		return out, nil
+	}
+	c.rpcErrs.Inc()
+	return nil, lastErr
+}
+
+// Ready probes the shard's /v1/readyz once (no retries — readiness
+// polling is the caller's loop).
+func (c *ShardClient) Ready() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addr+"/v1/readyz", nil)
+	if err != nil {
+		return unavailable("readyz: %v", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return unavailable("readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return unavailable("readyz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// newIdemKey mints the idempotency key a submit reuses across its
+// transport retries.
+func newIdemKey() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return "gw-" + hex.EncodeToString(b[:])
+}
+
+// --- relay.LegEngine ---
+
+// Graph returns the dial-time road network snapshot.
+func (c *ShardClient) Graph() *roadnet.Graph { return c.graph }
+
+// Speed returns the city's vehicle speed in metres per second.
+func (c *ShardClient) Speed() float64 { return c.meta.Speed }
+
+// LegLimits returns the city-global waiting-time and pick-up budgets.
+func (c *ShardClient) LegLimits() (maxWait, maxPickup float64) {
+	return c.meta.MaxWaitSeconds, c.meta.MaxPickupSeconds
+}
+
+// SubmitWithConstraints quotes one request, minting an idempotency key
+// so transport retries cannot double-submit.
+func (c *ShardClient) SubmitWithConstraints(s, d roadnet.VertexID, riders int, cons core.Constraints) (*core.RequestRecord, error) {
+	return c.SubmitIdem(s, d, riders, cons, "")
+}
+
+// SubmitIdem quotes one request under the given idempotency key (""
+// mints one). The key makes the retried POST safe: a replay answers
+// with the original record.
+func (c *ShardClient) SubmitIdem(s, d roadnet.VertexID, riders int, cons core.Constraints, idemKey string) (*core.RequestRecord, error) {
+	if idemKey == "" {
+		idemKey = newIdemKey()
+	}
+	var rec core.RequestRecord
+	err := c.call(http.MethodPost, "/rpc/submit", submitWire{
+		S: s, D: d, Riders: riders, Constraints: cons, IdemKey: idemKey,
+	}, &rec, idemKey != "")
+	if err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Request reads one record.
+func (c *ShardClient) Request(id core.RequestID) (*core.RequestRecord, error) {
+	var rec core.RequestRecord
+	if err := c.call(http.MethodGet, fmt.Sprintf("/rpc/requests/%d", id), nil, &rec, true); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Choose commits option optionIndex of request id. A transport failure
+// is ambiguous — the shard may have journaled the commit before dying —
+// so the record is re-read: a visible commit of the same option counts
+// as success, an untouched quote earns one retry, anything else keeps
+// the ErrUnavailable for the caller's deferred reconciliation.
+func (c *ShardClient) Choose(id core.RequestID, optionIndex int) error {
+	err := c.call(http.MethodPost, "/rpc/choose", chooseWire{ID: id, Option: optionIndex}, nil, false)
+	if err == nil || !errors.Is(err, core.ErrUnavailable) {
+		return err
+	}
+	rec, rerr := c.Request(id)
+	if rerr != nil {
+		return err
+	}
+	switch {
+	case rec.Chosen == optionIndex && rec.Status != core.StatusQuoted && rec.Status != core.StatusDeclined:
+		return nil // the commit landed before the transport died
+	case rec.Status == core.StatusQuoted:
+		return c.call(http.MethodPost, "/rpc/choose", chooseWire{ID: id, Option: optionIndex}, nil, false)
+	}
+	return err
+}
+
+// Decline releases a quoted request, resolving transport ambiguity by
+// re-reading the record (a visible decline counts as success).
+func (c *ShardClient) Decline(id core.RequestID) error {
+	err := c.call(http.MethodPost, "/rpc/decline", idWire{ID: id}, nil, false)
+	if err == nil || !errors.Is(err, core.ErrUnavailable) {
+		return err
+	}
+	rec, rerr := c.Request(id)
+	if rerr != nil {
+		return err
+	}
+	switch rec.Status {
+	case core.StatusDeclined:
+		return nil
+	case core.StatusQuoted:
+		return c.call(http.MethodPost, "/rpc/decline", idWire{ID: id}, nil, false)
+	}
+	return err
+}
+
+// CancelAssigned releases an assigned request's vehicle reservation
+// (the relay compensation verb), with the same read-back ambiguity
+// resolution: a cancelled record reads declined.
+func (c *ShardClient) CancelAssigned(id core.RequestID) error {
+	err := c.call(http.MethodPost, "/rpc/cancel", idWire{ID: id}, nil, false)
+	if err == nil || !errors.Is(err, core.ErrUnavailable) {
+		return err
+	}
+	rec, rerr := c.Request(id)
+	if rerr != nil {
+		return err
+	}
+	switch rec.Status {
+	case core.StatusDeclined:
+		return nil
+	case core.StatusAssigned:
+		return c.call(http.MethodPost, "/rpc/cancel", idWire{ID: id}, nil, false)
+	}
+	return err
+}
+
+// --- gateway support verbs ---
+
+// SubmitBatchQuote runs one shard-side batch. Items carry no choice
+// callbacks (those cannot cross the wire); the gateway commits or
+// declines quoted items with follow-up calls. Not retried: without
+// per-item idempotency keys a replayed batch would double-quote.
+func (c *ShardClient) SubmitBatchQuote(items []submitWire) ([]*core.RequestRecord, error) {
+	var out batchReply
+	if err := c.call(http.MethodPost, "/rpc/submit-batch", batchWire{Items: items}, &out, false); err != nil {
+		return nil, err
+	}
+	var err error
+	if out.Err != nil {
+		err = decodeWireError(*out.Err)
+	}
+	return out.Records, err
+}
+
+// Advance ticks the shard by dt seconds. Never retried: a duplicated
+// tick would advance this city's clock out of lockstep.
+func (c *ShardClient) Advance(dt float64) (clock float64, events []fleet.Event, err error) {
+	var out advanceReply
+	if err := c.call(http.MethodPost, "/rpc/advance", advanceWire{Seconds: dt}, &out, false); err != nil {
+		return 0, nil, err
+	}
+	return out.Clock, out.Events, nil
+}
+
+// Clock reads the shard's simulated clock.
+func (c *ShardClient) Clock() (float64, error) {
+	var out clockReply
+	if err := c.call(http.MethodGet, "/rpc/clock", nil, &out, true); err != nil {
+		return 0, err
+	}
+	return out.Clock, nil
+}
+
+// Stats snapshots the shard's engine panel.
+func (c *ShardClient) Stats() (core.EngineStats, error) {
+	var out core.EngineStats
+	err := c.call(http.MethodGet, "/rpc/stats", nil, &out, true)
+	return out, err
+}
+
+// Requests lists the shard's ledger, id ascending.
+func (c *ShardClient) Requests(filter core.RequestFilter, limit int) ([]*core.RequestRecord, error) {
+	path := fmt.Sprintf("/rpc/requests?limit=%d", limit)
+	if filter.HasStatus {
+		path += "&status=" + filter.Status.String()
+	}
+	var out []*core.RequestRecord
+	if err := c.call(http.MethodGet, path, nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Meta returns the city description, refreshed through the TTL cache
+// (the fleet size moves; the rest is immutable).
+func (c *ShardClient) Meta() metaWire {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Now().Before(c.metaCache.exp) {
+		return c.metaCache.val
+	}
+	var m metaWire
+	if err := c.call(http.MethodGet, "/rpc/meta", nil, &m, true); err != nil {
+		return c.meta // serve the dial-time copy while the shard is away
+	}
+	c.metaCache = cached[metaWire]{val: m, exp: time.Now().Add(c.cfg.CacheTTL)}
+	return m
+}
+
+// Params returns the shard's live settings through the TTL cache.
+func (c *ShardClient) Params() (core.ServiceParams, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Now().Before(c.paramsCache.exp) {
+		return c.paramsCache.val, nil
+	}
+	var p core.ServiceParams
+	if err := c.call(http.MethodGet, "/rpc/params", nil, &p, true); err != nil {
+		return core.ServiceParams{}, err
+	}
+	c.paramsCache = cached[core.ServiceParams]{val: p, exp: time.Now().Add(c.cfg.CacheTTL)}
+	return p, nil
+}
+
+// Surge reads the shard's per-cell surge state.
+func (c *ShardClient) Surge() (*core.SurgeView, error) {
+	var v core.SurgeView
+	if err := c.call(http.MethodGet, "/rpc/surge", nil, &v, true); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// SetAlgorithm switches the shard's matching algorithm (idempotent —
+// setting the same algorithm twice is harmless — so retried).
+func (c *ShardClient) SetAlgorithm(algo core.Algorithm) error {
+	err := c.call(http.MethodPost, "/rpc/algorithm", algoWire{Algorithm: algo.String()}, nil, true)
+	if err == nil {
+		c.mu.Lock()
+		c.paramsCache = cached[core.ServiceParams]{} // params echo the algorithm
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Vehicles lists the shard's vehicle summaries.
+func (c *ShardClient) Vehicles(limit int) ([]core.VehicleView, error) {
+	var out []core.VehicleView
+	if err := c.call(http.MethodGet, fmt.Sprintf("/rpc/vehicles?limit=%d", limit), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VehicleSchedules reads one vehicle's location and schedule branches.
+func (c *ShardClient) VehicleSchedules(id fleet.VehicleID) (roadnet.VertexID, [][]kinetic.Point, error) {
+	var out itineraryWire
+	if err := c.call(http.MethodGet, fmt.Sprintf("/rpc/vehicles/%d", id), nil, &out, true); err != nil {
+		return 0, nil, err
+	}
+	return out.Location, out.Branches, nil
+}
+
+// Telemetry fetches the shard's gathered metric families.
+func (c *ShardClient) Telemetry() ([]telemetry.Family, error) {
+	var out []telemetry.Family
+	if err := c.call(http.MethodGet, "/rpc/telemetry", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

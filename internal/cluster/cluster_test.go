@@ -1,0 +1,720 @@
+// cluster_test.go exercises the shard RPC surface end-to-end over real
+// HTTP listeners: the wire error taxonomy, the client's retry and
+// ambiguity-resolution discipline, gateway routing/aggregation over two
+// shards, the cross-city relay over sockets, and the dead-shard
+// commit-window compensation the cluster's durability story hangs on.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptrider/internal/core"
+	"ptrider/internal/gen"
+	"ptrider/internal/geo"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/relay"
+	"ptrider/internal/roadnet"
+	"ptrider/internal/telemetry"
+)
+
+// fastClient keeps test retries snappy.
+func fastClient() ClientConfig {
+	return ClientConfig{
+		Timeout:      5 * time.Second,
+		DialTimeout:  5 * time.Second,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// newCityEngine builds a synthetic city engine offset to originX in the
+// shared plane (disjoint origins give the gateway disjoint regions).
+func newCityEngine(t testing.TB, w, h int, originX float64, seed int64, vehicles int) *core.Engine {
+	t.Helper()
+	g, err := gen.GenerateNetwork(gen.CityConfig{Width: w, Height: h, OriginX: originX, Seed: seed})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	eng, err := core.NewEngine(g, core.Config{
+		Capacity: 4, Algorithm: core.AlgoDualSide, Seed: seed,
+		Telemetry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	eng.AddVehiclesUniform(vehicles)
+	return eng
+}
+
+// flakyShard wraps a shard handler with a kill switch: while dead, every
+// request aborts without a response — the client sees the same dead
+// socket a SIGKILLed process leaves behind.
+type flakyShard struct {
+	h    http.Handler
+	dead atomic.Bool
+}
+
+func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+func startShard(t testing.TB, eng *core.Engine, opts ShardOptions) (*httptest.Server, *flakyShard) {
+	t.Helper()
+	f := &flakyShard{h: NewShardHandler(eng, opts)}
+	ts := httptest.NewServer(f)
+	t.Cleanup(ts.Close)
+	return ts, f
+}
+
+// twinGateway assembles a two-shard cluster (alpha at the origin, beta
+// at x=20000) and returns the gateway plus the underlying engines and
+// the beta kill switch.
+func twinGateway(t testing.TB, reg *telemetry.Registry) (*Gateway, *core.Engine, *core.Engine, *flakyShard) {
+	t.Helper()
+	engA := newCityEngine(t, 10, 10, 0, 1, 10)
+	engB := newCityEngine(t, 8, 8, 20000, 2, 10)
+	tsA, _ := startShard(t, engA, ShardOptions{})
+	tsB, fB := startShard(t, engB, ShardOptions{})
+	gw, err := NewGateway(
+		[]string{"alpha=" + tsA.URL, "beta=" + tsB.URL},
+		GatewayConfig{
+			Client:   fastClient(),
+			Relay:    relay.Config{TransferBufferSeconds: 120},
+			Registry: reg,
+		})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return gw, engA, engB, fB
+}
+
+// quotedSpec retries coordinate submissions between the two city
+// regions until one quotes a non-empty skyline.
+func quotedSpec(t *testing.T, gw *Gateway, from, to string, rng *rand.Rand) *core.ServiceRecord {
+	t.Helper()
+	gf, err := gw.CityGraph(from)
+	if err != nil {
+		t.Fatalf("graph %s: %v", from, err)
+	}
+	gt, err := gw.CityGraph(to)
+	if err != nil {
+		t.Fatalf("graph %s: %v", to, err)
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		o := gf.Point(pickVertex(rng, gf.NumVertices()))
+		d := gt.Point(pickVertex(rng, gt.NumVertices()))
+		rec, err := gw.SubmitRequest(core.SubmitSpec{ByCoords: true, Origin: o, Dest: d, Riders: 1})
+		if err != nil {
+			t.Fatalf("submit %s->%s: %v", from, to, err)
+		}
+		if len(rec.Options) > 0 {
+			return rec
+		}
+		_ = gw.Decline(rec.ID)
+	}
+	t.Fatalf("no %s->%s quote produced options in 50 attempts", from, to)
+	return nil
+}
+
+func pickVertex(rng *rand.Rand, n int) roadnet.VertexID {
+	return roadnet.VertexID(rng.Intn(n))
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+		is         error
+	}{
+		{&core.CrossCityError{Origin: "a", Dest: "b"}, http.StatusUnprocessableEntity, "cross_city", core.ErrCrossCity},
+		{fmt.Errorf("x: %w", core.ErrAlreadyChosen), http.StatusConflict, "already_chosen", core.ErrAlreadyChosen},
+		{fmt.Errorf("x: %w", core.ErrUnknownCity), http.StatusNotFound, "unknown_city", core.ErrUnknownCity},
+		{fmt.Errorf("x: %w", core.ErrNotFound), http.StatusNotFound, "not_found", core.ErrNotFound},
+		{fmt.Errorf("x: %w", core.ErrNoCity), http.StatusUnprocessableEntity, "no_city", core.ErrNoCity},
+		{fmt.Errorf("x: %w", core.ErrInvalidArgument), http.StatusBadRequest, "invalid_argument", core.ErrInvalidArgument},
+		{fmt.Errorf("x: %w", core.ErrUnavailable), http.StatusServiceUnavailable, "unavailable", core.ErrUnavailable},
+	}
+	for _, c := range cases {
+		status, p := wireErrorOf(c.err)
+		if status != c.wantStatus || p.Code != c.wantCode {
+			t.Errorf("wireErrorOf(%v) = (%d, %q), want (%d, %q)", c.err, status, p.Code, c.wantStatus, c.wantCode)
+		}
+		back := decodeWireError(p)
+		if !errors.Is(back, c.is) {
+			t.Errorf("decodeWireError(%+v) = %v, does not match %v", p, back, c.is)
+		}
+	}
+
+	// The cross-city envelope must reconstruct the typed city pair.
+	_, p := wireErrorOf(&core.CrossCityError{Origin: "east", Dest: "west"})
+	var cce *core.CrossCityError
+	if back := decodeWireError(p); !errors.As(back, &cce) || cce.Origin != "east" || cce.Dest != "west" {
+		t.Errorf("cross-city pair lost in round trip: %v", decodeWireError(p))
+	}
+
+	// Unrecognised codes stay opaque errors, not typed ones.
+	if err := decodeWireError(wireError{Code: "unprocessable", Message: "m"}); errors.Is(err, core.ErrNotFound) || err == nil {
+		t.Errorf("generic code decoded to a typed error: %v", err)
+	}
+}
+
+func TestSanitizeRecordStripsCandidates(t *testing.T) {
+	rec := &core.RequestRecord{
+		ID: 7,
+		Options: []core.Option{
+			{Vehicle: 3, Price: 10, Candidate: kinetic.Candidate{PickupDist: 99, TotalDist: 120}},
+		},
+	}
+	out := sanitizeRecord(rec)
+	if c := out.Options[0].Candidate; c.PickupDist != 0 || c.TotalDist != 0 || c.Seq != nil {
+		t.Fatalf("candidate crossed the wire: %+v", c)
+	}
+	if out.Options[0].Vehicle != 3 || out.Options[0].Price != 10 {
+		t.Fatalf("sanitize mangled the option: %+v", out.Options[0])
+	}
+	if rec.Options[0].Candidate.PickupDist != 99 {
+		t.Fatal("sanitize mutated the engine-owned record")
+	}
+}
+
+func TestShardClientBasics(t *testing.T) {
+	eng := newCityEngine(t, 8, 8, 0, 1, 10)
+	ts, _ := startShard(t, eng, ShardOptions{})
+	c, err := Dial(ts.URL, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// Dial-time immutable city description matches the engine.
+	if got, want := c.Graph().NumVertices(), eng.Graph().NumVertices(); got != want {
+		t.Fatalf("graph vertices %d, want %d", got, want)
+	}
+	if c.Speed() != eng.Speed() {
+		t.Fatalf("speed %v, want %v", c.Speed(), eng.Speed())
+	}
+	wantWait, wantPickup := eng.LegLimits()
+	if gotWait, gotPickup := c.LegLimits(); gotWait != wantWait || gotPickup != wantPickup {
+		t.Fatalf("limits (%v,%v), want (%v,%v)", gotWait, gotPickup, wantWait, wantPickup)
+	}
+
+	// Quote, re-submit under the same idempotency key, commit, read.
+	rec := submitQuotedRemote(t, c)
+	replay, err := c.SubmitIdem(rec.S, rec.D, rec.Riders, core.Constraints{}, "")
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if replay.ID == rec.ID {
+		t.Fatalf("distinct keys must quote distinct requests, both got %d", rec.ID)
+	}
+	_ = c.Decline(replay.ID)
+	if err := c.Choose(rec.ID, 0); err != nil {
+		t.Fatalf("choose: %v", err)
+	}
+	got, err := c.Request(rec.ID)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if got.Status != core.StatusAssigned || got.Chosen != 0 {
+		t.Fatalf("after choose: status %v chosen %d", got.Status, got.Chosen)
+	}
+	for _, o := range got.Options {
+		if o.Candidate.Seq != nil || o.Candidate.TotalDist != 0 {
+			t.Fatalf("candidate leaked over the wire: %+v", o.Candidate)
+		}
+	}
+
+	// Tick, clock, stats, listings.
+	clock, _, err := c.Advance(5)
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	if clock != 5 {
+		t.Fatalf("clock after advance %v, want 5", clock)
+	}
+	if rc, err := c.Clock(); err != nil || rc != 5 {
+		t.Fatalf("clock read %v, %v", rc, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Requests == 0 {
+		t.Fatalf("stats %+v, %v", st, err)
+	}
+	recs, err := c.Requests(core.RequestFilter{}, 0)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("requests listing: %d, %v", len(recs), err)
+	}
+	assigned, err := c.Requests(core.RequestFilter{HasStatus: true, Status: core.StatusAssigned}, 0)
+	if err != nil || len(assigned) != 1 {
+		t.Fatalf("assigned listing: %d, %v", len(assigned), err)
+	}
+
+	views, err := c.Vehicles(0)
+	if err != nil || len(views) != eng.NumVehicles() {
+		t.Fatalf("vehicles: %d, %v", len(views), err)
+	}
+	if _, _, err := c.VehicleSchedules(views[0].ID); err != nil {
+		t.Fatalf("vehicle schedules: %v", err)
+	}
+
+	// Params/surge/algorithm and the fetched telemetry families.
+	if _, err := c.Params(); err != nil {
+		t.Fatalf("params: %v", err)
+	}
+	if _, err := c.Surge(); err != nil {
+		t.Fatalf("surge: %v", err)
+	}
+	if err := c.SetAlgorithm(core.AlgoSingleSide); err != nil {
+		t.Fatalf("set algorithm: %v", err)
+	}
+	fams, err := c.Telemetry()
+	if err != nil || len(fams) == 0 {
+		t.Fatalf("telemetry: %d families, %v", len(fams), err)
+	}
+}
+
+// submitQuotedRemote quotes through the client until a vertex pair
+// yields options.
+func submitQuotedRemote(t *testing.T, c *ShardClient) *core.RequestRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	n := c.Graph().NumVertices()
+	for attempt := 0; attempt < 50; attempt++ {
+		s, d := pickVertex(rng, n), pickVertex(rng, n)
+		if s == d {
+			continue
+		}
+		rec, err := c.SubmitIdem(s, d, 1, core.Constraints{}, "")
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if len(rec.Options) > 0 {
+			return rec
+		}
+		_ = c.Decline(rec.ID)
+	}
+	t.Fatal("no vertex pair quoted options in 50 attempts")
+	return nil
+}
+
+func TestShardClientTypedErrors(t *testing.T) {
+	eng := newCityEngine(t, 6, 6, 0, 1, 5)
+	ts, _ := startShard(t, eng, ShardOptions{})
+	c, err := Dial(ts.URL, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if _, err := c.Request(9999); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("unknown request: %v, want ErrNotFound", err)
+	}
+	if err := c.Choose(9999, 0); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("choose unknown: %v, want ErrNotFound", err)
+	}
+	rec := submitQuotedRemote(t, c)
+	if err := c.Choose(rec.ID, 0); err != nil {
+		t.Fatalf("choose: %v", err)
+	}
+	if err := c.Choose(rec.ID, 0); !errors.Is(err, core.ErrAlreadyChosen) {
+		t.Fatalf("double choose: %v, want ErrAlreadyChosen", err)
+	}
+
+	// A dead listener is ErrUnavailable, not a decode error.
+	ts.Close()
+	if _, err := c.Request(rec.ID); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("dead shard: %v, want ErrUnavailable", err)
+	}
+}
+
+// TestSubmitIdempotentAcrossLostResponse proves the retried POST is
+// safe: the shard executes the submit, the response is lost, and the
+// retry carrying the same generated key replays the original record
+// instead of quoting twice.
+func TestSubmitIdempotentAcrossLostResponse(t *testing.T) {
+	eng := newCityEngine(t, 6, 6, 0, 1, 5)
+	inner := NewShardHandler(eng, ShardOptions{})
+	var eatReplies atomic.Int32
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/rpc/submit" && eatReplies.Add(-1) >= 0 {
+			// Execute the submit for real, then die before replying —
+			// the shape of a shard crashing after the journal append.
+			inner.ServeHTTP(httptest.NewRecorder(), r)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.Retries = 2
+	c, err := Dial(ts.URL, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	eatReplies.Store(1)
+	rec, err := c.SubmitIdem(2, 20, 1, core.Constraints{}, "")
+	if err != nil {
+		t.Fatalf("submit through lost response: %v", err)
+	}
+	recs, err := c.Requests(core.RequestFilter{}, 0)
+	if err != nil {
+		t.Fatalf("requests: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != rec.ID {
+		t.Fatalf("replayed submit duplicated the request: %d records", len(recs))
+	}
+}
+
+// TestChooseAmbiguityResolvedByReadBack pins the client's commit
+// discipline: when the shard commits a choose but dies before replying,
+// the client re-reads the record, sees the commit landed, and reports
+// success instead of surfacing a spurious failure.
+func TestChooseAmbiguityResolvedByReadBack(t *testing.T) {
+	eng := newCityEngine(t, 6, 6, 0, 1, 5)
+	var abortNext atomic.Bool
+	ts, _ := startShard(t, eng, ShardOptions{AfterChoose: func() {
+		if abortNext.CompareAndSwap(true, false) {
+			panic(http.ErrAbortHandler)
+		}
+	}})
+	c, err := Dial(ts.URL, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	rec := submitQuotedRemote(t, c)
+	abortNext.Store(true)
+	if err := c.Choose(rec.ID, 0); err != nil {
+		t.Fatalf("ambiguous choose not resolved: %v", err)
+	}
+	got, err := c.Request(rec.ID)
+	if err != nil || got.Status != core.StatusAssigned {
+		t.Fatalf("after resolved choose: %+v, %v", got, err)
+	}
+}
+
+func TestGatewayRoutingAndAggregation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gw, engA, engB, _ := twinGateway(t, reg)
+
+	if names := gw.CityNames(); len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("city names %v", names)
+	}
+	cities := gw.Cities()
+	if len(cities) != 2 || cities[0].Vertices != engA.Graph().NumVertices() || cities[1].Vertices != engB.Graph().NumVertices() {
+		t.Fatalf("cities %+v", cities)
+	}
+	for _, cr := range gw.ReadyCities() {
+		if !cr.Ready {
+			t.Fatalf("city %s unready: %s", cr.City, cr.Err)
+		}
+	}
+
+	// Same-city submissions land on their shard and come back in the
+	// striped global namespace.
+	rng := rand.New(rand.NewSource(3))
+	recA := quotedSpec(t, gw, "alpha", "alpha", rng)
+	recB := quotedSpec(t, gw, "beta", "beta", rng)
+	if recA.City != "alpha" || recB.City != "beta" {
+		t.Fatalf("misrouted: %q and %q", recA.City, recB.City)
+	}
+	if recA.ID%2 != 0 || recB.ID%2 != 1 {
+		t.Fatalf("global ids not striped: alpha %d, beta %d", recA.ID, recB.ID)
+	}
+	if err := gw.Choose(recA.ID, 0); err != nil {
+		t.Fatalf("choose: %v", err)
+	}
+	got, err := gw.GetRequest(recA.ID)
+	if err != nil || got.Status != core.StatusAssigned || got.City != "alpha" {
+		t.Fatalf("get after choose: %+v, %v", got, err)
+	}
+	if err := gw.Decline(recB.ID); err != nil {
+		t.Fatalf("decline: %v", err)
+	}
+
+	// Merged listings are globally sorted; city scoping works.
+	all, err := gw.Requests("", core.RequestFilter{}, 0)
+	if err != nil || len(all) < 2 {
+		t.Fatalf("merged listing: %d, %v", len(all), err)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("listing unsorted at %d: %d >= %d", i, all[i-1].ID, all[i].ID)
+		}
+	}
+	onlyBeta, err := gw.Requests("beta", core.RequestFilter{}, 0)
+	if err != nil {
+		t.Fatalf("scoped listing: %v", err)
+	}
+	for _, r := range onlyBeta {
+		if r.City != "beta" {
+			t.Fatalf("beta listing leaked %q", r.City)
+		}
+	}
+
+	// City-scoped verbs route and rename; bad cities are typed errors.
+	if p, err := gw.Params("beta"); err != nil || p.City != "beta" {
+		t.Fatalf("params: %+v, %v", p, err)
+	}
+	if v, err := gw.Surge("alpha"); err != nil || v.City != "alpha" {
+		t.Fatalf("surge: %v", err)
+	}
+	if _, err := gw.Vehicles("nowhere", 0); !errors.Is(err, core.ErrUnknownCity) {
+		t.Fatalf("unknown city: %v", err)
+	}
+	if _, err := gw.Params(""); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("missing city: %v", err)
+	}
+	if err := gw.SetCityAlgorithm("beta", core.AlgoSingleSide); err != nil {
+		t.Fatalf("set algorithm: %v", err)
+	}
+
+	// Fan-out tick: both engines move, the clock is the fleet maximum.
+	if _, err := gw.Advance(10); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	if gw.Clock() != 10 {
+		t.Fatalf("clock %v, want 10", gw.Clock())
+	}
+	if engA.Clock() != 10 || engB.Clock() != 10 {
+		t.Fatalf("shard clocks (%v, %v), want lockstep 10", engA.Clock(), engB.Clock())
+	}
+	if _, err := gw.Advance(-1); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("negative tick: %v", err)
+	}
+
+	// Aggregated statistics fold both panels.
+	st := gw.ServiceStats()
+	if !st.Multi || !st.RelayEnabled || len(st.Cities) != 2 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	if want := st.Cities["alpha"].Requests + st.Cities["beta"].Requests; st.Total.Requests != want {
+		t.Fatalf("total requests %d, want %d", st.Total.Requests, want)
+	}
+
+	// Merged telemetry carries the gateway's RPC families and the
+	// city-labeled shard families.
+	fams := gw.MetricFamilies()
+	var sawRPC, sawCityLabel bool
+	for _, f := range fams {
+		if f.Name == "cluster_rpc_seconds" {
+			sawRPC = true
+		}
+		for _, s := range f.Series {
+			for _, l := range s.Labels {
+				if l.Name == "city" && (l.Value == "alpha" || l.Value == "beta") {
+					sawCityLabel = true
+				}
+			}
+		}
+	}
+	if !sawRPC || !sawCityLabel {
+		t.Fatalf("telemetry merge missing families: rpc=%v cityLabel=%v", sawRPC, sawCityLabel)
+	}
+}
+
+func TestGatewayBatch(t *testing.T) {
+	gw, _, _, _ := twinGateway(t, nil)
+	ga, _ := gw.CityGraph("alpha")
+	gb, _ := gw.CityGraph("beta")
+
+	// Non-interactive batch: the /v1 shape — one shard-side batch call
+	// per city, quotes returned.
+	specs := []core.SubmitSpec{
+		{ByCoords: true, Origin: ga.Point(2), Dest: ga.Point(40), Riders: 1},
+		{ByCoords: true, Origin: gb.Point(3), Dest: gb.Point(30), Riders: 1},
+		{ByCoords: true, Origin: ga.Point(5), Dest: ga.Point(50), Riders: 1},
+	}
+	recs, err := gw.SubmitRequestBatch(specs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(recs) != 3 || recs[0] == nil || recs[1] == nil || recs[2] == nil {
+		t.Fatalf("batch records: %+v", recs)
+	}
+	if recs[0].City != "alpha" || recs[1].City != "beta" || recs[2].City != "alpha" {
+		t.Fatalf("batch routing: %q %q %q", recs[0].City, recs[1].City, recs[2].City)
+	}
+
+	// Interactive batch: choice callbacks commit gateway-side.
+	committed := 0
+	ispecs := []core.SubmitSpec{
+		{ByCoords: true, Origin: ga.Point(7), Dest: ga.Point(44), Riders: 1,
+			Choose: func(options []core.Option) int {
+				if len(options) > 0 {
+					committed++
+					return 0
+				}
+				return -1
+			}},
+	}
+	irecs, err := gw.SubmitRequestBatch(ispecs)
+	if err != nil {
+		t.Fatalf("interactive batch: %v", err)
+	}
+	if irecs[0] == nil {
+		t.Fatal("interactive batch returned no record")
+	}
+	if committed == 1 && irecs[0].Status != core.StatusAssigned {
+		t.Fatalf("chosen batch item not assigned: %v", irecs[0].Status)
+	}
+	if committed == 0 && irecs[0].Status != core.StatusDeclined {
+		t.Fatalf("empty-skyline batch item not declined: %v", irecs[0].Status)
+	}
+}
+
+func TestGatewayCrossCityRelay(t *testing.T) {
+	gw, engA, engB, _ := twinGateway(t, nil)
+	rng := rand.New(rand.NewSource(21))
+	rec := quotedSpec(t, gw, "alpha", "beta", rng)
+
+	if rec.ID >= 0 {
+		t.Fatalf("relay trip id %d not in the negative namespace", rec.ID)
+	}
+	if rec.City != "alpha" || rec.Relay == nil || rec.Relay.Dest != "beta" {
+		t.Fatalf("relay record misshapen: city %q relay %+v", rec.City, rec.Relay)
+	}
+
+	if err := gw.Choose(rec.ID, 0); err != nil {
+		t.Fatalf("relay choose over sockets: %v", err)
+	}
+	got, err := gw.GetRequest(rec.ID)
+	if err != nil || got.Status != core.StatusAssigned {
+		t.Fatalf("relay trip after choose: %+v, %v", got, err)
+	}
+	if _, err := gw.RelayItinerary(rec.ID); err != nil {
+		t.Fatalf("relay itinerary: %v", err)
+	}
+	// The two-phase commit booked real legs on both remote engines.
+	if engA.Stats().Assigned == 0 {
+		t.Fatal("origin engine holds no assigned leg")
+	}
+	if engB.Stats().Assigned == 0 {
+		t.Fatal("destination engine holds no assigned leg")
+	}
+	st := gw.ServiceStats()
+	if st.Relay.Committed == 0 {
+		t.Fatalf("relay stats did not count the commit: %+v", st.Relay)
+	}
+}
+
+// TestGatewayCompensatesDeadShardCommit drives the acceptance
+// scenario in-process: the destination shard dies inside the two-phase
+// commit window, the gateway defers compensation, and the next Advance
+// after the shard returns releases the leaked leg-1 reservation.
+func TestGatewayCompensatesDeadShardCommit(t *testing.T) {
+	gw, engA, _, betaSwitch := twinGateway(t, nil)
+	rng := rand.New(rand.NewSource(5))
+	rec := quotedSpec(t, gw, "alpha", "beta", rng)
+
+	baseAssigned := engA.Stats().Assigned
+	sched := gw.RelayScheduler()
+	sched.SetCommitOverride(func(leg int, eng relay.LegEngine, id core.RequestID, opt int) error {
+		if leg == 2 {
+			betaSwitch.dead.Store(true) // the shard dies before leg 2 lands
+		}
+		return eng.Choose(id, opt)
+	})
+	err := gw.Choose(rec.ID, 0)
+	sched.SetCommitOverride(nil)
+	if !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("commit against a dead shard: %v, want ErrUnavailable", err)
+	}
+	if got := sched.PendingCompensations(); got != 1 {
+		t.Fatalf("pending compensations %d, want 1", got)
+	}
+	if engA.Stats().Assigned != baseAssigned+1 {
+		t.Fatalf("leg-1 reservation not held: assigned %d", engA.Stats().Assigned)
+	}
+
+	// While the shard is down the tick keeps the trip parked.
+	if _, err := gw.Advance(1); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("advance with a dead shard: %v", err)
+	}
+	if got := sched.PendingCompensations(); got != 1 {
+		t.Fatalf("pending drained against a dead shard: %d", got)
+	}
+
+	// Shard returns; the next tick drains the deferred compensation.
+	betaSwitch.dead.Store(false)
+	if _, err := gw.Advance(1); err != nil {
+		t.Fatalf("advance after recovery: %v", err)
+	}
+	if got := sched.PendingCompensations(); got != 0 {
+		t.Fatalf("pending compensations %d after drain, want 0", got)
+	}
+	if engA.Stats().Assigned != baseAssigned {
+		t.Fatalf("leg-1 reservation leaked: assigned %d, want %d", engA.Stats().Assigned, baseAssigned)
+	}
+	got, err := gw.GetRequest(rec.ID)
+	if err != nil || got.Status != core.StatusDeclined {
+		t.Fatalf("trip after compensation: %+v, %v", got, err)
+	}
+}
+
+func TestGatewaySingleShard(t *testing.T) {
+	eng := newCityEngine(t, 6, 6, 0, 1, 5)
+	ts, _ := startShard(t, eng, ShardOptions{})
+	gw, err := NewGateway([]string{"solo=" + ts.URL}, GatewayConfig{Client: fastClient()})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	defer gw.Close()
+
+	if gw.RelayScheduler() != nil {
+		t.Fatal("one-shard gateway built a relay scheduler")
+	}
+	// Coordinates outside the only region are a typed no-city error.
+	far := geo.Point{X: 1e7, Y: 1e7}
+	if _, err := gw.SubmitRequest(core.SubmitSpec{ByCoords: true, Origin: far, Dest: far}); !errors.Is(err, core.ErrNoCity) {
+		t.Fatalf("out-of-region submit: %v", err)
+	}
+	// Negative ids have no relay to resolve against.
+	if _, err := gw.GetRequest(-1); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("negative id without relay: %v", err)
+	}
+	if err := gw.Choose(-1, 0); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("negative choose without relay: %v", err)
+	}
+	st := gw.ServiceStats()
+	if st.RelayEnabled {
+		t.Fatal("one-shard stats claim relay")
+	}
+}
+
+// TestGatewayDialFailsClosed pins startup behavior: a gateway with an
+// unreachable shard refuses to assemble instead of serving a partial
+// cluster.
+func TestGatewayDialFailsClosed(t *testing.T) {
+	eng := newCityEngine(t, 6, 6, 0, 1, 5)
+	ts, _ := startShard(t, eng, ShardOptions{})
+	cfg := fastClient()
+	cfg.DialTimeout = 300 * time.Millisecond
+	_, err := NewGateway([]string{"a=" + ts.URL, "b=127.0.0.1:1"}, GatewayConfig{Client: cfg})
+	if err == nil {
+		t.Fatal("gateway assembled over an unreachable shard")
+	}
+	if !strings.Contains(err.Error(), "127.0.0.1:1") {
+		t.Fatalf("dial error does not name the shard: %v", err)
+	}
+	// Duplicate names are a configuration error.
+	if _, err := NewGateway([]string{"x=" + ts.URL, "x=" + ts.URL}, GatewayConfig{Client: cfg}); !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("duplicate names: %v", err)
+	}
+}

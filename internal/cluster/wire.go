@@ -1,0 +1,208 @@
+// Package cluster runs the multi-city service over processes: each
+// city lives in its own shard process (cmd/ptrider-shard) wrapping one
+// WAL-backed core.Engine, and a Gateway — a third core.Service
+// implementation next to *core.Engine and *multicity.Router — routes
+// requests to shards by city, fans batches, ticks and statistics out
+// concurrently, and runs the cross-city relay scheduler over real
+// sockets.
+//
+// wire.go is the shared vocabulary of the shard RPC surface: the
+// request/reply payload structs and the error envelope. The envelope
+// reuses the /v1 convention ({"error":{"code","message",...}}), and
+// the code set is exactly the /v1 classification (see
+// internal/server.classify), so the client can decode a shard error
+// back into the typed core error the caller would have seen from an
+// in-process engine. Anything that fails below HTTP — dial errors,
+// timeouts, a shard dying mid-response — decodes to
+// core.ErrUnavailable, the signal the relay scheduler answers with
+// deferred compensation rather than an abort.
+//
+// Records crossing the wire are sanitised: core.Option.Candidate (the
+// kinetic-tree insertion snapshot) never leaves the shard — commits
+// happen shard-side by option index, and remote callers only need the
+// vehicle, pick-up distance and price.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ptrider/internal/core"
+	"ptrider/internal/fleet"
+	"ptrider/internal/geo"
+	"ptrider/internal/kinetic"
+	"ptrider/internal/roadnet"
+)
+
+// wireError is the error payload of the shard RPC envelope — the same
+// shape the /v1 surface emits.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Origin and Dest carry the city pair of a cross_city rejection.
+	Origin string `json:"origin,omitempty"`
+	Dest   string `json:"dest,omitempty"`
+}
+
+// wireEnvelope wraps a wireError for transport.
+type wireEnvelope struct {
+	Error wireError `json:"error"`
+}
+
+// wireErrorOf classifies err into (HTTP status, envelope payload),
+// mirroring the /v1 classification exactly so decodeWireError is its
+// inverse.
+func wireErrorOf(err error) (int, wireError) {
+	p := wireError{Message: err.Error()}
+	var cce *core.CrossCityError
+	switch {
+	case errors.As(err, &cce):
+		p.Code, p.Origin, p.Dest = "cross_city", cce.Origin, cce.Dest
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrCrossCity):
+		p.Code = "cross_city"
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrAlreadyChosen):
+		p.Code = "already_chosen"
+		return http.StatusConflict, p
+	case errors.Is(err, core.ErrUnknownCity):
+		p.Code = "unknown_city"
+		return http.StatusNotFound, p
+	case errors.Is(err, core.ErrNotFound):
+		p.Code = "not_found"
+		return http.StatusNotFound, p
+	case errors.Is(err, core.ErrNoCity):
+		p.Code = "no_city"
+		return http.StatusUnprocessableEntity, p
+	case errors.Is(err, core.ErrInvalidArgument):
+		p.Code = "invalid_argument"
+		return http.StatusBadRequest, p
+	case errors.Is(err, core.ErrUnavailable):
+		p.Code = "unavailable"
+		return http.StatusServiceUnavailable, p
+	}
+	p.Code = "unprocessable"
+	return http.StatusUnprocessableEntity, p
+}
+
+// decodeWireError maps an envelope back onto the typed core errors, so
+// errors.Is works identically against a remote shard and an in-process
+// engine.
+func decodeWireError(p wireError) error {
+	switch p.Code {
+	case "cross_city":
+		if p.Origin != "" || p.Dest != "" {
+			return &core.CrossCityError{Origin: p.Origin, Dest: p.Dest}
+		}
+		return fmt.Errorf("%s: %w", p.Message, core.ErrCrossCity)
+	case "already_chosen":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrAlreadyChosen)
+	case "unknown_city":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrUnknownCity)
+	case "not_found":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrNotFound)
+	case "no_city":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrNoCity)
+	case "invalid_argument":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrInvalidArgument)
+	case "unavailable":
+		return fmt.Errorf("%s: %w", p.Message, core.ErrUnavailable)
+	}
+	return errors.New(p.Message)
+}
+
+// submitWire is the POST /rpc/submit payload. IdemKey makes retries
+// safe: the client generates one key per logical submission and reuses
+// it across transport retries, and the shard's idempotent submit path
+// (core.Engine.SubmitIdem) answers a replay with the original record.
+type submitWire struct {
+	S           roadnet.VertexID `json:"s"`
+	D           roadnet.VertexID `json:"d"`
+	Riders      int              `json:"riders"`
+	Constraints core.Constraints `json:"constraints"`
+	IdemKey     string           `json:"idem_key,omitempty"`
+}
+
+// batchWire is the POST /rpc/submit-batch payload: quote-only — rider
+// choice callbacks cannot cross a socket, so the gateway commits or
+// declines each quoted item with follow-up choose/decline calls.
+type batchWire struct {
+	Items []submitWire `json:"items"`
+}
+
+// batchReply carries one record per batch item, order-preserving, with
+// null entries for failed items and the first error enveloped.
+type batchReply struct {
+	Records []*core.RequestRecord `json:"records"`
+	Err     *wireError            `json:"error,omitempty"`
+}
+
+// chooseWire is the POST /rpc/choose payload.
+type chooseWire struct {
+	ID     core.RequestID `json:"id"`
+	Option int            `json:"option"`
+}
+
+// idWire addresses one request (decline, cancel).
+type idWire struct {
+	ID core.RequestID `json:"id"`
+}
+
+// advanceWire is the POST /rpc/advance payload.
+type advanceWire struct {
+	Seconds float64 `json:"seconds"`
+}
+
+// advanceReply returns the shard clock after the tick plus the
+// city-local movement events.
+type advanceReply struct {
+	Clock  float64       `json:"clock"`
+	Events []fleet.Event `json:"events"`
+}
+
+// clockReply is the GET /rpc/clock body.
+type clockReply struct {
+	Clock float64 `json:"clock"`
+}
+
+// metaWire is the GET /rpc/meta body: the immutable city description a
+// client caches at dial time (plus the fleet size, which the gateway
+// refreshes through its TTL cache for /v1/cities).
+type metaWire struct {
+	City             string   `json:"city"`
+	Vertices         int      `json:"vertices"`
+	Vehicles         int      `json:"vehicles"`
+	Region           geo.Rect `json:"region"`
+	Speed            float64  `json:"speed"`
+	MaxWaitSeconds   float64  `json:"max_wait_seconds"`
+	MaxPickupSeconds float64  `json:"max_pickup_seconds"`
+}
+
+// algoWire is the POST /rpc/algorithm payload.
+type algoWire struct {
+	Algorithm string `json:"algorithm"`
+}
+
+// itineraryWire is the GET /rpc/vehicles/{id} body.
+type itineraryWire struct {
+	Vehicle  fleet.VehicleID   `json:"vehicle"`
+	Location roadnet.VertexID  `json:"location"`
+	Branches [][]kinetic.Point `json:"branches"`
+}
+
+// sanitizeRecord strips the shard-local kinetic candidates from a
+// record's options before it crosses the wire (commits are by option
+// index, shard-side; the candidate snapshot is meaningless remotely
+// and dominates the payload).
+func sanitizeRecord(rec *core.RequestRecord) *core.RequestRecord {
+	cp := *rec
+	if len(cp.Options) > 0 {
+		cp.Options = make([]core.Option, len(rec.Options))
+		for i, o := range rec.Options {
+			o.Candidate = kinetic.Candidate{}
+			cp.Options[i] = o
+		}
+	}
+	return &cp
+}

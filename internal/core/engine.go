@@ -543,6 +543,22 @@ func (e *Engine) Speed() float64 { return e.sub.speed }
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.sub.cfg }
 
+// LegLimits returns the global waiting-time and planned-pick-up
+// budgets relay leg quoting widens by the transfer buffer. Part of the
+// relay.LegEngine contract, which remote shard clients also satisfy.
+func (e *Engine) LegLimits() (maxWait, maxPickup float64) {
+	return e.sub.cfg.MaxWaitSeconds, e.sub.cfg.MaxPickupSeconds
+}
+
+// ReadyCities reports the single city's readiness (see Ready).
+func (e *Engine) ReadyCities() []CityReadiness {
+	cr := CityReadiness{City: DefaultCityName, Ready: true}
+	if err := e.Ready(); err != nil {
+		cr.Ready, cr.Err = false, err.Error()
+	}
+	return []CityReadiness{cr}
+}
+
 // Clock returns the simulated time in seconds.
 func (e *Engine) Clock() float64 {
 	return math.Float64frombits(e.clockBits.Load())

@@ -54,6 +54,12 @@ var (
 	// ErrUnknownCity matches lookups of a city name the backend does
 	// not own.
 	ErrUnknownCity = errors.New("unknown city")
+	// ErrUnavailable marks a backend (a remote city shard, typically)
+	// that could not be reached or did not answer in time. The request
+	// may or may not have taken effect — callers that mutated state
+	// must reconcile by re-reading it once the backend returns. HTTP
+	// answers 503.
+	ErrUnavailable = errors.New("backend unavailable")
 )
 
 // CrossCityError reports a rejected cross-city trip with the two cities
@@ -251,6 +257,15 @@ type CityInfo struct {
 	Vertices int
 	Vehicles int
 	Region   geo.Rect
+}
+
+// CityReadiness is one city's readiness probe result — the per-city
+// row of the /v1/readyz detail body. For remote backends Err carries
+// the transport failure ("dial tcp ...") of an unreachable shard.
+type CityReadiness struct {
+	City  string `json:"city"`
+	Ready bool   `json:"ready"`
+	Err   string `json:"error,omitempty"`
 }
 
 // ServiceParams is one city's live settings panel.

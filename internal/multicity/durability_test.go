@@ -65,7 +65,7 @@ func crashRelayCommitWindow(t *testing.T, r *multicity.Router) *multicity.Record
 	t.Helper()
 	rng := rand.New(rand.NewSource(21))
 	rec := quoteRelay(t, r, "alpha", "beta", rng)
-	r.RelayScheduler().SetCommitOverride(func(leg int, eng *core.Engine, id core.RequestID, opt int) error {
+	r.RelayScheduler().SetCommitOverride(func(leg int, eng relay.LegEngine, id core.RequestID, opt int) error {
 		if leg == 1 {
 			return eng.Choose(id, opt)
 		}

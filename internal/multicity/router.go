@@ -312,6 +312,18 @@ func (r *Router) Ready() error {
 	return nil
 }
 
+// ReadyCities reports per-city readiness detail (see /v1/readyz).
+func (r *Router) ReadyCities() []core.CityReadiness {
+	out := make([]core.CityReadiness, len(r.cities))
+	for i := range r.cities {
+		out[i] = core.CityReadiness{City: r.cities[i].name, Ready: true}
+		if err := r.cities[i].eng.Ready(); err != nil {
+			out[i].Ready, out[i].Err = false, err.Error()
+		}
+	}
+	return out
+}
+
 // RelayEnabled reports whether cross-city trips are served by relay
 // scheduling rather than rejected.
 func (r *Router) RelayEnabled() bool { return r.relay != nil }
@@ -396,18 +408,15 @@ func (r *Router) nearestVertex(ci int, p geo.Point) roadnet.VertexID {
 	return r.cities[ci].eng.NearestVertex(p)
 }
 
-// globalID strides a city-local request id into the router's id space.
+// globalID strides a city-local request id into the router's id space
+// (see GlobalID).
 func (r *Router) globalID(ci int, local core.RequestID) core.RequestID {
-	return local*core.RequestID(len(r.cities)) + core.RequestID(ci)
+	return GlobalID(len(r.cities), ci, local)
 }
 
 // splitID decodes a global request id into (city index, local id).
 func (r *Router) splitID(id core.RequestID) (int, core.RequestID, error) {
-	n := core.RequestID(len(r.cities))
-	if id < n {
-		return 0, 0, fmt.Errorf("multicity: unknown request %d: %w", id, core.ErrNotFound)
-	}
-	return int(id % n), id / n, nil
+	return SplitGlobalID(len(r.cities), id)
 }
 
 // Record is the router's view of a request record: the engine snapshot
@@ -431,35 +440,10 @@ func (r *Router) wrap(ci int, rec *core.RequestRecord) *Record {
 	return out
 }
 
-// wrapRelay synthesises the router record of a relay trip.
+// wrapRelay synthesises the router record of a relay trip (see
+// RelayRequestRecord for the shared synthesis).
 func (r *Router) wrapRelay(tv *relay.TripView) *Record {
-	out := &Record{City: tv.Origin, Relay: tv}
-	out.ID = -core.RequestID(tv.ID)
-	out.S, out.D = tv.OriginVertex, tv.DestVertex
-	out.Riders = tv.Riders
-	out.Status = relayStatus(tv.State)
-	out.Options = tv.CoreOptions
-	out.Chosen = tv.Chosen
-	if tv.Chosen >= 0 && tv.Chosen < len(tv.CoreOptions) {
-		out.Vehicle = tv.CoreOptions[tv.Chosen].Vehicle
-		out.Price = tv.CoreOptions[tv.Chosen].Price
-	}
-	return out
-}
-
-// relayStatus maps the relay trip lifecycle onto the single-city
-// request states every view already speaks: any committed-and-moving
-// stage reads as assigned, the terminal failures as declined.
-func relayStatus(s relay.State) core.RequestStatus {
-	switch s {
-	case relay.StateQuoted:
-		return core.StatusQuoted
-	case relay.StateCompleted:
-		return core.StatusCompleted
-	case relay.StateDeclined, relay.StateAborted, relay.StateFailed:
-		return core.StatusDeclined
-	}
-	return core.StatusAssigned
+	return &Record{RequestRecord: RelayRequestRecord(tv), City: tv.Origin, Relay: tv}
 }
 
 // Submit answers a ridesharing request given by planar coordinates: the
@@ -809,100 +793,17 @@ type Stats struct {
 	Relay        relay.Stats
 }
 
-// Stats snapshots every city and aggregates the totals.
+// Stats snapshots every city and aggregates the totals (see
+// StatsAggregator for the weighting rules).
 func (r *Router) Stats() Stats {
 	out := Stats{Cities: make(map[string]core.EngineStats, len(r.cities))}
-	t := &out.Total
-	var requestW, completedW float64
+	var agg StatsAggregator
 	for i := range r.cities {
 		st := r.cities[i].eng.Stats()
 		out.Cities[r.cities[i].name] = st
-
-		t.Requests += st.Requests
-		t.Assigned += st.Assigned
-		t.Declined += st.Declined
-		t.Completed += st.Completed
-		t.SharedCompleted += st.SharedCompleted
-		t.ActiveVehicles += st.ActiveVehicles
-		t.CommitStale += st.CommitStale
-		t.Reprobes += st.Reprobes
-		t.ReprobeCommits += st.ReprobeCommits
-		if st.Clock > t.Clock {
-			t.Clock = st.Clock
-		}
-		if st.P95ResponseMs > t.P95ResponseMs {
-			t.P95ResponseMs = st.P95ResponseMs
-		}
-
-		// Surge panel: cell counts and surged-quote counters sum across
-		// the share-nothing trackers; the epoch and worst multiplier are
-		// maxima; the mean multiplier is re-weighted by cell count below.
-		if st.Surge.Enabled {
-			t.Surge.Enabled = true
-			t.Surge.Cells += st.Surge.Cells
-			t.Surge.ActiveCells += st.Surge.ActiveCells
-			t.Surge.SurgedQuotes += st.Surge.SurgedQuotes
-			t.Surge.AvgMultiplier += float64(st.Surge.Cells) * st.Surge.AvgMultiplier
-			if st.Surge.Epoch > t.Surge.Epoch {
-				t.Surge.Epoch = st.Surge.Epoch
-			}
-			if st.Surge.EpochSeconds > t.Surge.EpochSeconds {
-				t.Surge.EpochSeconds = st.Surge.EpochSeconds
-			}
-			if st.Surge.MaxMultiplier > t.Surge.MaxMultiplier {
-				t.Surge.MaxMultiplier = st.Surge.MaxMultiplier
-			}
-		}
-
-		t.Tick.Workers += st.Tick.Workers
-		t.Tick.AvgEvents += st.Tick.AvgEvents
-		if st.Tick.Ticks > t.Tick.Ticks {
-			t.Tick.Ticks = st.Tick.Ticks
-		}
-		if st.Tick.LastWallMs > t.Tick.LastWallMs {
-			t.Tick.LastWallMs = st.Tick.LastWallMs
-		}
-		if st.Tick.AvgWallMs > t.Tick.AvgWallMs {
-			t.Tick.AvgWallMs = st.Tick.AvgWallMs
-		}
-		if st.Tick.MaxShardSkewMs > t.Tick.MaxShardSkewMs {
-			t.Tick.MaxShardSkewMs = st.Tick.MaxShardSkewMs
-		}
-
-		reqs := float64(st.Requests)
-		t.AvgResponseMs += reqs * st.AvgResponseMs
-		t.AvgOptions += reqs * st.AvgOptions
-		t.AvgVerified += reqs * st.AvgVerified
-		t.AvgPruned += reqs * st.AvgPruned
-		t.AvgCellsScanned += reqs * st.AvgCellsScanned
-		t.AvgDistCalls += reqs * st.AvgDistCalls
-		t.AvgMatchWidth += reqs * st.AvgMatchWidth
-		requestW += reqs
-
-		done := float64(st.Completed)
-		t.AvgWaitSeconds += done * st.AvgWaitSeconds
-		t.AvgDetourFactor += done * st.AvgDetourFactor
-		completedW += done
+		agg.Add(st)
 	}
-	if requestW > 0 {
-		t.AvgResponseMs /= requestW
-		t.AvgOptions /= requestW
-		t.AvgVerified /= requestW
-		t.AvgPruned /= requestW
-		t.AvgCellsScanned /= requestW
-		t.AvgDistCalls /= requestW
-		t.AvgMatchWidth /= requestW
-	}
-	if completedW > 0 {
-		t.AvgWaitSeconds /= completedW
-		t.AvgDetourFactor /= completedW
-	}
-	if t.Completed > 0 {
-		t.SharingRate = float64(t.SharedCompleted) / float64(t.Completed)
-	}
-	if t.Surge.Cells > 0 {
-		t.Surge.AvgMultiplier /= float64(t.Surge.Cells)
-	}
+	out.Total = agg.Total()
 	if r.relay != nil {
 		out.RelayEnabled = true
 		out.Relay = r.relay.Stats()

@@ -255,26 +255,22 @@ func (s *Scheduler) compensateOpenIntents() error {
 			s.journal.Kill()
 			return wal.ErrCrashed
 		}
-		engO, engD := s.cities[tr.oc].Engine, s.cities[tr.dc].Engine
-		opt := tr.options[tr.intent]
-		for _, leg := range []struct {
-			eng *core.Engine
-			id  core.RequestID
-		}{
-			{engO, tr.leg1Recs[opt.Gateway]},
-			{engD, tr.leg2Recs[opt.Gateway]},
-		} {
-			rec, err := leg.eng.Request(leg.id)
-			if err != nil {
-				continue // commit never reached that engine's journal
-			}
-			if rec.Status == core.StatusAssigned {
-				if err := leg.eng.CancelAssigned(leg.id); err != nil {
-					return fmt.Errorf("relay: compensate trip %d leg %d: %w", tr.id, leg.id, err)
-				}
-			}
-		}
 		tr.mu.Lock()
+		done, cerr := s.compensateTripLocked(tr)
+		if !done {
+			// An engine is unreachable (a sibling shard still
+			// restarting): keep the intent open and let the Advance
+			// drain finish the release once it answers. Recovery
+			// itself stays idempotent — a crash before the drain
+			// re-runs this same scan.
+			s.deferCompensationLocked(tr)
+			tr.mu.Unlock()
+			continue
+		}
+		if cerr != nil {
+			tr.mu.Unlock()
+			return cerr
+		}
 		s.abortLocked(tr)
 		tr.mu.Unlock()
 		if err := s.append(&relayRecord{Op: opAbort, ID: tr.id}); err != nil {

@@ -34,6 +34,7 @@
 package relay
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -94,12 +95,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// LegEngine is the per-city engine surface the scheduler needs to
+// quote, commit, observe and compensate one relay leg. *core.Engine
+// satisfies it natively; a remote city shard satisfies it through
+// cluster.ShardClient, whose transport failures surface as
+// core.ErrUnavailable — the scheduler answers those with deferred,
+// idempotent compensation instead of an immediate abort, because an
+// unreachable shard may have journaled the mutation before dying.
+type LegEngine interface {
+	// Graph and Speed describe the city (gateway selection, ETA
+	// composition).
+	Graph() *roadnet.Graph
+	Speed() float64
+	// LegLimits returns the city-global waiting-time and planned
+	// pick-up budgets leg-2 quoting widens by the transfer buffer.
+	LegLimits() (maxWait, maxPickup float64)
+	// SubmitWithConstraints quotes one leg.
+	SubmitWithConstraints(s, d roadnet.VertexID, riders int, c core.Constraints) (*core.RequestRecord, error)
+	// Choose, Decline, Request and CancelAssigned drive the leg
+	// records through the two-phase commit and its compensation.
+	Choose(id core.RequestID, optionIndex int) error
+	Decline(id core.RequestID) error
+	Request(id core.RequestID) (*core.RequestRecord, error)
+	CancelAssigned(id core.RequestID) error
+}
+
 // CityRef is one city the scheduler relays between — the engine plus
 // the service region its gateway selection reasons about. The slice
 // order given to New is the city index space of Quote.
 type CityRef struct {
 	Name   string
-	Engine *core.Engine
+	Engine LegEngine
 	Region geo.Rect
 }
 
@@ -223,7 +249,7 @@ type Stats = core.RelayStats
 
 // CommitFunc is the leg-commit seam's signature (see
 // SetCommitOverride): leg is 1 or 2.
-type CommitFunc func(leg int, eng *core.Engine, id core.RequestID, optionIndex int) error
+type CommitFunc func(leg int, eng LegEngine, id core.RequestID, optionIndex int) error
 
 // Scheduler coordinates relay trips over a fixed set of city engines.
 // All methods are safe for concurrent use.
@@ -237,6 +263,12 @@ type Scheduler struct {
 	mu     sync.Mutex
 	trips  map[TripID]*trip
 	active map[TripID]*trip // committed, non-terminal — Advance's worklist
+	// pending holds trips whose compensation hit an unavailable
+	// engine (a remote shard mid-restart): the two-phase window stays
+	// open in the journal — no abort record — and Advance retries the
+	// release every tick until the shard answers. A crash while a trip
+	// is pending re-runs the same compensation from the recovery scan.
+	pending []*trip
 
 	quoted, legQuotes, committed         atomic.Int64
 	aborted, declined, completed, failed atomic.Int64
@@ -302,7 +334,7 @@ func (s *Scheduler) SetCommitOverride(fn CommitFunc) {
 	s.commitOverride.Store(&fn)
 }
 
-func (s *Scheduler) commitLeg(leg int, eng *core.Engine, id core.RequestID, optionIndex int) error {
+func (s *Scheduler) commitLeg(leg int, eng LegEngine, id core.RequestID, optionIndex int) error {
 	if fn := s.commitOverride.Load(); fn != nil {
 		return (*fn)(leg, eng, id, optionIndex)
 	}
@@ -341,16 +373,16 @@ func (s *Scheduler) Quote(oc, dc int, o, d roadnet.VertexID, riders int, cons co
 	// planned one transfer later than a door pickup. This is what the
 	// engine's constraint-scoped submits exist for.
 	buffer := s.cfg.TransferBufferSeconds
-	cfgD := engD.Config()
+	waitD, pickupD := engD.LegLimits()
 	cons2 := cons
 	wait2 := cons.WaitSeconds
 	if wait2 <= 0 {
-		wait2 = cfgD.MaxWaitSeconds
+		wait2 = waitD
 	}
 	cons2.WaitSeconds = wait2 + buffer
 	pickup2 := cons.MaxPickupSeconds
 	if pickup2 <= 0 {
-		pickup2 = cfgD.MaxPickupSeconds
+		pickup2 = pickupD
 	}
 	cons2.MaxPickupSeconds = pickup2 + buffer
 
@@ -520,7 +552,7 @@ func (s *Scheduler) Choose(id TripID, optionIndex int) error {
 	// re-validate under their vehicle locks at commit; this pre-check
 	// just fails fast without touching vehicle state.
 	for _, probe := range []struct {
-		eng *core.Engine
+		eng LegEngine
 		id  core.RequestID
 		idx int
 	}{{engO, leg1ID, opt.Leg1Index}, {engD, leg2ID, opt.Leg2Index}} {
@@ -545,20 +577,39 @@ func (s *Scheduler) Choose(id TripID, optionIndex int) error {
 		return fmt.Errorf("relay: trip %d intent: %w", id, err)
 	}
 
-	// Phase 1: book leg 1.
+	// Phase 1: book leg 1. An unavailable engine is ambiguous — the
+	// commit may have journaled on a shard that died before answering
+	// — so the intent stays open and compensation is deferred until
+	// the shard is back (or recovery re-runs the scan).
 	if err := s.commitLeg(1, engO, leg1ID, opt.Leg1Index); err != nil {
-		s.abortJournaled(tr)
+		if errors.Is(err, core.ErrUnavailable) {
+			s.deferCompensationLocked(tr)
+		} else {
+			s.abortJournaled(tr)
+		}
 		return fmt.Errorf("relay: trip %d leg 1: %w", id, err)
 	}
 	// Phase 2: book leg 2 — compensate leg 1 on failure.
 	if err := s.commitLeg(2, engD, leg2ID, opt.Leg2Index); err != nil {
+		if errors.Is(err, core.ErrUnavailable) {
+			// Leg 2 may or may not have booked on the dead shard; leg 1
+			// definitely did. Defer: the drain releases both once the
+			// shard answers again.
+			s.deferCompensationLocked(tr)
+			return fmt.Errorf("relay: trip %d leg 2: %w", id, err)
+		}
 		if cerr := engO.CancelAssigned(leg1ID); cerr != nil {
+			if errors.Is(cerr, core.ErrUnavailable) {
+				// The origin engine vanished between commit and release;
+				// its journaled reservation is exactly what the deferred
+				// drain (or recovery's intent scan) compensates.
+				s.deferCompensationLocked(tr)
+				return fmt.Errorf("relay: trip %d leg 2: %w (leg-1 release deferred: %v)", id, err, cerr)
+			}
 			// The rider was already picked up by a racing tick: leg 1
 			// then completes as an ordinary trip and still leaks no
-			// reservation. A crashed engine could not be compensated
-			// live — recovery's intent scan releases the journaled
-			// reservation instead. Anything else is an engine
-			// inconsistency worth surfacing with the abort.
+			// reservation. Anything else is an engine inconsistency
+			// worth surfacing with the abort.
 			err = fmt.Errorf("%w (leg-1 release: %v)", err, cerr)
 		}
 		s.abortJournaled(tr)
@@ -590,6 +641,101 @@ func (s *Scheduler) abortJournaled(tr *trip) {
 	tr.intent = -1
 	s.abortLocked(tr)
 	_ = s.append(&relayRecord{Op: opAbort, ID: tr.id})
+}
+
+// deferCompensationLocked parks a trip whose two-phase commit ran into
+// an unavailable engine: the journaled intent stays open (no abort
+// record — recovery must still see the window), the unused gateways'
+// quotes are dropped, the trip is surfaced as aborted, and the drain
+// retries the release of the intent gateway's legs every Advance.
+// Caller holds tr.mu.
+func (s *Scheduler) deferCompensationLocked(tr *trip) {
+	s.declineLegsLocked(tr, tr.options[tr.intent].Gateway)
+	tr.state = StateAborted
+	s.aborted.Add(1)
+	s.mu.Lock()
+	s.pending = append(s.pending, tr)
+	s.mu.Unlock()
+}
+
+// compensateTripLocked releases whatever the intent gateway's legs
+// still hold on their engines: an assigned leg is cancelled, a
+// still-quoted one declined, an unknown one ignored (its commit never
+// reached that engine's journal). Idempotent — re-running it against
+// the same state is a no-op. It reports false when an engine is
+// unavailable (retry later, intent stays open) and clears the intent
+// on success. Caller holds tr.mu; err carries a non-transport
+// cancellation failure (recovery surfaces it, the drain tolerates it
+// as "picked up by a racing tick"). Caller must not hold s.mu.
+func (s *Scheduler) compensateTripLocked(tr *trip) (done bool, err error) {
+	opt := tr.options[tr.intent]
+	for _, leg := range []struct {
+		eng LegEngine
+		id  core.RequestID
+	}{
+		{s.cities[tr.oc].Engine, tr.leg1Recs[opt.Gateway]},
+		{s.cities[tr.dc].Engine, tr.leg2Recs[opt.Gateway]},
+	} {
+		rec, rerr := leg.eng.Request(leg.id)
+		if rerr != nil {
+			if errors.Is(rerr, core.ErrUnavailable) {
+				return false, err
+			}
+			continue // commit never reached that engine's journal
+		}
+		switch rec.Status {
+		case core.StatusAssigned:
+			if cerr := leg.eng.CancelAssigned(leg.id); cerr != nil {
+				if errors.Is(cerr, core.ErrUnavailable) {
+					return false, err
+				}
+				if err == nil {
+					err = fmt.Errorf("relay: compensate trip %d leg %d: %w", tr.id, leg.id, cerr)
+				}
+			}
+		case core.StatusQuoted:
+			_ = leg.eng.Decline(leg.id)
+		}
+	}
+	tr.intent = -1
+	return true, err
+}
+
+// drainPending retries the deferred compensations. Each resolved trip
+// closes its two-phase window with the abort record; unresolved ones
+// stay queued for the next tick.
+func (s *Scheduler) drainPending() {
+	s.mu.Lock()
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	var still []*trip
+	for _, tr := range pend {
+		tr.mu.Lock()
+		done, _ := s.compensateTripLocked(tr)
+		tr.mu.Unlock()
+		if done {
+			_ = s.append(&relayRecord{Op: opAbort, ID: tr.id})
+		} else {
+			still = append(still, tr)
+		}
+	}
+	if len(still) > 0 {
+		s.mu.Lock()
+		s.pending = append(s.pending, still...)
+		s.mu.Unlock()
+	}
+}
+
+// PendingCompensations reports how many trips still await a deferred
+// leg release (0 in steady state; tests and operators poll it).
+func (s *Scheduler) PendingCompensations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
 }
 
 // committedLegsLocked returns the committed legs' record ids. Caller
@@ -689,6 +835,7 @@ func (s *Scheduler) viewLocked(tr *trip) *TripView {
 // active set; a trip one leg's vehicle failure orphaned compensates
 // the surviving leg's reservation so nothing stays half-booked.
 func (s *Scheduler) Advance() {
+	s.drainPending()
 	s.mu.Lock()
 	worklist := make([]*trip, 0, len(s.active))
 	for _, tr := range s.active {
@@ -725,12 +872,18 @@ func (s *Scheduler) advanceLocked(tr *trip) {
 	}
 	if rec1.Status == core.StatusDeclined || rec2.Status == core.StatusDeclined {
 		// A committed leg was orphaned (vehicle failure). Compensate
-		// the surviving leg so the relay leaks nothing, then fail.
+		// the surviving leg so the relay leaks nothing, then fail. An
+		// unavailable engine keeps the trip active — the next tick
+		// retries the release.
 		if rec1.Status == core.StatusAssigned {
-			_ = engO.CancelAssigned(rec1.ID)
+			if err := engO.CancelAssigned(rec1.ID); errors.Is(err, core.ErrUnavailable) {
+				return
+			}
 		}
 		if rec2.Status == core.StatusAssigned {
-			_ = engD.CancelAssigned(rec2.ID)
+			if err := engD.CancelAssigned(rec2.ID); errors.Is(err, core.ErrUnavailable) {
+				return
+			}
 		}
 		tr.state = StateFailed
 		s.failed.Add(1)

@@ -11,6 +11,10 @@ import (
 	"ptrider/internal/roadnet"
 )
 
+// asEngine unwraps a test CityRef back to its concrete engine for the
+// engine-only assertions (stats, invariants, ticking).
+func asEngine(ref relay.CityRef) *core.Engine { return ref.Engine.(*core.Engine) }
+
 // twinCities builds two engines over disjoint synthetic cities for
 // direct scheduler tests: "west" at the origin, "east" 20 km out.
 func twinCities(t testing.TB, taxisW, taxisE int, commitSlack float64) []relay.CityRef {
@@ -176,7 +180,7 @@ func TestChooseCommitsBothLegsAtomically(t *testing.T) {
 	// Every leg quote this trip issued is now either committed or
 	// declined — nothing lingers quoted in either engine.
 	for _, ref := range []relay.CityRef{cities[0], cities[1]} {
-		st := ref.Engine.Stats()
+		st := asEngine(ref).Stats()
 		if st.Requests != st.Assigned+st.Declined {
 			t.Fatalf("%s: %d requests but %d assigned + %d declined", ref.Name, st.Requests, st.Assigned, st.Declined)
 		}
@@ -185,10 +189,10 @@ func TestChooseCommitsBothLegsAtomically(t *testing.T) {
 	if err := s.Choose(tv.ID, 0); err == nil {
 		t.Fatal("second choose succeeded")
 	}
-	if err := cities[0].Engine.CheckInvariants(); err != nil {
+	if err := asEngine(cities[0]).CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cities[1].Engine.CheckInvariants(); err != nil {
+	if err := asEngine(cities[1]).CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Committed != 1 || st.Active != 1 {
@@ -210,7 +214,7 @@ func TestChooseLeg2FailureReleasesLeg1(t *testing.T) {
 	opt := tv.Options[0]
 	leg1ID := legRecordID(t, s, cities, tv, 0)
 
-	s.SetCommitOverride(func(leg int, eng *core.Engine, id core.RequestID, idx int) error {
+	s.SetCommitOverride(func(leg int, eng relay.LegEngine, id core.RequestID, idx int) error {
 		if leg == 2 {
 			return fmt.Errorf("injected leg-2 failure")
 		}
@@ -230,12 +234,12 @@ func TestChooseLeg2FailureReleasesLeg1(t *testing.T) {
 	if rec1.Status != core.StatusDeclined {
 		t.Fatalf("leg-1 record after abort = %v, want declined", rec1.Status)
 	}
-	loc, _, err := cities[0].Engine.VehicleSchedules(opt.Leg1.Vehicle)
+	loc, _, err := asEngine(cities[0]).VehicleSchedules(opt.Leg1.Vehicle)
 	_ = loc
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range cities[0].Engine.VehicleViews(0) {
+	for _, v := range asEngine(cities[0]).VehicleViews(0) {
 		if v.ID == opt.Leg1.Vehicle && v.Pending != 0 {
 			t.Fatalf("leg-1 vehicle %d still holds %d pending requests", v.ID, v.Pending)
 		}
@@ -247,7 +251,7 @@ func TestChooseLeg2FailureReleasesLeg1(t *testing.T) {
 	if after.State != relay.StateAborted {
 		t.Fatalf("trip state after abort = %v", after.State)
 	}
-	if err := cities[0].Engine.CheckInvariants(); err != nil {
+	if err := asEngine(cities[0]).CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Aborted != 1 || st.Committed != 0 || st.Active != 0 {
@@ -303,7 +307,7 @@ func TestDeclineReleasesAllLegQuotes(t *testing.T) {
 	}
 	// No quoted leg record of this trip remains.
 	for _, ref := range []relay.CityRef{cities[0], cities[1]} {
-		st := ref.Engine.Stats()
+		st := asEngine(ref).Stats()
 		if st.Requests != st.Declined {
 			t.Fatalf("%s: %d requests but only %d declined after trip decline", ref.Name, st.Requests, st.Declined)
 		}
@@ -325,10 +329,10 @@ func TestRelayTripCompletesEndToEnd(t *testing.T) {
 	}
 	seen := map[relay.State]bool{}
 	for tick := 0; tick < 5000; tick++ {
-		if _, err := cities[0].Engine.Tick(2); err != nil {
+		if _, err := asEngine(cities[0]).Tick(2); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := cities[1].Engine.Tick(2); err != nil {
+		if _, err := asEngine(cities[1]).Tick(2); err != nil {
 			t.Fatal(err)
 		}
 		s.Advance()

@@ -17,8 +17,11 @@ import (
 	"testing"
 	"time"
 
+	"ptrider/internal/cluster"
 	"ptrider/internal/core"
+	"ptrider/internal/gen"
 	"ptrider/internal/multicity"
+	"ptrider/internal/relay"
 	"ptrider/internal/server"
 	"ptrider/internal/telemetry"
 	"ptrider/internal/testnet"
@@ -63,8 +66,50 @@ func multiBackend(t *testing.T) v1Backend {
 	return v1Backend{name: "two-city-relay", ts: ts, city: "east", numCities: 2, relay: true}
 }
 
+// remoteBackend assembles the cluster transport: two single-city
+// engines behind shard handlers on real listeners, a gateway dialed
+// over those sockets, and the /v1 surface served by the gateway — the
+// same conformance table must hold when every backend verb crosses a
+// wire.
+func remoteBackend(t *testing.T) v1Backend {
+	t.Helper()
+	newShard := func(w, h int, originX float64, seed int64) *httptest.Server {
+		g, err := gen.GenerateNetwork(gen.CityConfig{Width: w, Height: h, OriginX: originX, Seed: seed})
+		if err != nil {
+			t.Fatalf("gen: %v", err)
+		}
+		eng, err := core.NewEngine(g, core.Config{
+			Capacity: 4, Algorithm: core.AlgoDualSide, Seed: seed,
+			Telemetry: telemetry.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		eng.AddVehiclesUniform(5)
+		shard := httptest.NewServer(cluster.NewShardHandler(eng, cluster.ShardOptions{}))
+		t.Cleanup(shard.Close)
+		return shard
+	}
+	east := newShard(10, 10, 0, 1)
+	west := newShard(8, 8, 20000, 2)
+	gw, err := cluster.NewGateway(
+		[]string{"east=" + east.URL, "west=" + west.URL},
+		cluster.GatewayConfig{
+			Client:   cluster.ClientConfig{RetryBackoff: time.Millisecond},
+			Relay:    relay.Config{TransferBufferSeconds: 120},
+			Registry: telemetry.NewRegistry(),
+		})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	ts := httptest.NewServer(server.NewService(gw).Handler())
+	t.Cleanup(ts.Close)
+	return v1Backend{name: "remote-gateway", ts: ts, city: "east", numCities: 2, relay: true}
+}
+
 func conformanceBackends(t *testing.T) []v1Backend {
-	return []v1Backend{singleBackend(t), multiBackend(t)}
+	return []v1Backend{singleBackend(t), multiBackend(t), remoteBackend(t)}
 }
 
 // errCode extracts the envelope's error code from a decoded body.

@@ -62,6 +62,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -186,10 +188,38 @@ type readier interface {
 	Ready() error
 }
 
-// handleReadyz serves GET /v1/readyz: readiness — 503 with the cause
-// when the backend cannot take traffic (a wedged WAL, say).
+// cityReadier is implemented by backends that can break readiness down
+// per city — the gateway reports which shards are unreachable or
+// unready, the router and engine their cities' durability layers.
+type cityReadier interface {
+	ReadyCities() []core.CityReadiness
+}
+
+// readyzBody is the JSON body of /v1/readyz: overall status plus the
+// per-city detail when the backend can provide it.
+type readyzBody struct {
+	Status string               `json:"status"`
+	Cities []core.CityReadiness `json:"cities,omitempty"`
+}
+
+// handleReadyz serves GET /v1/readyz: readiness — 503 with a JSON body
+// naming each unready city (an unreachable shard, a wedged WAL) when
+// the backend cannot take traffic.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	if cr, ok := s.svc.(cityReadier); ok {
+		body := readyzBody{Status: "ready", Cities: cr.ReadyCities()}
+		status := http.StatusOK
+		for _, c := range body.Cities {
+			if !c.Ready {
+				body.Status = "unready"
+				status = http.StatusServiceUnavailable
+				break
+			}
+		}
+		writeJSON(w, status, body)
 		return
 	}
 	if rd, ok := s.svc.(readier); ok {
@@ -198,7 +228,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, readyzBody{Status: "ready"})
 }
 
 // Tick advances the backend's simulated time and feeds the movement
@@ -225,6 +255,51 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// etagOf derives a strong ETag from a rendered response body.
+func etagOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// ifNoneMatchHas reports whether an If-None-Match header names tag
+// (weak comparison — a W/ prefix on a listed tag still matches).
+func ifNoneMatchHas(header, tag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(part), "W/") == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCached emits a body with a content-derived ETag and answers
+// 304 Not Modified when the request's If-None-Match already names it —
+// the revalidation handshake the cluster shard client's TTL cache (and
+// any standard HTTP cache) runs against the hot per-city GETs.
+func writeCached(w http.ResponseWriter, r *http.Request, contentType string, body []byte) {
+	tag := etagOf(body)
+	w.Header().Set("ETag", tag)
+	if m := r.Header.Get("If-None-Match"); m != "" && ifNoneMatchHas(m, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
+}
+
+// writeJSONCached renders v once and serves it through writeCached.
+func writeJSONCached(w http.ResponseWriter, r *http.Request, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeCached(w, r, "application/json", append(body, '\n'))
 }
 
 // errorPayload is the structured error envelope's inner object.
@@ -273,6 +348,9 @@ func classify(err error, fallback int) (int, errorPayload) {
 	case errors.Is(err, core.ErrInvalidArgument):
 		p.Code = "invalid_argument"
 		return http.StatusBadRequest, p
+	case errors.Is(err, core.ErrUnavailable):
+		p.Code = "unavailable"
+		return http.StatusServiceUnavailable, p
 	}
 	if fallback == http.StatusInternalServerError {
 		p.Code = "internal"
@@ -931,7 +1009,7 @@ func (s *Server) handleCities(w http.ResponseWriter, r *http.Request) {
 			MaxX: c.Region.Max.X, MaxY: c.Region.Max.Y,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSONCached(w, r, out)
 }
 
 // relayResponse answers a relay itinerary lookup; positive ids are
@@ -1033,7 +1111,7 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, paramsViewOf(params))
+		writeJSONCached(w, r, paramsViewOf(params))
 		return
 	}
 	var body struct {
@@ -1132,9 +1210,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		m.PlotSchedule(it.Location, pickups, dropoffs)
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, m.String())
-	fmt.Fprintln(w, render.Legend())
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, m.String())
+	fmt.Fprintln(&buf, render.Legend())
+	writeCached(w, r, "text/plain; charset=utf-8", buf.Bytes())
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,19 @@
 //	sys.Choose(cross.ID, 0) // two-phase commit of both legs
 //	sys.Tick(60)            // every city ticks concurrently
 //
+// # Cluster quick start
+//
+// The same topology scales across processes: each city runs as its
+// own ptrider-shard process (one WAL-backed engine behind the shard
+// RPC surface) and ptrider-server in gateway mode serves the
+// unchanged /v1 API over the fleet, relaying cross-city trips over
+// real sockets with idempotent retries and deferred compensation (see
+// internal/cluster and ARCHITECTURE.md "Horizontal scale-out"):
+//
+//	ptrider-shard  -addr :9101 -width 40 -height 40 -taxis 500 -wal-dir /var/lib/ptrider/east
+//	ptrider-shard  -addr :9102 -width 28 -height 28 -origin-x 30000 -taxis 200 -wal-dir /var/lib/ptrider/west
+//	ptrider-server -addr :8080 -shards "east=localhost:9101,west=localhost:9102"
+//
 // The internal packages implement the substrates (road network,
 // shortest paths, grid index, kinetic trees, matchers, simulator); this
 // package is the supported surface.
